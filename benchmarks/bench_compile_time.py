@@ -1,0 +1,28 @@
+"""Section 7, "All benchmarks compile in under a second".
+
+Times the full compilation of every evaluation design and asserts the
+one-second bound the paper reports for its (Rust) compiler also holds for
+this Python reproduction.
+"""
+
+import pytest
+
+from repro.core.lower import compile_program
+from repro.evaluation import evaluation_designs, measure_compile_times
+
+
+@pytest.mark.parametrize("name,thunk", evaluation_designs(),
+                         ids=[name for name, _ in evaluation_designs()])
+def test_compile_time_per_design(benchmark, name, thunk):
+    program, entrypoint = thunk()
+    calyx = benchmark.pedantic(compile_program, args=(program, entrypoint),
+                               rounds=3, iterations=1)
+    assert calyx.entrypoint == entrypoint
+
+
+def test_all_designs_compile_under_a_second(benchmark):
+    timings = benchmark.pedantic(measure_compile_times, rounds=1, iterations=1)
+    print()
+    for timing in timings:
+        print(f"{timing.name:20s} {timing.seconds * 1000:7.1f} ms")
+    assert all(timing.under_a_second for timing in timings)

@@ -1,0 +1,22 @@
+"""Figure 1 — waveforms of the traditional-HDL ALU.
+
+Regenerates the two waveforms: addition answers in the input cycle,
+multiplication arrives two cycles late and the same-cycle output is garbage —
+the motivating timing hazard of Section 1/2.
+"""
+
+from repro.evaluation import figure1_waveforms
+
+
+def test_figure1_alu_waveforms(benchmark):
+    waves = benchmark.pedantic(figure1_waveforms, args=(10, 20), rounds=3,
+                               iterations=1)
+    print()
+    for label, wave in waves.items():
+        print(f"-- {label} --")
+        print(wave)
+    add_out_row = waves["addition"].splitlines()[-1].split()
+    mul_out_row = waves["multiplication"].splitlines()[-1].split()
+    assert add_out_row[1] == "30"          # same-cycle sum
+    assert mul_out_row[1] != "200"         # product not ready yet
+    assert mul_out_row[3] == "200"         # ... it shows up two cycles later

@@ -1,0 +1,33 @@
+"""Figure 2 — the restoring-divider design space.
+
+Regenerates the area/latency/throughput trade-off the paper walks through:
+the combinational divider answers immediately, the pipelined divider keeps
+the throughput but takes 8 cycles, and the iterative divider trades
+throughput (II = 8) for roughly one eighth of the step logic.
+"""
+
+from repro.evaluation import figure2_divider_tradeoffs
+
+
+def test_figure2_divider_design_space(benchmark):
+    points = benchmark.pedantic(figure2_divider_tradeoffs, rounds=1, iterations=1)
+    by_variant = {point.variant: point for point in points}
+    print()
+    for point in points:
+        print(f"{point.variant:10s} latency={point.latency} II="
+              f"{point.initiation_interval} LUTs={point.luts} "
+              f"registers={point.registers} correct={point.correct}")
+
+    assert all(point.correct for point in points)
+    comb, pipe, iterative = (by_variant[v] for v in ("comb", "pipelined", "iterative"))
+
+    # Latency: combinational answers in-cycle, the other two take the full
+    # eight iterations.
+    assert comb.latency == 0 and pipe.latency == 7 and iterative.latency == 7
+    # Throughput: only the iterative design gives up its initiation interval.
+    assert comb.initiation_interval == 1 and pipe.initiation_interval == 1
+    assert iterative.initiation_interval == 8
+    # Area: the iterative design reuses one Nxt step, so it needs far fewer
+    # LUTs than either fully-unrolled design; pipelining adds registers.
+    assert iterative.luts < comb.luts / 3
+    assert pipe.registers > comb.registers

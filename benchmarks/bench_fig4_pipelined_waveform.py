@@ -1,0 +1,15 @@
+"""Figure 4 — pipelined use of ``AddMult<G: 2>``.
+
+Two executions started two cycles apart overlap exactly as the paper's
+waveform shows, and both produce the correct ``a * b + c``.
+"""
+
+from repro.evaluation import figure4_pipelined_waveform
+
+
+def test_figure4_addmult_overlapped_executions(benchmark):
+    waveform, passed = benchmark.pedantic(figure4_pipelined_waveform, rounds=3,
+                                          iterations=1)
+    print()
+    print(waveform)
+    assert passed

@@ -1,0 +1,29 @@
+"""Figure 5 — the type-system constraint catalogue.
+
+One program per fundamental/well-formedness/pipelining constraint; every
+ill-typed program is rejected with the matching diagnostic and the well-typed
+control program is accepted.  The benchmark times the whole catalogue (it is
+also a measure of type-checking speed on small programs).
+"""
+
+from repro.evaluation import figure5_constraint_catalogue
+
+
+def test_figure5_constraint_catalogue(benchmark):
+    cases = benchmark.pedantic(figure5_constraint_catalogue, rounds=3, iterations=1)
+    print()
+    for case in cases:
+        verdict = "accepted" if case.accepted else "rejected"
+        print(f"{case.rule:30s} {verdict:8s} {case.description}")
+
+    rejected = {case.rule for case in cases if not case.accepted}
+    assert rejected == {
+        "delay well-formedness",
+        "valid reads",
+        "conflict-free writes",
+        "conflict-free instance reuse",
+        "triggering subcomponents",
+        "pipelined instance reuse",
+        "phantom check",
+    }
+    assert any(case.accepted for case in cases)

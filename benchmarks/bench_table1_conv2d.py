@@ -1,0 +1,37 @@
+"""Table 1a — latencies of Aetherling conv2d designs (reported vs actual).
+
+Each benchmark regenerates one row: it builds the design at the given
+throughput, drives it under the cycle-accurate harness exactly as its
+space-time type claims, and measures the actual latency and required input
+hold.  The assertions pin the reproduced numbers to the paper's table.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.evaluation import PAPER_TABLE1, audit_design, format_table1, table1
+from repro.generators.aetherling import THROUGHPUTS, generate
+
+
+@pytest.mark.parametrize("throughput", THROUGHPUTS,
+                         ids=lambda t: f"{t.numerator}-{t.denominator}")
+def test_table1_conv2d_row(benchmark, throughput):
+    design = generate("conv2d", throughput)
+    row = benchmark.pedantic(audit_design, args=(design,), rounds=1, iterations=1)
+    reported, actual = PAPER_TABLE1["conv2d"][throughput]
+    assert row.reported_latency == reported
+    assert row.actual_latency == actual
+    if throughput < 1:
+        assert not row.latency_correct
+        assert row.required_hold > row.reported_hold
+    else:
+        assert row.latency_correct
+
+
+def test_table1_conv2d_full_table(benchmark):
+    rows = benchmark.pedantic(table1, args=("conv2d",), rounds=1, iterations=1)
+    print()
+    print(format_table1(rows))
+    incorrect = [row.throughput_label() for row in rows if not row.latency_correct]
+    assert incorrect == ["1/3", "1/9"]

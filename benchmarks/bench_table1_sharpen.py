@@ -1,0 +1,27 @@
+"""Table 1b — latencies of Aetherling sharpen designs (reported vs actual)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.evaluation import PAPER_TABLE1, audit_design, format_table1, table1
+from repro.generators.aetherling import THROUGHPUTS, generate
+
+
+@pytest.mark.parametrize("throughput", THROUGHPUTS,
+                         ids=lambda t: f"{t.numerator}-{t.denominator}")
+def test_table1_sharpen_row(benchmark, throughput):
+    design = generate("sharpen", throughput)
+    row = benchmark.pedantic(audit_design, args=(design,), rounds=1, iterations=1)
+    reported, actual = PAPER_TABLE1["sharpen"][throughput]
+    assert row.reported_latency == reported
+    assert row.actual_latency == actual
+    assert row.latency_correct == (throughput >= 1)
+
+
+def test_table1_sharpen_full_table(benchmark):
+    rows = benchmark.pedantic(table1, args=("sharpen",), rounds=1, iterations=1)
+    print()
+    print(format_table1(rows))
+    incorrect = [row.throughput_label() for row in rows if not row.latency_correct]
+    assert incorrect == ["1/3", "1/9"]

@@ -1,0 +1,42 @@
+"""Table 2 — resource usage and frequency of the conv2d designs.
+
+The benchmark cross-validates the Aetherling-generated, Filament-native and
+Filament+Reticle conv2d designs against one golden model, runs the synthesis
+cost model on each, and checks that the paper's qualitative conclusions hold:
+Filament needs fewer DSPs/registers and reaches a higher frequency than
+Aetherling, and the Reticle-based design uses an order of magnitude fewer
+LUTs.  Absolute LUT/MHz values differ from Vivado's (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.evaluation import format_table2, table2, validate_designs
+
+
+def test_all_designs_compute_the_same_convolution(benchmark):
+    outcomes = benchmark.pedantic(validate_designs, rounds=1, iterations=1)
+    assert all(outcomes.values()), outcomes
+
+
+def test_table2_resource_comparison(benchmark):
+    rows = benchmark.pedantic(table2, rounds=1, iterations=1)
+    print()
+    print(format_table2(rows))
+    by_name = {row.name: row.report for row in rows}
+
+    filament = by_name["Filament"]
+    aetherling = by_name["Aetherling"]
+    reticle = by_name["Filament Reticle"]
+
+    # Paper takeaway 1: Filament beats Aetherling on resources and frequency.
+    assert filament.fmax_mhz > aetherling.fmax_mhz
+    assert filament.dsps < aetherling.dsps
+    assert filament.registers < aetherling.registers
+
+    # Paper takeaway 2: the Reticle design uses an order of magnitude fewer
+    # logic resources than either.
+    assert reticle.luts * 5 < filament.luts
+    assert reticle.luts * 5 < aetherling.luts
+
+    # Register ordering matches the paper (Aetherling > Reticle > Filament).
+    assert aetherling.registers > reticle.registers > filament.registers

@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``repro`` importable from the source tree.
+
+The package is normally installed with ``pip install -e .``; this hook keeps
+the test and benchmark suites runnable in fully offline environments where
+editable installs cannot build (no ``wheel`` available).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

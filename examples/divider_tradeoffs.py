@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Area/throughput trade-offs with the restoring dividers of Figure 2.
+
+Builds the combinational, pipelined and iterative 8-bit restoring dividers,
+validates each against Python division, and prints the latency / initiation
+interval / area trade-off table the paper discusses — plus the type errors
+Filament raises for the two broken intermediate designs (sharing the step
+instance in the same cycle, and sharing it across cycles without widening the
+delay).
+
+Run with:  python examples/divider_tradeoffs.py
+"""
+
+from repro.core import ComponentBuilder, ConflictError, PipeliningError, check_program, with_stdlib
+from repro.designs.divider import nxt_step
+from repro.evaluation import figure2_divider_tradeoffs
+
+
+def broken_same_cycle_sharing() -> None:
+    """Section 2.5: two inputs sent into one ``Nxt`` instance in one cycle."""
+    build = ComponentBuilder("Broken")
+    G = build.event("G", delay=1, interface="go")
+    left = build.input("left", 8, G, G + 1)
+    divisor = build.input("div", 8, G, G + 1)
+    out = build.output("q", 8, G, G + 1)
+    step = build.instantiate("N", "Nxt")
+    first = build.invoke("s0", step, [G], [0, left, divisor])
+    second = build.invoke("s1", step, [G], [first["an"], first["qn"], divisor])
+    build.connect(out, second["qn"])
+    try:
+        check_program(with_stdlib(components=[nxt_step(), build.build()]))
+    except ConflictError as error:
+        print("shared in the same cycle ->", error)
+
+
+def broken_delay_one_sharing() -> None:
+    """Sharing over 8 cycles while still claiming the pipeline restarts every
+    cycle."""
+    build = ComponentBuilder("Broken2")
+    G = build.event("G", delay=1, interface="go")
+    left = build.input("left", 8, G, G + 1)
+    divisor = build.input("div", 8, G, G + 1)
+    out = build.output("q", 8, G + 1, G + 2)
+    step = build.instantiate("N", "Nxt")
+    reg = build.instantiate("RQ", "Reg", [8])
+    reg_div = build.instantiate("RD", "Reg", [8])
+    first = build.invoke("s0", step, [G], [0, left, divisor])
+    held = build.invoke("rq", reg, [G], [first["qn"]])
+    held_div = build.invoke("rd", reg_div, [G], [divisor])
+    second = build.invoke("s1", step, [G + 1], [0, held["out"], held_div["out"]])
+    build.connect(out, second["qn"])
+    try:
+        check_program(with_stdlib(components=[nxt_step(), build.build()]))
+    except PipeliningError as error:
+        print("shared across cycles with delay 1 ->", error)
+
+
+def main() -> None:
+    print("== The two broken designs Filament rejects ==")
+    broken_same_cycle_sharing()
+    broken_delay_one_sharing()
+    print()
+
+    print("== The three accepted designs (Figure 2) ==")
+    print(f"{'variant':12s} {'latency':>7} {'II':>4} {'LUTs':>6} {'regs':>6} {'correct':>8}")
+    for point in figure2_divider_tradeoffs():
+        print(f"{point.variant:12s} {point.latency:>7} "
+              f"{point.initiation_interval:>4} {point.luts:>6} "
+              f"{point.registers:>6} {str(point.correct):>8}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``wheel`` to build editable metadata with this
+setuptools version; on fully offline machines run ``python setup.py develop``
+instead (or simply run pytest from the repository root — ``conftest.py`` adds
+``src/`` to ``sys.path``).
+"""
+
+from setuptools import setup
+
+setup()

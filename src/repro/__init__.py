@@ -1,0 +1,20 @@
+"""repro — a Python reproduction of "Modular Hardware Design with Timeline
+Types" (Filament, PLDI 2023).
+
+The package is organised as:
+
+* :mod:`repro.core` — the Filament language: events, intervals, the type
+  system, the log-based semantics, and the lowering pipeline;
+* :mod:`repro.calyx` — the Calyx-like structural IR the compiler targets;
+* :mod:`repro.sim` — a cycle-accurate netlist simulator with X-propagation;
+* :mod:`repro.harness` — the signature-driven cycle-accurate test harness;
+* :mod:`repro.generators` — Aetherling/PipelineC/Reticle-style hardware
+  generator substrates used by the evaluation;
+* :mod:`repro.synth` — the synthesis cost model (area + frequency);
+* :mod:`repro.designs` — the evaluation designs written in Filament;
+* :mod:`repro.evaluation` — drivers that regenerate every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,20 @@
+"""A Calyx-like structural IR (the compilation target of Section 5.3)."""
+
+from .ir import (
+    Assignment,
+    CalyxComponent,
+    CalyxProgram,
+    Cell,
+    CellPort,
+    Guard,
+    PortSpec,
+)
+from .passes import dead_cell_elimination, optimize, simplify_guards
+from .wellformed import check_component, check_program
+
+__all__ = [
+    "Assignment", "CalyxComponent", "CalyxProgram", "Cell", "CellPort",
+    "Guard", "PortSpec",
+    "dead_cell_elimination", "optimize", "simplify_guards",
+    "check_component", "check_program",
+]

@@ -1,0 +1,198 @@
+"""A Calyx-like structural intermediate representation.
+
+Filament compiles to the Calyx IR (Nigam et al., ASPLOS 2021) for hardware
+generation; this module reproduces the subset of Calyx the paper's backend
+needs:
+
+* **components** with typed input/output ports,
+* **cells** instantiating primitives or other components, and
+* **wires** — *guarded assignments* ``dst = guard ? src`` where the guard is
+  a disjunction of 1-bit ports (exactly the guards Filament's compiler
+  synthesises from FSM states, Section 5.2).
+
+Filament only ever emits structural programs, so the ``control`` section of
+real Calyx is always empty here and is omitted.  The IR is consumed by three
+backends: the well-formedness checker in :mod:`repro.calyx.wellformed`, the
+Verilog emitter in :mod:`repro.core.lower.verilog_backend`, and the
+cycle-accurate simulator in :mod:`repro.sim`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.errors import FilamentError
+
+__all__ = [
+    "CellPort",
+    "Guard",
+    "Assignment",
+    "Cell",
+    "PortSpec",
+    "CalyxComponent",
+    "CalyxProgram",
+]
+
+
+@dataclass(frozen=True)
+class CellPort:
+    """A reference to a port: ``cell`` is ``None`` for the enclosing
+    component's own ports (Calyx's ``this``), otherwise the cell name."""
+
+    cell: Optional[str]
+    port: str
+
+    def __str__(self) -> str:
+        return self.port if self.cell is None else f"{self.cell}.{self.port}"
+
+
+@dataclass(frozen=True)
+class Guard:
+    """A disjunction of 1-bit ports; an empty disjunction is the constant
+    true guard (the assignment is continuously active)."""
+
+    ports: Tuple[CellPort, ...] = ()
+
+    @property
+    def always(self) -> bool:
+        return not self.ports
+
+    def __str__(self) -> str:
+        if self.always:
+            return "1"
+        return " | ".join(str(p) for p in self.ports)
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """``dst = guard ? src`` — forwards ``src`` to ``dst`` while the guard is
+    active; the value on ``dst`` is undefined otherwise (Section 5.1)."""
+
+    dst: CellPort
+    src: Union[CellPort, int]
+    guard: Guard = Guard()
+
+    def __str__(self) -> str:
+        if self.guard.always:
+            return f"{self.dst} = {self.src}"
+        return f"{self.dst} = {self.guard} ? {self.src}"
+
+
+@dataclass(frozen=True)
+class Cell:
+    """An instantiated sub-circuit.
+
+    ``component`` names either a primitive (``Add``, ``Reg``, ``fsm`` …) or a
+    user-level :class:`CalyxComponent` in the same program; ``params`` are the
+    compile-time parameters (bit width, FSM depth, initial value …).
+    """
+
+    name: str
+    component: str
+    params: Tuple[int, ...] = ()
+
+    def __str__(self) -> str:
+        params = f"[{', '.join(map(str, self.params))}]" if self.params else ""
+        return f"{self.name} = {self.component}{params}()"
+
+
+@dataclass(frozen=True)
+class PortSpec:
+    """A named, sized port of a component."""
+
+    name: str
+    width: int
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.width}"
+
+
+@dataclass
+class CalyxComponent:
+    """One structural component: ports, cells, and guarded assignments."""
+
+    name: str
+    inputs: List[PortSpec] = field(default_factory=list)
+    outputs: List[PortSpec] = field(default_factory=list)
+    cells: List[Cell] = field(default_factory=list)
+    wires: List[Assignment] = field(default_factory=list)
+
+    # -- lookups ------------------------------------------------------------
+
+    def cell(self, name: str) -> Cell:
+        for cell in self.cells:
+            if cell.name == name:
+                return cell
+        raise FilamentError(f"{self.name}: no cell named {name!r}")
+
+    def has_cell(self, name: str) -> bool:
+        return any(cell.name == name for cell in self.cells)
+
+    def input_names(self) -> List[str]:
+        return [port.name for port in self.inputs]
+
+    def output_names(self) -> List[str]:
+        return [port.name for port in self.outputs]
+
+    def assignments_to(self, dst: CellPort) -> List[Assignment]:
+        return [wire for wire in self.wires if wire.dst == dst]
+
+    def add_cell(self, cell: Cell) -> Cell:
+        if self.has_cell(cell.name):
+            raise FilamentError(f"{self.name}: duplicate cell {cell.name!r}")
+        self.cells.append(cell)
+        return cell
+
+    def add_wire(self, assignment: Assignment) -> Assignment:
+        self.wires.append(assignment)
+        return assignment
+
+    # -- presentation --------------------------------------------------------
+
+    def __str__(self) -> str:
+        inputs = ", ".join(str(p) for p in self.inputs)
+        outputs = ", ".join(str(p) for p in self.outputs)
+        lines = [f"component {self.name}({inputs}) -> ({outputs}) {{"]
+        lines.append("  cells {")
+        for cell in self.cells:
+            lines.append(f"    {cell};")
+        lines.append("  }")
+        lines.append("  wires {")
+        for wire in self.wires:
+            lines.append(f"    {wire};")
+        lines.append("  }")
+        lines.append("  control {}")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+@dataclass
+class CalyxProgram:
+    """A set of Calyx components with a designated entry point."""
+
+    components: Dict[str, CalyxComponent] = field(default_factory=dict)
+    entrypoint: Optional[str] = None
+
+    def add(self, component: CalyxComponent) -> CalyxComponent:
+        if component.name in self.components:
+            raise FilamentError(f"duplicate Calyx component {component.name!r}")
+        self.components[component.name] = component
+        return component
+
+    def get(self, name: str) -> CalyxComponent:
+        try:
+            return self.components[name]
+        except KeyError:
+            raise FilamentError(f"unknown Calyx component {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.components
+
+    def main(self) -> CalyxComponent:
+        if self.entrypoint is None:
+            raise FilamentError("Calyx program has no entrypoint")
+        return self.get(self.entrypoint)
+
+    def __str__(self) -> str:
+        return "\n\n".join(str(c) for c in self.components.values())

@@ -1,0 +1,86 @@
+"""Generic optimisation passes over Calyx programs.
+
+The real Calyx compiler "performs generic optimizations and generates
+circuits" (Section 5.3).  Two representative structural optimisations are
+reproduced here; they run after the Filament backend and before area/timing
+estimation so the synthesis model sees a cleaned-up netlist:
+
+* **dead-cell elimination** — removes cells none of whose output ports are
+  read and none of whose input ports feed a live cell (unused FSM stages,
+  registers left over from design exploration);
+* **constant propagation of trivially-true guards** — folds single-port
+  guards whose port is a component input driven by a constant 1, turning
+  guarded assignments into continuous ones (this mirrors how Calyx removes
+  interface logic for continuously-running pipelines, Section 5.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from .ir import Assignment, CalyxComponent, CalyxProgram, CellPort, Guard
+
+__all__ = ["dead_cell_elimination", "simplify_guards", "optimize"]
+
+
+def _used_cells(component: CalyxComponent) -> Set[str]:
+    """Cells whose outputs are read by any assignment source or guard, plus
+    cells whose outputs drive the component's own outputs."""
+    used: Set[str] = set()
+    for wire in component.wires:
+        if isinstance(wire.src, CellPort) and wire.src.cell is not None:
+            used.add(wire.src.cell)
+        for port in wire.guard.ports:
+            if port.cell is not None:
+                used.add(port.cell)
+    return used
+
+
+def dead_cell_elimination(component: CalyxComponent) -> int:
+    """Remove cells that nothing reads; returns the number removed.
+
+    Runs to a fixpoint because removing a cell can render its producers dead
+    as well.
+    """
+    removed_total = 0
+    while True:
+        used = _used_cells(component)
+        dead = [cell for cell in component.cells if cell.name not in used]
+        if not dead:
+            return removed_total
+        dead_names = {cell.name for cell in dead}
+        component.cells = [c for c in component.cells if c.name not in dead_names]
+        component.wires = [
+            w for w in component.wires
+            if not (w.dst.cell in dead_names)
+        ]
+        removed_total += len(dead)
+
+
+def simplify_guards(component: CalyxComponent,
+                    constant_inputs: Dict[str, int] = None) -> int:
+    """Fold guards consisting solely of component inputs known to be
+    constant-1; returns the number of simplified assignments."""
+    constants = constant_inputs or {}
+    simplified = 0
+    new_wires = []
+    for wire in component.wires:
+        guard = wire.guard
+        if not guard.always and all(
+            port.cell is None and constants.get(port.port) == 1
+            for port in guard.ports
+        ):
+            wire = Assignment(wire.dst, wire.src, Guard())
+            simplified += 1
+        new_wires.append(wire)
+    component.wires = new_wires
+    return simplified
+
+
+def optimize(program: CalyxProgram) -> Dict[str, int]:
+    """Run every pass over every component; returns per-pass removal counts."""
+    stats = {"dead_cells": 0, "simplified_guards": 0}
+    for component in program.components.values():
+        stats["dead_cells"] += dead_cell_elimination(component)
+        stats["simplified_guards"] += simplify_guards(component)
+    return stats

@@ -1,0 +1,100 @@
+"""Well-formedness checks for Calyx programs.
+
+Calyx requires that "only one of the guards is active at a time for any given
+source port" (Section 5.1 of the Filament paper).  Filament's type system
+guarantees this for the programs it generates; this module provides the
+corresponding dynamic/structural checks so tests can verify the guarantee on
+the compiler's output and so hand-written Calyx used in tests is validated:
+
+* every assignment destination must be a known port of a known cell (or of
+  the component itself);
+* destinations driven by more than one *unguarded* assignment are rejected —
+  two always-active drivers necessarily conflict;
+* guard ports must be outputs of FSM-like cells or 1-bit component inputs.
+
+The per-cycle "at most one active guard" property is inherently dynamic; the
+simulator (:mod:`repro.sim.simulator`) enforces it during execution and the
+property-based tests exercise it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+from ..core.errors import FilamentError
+from .ir import Assignment, CalyxComponent, CalyxProgram, CellPort
+
+__all__ = ["check_component", "check_program"]
+
+
+def check_component(component: CalyxComponent, program: CalyxProgram) -> List[str]:
+    """Return a list of well-formedness problems (empty when clean)."""
+    problems: List[str] = []
+    cell_names = {cell.name for cell in component.cells}
+    outputs = set(component.output_names())
+    inputs = set(component.input_names())
+
+    drivers: Dict[CellPort, List[Assignment]] = defaultdict(list)
+    for wire in component.wires:
+        drivers[wire.dst].append(wire)
+        if wire.dst.cell is None and wire.dst.port not in outputs:
+            problems.append(
+                f"{component.name}: assignment drives unknown component port "
+                f"{wire.dst.port!r}"
+            )
+        if wire.dst.cell is not None and wire.dst.cell not in cell_names:
+            problems.append(
+                f"{component.name}: assignment drives port of unknown cell "
+                f"{wire.dst.cell!r}"
+            )
+        src = wire.src
+        if isinstance(src, CellPort):
+            if src.cell is None and src.port not in inputs:
+                problems.append(
+                    f"{component.name}: assignment reads unknown component "
+                    f"port {src.port!r}"
+                )
+            if src.cell is not None and src.cell not in cell_names:
+                problems.append(
+                    f"{component.name}: assignment reads port of unknown cell "
+                    f"{src.cell!r}"
+                )
+        for guard_port in wire.guard.ports:
+            if guard_port.cell is not None and guard_port.cell not in cell_names:
+                problems.append(
+                    f"{component.name}: guard uses unknown cell "
+                    f"{guard_port.cell!r}"
+                )
+
+    for dst, assignments in drivers.items():
+        unguarded = [a for a in assignments if a.guard.always]
+        if len(unguarded) > 1:
+            problems.append(
+                f"{component.name}: port {dst} has {len(unguarded)} "
+                f"continuously active drivers"
+            )
+        if unguarded and len(assignments) > len(unguarded):
+            problems.append(
+                f"{component.name}: port {dst} mixes guarded and unguarded "
+                f"drivers"
+            )
+    return problems
+
+
+def check_program(program: CalyxProgram) -> List[str]:
+    """Check every component of ``program``; also verifies that every cell's
+    component name resolves to a primitive model or a component in the
+    program."""
+    from ..sim.primitives import is_primitive
+
+    problems: List[str] = []
+    for component in program.components.values():
+        problems.extend(check_component(component, program))
+        for cell in component.cells:
+            if cell.component not in program and not is_primitive(cell.component):
+                problems.append(
+                    f"{component.name}: cell {cell.name} instantiates unknown "
+                    f"component/primitive {cell.component!r}"
+                )
+    return problems

@@ -1,0 +1,417 @@
+"""Abstract syntax of Filament programs.
+
+A Filament *program* is a sequence of component definitions (Figure 3 of the
+paper).  Each component has a *signature* — events with delays, interface
+ports, data ports annotated with availability intervals, and optional
+ordering constraints — plus a body made of exactly three kinds of commands:
+
+* **instantiation** (``A := new Add``) creates a physical circuit,
+* **invocation** (``a0 := A<G>(l, r)``) schedules a named use of an instance
+  at a set of events, and
+* **connection** (``o = mux.out``) wires one port to another.
+
+External components (``extern comp``) only have a signature; their circuit is
+a black box supplied by the standard library / the simulator's primitive
+models.
+
+The same AST is produced by the text parser (:mod:`repro.core.parser`) and by
+the Python builder API (:mod:`repro.core.builder`), and consumed by the type
+checker, the log-based semantics, and the lowering pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .errors import FilamentError
+from .events import Delay, Event, Interval
+
+__all__ = [
+    "Width",
+    "PortDef",
+    "EventBinding",
+    "Constraint",
+    "Signature",
+    "PortRef",
+    "ConstantPort",
+    "Source",
+    "Instantiate",
+    "Invoke",
+    "Connect",
+    "Command",
+    "Component",
+    "Program",
+]
+
+#: A port width is either a concrete bit count or the name of a compile-time
+#: parameter of the enclosing component (e.g. ``Prev[W, SAFE]``).
+Width = Union[int, str]
+
+
+@dataclass(frozen=True)
+class PortDef:
+    """A data port of a component signature.
+
+    ``interval`` is the availability interval: a guarantee for inputs seen
+    from inside the component and a requirement seen from outside (and vice
+    versa for outputs, Section 3.2).
+    """
+
+    name: str
+    width: Width
+    interval: Interval
+
+    def substitute(self, binding: Mapping[str, Event]) -> "PortDef":
+        """Apply an event binding to the availability interval."""
+        return PortDef(self.name, self.width, self.interval.substitute(binding))
+
+    def resolve_width(self, params: Mapping[str, int]) -> "PortDef":
+        """Replace a parameter-valued width with its concrete value."""
+        if isinstance(self.width, str):
+            if self.width not in params:
+                raise FilamentError(
+                    f"port {self.name}: unbound width parameter {self.width!r}"
+                )
+            return PortDef(self.name, params[self.width], self.interval)
+        return self
+
+    def __str__(self) -> str:
+        return f"@{self.interval} {self.name}: {self.width}"
+
+
+@dataclass(frozen=True)
+class EventBinding:
+    """An event bound by a component signature, with its delay and the
+    optional interface port that reifies it at runtime.
+
+    An event without an interface port is a *phantom event* (Section 3.6):
+    it exists only at the type level and the component must assume it fires
+    every ``delay`` cycles.
+    """
+
+    name: str
+    delay: Delay
+    interface_port: Optional[str] = None
+
+    @property
+    def is_phantom(self) -> bool:
+        return self.interface_port is None
+
+    def substitute(self, binding: Mapping[str, Event]) -> "EventBinding":
+        return EventBinding(self.name, self.delay.substitute(binding),
+                            self.interface_port)
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.delay}"
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """An ordering constraint between events, e.g. ``where L > G+1``.
+
+    Only external components may constrain events (Section 4.4, "Dynamic
+    Reuse"); the type checker enforces that restriction.
+    """
+
+    lhs: Event
+    op: str  # one of ">", ">=", "=="
+    rhs: Event
+
+    _VALID_OPS = (">", ">=", "==")
+
+    def __post_init__(self) -> None:
+        if self.op not in self._VALID_OPS:
+            raise FilamentError(f"invalid constraint operator {self.op!r}")
+
+    def substitute(self, binding: Mapping[str, Event]) -> "Constraint":
+        return Constraint(self.lhs.substitute(binding), self.op,
+                          self.rhs.substitute(binding))
+
+    def holds_concretely(self) -> Optional[bool]:
+        """Evaluate the constraint when both sides share a base; ``None``
+        when it still relates distinct event variables."""
+        if self.lhs.base != self.rhs.base:
+            return None
+        diff = self.lhs.offset - self.rhs.offset
+        if self.op == ">":
+            return diff > 0
+        if self.op == ">=":
+            return diff >= 0
+        return diff == 0
+
+    def __str__(self) -> str:
+        return f"{self.lhs} {self.op} {self.rhs}"
+
+
+@dataclass(frozen=True)
+class Signature:
+    """The interface of a component: its timeline type.
+
+    ``params`` are compile-time integer parameters (bit widths and similar);
+    they are resolved at instantiation time and never interact with events.
+    """
+
+    name: str
+    events: Tuple[EventBinding, ...]
+    inputs: Tuple[PortDef, ...]
+    outputs: Tuple[PortDef, ...]
+    constraints: Tuple[Constraint, ...] = ()
+    params: Tuple[str, ...] = ()
+    is_extern: bool = False
+
+    # -- lookups ------------------------------------------------------------
+
+    def event(self, name: str) -> EventBinding:
+        for binding in self.events:
+            if binding.name == name:
+                return binding
+        raise FilamentError(f"{self.name}: no event named {name!r}")
+
+    def has_event(self, name: str) -> bool:
+        return any(binding.name == name for binding in self.events)
+
+    def event_names(self) -> Tuple[str, ...]:
+        return tuple(binding.name for binding in self.events)
+
+    def input(self, name: str) -> PortDef:
+        for port in self.inputs:
+            if port.name == name:
+                return port
+        raise FilamentError(f"{self.name}: no input port named {name!r}")
+
+    def output(self, name: str) -> PortDef:
+        for port in self.outputs:
+            if port.name == name:
+                return port
+        raise FilamentError(f"{self.name}: no output port named {name!r}")
+
+    def has_output(self, name: str) -> bool:
+        return any(port.name == name for port in self.outputs)
+
+    def has_input(self, name: str) -> bool:
+        return any(port.name == name for port in self.inputs)
+
+    def interface_ports(self) -> Dict[str, str]:
+        """Map interface-port name -> event name."""
+        return {
+            binding.interface_port: binding.name
+            for binding in self.events
+            if binding.interface_port is not None
+        }
+
+    def phantom_events(self) -> Tuple[str, ...]:
+        return tuple(b.name for b in self.events if b.is_phantom)
+
+    def all_ports(self) -> Tuple[PortDef, ...]:
+        return self.inputs + self.outputs
+
+    # -- transformations ----------------------------------------------------
+
+    def bind_events(self, actuals: Sequence[Event]) -> Dict[str, Event]:
+        """Pair the signature's formal events with the actual event
+        expressions supplied by an invocation."""
+        if len(actuals) != len(self.events):
+            raise FilamentError(
+                f"{self.name}: expected {len(self.events)} event argument(s), "
+                f"got {len(actuals)}"
+            )
+        return {binding.name: actual
+                for binding, actual in zip(self.events, actuals)}
+
+    def substitute(self, binding: Mapping[str, Event]) -> "Signature":
+        """Instantiate the signature at concrete events (used by invocation
+        checking and by the harness to learn concrete cycle intervals)."""
+        return replace(
+            self,
+            events=tuple(e.substitute(binding) for e in self.events),
+            inputs=tuple(p.substitute(binding) for p in self.inputs),
+            outputs=tuple(p.substitute(binding) for p in self.outputs),
+            constraints=tuple(c.substitute(binding) for c in self.constraints),
+        )
+
+    def resolve_params(self, values: Sequence[int]) -> "Signature":
+        """Substitute compile-time parameters with concrete integers."""
+        if len(values) != len(self.params):
+            raise FilamentError(
+                f"{self.name}: expected {len(self.params)} parameter(s), "
+                f"got {len(values)}"
+            )
+        mapping = dict(zip(self.params, values))
+        return replace(
+            self,
+            inputs=tuple(p.resolve_width(mapping) for p in self.inputs),
+            outputs=tuple(p.resolve_width(mapping) for p in self.outputs),
+            params=(),
+        )
+
+    def __str__(self) -> str:
+        events = ", ".join(str(e) for e in self.events)
+        inputs = ", ".join(str(p) for p in self.inputs)
+        outputs = ", ".join(str(p) for p in self.outputs)
+        kind = "extern comp" if self.is_extern else "comp"
+        where = ""
+        if self.constraints:
+            where = " where " + ", ".join(str(c) for c in self.constraints)
+        return f"{kind} {self.name}<{events}>({inputs}) -> ({outputs}){where}"
+
+
+# ---------------------------------------------------------------------------
+# Port references and commands
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PortRef:
+    """A reference to a port: either a port of the enclosing component
+    (``owner is None``) or a port of an invocation (``owner`` is the
+    invocation name, as in ``m0.out``)."""
+
+    port: str
+    owner: Optional[str] = None
+
+    def __str__(self) -> str:
+        return self.port if self.owner is None else f"{self.owner}.{self.port}"
+
+
+@dataclass(frozen=True)
+class ConstantPort:
+    """A literal value used as a connection source (e.g. the ``0`` fed to the
+    multiplexer in the systolic processing element of Appendix B.1)."""
+
+    value: int
+    width: int = 32
+
+    def __str__(self) -> str:
+        return f"{self.width}'d{self.value}"
+
+
+#: Anything that can drive a connection or an invocation argument.
+Source = Union[PortRef, ConstantPort]
+
+
+@dataclass(frozen=True)
+class Instantiate:
+    """``name := new Component[params]`` — construct a physical circuit."""
+
+    name: str
+    component: str
+    params: Tuple[int, ...] = ()
+
+    def __str__(self) -> str:
+        params = f"[{', '.join(map(str, self.params))}]" if self.params else ""
+        return f"{self.name} := new {self.component}{params}"
+
+
+@dataclass(frozen=True)
+class Invoke:
+    """``name := instance<E0, E1>(arg0, arg1, ...)`` — a scheduled use of an
+    instance.  Arguments line up positionally with the instance's data input
+    ports; interface ports are never passed explicitly (the compiler wires
+    them, Section 3.4)."""
+
+    name: str
+    instance: str
+    events: Tuple[Event, ...]
+    args: Tuple[Source, ...] = ()
+
+    def __str__(self) -> str:
+        events = ", ".join(str(e) for e in self.events)
+        args = ", ".join(str(a) for a in self.args)
+        return f"{self.name} := {self.instance}<{events}>({args})"
+
+
+@dataclass(frozen=True)
+class Connect:
+    """``dst = src`` — a continuously active wire between two ports."""
+
+    dst: PortRef
+    src: Source
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.src}"
+
+
+Command = Union[Instantiate, Invoke, Connect]
+
+
+@dataclass
+class Component:
+    """A component definition: a signature plus a body of commands.
+
+    External components have an empty body and ``signature.is_extern`` set.
+    """
+
+    signature: Signature
+    body: List[Command] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.signature.name
+
+    @property
+    def is_extern(self) -> bool:
+        return self.signature.is_extern
+
+    def instantiations(self) -> List[Instantiate]:
+        return [c for c in self.body if isinstance(c, Instantiate)]
+
+    def invocations(self) -> List[Invoke]:
+        return [c for c in self.body if isinstance(c, Invoke)]
+
+    def connections(self) -> List[Connect]:
+        return [c for c in self.body if isinstance(c, Connect)]
+
+    def __str__(self) -> str:
+        if self.is_extern:
+            return f"{self.signature};"
+        body = "\n".join(f"  {cmd};" for cmd in self.body)
+        return f"{self.signature} {{\n{body}\n}}"
+
+
+@dataclass
+class Program:
+    """A whole Filament program: an ordered collection of components.
+
+    Component order matters only for readability; lookups are by name.  The
+    standard library's extern signatures are merged in by
+    :func:`repro.core.stdlib.with_stdlib` so user programs can reference
+    ``Add``, ``Register`` and friends without redefining them.
+    """
+
+    components: Dict[str, Component] = field(default_factory=dict)
+
+    def add(self, component: Component) -> Component:
+        if component.name in self.components:
+            raise FilamentError(f"duplicate component definition {component.name!r}")
+        self.components[component.name] = component
+        return component
+
+    def get(self, name: str) -> Component:
+        try:
+            return self.components[name]
+        except KeyError:
+            raise FilamentError(f"unknown component {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.components
+
+    def __iter__(self):
+        return iter(self.components.values())
+
+    def user_components(self) -> List[Component]:
+        return [c for c in self if not c.is_extern]
+
+    def extern_components(self) -> List[Component]:
+        return [c for c in self if c.is_extern]
+
+    def merge(self, other: "Program") -> "Program":
+        """Return a new program containing both sets of components; this
+        program's definitions win on name clashes (so a test can shadow a
+        stdlib primitive with a custom extern)."""
+        merged = Program(dict(other.components))
+        merged.components.update(self.components)
+        return merged
+
+    def __str__(self) -> str:
+        return "\n\n".join(str(c) for c in self)

@@ -1,0 +1,223 @@
+"""A small fluent API for constructing Filament components from Python.
+
+The paper's designs are written in Filament surface syntax; this repository
+also ships a text parser for that syntax, but the evaluation designs in
+:mod:`repro.designs` and the hardware generators in :mod:`repro.generators`
+construct ASTs programmatically.  ``ComponentBuilder`` keeps that code close
+to how the paper reads::
+
+    build = ComponentBuilder("ALU")
+    G = build.event("G", delay=1, interface="en")
+    op = build.input("op", 1, G + 2, G + 3)
+    l = build.input("l", 32, G, G + 1)
+    r = build.input("r", 32, G, G + 1)
+    o = build.output("o", 32, G + 2, G + 3)
+
+    adder = build.instantiate("A", "Add")
+    a0 = build.invoke("a0", adder, [G], [l, r])
+    ...
+    build.connect(o, a0["out"])
+    component = build.build()
+
+Handles returned by the builder (`PortHandle`, `InvocationHandle`) convert to
+:class:`~repro.core.ast.PortRef` automatically wherever a connection source is
+expected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from .ast import (
+    Component,
+    Connect,
+    ConstantPort,
+    Constraint,
+    EventBinding,
+    Instantiate,
+    Invoke,
+    PortDef,
+    PortRef,
+    Signature,
+    Source,
+)
+from .errors import FilamentError
+from .events import Delay, Event, Interval
+
+__all__ = [
+    "ComponentBuilder",
+    "PortHandle",
+    "InstanceHandle",
+    "InvocationHandle",
+    "const",
+]
+
+
+@dataclass(frozen=True)
+class PortHandle:
+    """A handle to a port of the component being built."""
+
+    ref: PortRef
+    width: int
+
+    def __str__(self) -> str:
+        return str(self.ref)
+
+
+@dataclass(frozen=True)
+class InstanceHandle:
+    """A handle to an instantiated subcomponent."""
+
+    name: str
+    component: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class InvocationHandle:
+    """A handle to an invocation; indexing yields references to its output
+    ports (``m0["out"]`` mirrors the paper's ``m0.out``)."""
+
+    name: str
+
+    def __getitem__(self, port: str) -> PortRef:
+        return PortRef(port, owner=self.name)
+
+    def port(self, port: str) -> PortRef:
+        return PortRef(port, owner=self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Anything the builder accepts as a connection / argument source.
+SourceLike = Union[PortHandle, PortRef, ConstantPort, int, "InvocationHandle"]
+
+
+def const(value: int, width: int = 32) -> ConstantPort:
+    """A literal driver, e.g. the ``0`` initial value in the systolic PE."""
+    return ConstantPort(value, width)
+
+
+def _as_source(source: SourceLike, default_width: int = 32) -> Source:
+    if isinstance(source, PortHandle):
+        return source.ref
+    if isinstance(source, (PortRef, ConstantPort)):
+        return source
+    if isinstance(source, int):
+        return ConstantPort(source, default_width)
+    raise FilamentError(f"cannot use {source!r} as a connection source")
+
+
+class ComponentBuilder:
+    """Incrementally builds one :class:`~repro.core.ast.Component`."""
+
+    def __init__(self, name: str, extern: bool = False,
+                 params: Sequence[str] = ()) -> None:
+        self._name = name
+        self._extern = extern
+        self._params = tuple(params)
+        self._events: List[EventBinding] = []
+        self._inputs: List[PortDef] = []
+        self._outputs: List[PortDef] = []
+        self._constraints: List[Constraint] = []
+        self._body: List = []
+        self._names: set = set()
+        self._built = False
+
+    # -- signature ----------------------------------------------------------
+
+    def event(self, name: str, delay: Union[int, Delay],
+              interface: Optional[str] = None) -> Event:
+        """Bind an event with the given delay.  ``interface`` names the
+        1-bit interface port reifying the event; omit it for phantom events."""
+        if any(e.name == name for e in self._events):
+            raise FilamentError(f"{self._name}: duplicate event {name!r}")
+        delay_value = Delay.constant(delay) if isinstance(delay, int) else delay
+        self._events.append(EventBinding(name, delay_value, interface))
+        return Event(name)
+
+    def constraint(self, lhs: Event, op: str, rhs: Event) -> None:
+        """Add an ordering constraint between events (externs only)."""
+        self._constraints.append(Constraint(lhs, op, rhs))
+
+    def input(self, name: str, width: int, start: Event, end: Event) -> PortHandle:
+        """Declare a data input available during ``[start, end)``."""
+        self._check_port_name(name)
+        self._inputs.append(PortDef(name, width, Interval(start, end)))
+        return PortHandle(PortRef(name), width)
+
+    def output(self, name: str, width: int, start: Event, end: Event) -> PortHandle:
+        """Declare a data output guaranteed during ``[start, end)``."""
+        self._check_port_name(name)
+        self._outputs.append(PortDef(name, width, Interval(start, end)))
+        return PortHandle(PortRef(name), width)
+
+    def _check_port_name(self, name: str) -> None:
+        existing = {p.name for p in self._inputs} | {p.name for p in self._outputs}
+        if name in existing:
+            raise FilamentError(f"{self._name}: duplicate port {name!r}")
+
+    # -- body ---------------------------------------------------------------
+
+    def instantiate(self, name: str, component: str,
+                    params: Sequence[int] = ()) -> InstanceHandle:
+        """``name := new component[params]``."""
+        self._check_binding(name)
+        self._body.append(Instantiate(name, component, tuple(params)))
+        return InstanceHandle(name, component)
+
+    def invoke(self, name: str, instance: Union[InstanceHandle, str],
+               events: Sequence[Event],
+               args: Sequence[SourceLike] = ()) -> InvocationHandle:
+        """``name := instance<events>(args)``."""
+        self._check_binding(name)
+        instance_name = instance.name if isinstance(instance, InstanceHandle) else instance
+        sources = tuple(_as_source(arg) for arg in args)
+        self._body.append(Invoke(name, instance_name, tuple(events), sources))
+        return InvocationHandle(name)
+
+    def new_invoke(self, name: str, component: str, events: Sequence[Event],
+                   args: Sequence[SourceLike] = (),
+                   params: Sequence[int] = ()) -> InvocationHandle:
+        """The common ``x := new Comp<G>(...)`` shorthand from the paper:
+        instantiate an anonymous instance and immediately invoke it once."""
+        instance = self.instantiate(f"{name}__inst", component, params)
+        return self.invoke(name, instance, events, args)
+
+    def connect(self, dst: Union[PortHandle, PortRef],
+                src: SourceLike) -> None:
+        """``dst = src``."""
+        dst_ref = dst.ref if isinstance(dst, PortHandle) else dst
+        self._body.append(Connect(dst_ref, _as_source(src)))
+
+    def _check_binding(self, name: str) -> None:
+        if name in self._names:
+            raise FilamentError(f"{self._name}: duplicate binding {name!r}")
+        self._names.add(name)
+
+    # -- finishing ----------------------------------------------------------
+
+    def signature(self) -> Signature:
+        return Signature(
+            name=self._name,
+            events=tuple(self._events),
+            inputs=tuple(self._inputs),
+            outputs=tuple(self._outputs),
+            constraints=tuple(self._constraints),
+            params=self._params,
+            is_extern=self._extern,
+        )
+
+    def build(self) -> Component:
+        """Finish and return the component (idempotent guard included so a
+        builder is not accidentally reused)."""
+        if self._built:
+            raise FilamentError(f"{self._name}: builder already consumed")
+        self._built = True
+        if self._extern and self._body:
+            raise FilamentError(f"{self._name}: extern components cannot have a body")
+        return Component(self.signature(), list(self._body))

@@ -1,0 +1,361 @@
+"""Event expressions, availability intervals, and delays (timeline types).
+
+This module is the algebraic foundation of the reproduction.  In Filament
+(Nigam et al., PLDI 2023) the only notion of time is an *event*: a symbolic
+variable (``G``) bound by a component signature plus a constant clock-cycle
+offset (``G + 2``).  Ports are annotated with half-open *availability
+intervals* ``[G, G+1)`` over these expressions, and every event carries a
+*delay* — the number of cycles that must elapse before the event may trigger
+again (the pipeline's initiation interval).
+
+Three properties of the paper's design shape this module:
+
+* Events are **affine**: the only well-formed expressions are ``t + n`` for an
+  event variable ``t`` and a non-negative integer ``n``.  Adding two event
+  variables is meaningless (Section 3.1) and is rejected here.
+* Delays may be **parametric** for external components (``G: L - G``); they
+  must resolve to compile-time constants once an invocation binds the events
+  (Section 3.6, "Parametric delays").
+* Interval reasoning reduces to **difference-logic** comparisons between
+  affine expressions; comparisons across different event variables are only
+  decidable under ordering constraints (``where L > G``), which the type
+  checker's solver (:mod:`repro.core.typecheck.solver`) discharges.  The
+  operations in this module therefore either answer definitively (same base
+  variable) or raise :class:`EventComparisonError` so the caller can consult
+  the solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Union
+
+__all__ = [
+    "Event",
+    "Interval",
+    "Delay",
+    "EventComparisonError",
+    "evt",
+]
+
+
+class EventComparisonError(Exception):
+    """Raised when two event expressions over *different* variables are
+    compared without an ordering constraint that relates them.
+
+    The type checker catches this and re-tries the comparison through the
+    difference-constraint solver; user code that sees this exception escape
+    has compared intervals that are genuinely unrelated.
+    """
+
+
+@dataclass(frozen=True, order=False)
+class Event:
+    """An affine event expression ``base + offset``.
+
+    ``base`` is the name of an event variable bound by a component signature
+    (e.g. ``"G"``); ``offset`` is a constant number of clock cycles.  The
+    paper's invariant that events map to concrete clock cycles (if ``G``
+    occurs at cycle *i*, ``G + n`` occurs at cycle *i + n*) is what makes the
+    arithmetic below meaningful.
+    """
+
+    base: str
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.offset, int):
+            raise TypeError(f"event offset must be an int, got {self.offset!r}")
+        if not self.base:
+            raise ValueError("event base name must be non-empty")
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, cycles: int) -> "Event":
+        """Shift the event later by ``cycles`` clock cycles."""
+        if not isinstance(cycles, int):
+            return NotImplemented
+        return Event(self.base, self.offset + cycles)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Union[int, "Event"]) -> Union["Event", int]:
+        """Shift earlier by an integer, or take the difference of two events.
+
+        The difference of two events is only defined when they share a base
+        variable (it is then a plain integer number of cycles); otherwise the
+        result is symbolic and the caller must use the solver.
+        """
+        if isinstance(other, int):
+            return Event(self.base, self.offset - other)
+        if isinstance(other, Event):
+            if other.base != self.base:
+                raise EventComparisonError(
+                    f"cannot subtract events over different variables: "
+                    f"{self} - {other}"
+                )
+            return self.offset - other.offset
+        return NotImplemented
+
+    # -- comparisons --------------------------------------------------------
+
+    def _require_same_base(self, other: "Event") -> None:
+        if self.base != other.base:
+            raise EventComparisonError(
+                f"cannot compare {self} with {other}: different event "
+                f"variables need an ordering constraint"
+            )
+
+    def __le__(self, other: "Event") -> bool:
+        self._require_same_base(other)
+        return self.offset <= other.offset
+
+    def __lt__(self, other: "Event") -> bool:
+        self._require_same_base(other)
+        return self.offset < other.offset
+
+    def __ge__(self, other: "Event") -> bool:
+        self._require_same_base(other)
+        return self.offset >= other.offset
+
+    def __gt__(self, other: "Event") -> bool:
+        self._require_same_base(other)
+        return self.offset > other.offset
+
+    # -- substitution -------------------------------------------------------
+
+    def substitute(self, binding: Mapping[str, "Event"]) -> "Event":
+        """Replace the base variable according to ``binding``.
+
+        Invocations bind the formal events of a signature to actual event
+        expressions of the enclosing component (Section 3.4); this is the
+        substitution they perform.  Variables absent from the binding are left
+        untouched so partially-bound signatures can be inspected.
+        """
+        replacement = binding.get(self.base)
+        if replacement is None:
+            return self
+        return Event(replacement.base, replacement.offset + self.offset)
+
+    def resolve(self, start_cycle: int) -> int:
+        """Concrete clock cycle of this event if its base occurs at
+        ``start_cycle``."""
+        return start_cycle + self.offset
+
+    # -- presentation -------------------------------------------------------
+
+    def __str__(self) -> str:
+        if self.offset == 0:
+            return self.base
+        if self.offset < 0:
+            return f"{self.base}{self.offset}"
+        return f"{self.base}+{self.offset}"
+
+    def __repr__(self) -> str:
+        return f"Event({str(self)})"
+
+
+def evt(base: str, offset: int = 0) -> Event:
+    """Convenience constructor mirroring the paper's ``G + n`` notation."""
+    return Event(base, offset)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A half-open availability interval ``[start, end)``.
+
+    For input ports the interval is a *requirement* the user must satisfy;
+    for output ports it is a *guarantee* the component provides (Section 3.2,
+    "Availability intervals").  Inside a component body the roles flip.
+    """
+
+    start: Event
+    end: Event
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.start, Event) or not isinstance(self.end, Event):
+            raise TypeError("interval endpoints must be Event expressions")
+
+    # -- structural queries -------------------------------------------------
+
+    @property
+    def base(self) -> str:
+        """The event variable of the start endpoint (used for delay checks)."""
+        return self.start.base
+
+    def same_base(self) -> bool:
+        """Whether both endpoints mention the same event variable."""
+        return self.start.base == self.end.base
+
+    def length(self) -> int:
+        """Number of cycles covered, defined only for same-base intervals."""
+        if not self.same_base():
+            raise EventComparisonError(
+                f"length of {self} is not a compile-time constant"
+            )
+        return self.end.offset - self.start.offset
+
+    def well_formed(self) -> bool:
+        """A same-base interval is well formed when it is non-empty."""
+        return not self.same_base() or self.length() > 0
+
+    def event_variables(self) -> set:
+        """Event variable names mentioned by either endpoint."""
+        return {self.start.base, self.end.base}
+
+    # -- algebra -------------------------------------------------------------
+
+    def shift(self, cycles: int) -> "Interval":
+        """Translate the whole interval by ``cycles``."""
+        return Interval(self.start + cycles, self.end + cycles)
+
+    def substitute(self, binding: Mapping[str, Event]) -> "Interval":
+        """Apply an event binding to both endpoints."""
+        return Interval(self.start.substitute(binding), self.end.substitute(binding))
+
+    def contains(self, other: "Interval") -> bool:
+        """Whether ``other`` lies entirely within ``self``.
+
+        This is the containment used for valid-read checking: an argument's
+        availability must contain the formal port's requirement.  Raises
+        :class:`EventComparisonError` when the endpoints are not comparable
+        without ordering constraints.
+        """
+        return self.start <= other.start and other.end <= self.end
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Whether two same-base intervals share at least one cycle."""
+        return self.start < other.end and other.start < self.end
+
+    def union_span(self, other: "Interval") -> "Interval":
+        """Smallest interval covering both (same-base only)."""
+        start = self.start if self.start <= other.start else other.start
+        end = self.end if self.end >= other.end else other.end
+        return Interval(start, end)
+
+    # -- concrete views ------------------------------------------------------
+
+    def resolve(self, start_cycle: int) -> range:
+        """Concrete cycle range when the base event fires at ``start_cycle``.
+
+        Only defined for same-base intervals, which is all the simulator and
+        harness ever need (they operate on fully-scheduled designs).
+        """
+        if not self.same_base():
+            raise EventComparisonError(f"cannot resolve multi-event interval {self}")
+        return range(self.start.resolve(start_cycle), self.end.resolve(start_cycle))
+
+    def cycles(self) -> range:
+        """Cycle offsets relative to the base event (``[start.offset, end.offset)``)."""
+        if not self.same_base():
+            raise EventComparisonError(f"cannot enumerate multi-event interval {self}")
+        return range(self.start.offset, self.end.offset)
+
+    # -- presentation --------------------------------------------------------
+
+    def __str__(self) -> str:
+        return f"[{self.start}, {self.end})"
+
+    def __repr__(self) -> str:
+        return f"Interval({self})"
+
+
+@dataclass(frozen=True)
+class Delay:
+    """The delay (initiation interval) attached to an event.
+
+    Delays come in two flavours (Section 3.6):
+
+    * **concrete** — an integer number of cycles (``G: 1``), the only form
+      allowed for user-level components;
+    * **parametric** — the difference of two event expressions (``G: L - G``
+      for a combinational adder, ``G: L - (G+1)`` for a register), allowed
+      only for external components.  Parametric delays must resolve to a
+      constant once an invocation binds the events.
+    """
+
+    concrete: Optional[int] = None
+    minuend: Optional[Event] = None
+    subtrahend: Optional[Event] = None
+
+    def __post_init__(self) -> None:
+        if self.concrete is not None:
+            if self.minuend is not None or self.subtrahend is not None:
+                raise ValueError("a delay is either concrete or parametric, not both")
+            if self.concrete < 0:
+                raise ValueError(f"delay must be non-negative, got {self.concrete}")
+        else:
+            if self.minuend is None or self.subtrahend is None:
+                raise ValueError("parametric delay needs both minuend and subtrahend")
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def constant(cycles: int) -> "Delay":
+        """A concrete delay of ``cycles`` cycles."""
+        return Delay(concrete=cycles)
+
+    @staticmethod
+    def difference(minuend: Event, subtrahend: Event) -> "Delay":
+        """A parametric delay ``minuend - subtrahend``."""
+        return Delay(minuend=minuend, subtrahend=subtrahend)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def is_concrete(self) -> bool:
+        return self.concrete is not None
+
+    def cycles(self) -> int:
+        """The delay as a number of cycles; raises if still parametric."""
+        if self.concrete is None:
+            raise EventComparisonError(
+                f"delay {self} has not been resolved to a constant"
+            )
+        return self.concrete
+
+    def event_variables(self) -> set:
+        if self.is_concrete:
+            return set()
+        return {self.minuend.base, self.subtrahend.base}
+
+    # -- algebra -------------------------------------------------------------
+
+    def substitute(self, binding: Mapping[str, Event]) -> "Delay":
+        """Apply an event binding; a parametric delay whose operands land on
+        the same base collapses to a concrete delay (the requirement the type
+        checker enforces for every invocation of an external component)."""
+        if self.is_concrete:
+            return self
+        minuend = self.minuend.substitute(binding)
+        subtrahend = self.subtrahend.substitute(binding)
+        if minuend.base == subtrahend.base:
+            value = minuend.offset - subtrahend.offset
+            if value < 0:
+                raise EventComparisonError(
+                    f"parametric delay {self} resolved to negative value {value}"
+                )
+            return Delay.constant(value)
+        return Delay.difference(minuend, subtrahend)
+
+    # -- presentation --------------------------------------------------------
+
+    def __str__(self) -> str:
+        if self.is_concrete:
+            return str(self.concrete)
+        return f"{self.minuend}-({self.subtrahend})"
+
+    def __repr__(self) -> str:
+        return f"Delay({self})"
+
+
+def max_offset(events: Iterable[Event]) -> int:
+    """Largest offset among a collection of events sharing one base.
+
+    Used by FSM generation (Section 5.2) to size the pipeline shift register:
+    the FSM needs one state per cycle mentioned anywhere in the body.
+    """
+    offsets = [event.offset for event in events]
+    if not offsets:
+        return 0
+    return max(offsets)

@@ -1,0 +1,23 @@
+"""The compilation pipeline of Section 5: Filament → Low Filament → Calyx →
+Verilog."""
+
+from .calyx_backend import compile_program, compile_to_calyx
+from .low_filament import (
+    ExplicitInvoke,
+    FsmInstance,
+    GuardState,
+    LowAssign,
+    LowComponent,
+    LowGuard,
+    LowProgram,
+)
+from .lowering import lower_component, lower_program
+from .verilog_backend import emit_component, emit_verilog
+
+__all__ = [
+    "compile_program", "compile_to_calyx",
+    "ExplicitInvoke", "FsmInstance", "GuardState", "LowAssign",
+    "LowComponent", "LowGuard", "LowProgram",
+    "lower_component", "lower_program",
+    "emit_component", "emit_verilog",
+]

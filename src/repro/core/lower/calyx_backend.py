@@ -1,0 +1,125 @@
+"""Translating Low Filament into the Calyx IR (Section 5.3).
+
+Low Filament is intentionally close to Calyx, so this backend is a direct
+structural translation:
+
+* each FSM of size ``n`` becomes an ``fsm`` cell with ``n`` taps, its ``go``
+  wired to the enclosing component's interface port;
+* every instantiation becomes a cell (a primitive cell for externs with a
+  behavioural model, a sub-component cell for user components);
+* every explicit/guarded assignment becomes a Calyx guarded assignment with
+  invocation ports replaced by the port of the corresponding *instance*
+  (``a0.left`` and ``a1.left`` both compile to ``A.left``); the type system's
+  guarantee that guards are disjoint is what makes this sound;
+* interface ports become 1-bit component inputs alongside the data ports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from ...calyx.ir import (
+    Assignment,
+    CalyxComponent,
+    CalyxProgram,
+    Cell,
+    CellPort,
+    Guard,
+    PortSpec,
+)
+from ...sim.primitives import is_primitive
+from ..ast import ConstantPort, PortRef, Program, Signature
+from ..errors import LoweringError
+from ..typecheck import CheckedProgram, check_program
+from .low_filament import LowComponent, LowProgram
+from .lowering import lower_program
+
+__all__ = ["compile_to_calyx", "compile_program"]
+
+
+def _port_width(width: Union[int, str], default: int = 32) -> int:
+    return width if isinstance(width, int) else default
+
+
+def _component_ports(signature: Signature) -> (list, list):
+    inputs = [PortSpec(port, 1) for port in signature.interface_ports()]
+    inputs += [PortSpec(p.name, _port_width(p.width)) for p in signature.inputs]
+    outputs = [PortSpec(p.name, _port_width(p.width)) for p in signature.outputs]
+    return inputs, outputs
+
+
+class _CalyxBackend:
+    def __init__(self, low: LowComponent, program: Program) -> None:
+        self.low = low
+        self.program = program
+        self._invocation_instance: Dict[str, str] = {
+            invoke.name: invoke.instance for invoke in low.invokes
+        }
+
+    def _resolve_ref(self, ref: PortRef) -> CellPort:
+        if ref.owner is None:
+            return CellPort(None, ref.port)
+        instance = self._invocation_instance.get(ref.owner, ref.owner)
+        return CellPort(instance, ref.port)
+
+    def _resolve_src(self, src) -> Union[CellPort, int]:
+        if isinstance(src, ConstantPort):
+            return src.value
+        return self._resolve_ref(src)
+
+    def compile(self) -> CalyxComponent:
+        signature = self.low.signature
+        inputs, outputs = _component_ports(signature)
+        component = CalyxComponent(signature.name, inputs, outputs)
+
+        # FSM cells and their trigger wiring.
+        for fsm in self.low.fsms:
+            component.add_cell(Cell(fsm.name, "fsm", (fsm.states,)))
+            component.add_wire(Assignment(CellPort(fsm.name, "go"),
+                                          CellPort(None, fsm.trigger)))
+
+        # Instance cells.
+        for instantiate in self.low.instances:
+            target = self.program.get(instantiate.component)
+            if target.is_extern:
+                if not is_primitive(instantiate.component):
+                    raise LoweringError(
+                        f"{signature.name}: extern component "
+                        f"{instantiate.component!r} has no behavioural model"
+                    )
+                component.add_cell(Cell(instantiate.name, instantiate.component,
+                                        tuple(instantiate.params)))
+            else:
+                component.add_cell(Cell(instantiate.name, instantiate.component,
+                                        tuple(instantiate.params)))
+
+        # Guarded assignments.
+        for assign in self.low.assigns:
+            guard_ports = tuple(
+                CellPort(state.fsm, f"_{state.state}") for state in assign.guard.states
+            )
+            component.add_wire(Assignment(
+                dst=self._resolve_ref(assign.dst),
+                src=self._resolve_src(assign.src),
+                guard=Guard(guard_ports),
+            ))
+        return component
+
+
+def compile_to_calyx(low_program: LowProgram, program: Program) -> CalyxProgram:
+    """Translate every lowered component into Calyx."""
+    calyx = CalyxProgram(entrypoint=low_program.entrypoint)
+    for low in low_program.components.values():
+        calyx.add(_CalyxBackend(low, program).compile())
+    return calyx
+
+
+def compile_program(program: Program, entrypoint: str,
+                    checked: Optional[CheckedProgram] = None) -> CalyxProgram:
+    """The full compilation pipeline: type check, lower to Low Filament,
+    translate to Calyx.  This is the one-call API used by the harness, the
+    synthesis model and the examples."""
+    if checked is None:
+        checked = check_program(program)
+    low = lower_program(program, entrypoint, checked)
+    return compile_to_calyx(low, program)

@@ -1,0 +1,165 @@
+"""Low Filament — the untyped, explicitly-scheduled IR of Section 5.1.
+
+Low Filament extends Filament with three constructs:
+
+* ``fsm F[n](trigger)`` — an explicit pipeline FSM (a shift register with
+  ``n`` taps, triggered by an interface port);
+* **explicit invocations** — every port of an invocation, including the
+  interface ports the high-level language manages implicitly, is assigned
+  explicitly;
+* **guarded assignments** — ``in = g ? out`` forwards a value only while the
+  guard (a disjunction of FSM state ports) is active.
+
+The lowering pass (:mod:`repro.core.lower.lowering`) produces this IR from a
+type-checked component; the Calyx backend
+(:mod:`repro.core.lower.calyx_backend`) then translates it almost 1:1 into
+the structural Calyx IR (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..ast import ConstantPort, Instantiate, PortRef, Signature, Source
+
+__all__ = [
+    "FsmInstance",
+    "GuardState",
+    "LowGuard",
+    "LowAssign",
+    "ExplicitInvoke",
+    "LowComponent",
+    "LowProgram",
+]
+
+
+@dataclass(frozen=True)
+class FsmInstance:
+    """``fsm name[states](trigger)`` — the pipeline FSM for one event.
+
+    ``trigger`` is the name of the interface port of the enclosing component
+    that reifies the event.  Phantom events never get an FSM (Section 5.4).
+    """
+
+    name: str
+    event: str
+    states: int
+    trigger: str
+
+    def __str__(self) -> str:
+        return f"fsm {self.name}[{self.states}]({self.trigger})"
+
+
+@dataclass(frozen=True)
+class GuardState:
+    """A single FSM state port, e.g. ``Gf._2``."""
+
+    fsm: str
+    state: int
+
+    def __str__(self) -> str:
+        return f"{self.fsm}._{self.state}"
+
+
+@dataclass(frozen=True)
+class LowGuard:
+    """A disjunction of FSM state ports; empty means continuously active."""
+
+    states: Tuple[GuardState, ...] = ()
+
+    @property
+    def always(self) -> bool:
+        return not self.states
+
+    def __str__(self) -> str:
+        return " || ".join(str(s) for s in self.states) if self.states else "1"
+
+
+@dataclass(frozen=True)
+class LowAssign:
+    """``dst = guard ? src``.
+
+    Destinations are either ports of the enclosing component (``owner`` is
+    ``None``) or ports of an invocation (``owner`` is the invocation name);
+    the Calyx backend later substitutes the invocation's instance.
+    """
+
+    dst: PortRef
+    src: Union[PortRef, ConstantPort]
+    guard: LowGuard = LowGuard()
+
+    def __str__(self) -> str:
+        if self.guard.always:
+            return f"{self.dst} = {self.src}"
+        return f"{self.dst} = {self.guard} ? {self.src}"
+
+
+@dataclass(frozen=True)
+class ExplicitInvoke:
+    """``x := invoke I<G>`` — records which instance an invocation uses and
+    the cycle offsets it occupies (kept for inspection and for the synthesis
+    model's pipeline-depth statistics)."""
+
+    name: str
+    instance: str
+    event: str
+    start_offset: int
+
+    def __str__(self) -> str:
+        return f"{self.name} := invoke {self.instance}<{self.event}+{self.start_offset}>"
+
+
+@dataclass
+class LowComponent:
+    """A lowered component: its original signature plus explicit structure."""
+
+    signature: Signature
+    instances: List[Instantiate] = field(default_factory=list)
+    fsms: List[FsmInstance] = field(default_factory=list)
+    invokes: List[ExplicitInvoke] = field(default_factory=list)
+    assigns: List[LowAssign] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.signature.name
+
+    def invocation_instance(self, invocation: str) -> str:
+        for invoke in self.invokes:
+            if invoke.name == invocation:
+                return invoke.instance
+        raise KeyError(invocation)
+
+    def __str__(self) -> str:
+        lines = [f"comp {self.name} {{  // low filament"]
+        for fsm in self.fsms:
+            lines.append(f"  {fsm};")
+        for instance in self.instances:
+            lines.append(f"  {instance};")
+        for invoke in self.invokes:
+            lines.append(f"  {invoke};")
+        for assign in self.assigns:
+            lines.append(f"  {assign};")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+@dataclass
+class LowProgram:
+    """All lowered components reachable from the entrypoint."""
+
+    components: Dict[str, LowComponent] = field(default_factory=dict)
+    entrypoint: Optional[str] = None
+
+    def add(self, component: LowComponent) -> LowComponent:
+        self.components[component.name] = component
+        return component
+
+    def get(self, name: str) -> LowComponent:
+        return self.components[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.components
+
+    def __str__(self) -> str:
+        return "\n\n".join(str(c) for c in self.components.values())

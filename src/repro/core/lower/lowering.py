@@ -1,0 +1,215 @@
+"""Lowering Filament to Low Filament (Section 5.2).
+
+The pass turns the abstract schedule expressed by invocations into explicit,
+pipelined control logic:
+
+* **FSM generation** — one pipeline FSM per non-phantom event, sized by the
+  largest cycle offset the event is used at anywhere in the body (the FSM's
+  *delay does not matter* for its size, exactly as the paper notes);
+* **triggering interface ports** — an invocation scheduled at ``G + i``
+  drives the callee's interface port from ``Gf._i``;
+* **guard synthesis** — an argument required during ``[G+s, G+e)`` is
+  forwarded under the guard ``Gf._s || … || Gf._(e-1)``; because the program
+  is well-typed the guards of different invocations of one instance are
+  disjoint;
+* **phantom elision** (Section 5.4) — invocations scheduled by phantom
+  events get no FSM, no interface assignments and unguarded data
+  assignments, so continuous pipelines compile to exactly the wiring an
+  expert would write.
+
+Lowering requires a type-checked component: it reuses the resolved
+signatures computed by the checker and relies on the checker's guarantees
+(single-base scheduling of shared instances, no phantom reification, …).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ast import (
+    Component,
+    Connect,
+    ConstantPort,
+    Instantiate,
+    Invoke,
+    PortRef,
+    Program,
+    Signature,
+    Source,
+)
+from ..errors import LoweringError
+from ..events import Interval
+from ..typecheck import CheckedComponent, CheckedProgram, check_program
+from .low_filament import (
+    ExplicitInvoke,
+    FsmInstance,
+    GuardState,
+    LowAssign,
+    LowComponent,
+    LowGuard,
+    LowProgram,
+)
+
+__all__ = ["lower_component", "lower_program"]
+
+
+def _fsm_name(event: str) -> str:
+    return f"{event}_fsm"
+
+
+class _ComponentLowering:
+    """Lowers one checked component."""
+
+    def __init__(self, checked: CheckedComponent, program: Program) -> None:
+        self.checked = checked
+        self.program = program
+        self.component: Component = checked.component
+        self.signature: Signature = self.component.signature
+        self.phantom: Set[str] = set(self.signature.phantom_events())
+
+    # -- FSM sizing -----------------------------------------------------------
+
+    def _fsm_states(self) -> Dict[str, int]:
+        """Number of states needed per non-phantom event: one past the
+        largest offset at which the event triggers an invocation or guards a
+        data port."""
+        needed: Dict[str, int] = {}
+
+        def bump(event: str, states: int) -> None:
+            if event in self.phantom or not self.signature.has_event(event):
+                return
+            needed[event] = max(needed.get(event, 0), states)
+
+        for command in self.component.invocations():
+            invocation = self.checked.context.invocation(command.name)
+            for actual in command.events:
+                bump(actual.base, actual.offset + 1)
+            for port in invocation.resolved.inputs:
+                interval = port.interval
+                if interval.same_base():
+                    bump(interval.base, interval.end.offset)
+            for port in invocation.resolved.outputs:
+                interval = port.interval
+                if interval.same_base():
+                    bump(interval.base, interval.end.offset)
+        for command in self.component.connections():
+            if command.dst.owner is not None:
+                requirement = self.checked.context.availability(str(command.dst))
+                if requirement is not None and requirement.same_base():
+                    bump(requirement.base, requirement.end.offset)
+        return needed
+
+    # -- guards ----------------------------------------------------------------
+
+    def _guard_for(self, interval: Interval) -> LowGuard:
+        """The FSM-state disjunction covering one availability interval."""
+        if not interval.same_base():
+            raise LoweringError(
+                f"{self.signature.name}: cannot synthesise a guard for the "
+                f"multi-event interval {interval}"
+            )
+        base = interval.base
+        if base in self.phantom or not self.signature.has_event(base):
+            return LowGuard()
+        states = tuple(GuardState(_fsm_name(base), offset)
+                       for offset in interval.cycles())
+        return LowGuard(states)
+
+    # -- main ----------------------------------------------------------------------
+
+    def lower(self) -> LowComponent:
+        lowered = LowComponent(self.signature)
+        lowered.instances = list(self.component.instantiations())
+
+        states = self._fsm_states()
+        interface_ports = {event: port for port, event
+                           in self.signature.interface_ports().items()}
+        for event, count in sorted(states.items()):
+            trigger = interface_ports.get(event)
+            if trigger is None:
+                # A non-phantom event always has an interface port (that is
+                # what makes it non-phantom); guard against checker drift.
+                raise LoweringError(
+                    f"{self.signature.name}: event {event} needs an FSM but "
+                    f"has no interface port"
+                )
+            lowered.fsms.append(FsmInstance(_fsm_name(event), event, count, trigger))
+
+        for command in self.component.invocations():
+            self._lower_invoke(command, lowered)
+        for command in self.component.connections():
+            self._lower_connect(command, lowered)
+        return lowered
+
+    def _lower_invoke(self, command: Invoke, lowered: LowComponent) -> None:
+        invocation = self.checked.context.invocation(command.name)
+        instance = self.checked.context.instance(command.instance)
+        signature = instance.signature
+        primary = command.events[0]
+
+        lowered.invokes.append(
+            ExplicitInvoke(command.name, command.instance, primary.base,
+                           primary.offset)
+        )
+
+        # Interface-port triggering: each non-phantom callee event is pulsed
+        # from the FSM state matching its scheduled offset.
+        for formal, actual in zip(signature.events, command.events):
+            if formal.is_phantom:
+                continue
+            if actual.base in self.phantom:
+                raise LoweringError(
+                    f"{self.signature.name}: phantom event {actual.base} cannot "
+                    f"trigger {signature.name}.{formal.name} (checker should "
+                    f"have rejected this)"
+                )
+            guard = LowGuard((GuardState(_fsm_name(actual.base), actual.offset),))
+            lowered.assigns.append(
+                LowAssign(PortRef(formal.interface_port, owner=command.name),
+                          ConstantPort(1, 1), guard)
+            )
+
+        # Guarded data-port assignments.
+        for port, argument in zip(invocation.resolved.inputs, command.args):
+            guard = self._guard_for(port.interval)
+            lowered.assigns.append(
+                LowAssign(PortRef(port.name, owner=command.name), argument, guard)
+            )
+
+    def _lower_connect(self, command: Connect, lowered: LowComponent) -> None:
+        if command.dst.owner is None:
+            # Component outputs are continuously driven (Figure 6).
+            lowered.assigns.append(LowAssign(command.dst, command.src, LowGuard()))
+            return
+        requirement = self.checked.context.availability(str(command.dst))
+        guard = self._guard_for(requirement) if requirement is not None else LowGuard()
+        lowered.assigns.append(LowAssign(command.dst, command.src, guard))
+
+
+def lower_component(checked: CheckedComponent, program: Program) -> LowComponent:
+    """Lower one type-checked component to Low Filament."""
+    return _ComponentLowering(checked, program).lower()
+
+
+def lower_program(program: Program, entrypoint: str,
+                  checked: Optional[CheckedProgram] = None) -> LowProgram:
+    """Lower the entrypoint and every user component it (transitively)
+    instantiates."""
+    if checked is None:
+        checked = check_program(program)
+    lowered = LowProgram(entrypoint=entrypoint)
+    queue = [entrypoint]
+    while queue:
+        name = queue.pop()
+        if name in lowered:
+            continue
+        component = program.get(name)
+        if component.is_extern:
+            continue
+        low = lower_component(checked.get(name), program)
+        lowered.add(low)
+        for instantiate in component.instantiations():
+            target = program.get(instantiate.component)
+            if not target.is_extern and target.name not in lowered:
+                queue.append(target.name)
+    return lowered

@@ -1,0 +1,470 @@
+"""Lexer and recursive-descent parser for Filament surface syntax.
+
+The grammar follows the paper's listings (Figures 3 and 6, the listings in
+Sections 2, 3 and 7).  A small example accepted by the parser::
+
+    extern comp Add<G: 1>(@[G, G+1] left: 32, @[G, G+1] right: 32)
+        -> (@[G, G+1] out: 32);
+
+    comp main<G: 4>(
+      @interface[G] go: 1,
+      @[G, G+1] a: 32,
+      @[G+2, G+3] b: 32
+    ) -> (@[G, G+1] out: 32) {
+      A := new Add;
+      a0 := A<G>(a, a);
+      a1 := A<G+2>(b, b);
+      out = a0.out;
+    }
+
+Supported constructs:
+
+* ``comp`` / ``extern comp`` definitions with compile-time parameter lists
+  (``comp Prev[W, SAFE]<...>``), event bindings with concrete or parametric
+  delays (``<G: L-(G+1), L: 1>``), ``@interface[G]`` ports, ``@[a, b]``
+  availability intervals, and ``where`` ordering constraints;
+* body commands: instantiation (``A := new Add[32]``), invocation
+  (``a0 := A<G>(x, y)``), the combined form from the paper's figures
+  (``i := new Init<G>(left)``), and connections (``out = a0.out``);
+* ``//`` line comments and ``/* ... */`` block comments.
+
+The parser produces the same AST as :mod:`repro.core.builder`, so a parsed
+program can be type checked, interpreted, and compiled like any other.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from .ast import (
+    Component,
+    Connect,
+    ConstantPort,
+    Constraint,
+    EventBinding,
+    Instantiate,
+    Invoke,
+    PortDef,
+    PortRef,
+    Program,
+    Signature,
+    Source,
+)
+from .errors import ParseError
+from .events import Delay, Event, Interval
+
+__all__ = ["parse_program", "parse_component", "tokenize", "Token"]
+
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+_TOKEN_SPEC = [
+    ("COMMENT", r"//[^\n]*|/\*(?:[^*]|\*(?!/))*\*/"),
+    ("NUMBER", r"\d+'d\d+|\d+"),
+    ("ASSIGN", r":="),
+    ("ARROW", r"->"),
+    ("GE", r">="),
+    ("LE", r"<="),
+    ("EQEQ", r"=="),
+    ("IDENT", r"[A-Za-z_][A-Za-z_0-9]*"),
+    ("AT", r"@"),
+    ("LBRACK", r"\["),
+    ("RBRACK", r"\]"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("LBRACE", r"\{"),
+    ("RBRACE", r"\}"),
+    ("LANGLE", r"<"),
+    ("RANGLE", r">"),
+    ("COMMA", r","),
+    ("COLON", r":"),
+    ("SEMI", r";"),
+    ("PLUS", r"\+"),
+    ("MINUS", r"-"),
+    ("EQ", r"="),
+    ("DOT", r"\."),
+    ("WS", r"[ \t\r\n]+"),
+    ("ERROR", r"."),
+]
+
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+_KEYWORDS = {"comp", "extern", "new", "where", "interface"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its 1-based source position."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split Filament surface text into tokens, dropping comments and
+    whitespace.  Raises :class:`ParseError` on unknown characters."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    for match in _TOKEN_RE.finditer(source):
+        kind = match.lastgroup or "ERROR"
+        text = match.group()
+        column = match.start() - line_start + 1
+        if kind in ("WS", "COMMENT"):
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                line_start = match.start() + text.rfind("\n") + 1
+            continue
+        if kind == "ERROR":
+            raise ParseError(f"unexpected character {text!r}", line, column)
+        if kind == "IDENT" and text in _KEYWORDS:
+            kind = text.upper()
+        tokens.append(Token(kind, text, line, column))
+    tokens.append(Token("EOF", "", line, 1))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: Sequence[Token]) -> None:
+        self._tokens = list(tokens)
+        self._position = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._position + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token.kind != "EOF":
+            self._position += 1
+        return token
+
+    def _check(self, kind: str) -> bool:
+        return self._peek().kind == kind
+
+    def _accept(self, kind: str) -> Optional[Token]:
+        if self._check(kind):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, context: str = "") -> Token:
+        token = self._peek()
+        if token.kind != kind:
+            where = f" while parsing {context}" if context else ""
+            raise ParseError(
+                f"expected {kind} but found {token.kind} {token.text!r}{where}",
+                token.line, token.column,
+            )
+        return self._advance()
+
+    # -- program -------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        program = Program()
+        while not self._check("EOF"):
+            program.add(self.parse_component())
+        return program
+
+    def parse_component(self) -> Component:
+        is_extern = self._accept("EXTERN") is not None
+        self._expect("COMP", "component definition")
+        signature = self._parse_signature(is_extern)
+        if is_extern or self._check("SEMI"):
+            self._expect("SEMI", "extern component")
+            return Component(signature, [])
+        body = self._parse_body()
+        return Component(signature, body)
+
+    # -- signatures ------------------------------------------------------------
+
+    def _parse_signature(self, is_extern: bool) -> Signature:
+        name = self._expect("IDENT", "component name").text
+        params: Tuple[str, ...] = ()
+        if self._check("LBRACK"):
+            params = tuple(self._parse_name_list())
+        events = self._parse_event_bindings()
+        inputs, interface_ports = self._parse_port_list(allow_interface=True)
+        self._expect("ARROW", "signature")
+        outputs, _ = self._parse_port_list(allow_interface=False)
+        constraints: List[Constraint] = []
+        if self._accept("WHERE"):
+            constraints.append(self._parse_constraint())
+            while self._accept("COMMA"):
+                constraints.append(self._parse_constraint())
+        events = self._attach_interface_ports(name, events, interface_ports)
+        return Signature(
+            name=name,
+            events=tuple(events),
+            inputs=tuple(inputs),
+            outputs=tuple(outputs),
+            constraints=tuple(constraints),
+            params=params,
+            is_extern=is_extern,
+        )
+
+    def _parse_name_list(self) -> List[str]:
+        self._expect("LBRACK")
+        names = [self._expect("IDENT", "parameter list").text]
+        while self._accept("COMMA"):
+            names.append(self._expect("IDENT", "parameter list").text)
+        self._expect("RBRACK")
+        return names
+
+    def _parse_event_bindings(self) -> List[EventBinding]:
+        self._expect("LANGLE", "event list")
+        bindings = [self._parse_event_binding()]
+        while self._accept("COMMA"):
+            bindings.append(self._parse_event_binding())
+        self._expect("RANGLE", "event list")
+        return bindings
+
+    def _parse_event_binding(self) -> EventBinding:
+        name = self._expect("IDENT", "event binding").text
+        delay = Delay.constant(1)
+        if self._accept("COLON"):
+            delay = self._parse_delay()
+        return EventBinding(name, delay, interface_port=None)
+
+    def _parse_delay(self) -> Delay:
+        """A delay is either an integer or a difference of event expressions,
+        e.g. ``L-G`` or ``L-(G+1)``."""
+        if self._check("NUMBER"):
+            return Delay.constant(self._parse_integer())
+        minuend = self._parse_event_expr()
+        self._expect("MINUS", "parametric delay")
+        if self._accept("LPAREN"):
+            subtrahend = self._parse_event_expr()
+            self._expect("RPAREN", "parametric delay")
+        else:
+            subtrahend = self._parse_event_expr()
+        return Delay.difference(minuend, subtrahend)
+
+    def _parse_port_list(self, allow_interface: bool) -> Tuple[List[PortDef], dict]:
+        """Parse ``( ... )``; returns data ports plus a map from event name to
+        interface-port name for ``@interface[G]`` entries."""
+        self._expect("LPAREN", "port list")
+        ports: List[PortDef] = []
+        interface_ports: dict = {}
+        if not self._check("RPAREN"):
+            self._parse_port(ports, interface_ports, allow_interface)
+            while self._accept("COMMA"):
+                if self._check("RPAREN"):
+                    break  # tolerate a trailing comma, common in the listings
+                self._parse_port(ports, interface_ports, allow_interface)
+        self._expect("RPAREN", "port list")
+        return ports, interface_ports
+
+    def _parse_port(self, ports: List[PortDef], interface_ports: dict,
+                    allow_interface: bool) -> None:
+        token = self._peek()
+        if self._accept("AT"):
+            if self._accept("INTERFACE"):
+                if not allow_interface:
+                    raise ParseError("interface ports may only appear among the inputs",
+                                     token.line, token.column)
+                self._expect("LBRACK", "interface port")
+                event = self._expect("IDENT", "interface port").text
+                self._expect("RBRACK", "interface port")
+                name = self._expect("IDENT", "interface port name").text
+                self._expect("COLON", "interface port")
+                self._parse_width()  # always 1 bit; parsed for fidelity
+                interface_ports[event] = name
+                return
+            interval = self._parse_interval()
+            name = self._expect("IDENT", "port name").text
+            self._expect("COLON", "port")
+            width = self._parse_width()
+            ports.append(PortDef(name, width, interval))
+            return
+        raise ParseError(
+            f"expected a port annotation (@[...] or @interface[...]) but found "
+            f"{token.text!r}", token.line, token.column,
+        )
+
+    def _parse_interval(self) -> Interval:
+        self._expect("LBRACK", "availability interval")
+        start = self._parse_event_expr()
+        self._expect("COMMA", "availability interval")
+        end = self._parse_event_expr()
+        self._expect("RBRACK", "availability interval")
+        return Interval(start, end)
+
+    def _parse_event_expr(self) -> Event:
+        name = self._expect("IDENT", "event expression").text
+        offset = 0
+        # Only fold a following +n / -n into the expression when it really is
+        # a constant; a ``-`` followed by an identifier belongs to a
+        # parametric delay (``L-G``), not to this event expression.
+        if self._check("PLUS") and self._peek(1).kind == "NUMBER":
+            self._advance()
+            offset = self._parse_integer()
+        elif self._check("MINUS") and self._peek(1).kind == "NUMBER":
+            self._advance()
+            offset = -self._parse_integer()
+        return Event(name, offset)
+
+    def _parse_width(self) -> Union[int, str]:
+        if self._check("NUMBER"):
+            return self._parse_integer()
+        return self._expect("IDENT", "port width").text
+
+    def _parse_integer(self) -> int:
+        token = self._expect("NUMBER", "integer")
+        if "'d" in token.text:
+            raise ParseError("sized literals are only valid as connection sources",
+                             token.line, token.column)
+        return int(token.text)
+
+    def _parse_constraint(self) -> Constraint:
+        lhs = self._parse_event_expr()
+        if self._accept("RANGLE"):
+            op = ">"
+        elif self._accept("GE"):
+            op = ">="
+        elif self._accept("EQEQ"):
+            op = "=="
+        else:
+            token = self._peek()
+            raise ParseError(f"expected a constraint operator, found {token.text!r}",
+                             token.line, token.column)
+        rhs = self._parse_event_expr()
+        return Constraint(lhs, op, rhs)
+
+    def _attach_interface_ports(self, component: str,
+                                events: List[EventBinding],
+                                interface_ports: dict) -> List[EventBinding]:
+        known = {binding.name for binding in events}
+        for event in interface_ports:
+            if event not in known:
+                raise ParseError(
+                    f"{component}: interface port refers to unknown event {event!r}"
+                )
+        return [
+            EventBinding(binding.name, binding.delay,
+                         interface_ports.get(binding.name))
+            for binding in events
+        ]
+
+    # -- bodies -----------------------------------------------------------------
+
+    def _parse_body(self) -> List:
+        self._expect("LBRACE", "component body")
+        commands: List = []
+        counter = 0
+        while not self._check("RBRACE"):
+            commands.extend(self._parse_command(counter))
+            counter += 1
+        self._expect("RBRACE", "component body")
+        return commands
+
+    def _parse_command(self, counter: int) -> List:
+        """One statement; the combined ``x := new C<G>(...)`` form expands to
+        an instantiation plus an invocation, so a list is returned."""
+        first = self._expect("IDENT", "command")
+        if self._accept("ASSIGN"):
+            return self._parse_binding_command(first.text)
+        # A connection: ``dst = src`` where dst may be ``inv.port``.
+        destination = self._finish_port_ref(first.text)
+        self._expect("EQ", "connection")
+        source = self._parse_source()
+        self._expect("SEMI", "connection")
+        return [Connect(destination, source)]
+
+    def _parse_binding_command(self, name: str) -> List:
+        if self._accept("NEW"):
+            component = self._expect("IDENT", "instantiation").text
+            params: Tuple[int, ...] = ()
+            if self._check("LBRACK"):
+                params = tuple(self._parse_int_list())
+            if self._check("LANGLE"):
+                # Combined instantiate-and-invoke (``i := new Init<G>(left)``).
+                events = self._parse_event_args()
+                args = self._parse_args()
+                self._expect("SEMI", "invocation")
+                instance = f"{name}__inst"
+                return [Instantiate(instance, component, params),
+                        Invoke(name, instance, events, args)]
+            self._expect("SEMI", "instantiation")
+            return [Instantiate(name, component, params)]
+        instance = self._expect("IDENT", "invocation").text
+        events = self._parse_event_args()
+        args = self._parse_args()
+        self._expect("SEMI", "invocation")
+        return [Invoke(name, instance, events, args)]
+
+    def _parse_int_list(self) -> List[int]:
+        self._expect("LBRACK")
+        values = [self._parse_integer()]
+        while self._accept("COMMA"):
+            values.append(self._parse_integer())
+        self._expect("RBRACK")
+        return values
+
+    def _parse_event_args(self) -> Tuple[Event, ...]:
+        self._expect("LANGLE", "event arguments")
+        events = [self._parse_event_expr()]
+        while self._accept("COMMA"):
+            events.append(self._parse_event_expr())
+        self._expect("RANGLE", "event arguments")
+        return tuple(events)
+
+    def _parse_args(self) -> Tuple[Source, ...]:
+        self._expect("LPAREN", "arguments")
+        args: List[Source] = []
+        if not self._check("RPAREN"):
+            args.append(self._parse_source())
+            while self._accept("COMMA"):
+                args.append(self._parse_source())
+        self._expect("RPAREN", "arguments")
+        return tuple(args)
+
+    def _parse_source(self) -> Source:
+        if self._check("NUMBER"):
+            token = self._advance()
+            if "'d" in token.text:
+                width_text, value_text = token.text.split("'d")
+                return ConstantPort(int(value_text), int(width_text))
+            return ConstantPort(int(token.text), 32)
+        name = self._expect("IDENT", "connection source").text
+        return self._finish_port_ref(name)
+
+    def _finish_port_ref(self, name: str) -> PortRef:
+        if self._accept("DOT"):
+            port = self._expect("IDENT", "port reference").text
+            return PortRef(port, owner=name)
+        return PortRef(name)
+
+
+def parse_program(source: str) -> Program:
+    """Parse a whole Filament program from surface text."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+def parse_component(source: str) -> Component:
+    """Parse a single component definition from surface text."""
+    parser = _Parser(tokenize(source))
+    component = parser.parse_component()
+    trailing = parser._peek()
+    if trailing.kind != "EOF":
+        raise ParseError(
+            f"unexpected trailing input starting at {trailing.text!r}",
+            trailing.line, trailing.column,
+        )
+    return component

@@ -1,0 +1,17 @@
+"""Executable log-based semantics of Filament (Section 6 / Appendix A).
+
+* :class:`~repro.core.semantics.log.Log` — the semantic domain: per-cycle
+  read sets and write multisets, with Definition 6.1 (well-formedness) and
+  Definition 6.2 (safe pipelining) as methods;
+* :func:`~repro.core.semantics.interp.component_log` — the log-transformer
+  interpretation of a component's body.
+
+Together these give the executable statement of the soundness theorem used
+by the property-based tests: well-typed components produce well-formed,
+safely-pipelined logs.
+"""
+
+from .interp import ComponentSemantics, component_log
+from .log import CycleActivity, Log
+
+__all__ = ["ComponentSemantics", "component_log", "CycleActivity", "Log"]

@@ -1,0 +1,157 @@
+"""The log-transformer interpretation of Filament commands (Section 6.1).
+
+This module turns a component into the :class:`~repro.core.semantics.log.Log`
+its execution produces.  The construction mirrors Figure 9 of the paper:
+
+* the **signature** of the enclosing component contributes a write for every
+  input port over its availability interval (the environment provides those
+  values) — reads of the component's own inputs are then checked against
+  these writes;
+* an **invocation** contributes
+  (1) a read of each *argument* over the resolved requirement interval of the
+  corresponding formal port (this is the paper's ``connects`` metafunction
+  composed with the callee's log — the substitution lands the read on the
+  actual source port),
+  (2) a write of each of the invocation's output ports over its resolved
+  availability, and
+  (3) a write of the instance's interface port for every cycle of the busy
+  window ``[G, G + d)`` — exactly like the multiplier example in Appendix A,
+  whose ``go`` port is written in two consecutive cycles.  These interface
+  writes are what make shared-instance conflicts visible as duplicated
+  writes;
+* a **connection** contributes a read of the source over the destination's
+  requirement and a write of the destination over the same interval.
+
+Well-formedness (Definition 6.1) and safe pipelining (Definition 6.2) are
+then properties of the resulting log, and the soundness theorem of the paper
+becomes an executable property: every program accepted by the type checker
+must produce a well-formed, safely-pipelined log.  The property-based tests
+exercise exactly that statement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ast import Component, Connect, ConstantPort, Instantiate, Invoke, PortRef, Program
+from ..errors import FilamentError
+from ..events import Interval
+from ..typecheck import CheckedComponent, check_component
+from .log import Log
+
+__all__ = ["component_log", "ComponentSemantics"]
+
+
+class ComponentSemantics:
+    """Builds the log of one (type-checked) component.
+
+    The interpreter leans on the :class:`CheckedComponent` produced by the
+    type checker for resolved invocation signatures; this keeps it small and
+    guarantees it sees the same intervals the checker reasoned about.
+    """
+
+    def __init__(self, checked: CheckedComponent, program: Program) -> None:
+        self.checked = checked
+        self.program = program
+
+    # -- helpers ------------------------------------------------------------
+
+    def _source_name(self, source) -> Optional[str]:
+        """Canonical port id for a read; constants are always valid and do
+        not appear in the log."""
+        if isinstance(source, ConstantPort):
+            return None
+        if isinstance(source, PortRef):
+            return str(source)
+        raise FilamentError(f"unknown source {source!r}")
+
+    def _interval_cycles(self, interval: Interval) -> range:
+        return interval.cycles()
+
+    # -- main construction ---------------------------------------------------
+
+    def build(self) -> Log:
+        log = Log()
+        component = self.checked.component
+        context = self.checked.context
+
+        # Environment writes: the caller provides each input port during its
+        # declared availability.
+        for port in component.signature.inputs:
+            log.add_writes(self._interval_cycles(port.interval), port.name)
+
+        for command in component.body:
+            if isinstance(command, Instantiate):
+                continue  # ``⟦x := new C⟧ = id``
+            if isinstance(command, Invoke):
+                self._invoke_log(command, log)
+            elif isinstance(command, Connect):
+                self._connect_log(command, log)
+        return log
+
+    def _invoke_log(self, command: Invoke, log: Log) -> None:
+        context = self.checked.context
+        invocation = context.invocation(command.name)
+        resolved = invocation.resolved
+        instance = context.instance(command.instance)
+
+        # Reads of arguments over the formal ports' requirements, plus a write
+        # to the *instance's* physical input port: the argument is forwarded
+        # onto that wire, so simultaneous uses of a shared instance show up
+        # as conflicting writes (the Iter divider bug of Section 2.5).
+        for port, argument in zip(resolved.inputs, command.args):
+            log.add_writes(self._interval_cycles(port.interval),
+                           f"{command.instance}.{port.name}")
+            source = self._source_name(argument)
+            if source is None:
+                continue
+            log.add_reads(self._interval_cycles(port.interval), source)
+
+        # Writes of the invocation's outputs over their availabilities.  The
+        # write is recorded both under the invocation's name (so downstream
+        # reads of ``m0.out`` find it) and under the instance's physical port
+        # (so overlapping uses of one instance conflict, per Appendix A where
+        # the callee's log writes its own ports).
+        for port in resolved.outputs:
+            log.add_writes(self._interval_cycles(port.interval),
+                           f"{command.name}.{port.name}")
+            log.add_writes(self._interval_cycles(port.interval),
+                           f"{command.instance}.{port.name}")
+
+        # Interface-port writes over the busy window of every bound event.
+        signature = instance.signature
+        for formal, resolved_event, actual in zip(signature.events,
+                                                  resolved.events,
+                                                  command.events):
+            if formal.is_phantom:
+                continue
+            delay = resolved_event.delay.cycles() if resolved_event.delay.is_concrete else 1
+            start = actual.offset
+            for cycle in range(start, start + max(delay, 1)):
+                log.add_write(cycle, f"{command.instance}.{formal.interface_port}")
+
+    def _connect_log(self, command: Connect, log: Log) -> None:
+        context = self.checked.context
+        destination = str(command.dst)
+        requirement = context.availability(destination)
+        if requirement is None:
+            # Component output ports: their requirement is in the signature.
+            requirement = self.checked.component.signature.output(
+                command.dst.port).interval
+        source = self._source_name(command.src)
+        cycles = self._interval_cycles(requirement)
+        if source is not None:
+            log.add_reads(cycles, source)
+        log.add_writes(cycles, destination)
+
+
+def component_log(component: Component, program: Program,
+                  checked: Optional[CheckedComponent] = None) -> Log:
+    """The log of ``component`` within ``program``.
+
+    If the component has not been checked yet it is checked here first (the
+    interpreter needs the resolved invocation signatures).
+    """
+    if checked is None:
+        checked = check_component(program, component.name)
+    return ComponentSemantics(checked, program).build()

@@ -1,0 +1,219 @@
+"""Logs of reads and writes — the semantic domain of Section 6.
+
+The paper gives Filament a *log-based* semantics: executing a component
+produces, for every event (clock cycle relative to the component's start), a
+set ``R`` of ports read and a **multiset** ``W`` of ports written.  Tracking
+a multiset of writes is what makes resource conflicts observable: two
+simultaneous writes to one physical port silently corrupt data in real
+hardware, and show up here as a duplicated element of ``W``.
+
+Two definitions from the paper are implemented directly on logs:
+
+* **Definition 6.1 (well-formedness)** — for every cycle, the writes contain
+  no duplicates and the reads are a subset of the (deduplicated) writes;
+* **Definition 6.2 (safe pipelining)** — for an event with delay ``d``, the
+  union of the log with any copy of itself shifted by ``n >= d`` cycles is
+  still well-formed.
+
+:class:`Log` is a small value-semantics container so the interpreter in
+:mod:`repro.core.semantics.interp` and the property-based tests can combine
+and compare logs freely.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+__all__ = ["CycleActivity", "Log"]
+
+
+@dataclass
+class CycleActivity:
+    """Reads and writes performed during one cycle."""
+
+    reads: Set[str] = field(default_factory=set)
+    writes: Counter = field(default_factory=Counter)
+
+    def copy(self) -> "CycleActivity":
+        return CycleActivity(set(self.reads), Counter(self.writes))
+
+    def merge(self, other: "CycleActivity") -> "CycleActivity":
+        merged = self.copy()
+        merged.reads |= other.reads
+        merged.writes += other.writes
+        return merged
+
+    def conflicting_writes(self) -> List[str]:
+        """Ports written more than once in this cycle."""
+        return sorted(port for port, count in self.writes.items() if count > 1)
+
+    def invalid_reads(self) -> List[str]:
+        """Ports read without a corresponding write in this cycle."""
+        return sorted(port for port in self.reads if port not in self.writes)
+
+    def well_formed(self) -> bool:
+        return not self.conflicting_writes() and not self.invalid_reads()
+
+
+class Log:
+    """A map from cycle (relative to the component's start event) to the
+    :class:`CycleActivity` performed at that cycle."""
+
+    def __init__(self) -> None:
+        self._cycles: Dict[int, CycleActivity] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def _activity(self, cycle: int) -> CycleActivity:
+        return self._cycles.setdefault(cycle, CycleActivity())
+
+    def add_read(self, cycle: int, port: str) -> None:
+        self._activity(cycle).reads.add(port)
+
+    def add_write(self, cycle: int, port: str, count: int = 1) -> None:
+        self._activity(cycle).writes[port] += count
+
+    def add_reads(self, cycles: Iterable[int], port: str) -> None:
+        for cycle in cycles:
+            self.add_read(cycle, port)
+
+    def add_writes(self, cycles: Iterable[int], port: str) -> None:
+        for cycle in cycles:
+            self.add_write(cycle, port)
+
+    # -- views ---------------------------------------------------------------
+
+    def cycles(self) -> List[int]:
+        return sorted(self._cycles)
+
+    def activity(self, cycle: int) -> CycleActivity:
+        return self._cycles.get(cycle, CycleActivity())
+
+    def horizon(self) -> int:
+        """One past the last cycle with any activity (0 for the empty log)."""
+        if not self._cycles:
+            return 0
+        return max(self._cycles) + 1
+
+    def reads_of(self, port: str) -> List[int]:
+        return sorted(c for c, act in self._cycles.items() if port in act.reads)
+
+    def writes_of(self, port: str) -> List[int]:
+        return sorted(c for c, act in self._cycles.items() if port in act.writes)
+
+    # -- algebra -------------------------------------------------------------
+
+    def copy(self) -> "Log":
+        clone = Log()
+        clone._cycles = {cycle: act.copy() for cycle, act in self._cycles.items()}
+        return clone
+
+    def union(self, other: "Log") -> "Log":
+        """Parallel composition: cycle-wise union of reads, sum of writes.
+
+        This is the paper's ``⟦c1 • c2⟧ = ⟦c1⟧ ∪ ⟦c2⟧``; conflicts introduced
+        by composition become duplicated writes.
+        """
+        merged = self.copy()
+        for cycle, activity in other._cycles.items():
+            if cycle in merged._cycles:
+                merged._cycles[cycle] = merged._cycles[cycle].merge(activity)
+            else:
+                merged._cycles[cycle] = activity.copy()
+        return merged
+
+    def shift(self, cycles: int) -> "Log":
+        """The same behaviour started ``cycles`` later — one pipelined
+        re-execution of the component."""
+        shifted = Log()
+        shifted._cycles = {
+            cycle + cycles: activity.copy()
+            for cycle, activity in self._cycles.items()
+        }
+        return shifted
+
+    def rename(self, mapping: Dict[str, str]) -> "Log":
+        """Substitute port names (the paper's ``R{ps/pd}`` for connections)."""
+        renamed = Log()
+        for cycle, activity in self._cycles.items():
+            new_activity = CycleActivity(
+                {mapping.get(port, port) for port in activity.reads},
+                Counter({mapping.get(port, port): count
+                         for port, count in activity.writes.items()}),
+            )
+            renamed._cycles[cycle] = new_activity
+        return renamed
+
+    # -- properties ----------------------------------------------------------
+
+    def well_formed(self) -> bool:
+        """Definition 6.1."""
+        return all(activity.well_formed() for activity in self._cycles.values())
+
+    def violations(self) -> List[str]:
+        """Human-readable list of every well-formedness violation."""
+        problems: List[str] = []
+        for cycle in self.cycles():
+            activity = self._cycles[cycle]
+            for port in activity.conflicting_writes():
+                problems.append(f"cycle {cycle}: conflicting writes to {port}")
+            for port in activity.invalid_reads():
+                problems.append(f"cycle {cycle}: read of {port} before it is written")
+        return problems
+
+    def safely_pipelined(self, delay: int,
+                         max_offset: Optional[int] = None) -> bool:
+        """Definition 6.2: the union with every shift by ``n >= delay`` is
+        well-formed.  Shifts beyond the log's horizon cannot overlap, so the
+        check is finite; ``max_offset`` can widen it for tests."""
+        limit = max_offset if max_offset is not None else self.horizon()
+        for offset in range(delay, max(limit, delay) + 1):
+            if not self.union(self.shift(offset)).well_formed():
+                return False
+        return True
+
+    def pipelining_violations(self, delay: int) -> List[Tuple[int, str]]:
+        """Every (offset, violation) pair for offsets in ``[delay, horizon]``."""
+        problems: List[Tuple[int, str]] = []
+        for offset in range(delay, self.horizon() + 1):
+            combined = self.union(self.shift(offset))
+            for violation in combined.violations():
+                problems.append((offset, violation))
+        return problems
+
+    def minimum_initiation_interval(self, search_limit: Optional[int] = None) -> int:
+        """The smallest delay for which the log pipelines safely — the
+        initiation interval Section 4.3 talks about.  Always at most the
+        horizon (disjoint executions never conflict)."""
+        limit = search_limit if search_limit is not None else self.horizon()
+        for candidate in range(0, limit + 1):
+            if self.safely_pipelined(candidate):
+                return candidate
+        return limit + 1
+
+    # -- presentation --------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Log):
+            return NotImplemented
+        if set(self._cycles) != set(other._cycles):
+            return False
+        return all(
+            self._cycles[c].reads == other._cycles[c].reads
+            and self._cycles[c].writes == other._cycles[c].writes
+            for c in self._cycles
+        )
+
+    def __str__(self) -> str:
+        lines = []
+        for cycle in self.cycles():
+            activity = self._cycles[cycle]
+            reads = ", ".join(sorted(activity.reads)) or "-"
+            writes = ", ".join(
+                f"{port}x{count}" if count > 1 else port
+                for port, count in sorted(activity.writes.items())
+            ) or "-"
+            lines.append(f"  {cycle:>3}: R={{{reads}}} W={{{writes}}}")
+        return "Log(\n" + "\n".join(lines) + "\n)"

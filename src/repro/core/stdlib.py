@@ -1,0 +1,291 @@
+"""Filament's standard library of external primitives.
+
+Section 3.6 of the paper explains that Filament's standard library is a set
+of ``extern`` signatures wrapping black-box circuits (Verilog in the paper,
+behavioural Python models in :mod:`repro.sim.primitives` here).  This module
+defines those signatures exactly as the paper states them:
+
+* combinational arithmetic/logic primitives use a **phantom** event with
+  delay 1 (they are continuously active, Section 5.4);
+* the sequential multiplier ``Mult`` has latency 2 and delay 3 (Section 2.2 /
+  2.4), while ``FastMult`` is the pipelined replacement with latency 2 and
+  delay 1, and ``PipelinedMult`` models the Xilinx LogiCORE 3-stage
+  multiplier used by the conv2d evaluation (Section 7.2);
+* ``Register`` has the parametric delay ``L - (G+1)`` and the ordering
+  constraint ``L > G+1`` (Section 3.6), with ``Reg`` as the simplified
+  single-cycle version used throughout Section 2;
+* ``Prev``/``ContPrev`` are the stream primitives introduced for line
+  buffers and systolic arrays (Section 7.2, Appendix B.1).
+
+Every primitive is parameterised by a bit width ``W`` (and, where relevant,
+extra compile-time parameters such as ``Prev``'s ``SAFE`` flag or ``Slice``'s
+bit range); the parameters are resolved at instantiation time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .ast import Component, Program, Signature
+from .builder import ComponentBuilder
+from .events import Delay, Event
+
+__all__ = [
+    "primitive_signatures",
+    "stdlib_program",
+    "with_stdlib",
+    "PRIMITIVE_NAMES",
+    "COMBINATIONAL_PRIMITIVES",
+]
+
+
+def _combinational(name: str, inputs: Sequence[Tuple[str, object]],
+                   outputs: Sequence[Tuple[str, object]],
+                   params: Sequence[str] = ("W",)) -> Component:
+    """A continuously-active combinational primitive: phantom event, delay 1,
+    every port available during ``[G, G+1)``."""
+    build = ComponentBuilder(name, extern=True, params=params)
+    G = build.event("G", delay=1, interface=None)
+    for port_name, width in inputs:
+        build.input(port_name, width, G, G + 1)
+    for port_name, width in outputs:
+        build.output(port_name, width, G, G + 1)
+    return build.build()
+
+
+def _binary_op(name: str) -> Component:
+    return _combinational(name, [("left", "W"), ("right", "W")], [("out", "W")])
+
+
+def _comparison(name: str) -> Component:
+    return _combinational(name, [("left", "W"), ("right", "W")], [("out", 1)])
+
+
+def _build_mult() -> Component:
+    """The sequential multiplier from Section 2.2: two-cycle latency and a
+    delay of 3 (it cannot be pipelined)."""
+    build = ComponentBuilder("Mult", extern=True, params=("W",))
+    G = build.event("G", delay=3, interface="go")
+    build.input("left", "W", G, G + 1)
+    build.input("right", "W", G, G + 1)
+    build.output("out", "W", G + 2, G + 3)
+    return build.build()
+
+
+def _build_fast_mult() -> Component:
+    """The fully pipelined multiplier that fixes the ALU in Section 2.4:
+    same two-cycle latency but delay 1."""
+    build = ComponentBuilder("FastMult", extern=True, params=("W",))
+    G = build.event("G", delay=1, interface="go")
+    build.input("left", "W", G, G + 1)
+    build.input("right", "W", G, G + 1)
+    build.output("out", "W", G + 2, G + 3)
+    return build.build()
+
+
+def _build_pipelined_mult() -> Component:
+    """A 3-stage pipelined multiplier standing in for the Xilinx LogiCORE
+    multiplier generator used by the base conv2d design (Section 7.2)."""
+    build = ComponentBuilder("PipelinedMult", extern=True, params=("W",))
+    G = build.event("G", delay=1, interface="go")
+    build.input("left", "W", G, G + 1)
+    build.input("right", "W", G, G + 1)
+    build.output("out", "W", G + 3, G + 4)
+    return build.build()
+
+
+def _build_reg() -> Component:
+    """The simplified register of Section 2.3: write in cycle 0, read in
+    cycle 1, re-usable every cycle."""
+    build = ComponentBuilder("Reg", extern=True, params=("W",))
+    G = build.event("G", delay=1, interface="en")
+    build.input("in", "W", G, G + 1)
+    build.output("out", "W", G + 1, G + 2)
+    return build.build()
+
+
+def _build_register() -> Component:
+    """The full register signature of Section 3.6 with a parametric delay
+    ``L - (G+1)`` and the ordering constraint ``L > G+1``: the output is held
+    until ``L`` and a new write is accepted during the last output cycle."""
+    build = ComponentBuilder("Register", extern=True, params=("W",))
+    G = build.event("G", delay=Delay.difference(Event("L"), Event("G", 1)),
+                    interface="en")
+    L = build.event("L", delay=1, interface=None)
+    build.constraint(L, ">", G + 1)
+    build.input("in", "W", G, G + 1)
+    build.output("out", "W", G + 1, L)
+    return build.build()
+
+
+def _build_flex_add() -> Component:
+    """The precise combinational adder of Section 3.6: output is valid for as
+    long as the inputs are held, expressed with a second event ``L`` and the
+    parametric delay ``L - G``."""
+    build = ComponentBuilder("FlexAdd", extern=True, params=("W",))
+    G = build.event("G", delay=Delay.difference(Event("L"), Event("G")),
+                    interface=None)
+    L = build.event("L", delay=1, interface=None)
+    build.constraint(L, ">", G)
+    build.input("left", "W", G, L)
+    build.input("right", "W", G, L)
+    build.output("out", "W", G, L)
+    return build.build()
+
+
+def _build_delay() -> Component:
+    """The ``Delay`` state primitive of Section 5.4: accepts an input every
+    cycle and holds it for exactly one cycle (no enable port — phantom)."""
+    build = ComponentBuilder("Delay", extern=True, params=("W",))
+    G = build.event("G", delay=1, interface=None)
+    build.input("in", "W", G, G + 1)
+    build.output("out", "W", G + 1, G + 2)
+    return build.build()
+
+
+def _build_prev(name: str, phantom: bool) -> Component:
+    """The ``Prev`` stream primitive of Section 7.2: a register whose output
+    is read *in the same cycle* as the write, i.e. the previously stored
+    value.  ``SAFE`` (compile-time parameter) records whether the first read
+    yields a defined initial value; ``ContPrev`` is the phantom-event variant
+    usable inside continuous pipelines."""
+    build = ComponentBuilder(name, extern=True, params=("W", "SAFE"))
+    G = build.event("G", delay=1, interface=None if phantom else "en")
+    build.input("in", "W", G, G + 1)
+    build.output("prev", "W", G, G + 1)
+    return build.build()
+
+
+def _build_mux() -> Component:
+    """Combinational 2-way multiplexer: ``out = sel ? in1 : in0``."""
+    return _combinational(
+        "Mux", [("sel", 1), ("in1", "W"), ("in0", "W")], [("out", "W")]
+    )
+
+
+def _build_const() -> Component:
+    """A constant driver; the value is the compile-time parameter ``V``."""
+    build = ComponentBuilder("Const", extern=True, params=("W", "V"))
+    G = build.event("G", delay=1, interface=None)
+    build.output("out", "W", G, G + 1)
+    return build.build()
+
+
+def _build_slice() -> Component:
+    """Bit slice ``out = in[HI:LO]`` (combinational)."""
+    build = ComponentBuilder("Slice", extern=True, params=("W", "HI", "LO"))
+    G = build.event("G", delay=1, interface=None)
+    build.input("in", "W", G, G + 1)
+    build.output("out", "OW", G, G + 1)
+    # The output width is HI - LO + 1; the simulator computes it, the
+    # signature records it symbolically.
+    return build.build()
+
+
+def _build_concat() -> Component:
+    """Bit concatenation ``out = {hi, lo}`` (combinational)."""
+    build = ComponentBuilder("Concat", extern=True, params=("WH", "WL"))
+    G = build.event("G", delay=1, interface=None)
+    build.input("hi", "WH", G, G + 1)
+    build.input("lo", "WL", G, G + 1)
+    build.output("out", "WO", G, G + 1)
+    return build.build()
+
+
+def _build_shift(name: str) -> Component:
+    """Shift by a constant amount (compile-time parameter ``BY``)."""
+    build = ComponentBuilder(name, extern=True, params=("W", "BY"))
+    G = build.event("G", delay=1, interface=None)
+    build.input("in", "W", G, G + 1)
+    build.output("out", "W", G, G + 1)
+    return build.build()
+
+
+def _build_dsp_mac() -> Component:
+    """One DSP48-style multiply-accumulate stage used by the Reticle cascade
+    (Figure 8c): ``pout = a * b + pin`` registered once, so the output and
+    the cascade input of the next stage appear one cycle later."""
+    build = ComponentBuilder("DspMac", extern=True, params=("W",))
+    G = build.event("G", delay=1, interface="ce")
+    build.input("a", "W", G, G + 1)
+    build.input("b", "W", G, G + 1)
+    build.input("pin", "W", G, G + 1)
+    build.output("pout", "W", G + 1, G + 2)
+    return build.build()
+
+
+def primitive_signatures() -> List[Component]:
+    """All standard-library extern components, in a stable order."""
+    components: List[Component] = [
+        # Combinational arithmetic / logic (phantom event, delay 1).
+        _binary_op("Add"),
+        _binary_op("Sub"),
+        _binary_op("And"),
+        _binary_op("Or"),
+        _binary_op("Xor"),
+        _binary_op("MultComb"),
+        _combinational("Not", [("in", "W")], [("out", "W")]),
+        _comparison("Eq"),
+        _comparison("Neq"),
+        _comparison("Lt"),
+        _comparison("Gt"),
+        _comparison("Le"),
+        _comparison("Ge"),
+        _build_mux(),
+        _build_slice(),
+        _build_concat(),
+        _build_shift("ShiftLeft"),
+        _build_shift("ShiftRight"),
+        _build_const(),
+        _build_flex_add(),
+        # Sequential primitives.
+        _build_mult(),
+        _build_fast_mult(),
+        _build_pipelined_mult(),
+        _build_reg(),
+        _build_register(),
+        _build_delay(),
+        _build_prev("Prev", phantom=False),
+        _build_prev("ContPrev", phantom=True),
+        _build_dsp_mac(),
+    ]
+    return components
+
+
+#: Names of all standard-library primitives.
+PRIMITIVE_NAMES: Tuple[str, ...] = tuple(c.name for c in primitive_signatures())
+
+#: Primitives whose circuit is purely combinational (used by the synthesis
+#: timing model to chain their delays into one path).
+COMBINATIONAL_PRIMITIVES: Tuple[str, ...] = (
+    "Add", "Sub", "And", "Or", "Xor", "MultComb", "Not", "Eq", "Neq", "Lt",
+    "Gt", "Le", "Ge", "Mux", "Slice", "Concat", "ShiftLeft", "ShiftRight",
+    "Const", "FlexAdd",
+)
+
+
+def stdlib_program() -> Program:
+    """A fresh :class:`~repro.core.ast.Program` containing only the standard
+    library."""
+    program = Program()
+    for component in primitive_signatures():
+        program.add(component)
+    return program
+
+
+def with_stdlib(program: Optional[Program] = None,
+                components: Iterable[Component] = ()) -> Program:
+    """Merge user components with the standard library.
+
+    ``program`` (if given) and ``components`` are added on top of the stdlib;
+    user definitions win on name clashes so tests can override a primitive.
+    """
+    merged = stdlib_program()
+    if program is not None:
+        merged = program.merge(merged)
+    for component in components:
+        if component.name in merged.components:
+            merged.components[component.name] = component
+        else:
+            merged.add(component)
+    return merged

@@ -1,0 +1,35 @@
+"""Filament's type system (Section 4 of the paper).
+
+The public entry points are :func:`check_program` and
+:func:`check_component`; the submodules expose the pieces for tests and for
+the lowering pass:
+
+* :mod:`~repro.core.typecheck.solver` — difference-logic entailment for
+  ordering constraints;
+* :mod:`~repro.core.typecheck.context` — the Γ/Δ/Λ typing contexts;
+* :mod:`~repro.core.typecheck.checker` — well-formedness, safe pipelining and
+  the phantom check.
+"""
+
+from .checker import (
+    CheckedComponent,
+    CheckedProgram,
+    TypeChecker,
+    check_component,
+    check_program,
+)
+from .context import InstanceInfo, InvocationInfo, ResourceContext, TypeContext
+from .solver import ConstraintSystem
+
+__all__ = [
+    "CheckedComponent",
+    "CheckedProgram",
+    "TypeChecker",
+    "check_component",
+    "check_program",
+    "ConstraintSystem",
+    "TypeContext",
+    "ResourceContext",
+    "InstanceInfo",
+    "InvocationInfo",
+]

@@ -1,0 +1,502 @@
+"""The Filament type checker.
+
+This module implements the two checking phases of Section 4:
+
+* **well-formedness** — one execution of a component only reads semantically
+  valid values (interval containment for every argument and connection), its
+  writes do not conflict (single drivers, disjoint instance claims), and the
+  delay of every event is at least as long as every availability interval
+  that mentions it (Section 4.1);
+* **safe pipelining** — pipelined executions cannot conflict: an event used
+  to invoke a subcomponent must have a delay no shorter than the
+  subcomponent's (triggering rule), and all invocations of a shared instance
+  must use the same event and fit within that event's delay (reuse rule,
+  Section 4.4).
+
+It also runs the *phantom check* of Definition 5.1 so the lowering pass can
+rely on phantom events never needing an FSM.
+
+The checker is intentionally structured like the paper's judgements: one
+method per command form, threading the :class:`TypeContext` (Γ, Δ) and the
+:class:`ResourceContext` (Λ) through the body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ast import (
+    Component,
+    Connect,
+    ConstantPort,
+    Instantiate,
+    Invoke,
+    PortDef,
+    PortRef,
+    Program,
+    Signature,
+    Source,
+)
+from ..errors import (
+    AvailabilityError,
+    ConflictError,
+    DelayError,
+    FilamentError,
+    OrderingError,
+    PhantomError,
+    PipeliningError,
+    TypeCheckError,
+)
+from ..events import Delay, Event, EventComparisonError, Interval
+from .context import InstanceInfo, InvocationInfo, ResourceContext, TypeContext
+from .solver import ConstraintSystem
+
+__all__ = ["CheckedComponent", "CheckedProgram", "TypeChecker", "check_program",
+           "check_component"]
+
+
+@dataclass
+class CheckedComponent:
+    """The result of checking one component: the component itself plus the
+    contexts the checker built, which the lowering pass and the evaluation
+    harness reuse (resolved invocation signatures, instance claims, …)."""
+
+    component: Component
+    context: TypeContext
+    resources: ResourceContext
+
+    @property
+    def name(self) -> str:
+        return self.component.name
+
+
+@dataclass
+class CheckedProgram:
+    """A fully checked program: every user component paired with its
+    checking artefacts, plus the original program for signature lookups."""
+
+    program: Program
+    checked: Dict[str, CheckedComponent] = field(default_factory=dict)
+
+    def get(self, name: str) -> CheckedComponent:
+        try:
+            return self.checked[name]
+        except KeyError:
+            raise FilamentError(f"component {name!r} was not checked") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.checked
+
+
+class TypeChecker:
+    """Checks a whole program; see :func:`check_program` for the one-call API."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+
+    # ------------------------------------------------------------------ API
+
+    def check(self) -> CheckedProgram:
+        result = CheckedProgram(self.program)
+        for component in self.program:
+            self.check_signature(component.signature)
+        for component in self.program.user_components():
+            result.checked[component.name] = self.check_component(component)
+        return result
+
+    # --------------------------------------------------------- signatures
+
+    def check_signature(self, signature: Signature) -> None:
+        """Signature-level well-formedness.
+
+        User-level components must have concrete delays and may not declare
+        ordering constraints (Section 4.4); every availability interval must
+        be non-empty and no longer than the delay of the event it mentions
+        (Section 4.1).  External components are trusted: their constraints
+        are only checked for mutual consistency.
+        """
+        system = ConstraintSystem(signature.constraints)
+        if not system.feasible():
+            raise OrderingError(
+                f"{signature.name}: ordering constraints are unsatisfiable"
+            )
+
+        if not signature.is_extern:
+            if signature.constraints:
+                raise OrderingError(
+                    f"{signature.name}: user-level components may not declare "
+                    f"ordering constraints between events"
+                )
+            for binding in signature.events:
+                if not binding.delay.is_concrete:
+                    raise OrderingError(
+                        f"{signature.name}: event {binding.name} has a "
+                        f"parametric delay; only external components may"
+                    )
+
+        delays = {b.name: b.delay for b in signature.events}
+        for port in signature.all_ports():
+            interval = port.interval
+            for variable in interval.event_variables():
+                if variable not in delays:
+                    raise TypeCheckError(
+                        f"{signature.name}: port {port.name} mentions unbound "
+                        f"event {variable!r}"
+                    )
+            if interval.same_base():
+                if interval.length() <= 0:
+                    raise TypeCheckError(
+                        f"{signature.name}: port {port.name} has empty "
+                        f"interval {interval}"
+                    )
+                delay = delays[interval.base]
+                if delay.is_concrete and interval.length() > delay.cycles():
+                    raise DelayError(interval.base, delay.cycles(), interval,
+                                     port=f"{signature.name}.{port.name}")
+            else:
+                if not system.interval_nonempty(interval):
+                    raise OrderingError(
+                        f"{signature.name}: cannot prove interval {interval} of "
+                        f"port {port.name} is non-empty from the declared "
+                        f"constraints"
+                    )
+
+        interface_ports = [b.interface_port for b in signature.events
+                           if b.interface_port is not None]
+        if len(interface_ports) != len(set(interface_ports)):
+            raise TypeCheckError(
+                f"{signature.name}: two events share one interface port"
+            )
+
+    # --------------------------------------------------------- components
+
+    def check_component(self, component: Component) -> CheckedComponent:
+        """Check one user-level component's body.
+
+        A Filament body denotes hardware, so command order carries no
+        meaning: an invocation may read the output of an invocation written
+        further down (the systolic-array processing element of Appendix B.1
+        does exactly that for its accumulator).  Checking therefore runs in
+        two passes — first every instantiation and invocation is *declared*
+        (events bound, delays resolved, resources claimed), then every read
+        (invocation arguments and connections) is validated against the now
+        complete environment.
+        """
+        signature = component.signature
+        context = TypeContext(
+            component=signature.name,
+            delays={b.name: b.delay.cycles() for b in signature.events},
+            phantom_events=signature.phantom_events(),
+        )
+        resources = ResourceContext(signature.name)
+        constraints = ConstraintSystem(signature.constraints)
+
+        for port in signature.inputs:
+            context.define_port(port.name, port.interval, port.width)
+        output_requirements = {port.name: port.interval
+                               for port in signature.outputs}
+        driven: Dict[str, str] = {}
+
+        # Pass 1: declarations (instances first so invocations can refer to
+        # instances defined later in the text as well).
+        for command in component.body:
+            if isinstance(command, Instantiate):
+                self._check_instantiate(command, context, resources)
+        for command in component.body:
+            if isinstance(command, Invoke):
+                self._declare_invoke(command, context, resources, constraints)
+
+        # Pass 2: every read is checked against the full environment.
+        for command in component.body:
+            if isinstance(command, Invoke):
+                self._check_invoke_reads(command, context, constraints)
+            elif isinstance(command, Connect):
+                self._check_connect(command, context, constraints,
+                                    output_requirements, driven)
+            elif not isinstance(command, Instantiate):  # pragma: no cover
+                raise FilamentError(f"unknown command {command!r}")
+
+        self._check_outputs_driven(signature, driven)
+        self._check_shared_instances(component, context, resources)
+        self._check_phantom_events(component, context, resources)
+        return CheckedComponent(component, context, resources)
+
+    # --------------------------------------------------------- commands
+
+    def _check_instantiate(self, command: Instantiate, context: TypeContext,
+                           resources: ResourceContext) -> None:
+        definition = self.program.get(command.component)
+        signature = definition.signature
+        if command.params and len(command.params) > len(signature.params):
+            raise TypeCheckError(
+                f"{context.component}: instance {command.name} supplies "
+                f"{len(command.params)} parameter(s) but {signature.name} "
+                f"declares {len(signature.params)}"
+            )
+        context.define_instance(
+            InstanceInfo(command.name, signature, tuple(command.params))
+        )
+        resources.register_instance(command.name)
+
+    def _declare_invoke(self, command: Invoke, context: TypeContext,
+                        resources: ResourceContext,
+                        constraints: ConstraintSystem) -> None:
+        """Pass 1 of invocation checking: bind events, resolve the callee's
+        signature, enforce the constraints that do not depend on other
+        commands (ordering, concrete delays), claim the instance's timeline,
+        and register the invocation in Γ."""
+        instance = context.instance(command.instance)
+        signature = instance.signature
+
+        # Every actual event must be an event of the enclosing component.
+        for actual in command.events:
+            if not context.knows_event(actual.base):
+                raise TypeCheckError(
+                    f"{context.component}: invocation {command.name} schedules "
+                    f"with unknown event {actual}"
+                )
+
+        binding = signature.bind_events(command.events)
+        resolved = signature.substitute(binding)
+
+        # Ordering constraints of the callee must hold under the binding.
+        for constraint in resolved.constraints:
+            concrete = constraint.holds_concretely()
+            if concrete is None:
+                if not constraints.entails_constraint(constraint):
+                    raise OrderingError(
+                        f"{context.component}: invocation {command.name} cannot "
+                        f"satisfy {signature.name}'s constraint {constraint}"
+                    )
+            elif not concrete:
+                raise OrderingError(
+                    f"{context.component}: invocation {command.name} violates "
+                    f"{signature.name}'s constraint {constraint}"
+                )
+
+        # Parametric delays must now be compile-time constants (Section 3.6).
+        resolved_delays: List[int] = []
+        for formal, resolved_event in zip(signature.events, resolved.events):
+            if not resolved_event.delay.is_concrete:
+                raise OrderingError(
+                    f"{context.component}: invocation {command.name} leaves the "
+                    f"delay of {signature.name}.{formal.name} parametric "
+                    f"({resolved_event.delay}); it must resolve to a constant"
+                )
+            resolved_delays.append(resolved_event.delay.cycles())
+
+        data_inputs = resolved.inputs
+        if command.args and len(command.args) != len(data_inputs):
+            raise TypeCheckError(
+                f"{context.component}: invocation {command.name} passes "
+                f"{len(command.args)} argument(s) but {signature.name} has "
+                f"{len(data_inputs)} data input(s)"
+            )
+
+        # Conflict freedom: claim [G, G + d) on the instance for the primary
+        # event (Section 4.2); the claim must not overlap earlier claims.
+        primary_actual = command.events[0]
+        primary_delay = resolved_delays[0]
+        claim = Interval(primary_actual, primary_actual + max(primary_delay, 1))
+        resources.claim(command.instance, claim, command.name)
+
+        context.define_invocation(
+            InvocationInfo(command.name, command.instance, binding, resolved)
+        )
+
+    def _check_invoke_reads(self, command: Invoke, context: TypeContext,
+                            constraints: ConstraintSystem) -> None:
+        """Pass 2 of invocation checking: valid reads (checked first, so
+        availability errors take priority, matching the error progression of
+        Section 2) and the safe-pipelining triggering rule."""
+        invocation = context.invocation(command.name)
+        instance = context.instance(command.instance)
+        signature = instance.signature
+        resolved = invocation.resolved
+
+        for port, argument in zip(resolved.inputs, command.args):
+            self._check_read(argument, port.interval, context, constraints,
+                             where=f"{command.name}.{port.name}")
+
+        # Safe pipelining, triggering rule: the scheduling event's delay must
+        # be at least the (resolved) delay of the subcomponent's event.
+        for formal, resolved_event, actual in zip(signature.events,
+                                                  resolved.events,
+                                                  command.events):
+            delay = resolved_event.delay.cycles()
+            enclosing_delay = context.delay_of(actual.base)
+            if enclosing_delay < delay:
+                raise PipeliningError(
+                    f"{context.component}: event {actual.base} may retrigger "
+                    f"every {enclosing_delay} cycle(s) but "
+                    f"{signature.name}.{formal.name} (scheduled at {actual} by "
+                    f"{command.name}) needs {delay} cycle(s) between uses"
+                )
+
+    def _check_connect(self, command: Connect, context: TypeContext,
+                       constraints: ConstraintSystem,
+                       output_requirements: Dict[str, Interval],
+                       driven: Dict[str, str]) -> None:
+        destination = command.dst
+        requirement = self._destination_requirement(destination, context,
+                                                    output_requirements)
+        key = str(destination)
+        if key in driven:
+            raise ConflictError(
+                f"port {key} (driven by {driven[key]!r} and {command.src})",
+                requirement, requirement, context=context.component,
+            )
+        driven[key] = str(command.src)
+        self._check_read(command.src, requirement, context, constraints,
+                         where=key)
+
+    def _destination_requirement(self, destination: PortRef,
+                                 context: TypeContext,
+                                 output_requirements: Dict[str, Interval]) -> Interval:
+        if destination.owner is None:
+            if destination.port in output_requirements:
+                return output_requirements[destination.port]
+            if context.availability(destination.port) is not None:
+                raise TypeCheckError(
+                    f"{context.component}: cannot drive input port "
+                    f"{destination.port}"
+                )
+            raise TypeCheckError(
+                f"{context.component}: unknown connection destination "
+                f"{destination.port!r}"
+            )
+        invocation = context.invocation(destination.owner)
+        if invocation.resolved.has_input(destination.port):
+            return invocation.resolved.input(destination.port).interval
+        raise TypeCheckError(
+            f"{context.component}: {destination} is not an input port and "
+            f"cannot be a connection destination"
+        )
+
+    def _check_read(self, source: Source, requirement: Interval,
+                    context: TypeContext, constraints: ConstraintSystem,
+                    where: str) -> None:
+        """The valid-read rule: the source must be available throughout the
+        requirement interval."""
+        if isinstance(source, ConstantPort):
+            return  # Constants are always semantically valid.
+        availability = self._source_availability(source, context)
+        try:
+            contained = availability.contains(requirement)
+        except EventComparisonError:
+            contained = constraints.interval_contains(availability, requirement)
+        if not contained:
+            raise AvailabilityError(str(source), availability, requirement,
+                                    context=f"{context.component}: {where}")
+
+    def _source_availability(self, source: PortRef,
+                             context: TypeContext) -> Interval:
+        if source.owner is None:
+            availability = context.availability(source.port)
+            if availability is None:
+                raise TypeCheckError(
+                    f"{context.component}: unknown port {source.port!r}"
+                )
+            return availability
+        invocation = context.invocation(source.owner)
+        if invocation.resolved.has_output(source.port):
+            return invocation.resolved.output(source.port).interval
+        if invocation.resolved.has_input(source.port):
+            raise TypeCheckError(
+                f"{context.component}: cannot read input port {source}"
+            )
+        raise TypeCheckError(
+            f"{context.component}: invocation {source.owner} has no port "
+            f"{source.port!r}"
+        )
+
+    # --------------------------------------------------------- whole-body
+
+    def _check_outputs_driven(self, signature: Signature,
+                              driven: Dict[str, str]) -> None:
+        for port in signature.outputs:
+            if port.name not in driven:
+                raise TypeCheckError(
+                    f"{signature.name}: output port {port.name} is never driven"
+                )
+
+    def _check_shared_instances(self, component: Component,
+                                context: TypeContext,
+                                resources: ResourceContext) -> None:
+        """The reuse rule of Section 4.4: all invocations of a shared
+        instance must use the same event, and the span from the start of the
+        earliest claim to the end of the latest claim must fit within that
+        event's delay."""
+        for instance in resources.shared_instances():
+            claims = resources.claims(instance)
+            bases = {claim.start.base for claim, _ in claims}
+            if len(bases) > 1:
+                raise PipeliningError(
+                    f"{component.name}: instance {instance} is shared by "
+                    f"invocations scheduled with different events "
+                    f"({', '.join(sorted(bases))}); shared instances must use "
+                    f"a single event so the pipeline remains static"
+                )
+            base = bases.pop()
+            start = min(claim.start.offset for claim, _ in claims)
+            end = max(claim.end.offset for claim, _ in claims)
+            span = end - start
+            delay = context.delay_of(base)
+            if span > delay:
+                raise PipeliningError(
+                    f"{component.name}: instance {instance} is busy for {span} "
+                    f"cycle(s) across its invocations but event {base} may "
+                    f"retrigger every {delay} cycle(s); pipelined executions "
+                    f"would conflict"
+                )
+
+    def _check_phantom_events(self, component: Component,
+                              context: TypeContext,
+                              resources: ResourceContext) -> None:
+        """Definition 5.1: a phantom event may not share instances and may
+        only invoke subcomponents through their own phantom events."""
+        phantom = set(component.signature.phantom_events())
+        if not phantom:
+            return
+        for instance in resources.shared_instances():
+            claims = resources.claims(instance)
+            bases = {claim.start.base for claim, _ in claims}
+            if bases & phantom:
+                raise PhantomError(
+                    f"{component.name}: phantom event "
+                    f"{', '.join(sorted(bases & phantom))} is used to share "
+                    f"instance {instance}; resource sharing needs a real "
+                    f"interface port to drive the FSM"
+                )
+        for invocation in context.invocations.values():
+            signature = context.instance(invocation.instance).signature
+            for formal, actual in invocation.binding.items():
+                if actual.base in phantom:
+                    callee_event = signature.event(formal)
+                    if not callee_event.is_phantom:
+                        raise PhantomError(
+                            f"{component.name}: invocation {invocation.name} "
+                            f"uses phantom event {actual.base} to trigger "
+                            f"{signature.name}.{formal}, which requires "
+                            f"interface port {callee_event.interface_port!r}; "
+                            f"phantom events cannot be reified"
+                        )
+
+
+def check_program(program: Program) -> CheckedProgram:
+    """Type check every component of ``program`` (signatures of externs,
+    signatures and bodies of user components)."""
+    return TypeChecker(program).check()
+
+
+def check_component(program: Program, name: str) -> CheckedComponent:
+    """Check a single component (its dependencies' signatures are still
+    validated because they live in ``program``)."""
+    checker = TypeChecker(program)
+    component = program.get(name)
+    checker.check_signature(component.signature)
+    for other in program:
+        if other.name != name:
+            checker.check_signature(other.signature)
+    return checker.check_component(component)

@@ -1,0 +1,183 @@
+"""A difference-logic solver for event ordering constraints.
+
+Filament's interval and delay comparisons are all of the shape
+``A + c1  <=  B + c2`` where ``A`` and ``B`` are event variables and the
+``c`` are integer cycle offsets.  When ``A`` and ``B`` are the same variable
+the comparison is trivially decidable; when they differ it is only decidable
+under the ordering constraints an external component declares with ``where``
+clauses (Section 3.6), e.g. the register's ``L > G + 1``.
+
+Such systems are classic *difference constraints*: every fact and every query
+normalises to ``x - y <= k``.  This module implements the textbook decision
+procedure — build a weighted constraint graph and compute all-pairs shortest
+paths — which is exact, fast for the handful of events a signature binds, and
+requires no SMT dependency.
+
+The solver answers three questions used by the type checker:
+
+* :meth:`ConstraintSystem.entails_le` / ``entails_lt`` — is an inequality a
+  consequence of the declared constraints?
+* :meth:`ConstraintSystem.feasible` — are the declared constraints mutually
+  satisfiable (no negative cycle)?
+* :meth:`ConstraintSystem.interval_contains` — does one availability
+  interval cover another, under the constraints?
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..ast import Constraint
+from ..events import Event, Interval
+
+__all__ = ["ConstraintSystem"]
+
+#: Effectively-infinite distance for the shortest-path table.
+_INF = float("inf")
+
+
+class ConstraintSystem:
+    """An immutable-after-build set of difference constraints over event
+    variables.
+
+    Facts are added with :meth:`add_constraint` (or at construction); queries
+    are answered against the transitive closure, which is recomputed lazily
+    after mutation.
+    """
+
+    def __init__(self, constraints: Iterable[Constraint] = ()) -> None:
+        self._variables: List[str] = []
+        self._index: Dict[str, int] = {}
+        # Edge weights: _edges[(x, y)] = k encodes the fact  x - y <= k.
+        self._edges: Dict[Tuple[str, str], float] = {}
+        self._closure: Optional[List[List[float]]] = None
+        for constraint in constraints:
+            self.add_constraint(constraint)
+
+    # -- construction -------------------------------------------------------
+
+    def _variable(self, name: str) -> int:
+        if name not in self._index:
+            self._index[name] = len(self._variables)
+            self._variables.append(name)
+            self._closure = None
+        return self._index[name]
+
+    def _add_fact(self, x: str, y: str, bound: float) -> None:
+        """Record the fact ``x - y <= bound`` (keeping the tightest bound)."""
+        self._variable(x)
+        self._variable(y)
+        key = (x, y)
+        if key not in self._edges or bound < self._edges[key]:
+            self._edges[key] = bound
+            self._closure = None
+
+    def add_le(self, lhs: Event, rhs: Event) -> None:
+        """Add the fact ``lhs <= rhs``."""
+        # lhs.base + lhs.offset <= rhs.base + rhs.offset
+        #   <=>  lhs.base - rhs.base <= rhs.offset - lhs.offset
+        self._add_fact(lhs.base, rhs.base, rhs.offset - lhs.offset)
+
+    def add_lt(self, lhs: Event, rhs: Event) -> None:
+        """Add the fact ``lhs < rhs`` (events are integers, so ``lhs+1 <= rhs``)."""
+        self.add_le(lhs + 1, rhs)
+
+    def add_eq(self, lhs: Event, rhs: Event) -> None:
+        self.add_le(lhs, rhs)
+        self.add_le(rhs, lhs)
+
+    def add_constraint(self, constraint: Constraint) -> None:
+        """Add a ``where`` clause constraint (``>``, ``>=`` or ``==``)."""
+        if constraint.op == ">":
+            self.add_lt(constraint.rhs, constraint.lhs)
+        elif constraint.op == ">=":
+            self.add_le(constraint.rhs, constraint.lhs)
+        else:
+            self.add_eq(constraint.lhs, constraint.rhs)
+
+    # -- closure ------------------------------------------------------------
+
+    def _compute_closure(self) -> List[List[float]]:
+        if self._closure is not None:
+            return self._closure
+        n = len(self._variables)
+        dist = [[_INF] * n for _ in range(n)]
+        for i in range(n):
+            dist[i][i] = 0.0
+        for (x, y), bound in self._edges.items():
+            i, j = self._index[x], self._index[y]
+            # Edge for shortest paths: constraint x - y <= k becomes an edge
+            # y -> x with weight k; dist[y][x] bounds x - y from above.
+            if bound < dist[j][i]:
+                dist[j][i] = bound
+        for k in range(n):
+            for i in range(n):
+                dik = dist[i][k]
+                if dik == _INF:
+                    continue
+                row_k = dist[k]
+                row_i = dist[i]
+                for j in range(n):
+                    through = dik + row_k[j]
+                    if through < row_i[j]:
+                        row_i[j] = through
+        self._closure = dist
+        return dist
+
+    # -- queries ------------------------------------------------------------
+
+    def feasible(self) -> bool:
+        """Whether the constraints are satisfiable (no negative self-cycle)."""
+        dist = self._compute_closure()
+        return all(dist[i][i] >= 0 for i in range(len(self._variables)))
+
+    def _bound(self, x: str, y: str) -> float:
+        """The tightest provable upper bound on ``x - y`` (inf if unrelated)."""
+        if x == y:
+            return 0.0
+        if x not in self._index or y not in self._index:
+            return _INF
+        dist = self._compute_closure()
+        return dist[self._index[y]][self._index[x]]
+
+    def entails_le(self, lhs: Event, rhs: Event) -> bool:
+        """Whether ``lhs <= rhs`` follows from the constraints."""
+        if lhs.base == rhs.base:
+            return lhs.offset <= rhs.offset
+        bound = self._bound(lhs.base, rhs.base)
+        return bound <= rhs.offset - lhs.offset
+
+    def entails_lt(self, lhs: Event, rhs: Event) -> bool:
+        """Whether ``lhs < rhs`` follows from the constraints."""
+        return self.entails_le(lhs + 1, rhs)
+
+    def entails_constraint(self, constraint: Constraint) -> bool:
+        if constraint.op == ">":
+            return self.entails_lt(constraint.rhs, constraint.lhs)
+        if constraint.op == ">=":
+            return self.entails_le(constraint.rhs, constraint.lhs)
+        return (self.entails_le(constraint.lhs, constraint.rhs)
+                and self.entails_le(constraint.rhs, constraint.lhs))
+
+    def interval_contains(self, outer: Interval, inner: Interval) -> bool:
+        """Whether ``outer`` covers ``inner`` under the constraints
+        (``outer.start <= inner.start`` and ``inner.end <= outer.end``)."""
+        return (self.entails_le(outer.start, inner.start)
+                and self.entails_le(inner.end, outer.end))
+
+    def interval_nonempty(self, interval: Interval) -> bool:
+        """Whether ``start < end`` is provable."""
+        return self.entails_lt(interval.start, interval.end)
+
+    def copy(self) -> "ConstraintSystem":
+        """An independent copy (used when an invocation adds the callee's
+        constraints temporarily)."""
+        clone = ConstraintSystem()
+        clone._variables = list(self._variables)
+        clone._index = dict(self._index)
+        clone._edges = dict(self._edges)
+        return clone
+
+    def __str__(self) -> str:
+        facts = [f"{x} - {y} <= {k:g}" for (x, y), k in sorted(self._edges.items())]
+        return "ConstraintSystem(" + ", ".join(facts) + ")"

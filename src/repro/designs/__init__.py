@@ -1,0 +1,42 @@
+"""Filament designs used by the paper's evaluation (Sections 2, 7 and
+Appendix B), written against the public builder API."""
+
+from . import golden
+from .addmult import addmult, addmult_program
+from .alu import alu_program, hdl_style_alu, naive_alu, pipelined_alu, sequential_alu
+from .conv2d import (
+    RETICLE_CASCADE_LATENCY,
+    conv2d_base,
+    conv2d_base_program,
+    conv2d_reticle,
+    conv2d_reticle_program,
+    stencil,
+)
+from .divider import (
+    comb_divider,
+    divider_program,
+    iterative_divider,
+    nxt_step,
+    pipelined_divider,
+)
+from .fpadd import (
+    buggy_stage_crossing_mac,
+    combinational_mac,
+    mac_program,
+    pipelined_mac,
+    stage_crossing_in_filament,
+)
+from .systolic import processing_element, systolic_array, systolic_program
+
+__all__ = [
+    "golden",
+    "addmult", "addmult_program",
+    "alu_program", "hdl_style_alu", "naive_alu", "pipelined_alu", "sequential_alu",
+    "RETICLE_CASCADE_LATENCY", "conv2d_base", "conv2d_base_program",
+    "conv2d_reticle", "conv2d_reticle_program", "stencil",
+    "comb_divider", "divider_program", "iterative_divider", "nxt_step",
+    "pipelined_divider",
+    "buggy_stage_crossing_mac", "combinational_mac", "mac_program",
+    "pipelined_mac", "stage_crossing_in_filament",
+    "processing_element", "systolic_array", "systolic_program",
+]

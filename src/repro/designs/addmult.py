@@ -1,0 +1,43 @@
+"""The ``AddMult`` component of Figure 4.
+
+``AddMult<G: 2>`` takes ``a`` and ``b`` in the first cycle, ``c`` in the
+second, and produces ``a * b + c`` two cycles after the start.  Its delay of
+2 means a new computation may begin every other cycle, so two executions can
+overlap exactly as the Figure 4 waveform shows; the figure-regeneration
+benchmark drives two overlapped transactions through this component and
+prints that waveform.
+"""
+
+from __future__ import annotations
+
+from ..core.ast import Component, Program
+from ..core.builder import ComponentBuilder
+from ..core.stdlib import with_stdlib
+
+__all__ = ["addmult", "addmult_program"]
+
+
+def addmult(width: int = 32) -> Component:
+    """Build ``AddMult<G: 2>`` from a pipelined multiplier, a register that
+    re-times ``c``, and a combinational adder."""
+    build = ComponentBuilder("AddMult")
+    G = build.event("G", delay=2, interface="go")
+    a = build.input("a", width, G, G + 1)
+    b = build.input("b", width, G, G + 1)
+    c = build.input("c", width, G + 1, G + 2)
+    out = build.output("out", width, G + 2, G + 3)
+
+    multiplier = build.instantiate("M", "FastMult", [width])
+    c_reg = build.instantiate("RC", "Reg", [width])
+    adder = build.instantiate("A", "Add", [width])
+
+    product = build.invoke("m0", multiplier, [G], [a, b])
+    held_c = build.invoke("rc", c_reg, [G + 1], [c])
+    total = build.invoke("a0", adder, [G + 2], [product["out"], held_c["out"]])
+    build.connect(out, total["out"])
+    return build.build()
+
+
+def addmult_program(width: int = 32) -> Program:
+    """``AddMult`` plus the standard library."""
+    return with_stdlib(components=[addmult(width)])

@@ -1,0 +1,143 @@
+"""The ALU case study of Section 2.
+
+Four artefacts are provided:
+
+* :func:`hdl_style_alu` — the *traditional HDL* ALU of Figure 1, built
+  directly as a Calyx netlist with no timeline types.  Simulating it
+  regenerates the Figure 1 waveforms: addition works in the same cycle,
+  multiplication silently produces its result two cycles late.
+* :func:`naive_alu` — the first Filament attempt (Section 2.3), which reads
+  the multiplier's output in the wrong cycle; the type checker rejects it
+  with the availability error shown in the paper.
+* :func:`sequential_alu` — the corrected but unpipelined ALU (delay 3, slow
+  multiplier): accepted, but can only take a new input every three cycles.
+* :func:`pipelined_alu` — the fully pipelined ALU of Section 2.4 (delay 1,
+  ``FastMult``, registers re-timing the adder path, ``op`` needed only in
+  ``[G+2, G+3)``).
+
+``alu_program`` wraps any variant together with the standard library so it
+can be checked, compiled and simulated in one call.
+"""
+
+from __future__ import annotations
+
+from ..calyx.ir import Assignment, CalyxComponent, CalyxProgram, Cell, CellPort, PortSpec
+from ..core.ast import Component, Program
+from ..core.builder import ComponentBuilder
+from ..core.stdlib import with_stdlib
+
+__all__ = [
+    "naive_alu",
+    "sequential_alu",
+    "pipelined_alu",
+    "alu_program",
+    "hdl_style_alu",
+]
+
+
+def naive_alu(width: int = 32) -> Component:
+    """Section 2.2/2.3: adder and multiplier both scheduled at ``G`` and fed
+    straight into the multiplexer.  Ill-typed: ``m0.out`` is only available
+    during ``[G+2, G+3)`` but the multiplexer needs it during ``[G, G+1)``."""
+    build = ComponentBuilder("ALU")
+    G = build.event("G", delay=3, interface="en")
+    op = build.input("op", 1, G, G + 1)
+    left = build.input("l", width, G, G + 1)
+    right = build.input("r", width, G, G + 1)
+    out = build.output("o", width, G, G + 1)
+
+    adder = build.instantiate("A", "Add", [width])
+    multiplier = build.instantiate("M", "Mult", [width])
+    mux = build.instantiate("Mx", "Mux", [width])
+
+    a0 = build.invoke("a0", adder, [G], [left, right])
+    m0 = build.invoke("m0", multiplier, [G], [left, right])
+    selected = build.invoke("mux", mux, [G], [op, m0["out"], a0["out"]])
+    build.connect(out, selected["out"])
+    return build.build()
+
+
+def sequential_alu(width: int = 32) -> Component:
+    """The corrected ALU before pipelining: registers re-time the adder
+    result, ``op`` is consumed in ``[G+2, G+3)``, and the event's delay of 3
+    admits the unpipelined multiplier."""
+    return _scheduled_alu(width=width, delay=3, multiplier="Mult")
+
+
+def pipelined_alu(width: int = 32) -> Component:
+    """The final, fully pipelined ALU of Section 2.4 (delay 1, ``FastMult``)."""
+    return _scheduled_alu(width=width, delay=1, multiplier="FastMult")
+
+
+def _scheduled_alu(width: int, delay: int, multiplier: str) -> Component:
+    build = ComponentBuilder("ALU")
+    G = build.event("G", delay=delay, interface="en")
+    op = build.input("op", 1, G + 2, G + 3)
+    left = build.input("l", width, G, G + 1)
+    right = build.input("r", width, G, G + 1)
+    out = build.output("o", width, G + 2, G + 3)
+
+    adder = build.instantiate("A", "Add", [width])
+    mult = build.instantiate("M", multiplier, [width])
+    mux = build.instantiate("Mx", "Mux", [width])
+    reg0 = build.instantiate("R0", "Reg", [width])
+    reg1 = build.instantiate("R1", "Reg", [width])
+
+    a0 = build.invoke("a0", adder, [G], [left, right])
+    r0 = build.invoke("r0", reg0, [G], [a0["out"]])
+    r1 = build.invoke("r1", reg1, [G + 1], [r0["out"]])
+    m0 = build.invoke("m0", mult, [G], [left, right])
+    selected = build.invoke("mux", mux, [G + 2], [op, m0["out"], r1["out"]])
+    build.connect(out, selected["out"])
+    return build.build()
+
+
+def alu_program(variant: str = "pipelined", width: int = 32) -> Program:
+    """A complete program (ALU variant + standard library).
+
+    ``variant`` is one of ``"naive"``, ``"sequential"`` or ``"pipelined"``.
+    """
+    builders = {
+        "naive": naive_alu,
+        "sequential": sequential_alu,
+        "pipelined": pipelined_alu,
+    }
+    if variant not in builders:
+        raise ValueError(f"unknown ALU variant {variant!r}")
+    return with_stdlib(components=[builders[variant](width)])
+
+
+def hdl_style_alu(width: int = 32) -> CalyxProgram:
+    """The Figure 1 ALU written the way a traditional HDL user would: no
+    timing information, the multiplexer select wired straight to ``op`` and
+    its inputs straight to the adder and multiplier outputs.
+
+    The returned netlist is *behaviourally wrong for multiplication* on
+    purpose: simulating it reproduces the Figure 1c waveform where the
+    product appears two cycles after the operands (and the output in the
+    operand cycle is garbage).
+    """
+    component = CalyxComponent(
+        "hdl_alu",
+        inputs=[PortSpec("op", 1), PortSpec("l", width), PortSpec("r", width)],
+        outputs=[PortSpec("out", width)],
+    )
+    component.add_cell(Cell("A", "Add", (width,)))
+    component.add_cell(Cell("M", "Mult", (width,)))
+    component.add_cell(Cell("Mx", "Mux", (width,)))
+    wires = [
+        Assignment(CellPort("A", "left"), CellPort(None, "l")),
+        Assignment(CellPort("A", "right"), CellPort(None, "r")),
+        Assignment(CellPort("M", "left"), CellPort(None, "l")),
+        Assignment(CellPort("M", "right"), CellPort(None, "r")),
+        Assignment(CellPort("M", "go"), 1),
+        Assignment(CellPort("Mx", "sel"), CellPort(None, "op")),
+        Assignment(CellPort("Mx", "in1"), CellPort("M", "out")),
+        Assignment(CellPort("Mx", "in0"), CellPort("A", "out")),
+        Assignment(CellPort(None, "out"), CellPort("Mx", "out")),
+    ]
+    for wire in wires:
+        component.add_wire(wire)
+    program = CalyxProgram(entrypoint="hdl_alu")
+    program.add(component)
+    return program

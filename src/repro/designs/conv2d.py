@@ -1,0 +1,137 @@
+"""The conv2d designs of Section 7.2 (Figure 8, Table 2).
+
+Three artefacts:
+
+* :func:`stencil` — the ``Stencil`` line buffer of Figure 8a: a chain of
+  ``Prev`` stream registers holding the last eleven pixels of the row-major
+  stream and exposing the nine taps of a 3x3 window over a 4-wide image.
+* :func:`conv2d_base` — **Design 1**: the stencil feeding nine fully
+  pipelined 3-cycle multipliers (the LogiCORE stand-in ``PipelinedMult``)
+  and a combinational adder tree with shift normalisation.  Output appears
+  three cycles after the pixel; a new pixel is accepted every cycle.
+* :func:`conv2d_reticle` — **Design 2**: the stencil feeding a
+  Reticle-generated DSP-cascade dot product (imported as a typed extern),
+  followed by the same normalisation.  The cascade registers its inputs
+  internally, so the wrapper drives all nine taps in one cycle.
+
+Both designs compute exactly :func:`repro.designs.golden.conv2d_stream`, so
+the Table 2 benchmark can cross-validate them (and the Aetherling-generated
+1 px/clk design) with one golden model before comparing resources.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.ast import Component, Program
+from ..core.builder import ComponentBuilder, const
+from ..core.stdlib import with_stdlib
+from ..generators.reticle import ReticleReport, dot_cascade
+from .golden import CONV_NORM_SHIFT, CONV_TAPS, CONV_WEIGHTS
+
+__all__ = [
+    "stencil",
+    "conv2d_base",
+    "conv2d_reticle",
+    "conv2d_base_program",
+    "conv2d_reticle_program",
+    "RETICLE_CASCADE_LATENCY",
+]
+
+_PIXEL_WIDTH = 8
+_ACC_WIDTH = 16
+
+#: Latency of the generated 9-tap DSP cascade (inputs registered internally,
+#: partial sums rippling down the cascade).
+RETICLE_CASCADE_LATENCY = 6
+
+
+def stencil(width: int = _PIXEL_WIDTH) -> Component:
+    """The line-buffer component: eleven-pixel history, nine window taps.
+
+    Tap ``k`` (output ``o{k}``) carries the pixel from ``CONV_TAPS[k]``
+    cycles ago; tap 0 is the current pixel passed through combinationally.
+    """
+    build = ComponentBuilder("Stencil")
+    G = build.event("G", delay=1, interface="en")
+    pixel = build.input("pix", width, G, G + 1)
+    outputs = [build.output(f"o{k}", width, G, G + 1)
+               for k in range(len(CONV_TAPS))]
+
+    taps = {0: pixel}
+    previous = pixel
+    for depth in range(1, max(CONV_TAPS) + 1):
+        register = build.instantiate(f"P{depth}", "Prev", [width, 1])
+        held = build.invoke(f"p{depth}", register, [G], [previous])
+        taps[depth] = held["prev"]
+        previous = held["prev"]
+
+    for index, tap in enumerate(CONV_TAPS):
+        build.connect(outputs[index], taps[tap])
+    return build.build()
+
+
+def conv2d_base(width: int = _PIXEL_WIDTH) -> Component:
+    """Design 1: pipelined multipliers + combinational adder tree."""
+    build = ComponentBuilder("Conv2d")
+    G = build.event("G", delay=1, interface="en")
+    pixel = build.input("pix", width, G, G + 1)
+    out = build.output("o", width, G + 3, G + 4)
+
+    window = build.invoke("st", build.instantiate("ST", "Stencil"), [G], [pixel])
+
+    products = []
+    for index, weight in enumerate(CONV_WEIGHTS):
+        multiplier = build.instantiate(f"M{index}", "PipelinedMult", [_ACC_WIDTH])
+        product = build.invoke(f"m{index}", multiplier, [G],
+                               [window[f"o{index}"], const(weight, _ACC_WIDTH)])
+        products.append(product["out"])
+
+    total = products[0]
+    for index, product in enumerate(products[1:]):
+        adder = build.instantiate(f"A{index}", "Add", [_ACC_WIDTH])
+        total = build.invoke(f"a{index}", adder, [G + 3], [total, product])["out"]
+
+    normaliser = build.instantiate("NORM", "ShiftRight", [_ACC_WIDTH, CONV_NORM_SHIFT])
+    blurred = build.invoke("norm", normaliser, [G + 3], [total])
+    build.connect(out, blurred["out"])
+    return build.build()
+
+
+def conv2d_reticle(width: int = _PIXEL_WIDTH) -> Tuple[Component, Component, ReticleReport]:
+    """Design 2: the Reticle DSP cascade behind a typed extern.
+
+    Returns ``(conv_component, cascade_extern, cascade_report)``; the report
+    is consumed by the synthesis cost model when sizing the black box.
+    """
+    cascade, report = dot_cascade("ReticleDot", CONV_WEIGHTS, width=_ACC_WIDTH,
+                                  latency=RETICLE_CASCADE_LATENCY)
+
+    build = ComponentBuilder("Conv2dReticle")
+    G = build.event("G", delay=1, interface="en")
+    pixel = build.input("pix", width, G, G + 1)
+    out = build.output("o", width,
+                       G + RETICLE_CASCADE_LATENCY, G + RETICLE_CASCADE_LATENCY + 1)
+
+    window = build.invoke("st", build.instantiate("ST", "Stencil"), [G], [pixel])
+    cascade_instance = build.instantiate("DOT", "ReticleDot", [_ACC_WIDTH])
+    dotted = build.invoke("dot", cascade_instance, [G],
+                          [window[f"o{index}"] for index in range(len(CONV_TAPS))])
+    normaliser = build.instantiate("NORM", "ShiftRight", [_ACC_WIDTH, CONV_NORM_SHIFT])
+    blurred = build.invoke("norm", normaliser, [G + RETICLE_CASCADE_LATENCY],
+                           [dotted["y"]])
+    build.connect(out, blurred["out"])
+    return build.build(), cascade, report
+
+
+def conv2d_base_program(width: int = _PIXEL_WIDTH) -> Program:
+    """Design 1 plus its stencil and the standard library."""
+    return with_stdlib(components=[stencil(width), conv2d_base(width)])
+
+
+def conv2d_reticle_program(width: int = _PIXEL_WIDTH) -> Tuple[Program, ReticleReport]:
+    """Design 2 (with the generated cascade extern) plus the stencil and the
+    standard library; also returns the cascade's resource report."""
+    conv, cascade, report = conv2d_reticle(width)
+    program = with_stdlib(components=[stencil(width), cascade, conv])
+    return program, report

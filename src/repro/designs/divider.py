@@ -1,0 +1,194 @@
+"""The restoring-division design space of Figure 2.
+
+The paper uses an 8-bit restoring divider to demonstrate how Filament makes
+area/throughput trade-offs safe to explore:
+
+* :func:`comb_divider`   — all eight ``Nxt`` steps scheduled in one cycle
+  (latency 1, initiation interval 1, lots of logic on one path);
+* :func:`pipelined_divider` — one ``Nxt`` step per cycle with registers
+  between stages (latency 8, initiation interval 1);
+* :func:`iterative_divider` — a single shared ``Nxt`` instance reused for
+  eight cycles (latency 8, initiation interval 8, one eighth of the step
+  logic).
+
+The broken intermediate designs the paper walks through — sharing the
+``Nxt`` instance while still claiming a delay of 1, or feeding two inputs to
+the shared instance in the same cycle — are reproduced in the test suite,
+where the type checker rejects them with the same class of errors.
+
+``Nxt`` itself (:func:`nxt_step`) is one step of restoring division built
+from combinational primitives: shift the accumulator/quotient pair left,
+conditionally subtract the divisor, and set the new quotient bit.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.ast import Component, Program
+from ..core.builder import ComponentBuilder, InvocationHandle
+from ..core.stdlib import with_stdlib
+
+__all__ = [
+    "nxt_step",
+    "comb_divider",
+    "pipelined_divider",
+    "iterative_divider",
+    "divider_program",
+]
+
+#: Width of the accumulator datapath (one extra byte so the shifted
+#: accumulator never overflows during the compare/subtract).
+_ACC_WIDTH = 16
+
+
+def nxt_step(bits: int = 8) -> Component:
+    """One restoring-division step as a combinational Filament component.
+
+    Inputs: the current accumulator ``a`` (wide), quotient ``q`` and divisor
+    ``div``; outputs the next accumulator ``an`` and quotient ``qn``.  The
+    component is continuously active (phantom event), so it can be dropped
+    into combinational, pipelined and iterative schedules alike.
+    """
+    build = ComponentBuilder("Nxt")
+    T = build.event("T", delay=1, interface=None)
+    a = build.input("a", _ACC_WIDTH, T, T + 1)
+    q = build.input("q", bits, T, T + 1)
+    div = build.input("div", bits, T, T + 1)
+    an = build.output("an", _ACC_WIDTH, T, T + 1)
+    qn = build.output("qn", bits, T, T + 1)
+
+    # shifted_a = (a << 1) | (q >> bits-1); shifted_q = q << 1
+    shift_a = build.instantiate("ShA", "ShiftLeft", [_ACC_WIDTH, 1])
+    msb_q = build.instantiate("MsbQ", "ShiftRight", [bits, bits - 1])
+    or_a = build.instantiate("OrA", "Or", [_ACC_WIDTH])
+    shift_q = build.instantiate("ShQ", "ShiftLeft", [bits, 1])
+    subtract = build.instantiate("Sub", "Sub", [_ACC_WIDTH])
+    compare = build.instantiate("Cmp", "Ge", [_ACC_WIDTH])
+    select_a = build.instantiate("SelA", "Mux", [_ACC_WIDTH])
+    or_q = build.instantiate("OrQ", "Or", [bits])
+
+    shifted_a = build.invoke("sa", shift_a, [T], [a])
+    q_top = build.invoke("qt", msb_q, [T], [q])
+    merged_a = build.invoke("ma", or_a, [T], [shifted_a["out"], q_top["out"]])
+    shifted_q = build.invoke("sq", shift_q, [T], [q])
+    difference = build.invoke("df", subtract, [T], [merged_a["out"], div])
+    fits = build.invoke("ge", compare, [T], [merged_a["out"], div])
+    next_a = build.invoke("na", select_a, [T],
+                          [fits["out"], difference["out"], merged_a["out"]])
+    next_q = build.invoke("nq", or_q, [T], [shifted_q["out"], fits["out"]])
+
+    build.connect(an, next_a["out"])
+    build.connect(qn, next_q["out"])
+    return build.build()
+
+
+def comb_divider(bits: int = 8) -> Component:
+    """Figure 2b: all eight steps in a single cycle."""
+    build = ComponentBuilder("CombDiv")
+    G = build.event("G", delay=1, interface="go")
+    left = build.input("left", bits, G, G + 1)
+    divisor = build.input("div", bits, G, G + 1)
+    quotient = build.output("q", bits, G, G + 1)
+    remainder = build.output("r", _ACC_WIDTH, G, G + 1)
+
+    accumulator = None
+    current_q = None
+    current_a = None
+    for step in range(bits):
+        instance = build.instantiate(f"N{step}", "Nxt")
+        args = [current_a if current_a is not None else 0,
+                current_q if current_q is not None else left,
+                divisor]
+        invocation = build.invoke(f"s{step}", instance, [G], args)
+        current_a = invocation["an"]
+        current_q = invocation["qn"]
+    build.connect(quotient, current_q)
+    build.connect(remainder, current_a)
+    return build.build()
+
+
+def pipelined_divider(bits: int = 8) -> Component:
+    """Figure 2c: one step per cycle, registers forwarding the accumulator
+    and quotient between stages; a new division can start every cycle."""
+    build = ComponentBuilder("PipeDiv")
+    G = build.event("G", delay=1, interface="go")
+    left = build.input("left", bits, G, G + 1)
+    divisor = build.input("div", bits, G, G + 1)
+    # The divisor is needed by every stage, so it must stay valid while the
+    # pipeline drains — but a delay-1 event caps every interval at one cycle,
+    # so instead the divisor is re-registered alongside the data path.
+    quotient = build.output("q", bits, G + bits - 1, G + bits)
+    remainder = build.output("r", _ACC_WIDTH, G + bits - 1, G + bits)
+
+    current_a = None
+    current_q = None
+    current_div = None
+    for step in range(bits):
+        instance = build.instantiate(f"N{step}", "Nxt")
+        args = [current_a if current_a is not None else 0,
+                current_q if current_q is not None else left,
+                current_div if current_div is not None else divisor]
+        invocation = build.invoke(f"s{step}", instance, [G + step], args)
+        if step == bits - 1:
+            build.connect(quotient, invocation["qn"])
+            build.connect(remainder, invocation["an"])
+            break
+        reg_a = build.instantiate(f"RA{step}", "Reg", [_ACC_WIDTH])
+        reg_q = build.instantiate(f"RQ{step}", "Reg", [bits])
+        reg_d = build.instantiate(f"RD{step}", "Reg", [bits])
+        current_a = build.invoke(f"ra{step}", reg_a, [G + step], [invocation["an"]])["out"]
+        current_q = build.invoke(f"rq{step}", reg_q, [G + step], [invocation["qn"]])["out"]
+        source_div = divisor if step == 0 else current_div
+        current_div = build.invoke(f"rd{step}", reg_d, [G + step], [source_div])["out"]
+    return build.build()
+
+
+def iterative_divider(bits: int = 8) -> Component:
+    """Figure 2d: a single ``Nxt`` instance (and one register pair) shared
+    across eight cycles.  The event's delay of 8 tells Filament — and every
+    user of the divider — that a new division may only start every eight
+    cycles."""
+    build = ComponentBuilder("IterDiv")
+    G = build.event("G", delay=bits, interface="go")
+    left = build.input("left", bits, G, G + 1)
+    divisor = build.input("div", bits, G, G + 1)
+    quotient = build.output("q", bits, G + bits - 1, G + bits)
+    remainder = build.output("r", _ACC_WIDTH, G + bits - 1, G + bits)
+
+    step_instance = build.instantiate("N", "Nxt")
+    reg_a = build.instantiate("RA", "Reg", [_ACC_WIDTH])
+    reg_q = build.instantiate("RQ", "Reg", [bits])
+    reg_d = build.instantiate("RD", "Reg", [bits])
+
+    current_a = None
+    current_q = None
+    current_div = None
+    for step in range(bits):
+        args = [current_a if current_a is not None else 0,
+                current_q if current_q is not None else left,
+                current_div if current_div is not None else divisor]
+        invocation = build.invoke(f"s{step}", step_instance, [G + step], args)
+        if step == bits - 1:
+            build.connect(quotient, invocation["qn"])
+            build.connect(remainder, invocation["an"])
+            break
+        source_div = divisor if step == 0 else current_div
+        current_a = build.invoke(f"ra{step}", reg_a, [G + step], [invocation["an"]])["out"]
+        current_q = build.invoke(f"rq{step}", reg_q, [G + step], [invocation["qn"]])["out"]
+        current_div = build.invoke(f"rd{step}", reg_d, [G + step], [source_div])["out"]
+    return build.build()
+
+
+def divider_program(variant: str = "pipelined", bits: int = 8) -> Program:
+    """A complete program: the chosen divider, the shared ``Nxt`` step and
+    the standard library.  ``variant`` is ``"comb"``, ``"pipelined"`` or
+    ``"iterative"``."""
+    builders = {
+        "comb": comb_divider,
+        "pipelined": pipelined_divider,
+        "iterative": iterative_divider,
+    }
+    if variant not in builders:
+        raise ValueError(f"unknown divider variant {variant!r}")
+    return with_stdlib(components=[nxt_step(bits), builders[variant](bits)])

@@ -1,0 +1,142 @@
+"""The pipelined-datapath case study of Appendix B.1.
+
+The paper ports a 5-stage IEEE-754 floating-point adder to Filament and
+reports that the translation exposed bugs where one pipeline stage read a
+signal belonging to the *previous* stage — a bug class the type checker rules
+out by construction.  A faithful IEEE-754 datapath needs variable barrel
+shifters and a leading-zero counter, which are outside this reproduction's
+primitive library, so the study is reproduced on a structurally equivalent
+3-stage multiply-accumulate pipeline (see DESIGN.md, substitutions table):
+
+* :func:`combinational_mac` — the single-cycle reference (``out = a*b + c``);
+* :func:`pipelined_mac` — the 3-stage Filament version (pipelined multiplier
+  plus a re-timed ``c`` operand), validated against the reference by the
+  fuzzing/differential harness exactly as in the appendix;
+* :func:`buggy_stage_crossing_mac` — the same pipeline written as a raw
+  netlist with the classic stage-crossing bug: the final adder reads ``c``
+  from the input port instead of the stage register, so back-to-back
+  transactions use the *next* transaction's ``c``.  Differential testing
+  catches it; writing the same structure in Filament
+  (:func:`stage_crossing_in_filament`) is a type error.
+"""
+
+from __future__ import annotations
+
+from ..calyx.ir import Assignment, CalyxComponent, CalyxProgram, Cell, CellPort, PortSpec
+from ..core.ast import Component, Program
+from ..core.builder import ComponentBuilder
+from ..core.stdlib import with_stdlib
+
+__all__ = [
+    "combinational_mac",
+    "pipelined_mac",
+    "stage_crossing_in_filament",
+    "mac_program",
+    "buggy_stage_crossing_mac",
+]
+
+
+def combinational_mac(width: int = 32) -> Component:
+    """Single-cycle reference: ``out = a * b + c`` entirely combinational."""
+    build = ComponentBuilder("MacComb")
+    G = build.event("G", delay=1, interface="go")
+    a = build.input("a", width, G, G + 1)
+    b = build.input("b", width, G, G + 1)
+    c = build.input("c", width, G, G + 1)
+    out = build.output("out", width, G, G + 1)
+
+    multiplier = build.instantiate("M", "MultComb", [width])
+    adder = build.instantiate("A", "Add", [width])
+    product = build.invoke("m0", multiplier, [G], [a, b])
+    total = build.invoke("a0", adder, [G], [product["out"], c])
+    build.connect(out, total["out"])
+    return build.build()
+
+
+def pipelined_mac(width: int = 32) -> Component:
+    """The 3-stage pipelined version: the multiplier takes two cycles, ``c``
+    is carried alongside in two registers, and the adder runs in stage 3."""
+    build = ComponentBuilder("MacPipe")
+    G = build.event("G", delay=1, interface="go")
+    a = build.input("a", width, G, G + 1)
+    b = build.input("b", width, G, G + 1)
+    c = build.input("c", width, G, G + 1)
+    out = build.output("out", width, G + 2, G + 3)
+
+    multiplier = build.instantiate("M", "FastMult", [width])
+    c_stage1 = build.instantiate("RC1", "Reg", [width])
+    c_stage2 = build.instantiate("RC2", "Reg", [width])
+    adder = build.instantiate("A", "Add", [width])
+
+    product = build.invoke("m0", multiplier, [G], [a, b])
+    c1 = build.invoke("rc1", c_stage1, [G], [c])
+    c2 = build.invoke("rc2", c_stage2, [G + 1], [c1["out"]])
+    total = build.invoke("a0", adder, [G + 2], [product["out"], c2["out"]])
+    build.connect(out, total["out"])
+    return build.build()
+
+
+def stage_crossing_in_filament(width: int = 32) -> Component:
+    """The stage-crossing bug written in Filament: the stage-3 adder reads
+    the raw ``c`` input, which is only valid in stage 1.  The type checker
+    rejects this component with an availability error — this is the
+    "immediately obvious in Filament" moment from Appendix B.1."""
+    build = ComponentBuilder("MacPipeBuggy")
+    G = build.event("G", delay=1, interface="go")
+    a = build.input("a", width, G, G + 1)
+    b = build.input("b", width, G, G + 1)
+    c = build.input("c", width, G, G + 1)
+    out = build.output("out", width, G + 2, G + 3)
+
+    multiplier = build.instantiate("M", "FastMult", [width])
+    adder = build.instantiate("A", "Add", [width])
+    product = build.invoke("m0", multiplier, [G], [a, b])
+    # BUG (intentional): ``c`` belongs to the first pipeline stage.
+    total = build.invoke("a0", adder, [G + 2], [product["out"], c])
+    build.connect(out, total["out"])
+    return build.build()
+
+
+def mac_program(variant: str = "pipelined", width: int = 32) -> Program:
+    """One of the Filament variants plus the standard library; ``variant`` is
+    ``"comb"``, ``"pipelined"`` or ``"buggy"``."""
+    builders = {
+        "comb": combinational_mac,
+        "pipelined": pipelined_mac,
+        "buggy": stage_crossing_in_filament,
+    }
+    if variant not in builders:
+        raise ValueError(f"unknown MAC variant {variant!r}")
+    return with_stdlib(components=[builders[variant](width)])
+
+
+def buggy_stage_crossing_mac(width: int = 32) -> CalyxProgram:
+    """The hand-written netlist with the stage-crossing bug.
+
+    For a single isolated transaction the design produces the right answer
+    (the ``c`` port still holds the operand), which is why simple testbenches
+    miss the bug; under pipelined input — driven by the cycle-accurate
+    harness — the adder picks up the *following* transaction's ``c``.
+    """
+    component = CalyxComponent(
+        "mac_buggy",
+        inputs=[PortSpec("go", 1), PortSpec("a", width), PortSpec("b", width),
+                PortSpec("c", width)],
+        outputs=[PortSpec("out", width)],
+    )
+    component.add_cell(Cell("M", "FastMult", (width,)))
+    component.add_cell(Cell("A", "Add", (width,)))
+    wires = [
+        Assignment(CellPort("M", "go"), CellPort(None, "go")),
+        Assignment(CellPort("M", "left"), CellPort(None, "a")),
+        Assignment(CellPort("M", "right"), CellPort(None, "b")),
+        Assignment(CellPort("A", "left"), CellPort("M", "out")),
+        # BUG: should come from a two-deep register chain carrying c.
+        Assignment(CellPort("A", "right"), CellPort(None, "c")),
+        Assignment(CellPort(None, "out"), CellPort("A", "out")),
+    ]
+    for wire in wires:
+        component.add_wire(wire)
+    program = CalyxProgram(entrypoint="mac_buggy")
+    program.add(component)
+    return program

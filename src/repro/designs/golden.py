@@ -1,0 +1,148 @@
+"""Golden (reference) models for every evaluation design.
+
+Each function is a plain-Python description of what the corresponding
+hardware design is supposed to compute.  The cycle-accurate harness compares
+captured outputs against these models, which is exactly the validation
+methodology of Section 7: "we validate the correctness of all the designs
+using our timing-accurate test harness".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = [
+    "alu",
+    "addmult",
+    "restoring_divide",
+    "CONV_WEIGHTS",
+    "CONV_TAPS",
+    "CONV_NORM_SHIFT",
+    "conv2d_stream",
+    "sharpen_stream",
+    "box_stream",
+    "matmul_2x2_stream",
+]
+
+
+def alu(op: int, left: int, right: int, width: int = 32) -> int:
+    """The ALU of Section 2: multiply when ``op`` is 1, add otherwise."""
+    mask = (1 << width) - 1
+    return ((left * right) if op else (left + right)) & mask
+
+
+def addmult(a: int, b: int, c: int, width: int = 32) -> int:
+    """The ``AddMult`` component of Figure 4: ``out = a * b + c``."""
+    return (a * b + c) & ((1 << width) - 1)
+
+
+def restoring_divide(dividend: int, divisor: int, bits: int = 8) -> Dict[str, int]:
+    """Restoring division (Figure 2a): ``bits`` iterations of the shift /
+    subtract / restore loop, returning quotient and remainder."""
+    if divisor == 0:
+        raise ZeroDivisionError("golden model: division by zero")
+    accumulator = 0
+    quotient = dividend & ((1 << bits) - 1)
+    for _ in range(bits):
+        accumulator = ((accumulator << 1) | (quotient >> (bits - 1))) & ((1 << (2 * bits)) - 1)
+        quotient = (quotient << 1) & ((1 << bits) - 1)
+        if accumulator >= divisor:
+            accumulator -= divisor
+            quotient |= 1
+    return {"quotient": quotient, "remainder": accumulator}
+
+
+#: The 3x3 convolution kernel used by every conv2d design in the repo
+#: (a small Gaussian-style blur; the paper does not fix the kernel, only the
+#: 3x3-filter-over-a-4-wide-image shape).
+CONV_WEIGHTS: Sequence[int] = (1, 2, 1, 2, 4, 2, 1, 2, 1)
+
+#: Stream-history taps for a 3x3 window over a row-major stream of a 4-pixel
+#: wide image: tap ``d`` refers to the pixel ``d`` cycles ago.
+CONV_TAPS: Sequence[int] = (0, 1, 2, 4, 5, 6, 8, 9, 10)
+
+#: Normalisation shift (the kernel weights sum to 16).
+CONV_NORM_SHIFT: int = 4
+
+
+def _window(history: Sequence[int], index: int, taps: Sequence[int]) -> List[int]:
+    """The window values for output ``index`` (``history[index - tap]``),
+    treating out-of-range history as zero (stream warm-up)."""
+    values = []
+    for tap in taps:
+        position = index - tap
+        values.append(history[position] if position >= 0 else 0)
+    return values
+
+
+def conv2d_stream(pixels: Sequence[int], width: int = 8) -> List[int]:
+    """Weighted 3x3 convolution over a flattened 4-wide pixel stream.
+
+    ``result[n] = (sum_k w_k * pixels[n - tap_k]) >> CONV_NORM_SHIFT``.
+    """
+    mask = (1 << width) - 1
+    results = []
+    for index in range(len(pixels)):
+        window = _window(pixels, index, CONV_TAPS)
+        acc = sum(w * v for w, v in zip(CONV_WEIGHTS, window))
+        results.append((acc >> CONV_NORM_SHIFT) & mask)
+    return results
+
+
+def box_stream(pixels: Sequence[int], width: int = 8) -> List[int]:
+    """Unweighted 3x3 box sum, normalised by 8 (the Aetherling Table 1
+    designs use a box filter so the serial, resource-shared variants stay
+    small)."""
+    mask = (1 << width) - 1
+    results = []
+    for index in range(len(pixels)):
+        window = _window(pixels, index, CONV_TAPS)
+        results.append((sum(window) >> 3) & mask)
+    return results
+
+
+def sharpen_stream(pixels: Sequence[int], width: int = 8) -> List[int]:
+    """The sharpen kernel: ``2 * centre - blur`` clamped to the pixel range,
+    where the centre tap is the middle of the 3x3 window (4 cycles ago for a
+    4-wide image) and ``blur`` is the weighted 3x3 convolution — every
+    sharpen design in the repository (Aetherling-generated and
+    Filament-native) shares the convolution core, so the golden model does
+    too."""
+    mask = (1 << width) - 1
+    blur = conv2d_stream(pixels, width)
+    results = []
+    for index in range(len(pixels)):
+        centre = pixels[index - 4] if index >= 4 else 0
+        value = 2 * centre - blur[index]
+        results.append(max(0, min(mask, value)))
+    return results
+
+
+def matmul_2x2_stream(left_rows: Sequence[Sequence[int]],
+                      top_cols: Sequence[Sequence[int]],
+                      width: int = 32) -> List[Dict[str, int]]:
+    """Golden model of the 2x2 output-stationary systolic array of
+    Appendix B.1.
+
+    The array's wiring skews the operands with ``Prev`` registers exactly as
+    in the paper: PE(0,0) sees the current ``l0``/``t0``; PE(0,1) sees ``l0``
+    delayed one cycle against the current ``t1``; PE(1,0) the mirror image;
+    and PE(1,1) sees both operands delayed.  Each PE accumulates its product
+    every cycle (starting from zero on the first cycle), so the output at
+    cycle ``t`` is the running sum of the skewed products.
+    """
+    mask = (1 << width) - 1
+
+    def stream(values: Sequence[Sequence[int]], lane: int, delay: int, t: int) -> int:
+        index = t - delay
+        return values[index][lane] if index >= 0 else 0
+
+    acc = {"out00": 0, "out01": 0, "out10": 0, "out11": 0}
+    results = []
+    for t in range(min(len(left_rows), len(top_cols))):
+        acc["out00"] = (acc["out00"] + stream(left_rows, 0, 0, t) * stream(top_cols, 0, 0, t)) & mask
+        acc["out01"] = (acc["out01"] + stream(left_rows, 0, 1, t) * stream(top_cols, 1, 0, t)) & mask
+        acc["out10"] = (acc["out10"] + stream(left_rows, 1, 0, t) * stream(top_cols, 0, 1, t)) & mask
+        acc["out11"] = (acc["out11"] + stream(left_rows, 1, 1, t) * stream(top_cols, 1, 1, t)) & mask
+        results.append(dict(acc))
+    return results

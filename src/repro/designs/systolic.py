@@ -1,0 +1,107 @@
+"""The 2x2 output-stationary systolic array of Appendix B.1.
+
+The design follows the paper's listing exactly:
+
+* four ``Prev`` registers skew the ``l``/``t`` operand streams between
+  neighbouring processing elements;
+* each :func:`processing_element` multiplies its operands, adds the running
+  accumulator (held in a ``Prev`` whose first read is forced to zero through
+  a multiplexer driven by the *previous* cycle's ``go``), and exposes the new
+  accumulator combinationally;
+* the array streams one pair of operands per lane per cycle and produces the
+  running dot products on ``out00`` … ``out11`` in the same cycle.
+
+The processing element's accumulator is mutually recursive with its adder
+(``acc := Prev(add.out)`` while ``add`` reads ``acc.prev``); Filament bodies
+are unordered, so the forward reference is expressed with a plain
+``PortRef`` and resolved by the type checker's two-pass analysis.
+
+Two variants of the processing element are provided: the combinational
+multiplier version from the paper's main listing and the pipelined-multiplier
+variant the paper mentions as a one-line change (which shifts the element's
+latency to three cycles).
+"""
+
+from __future__ import annotations
+
+from ..core.ast import Component, PortRef, Program
+from ..core.builder import ComponentBuilder, const
+from ..core.stdlib import with_stdlib
+
+__all__ = ["processing_element", "systolic_array", "systolic_program"]
+
+
+def processing_element(width: int = 32, pipelined_multiplier: bool = False) -> Component:
+    """The multiply-accumulate processing element.
+
+    ``out = (go_prev ? acc_prev : 0) + left * right`` where ``acc_prev`` is
+    the element's own output from the previous cycle.
+    """
+    build = ComponentBuilder("Process")
+    G = build.event("G", delay=1, interface="go")
+    left = build.input("left", width, G, G + 1)
+    right = build.input("right", width, G, G + 1)
+    stage = 3 if pipelined_multiplier else 0
+    out = build.output("out", width, G + stage, G + stage + 1)
+
+    multiplier = build.instantiate(
+        "MUL", "PipelinedMult" if pipelined_multiplier else "MultComb", [width])
+    accumulator = build.instantiate("ACC", "Prev", [width, 1])
+    go_tracker = build.instantiate("GOP", "Prev", [1, 1])
+    mux = build.instantiate("MX", "Mux", [width])
+    adder = build.instantiate("ADD", "Add", [width])
+
+    product = build.invoke("mul", multiplier, [G], [left, right])
+    go_prev = build.invoke("gop", go_tracker, [G + stage], [const(1, 1)])
+    # Forward reference: the accumulator stores the adder's output, which is
+    # defined two commands later.
+    acc = build.invoke("acc", accumulator, [G + stage],
+                       [PortRef("out", owner="add")])
+    selected = build.invoke("sel", mux, [G + stage],
+                            [go_prev["prev"], acc["prev"], const(0, width)])
+    total = build.invoke("add", adder, [G + stage],
+                         [selected["out"], product["out"]])
+    build.connect(out, total["out"])
+    return build.build()
+
+
+def systolic_array(width: int = 32, pipelined_multiplier: bool = False) -> Component:
+    """The 2x2 array wiring of Appendix B.1."""
+    build = ComponentBuilder("Systolic")
+    G = build.event("G", delay=1, interface="go")
+    l0 = build.input("l0", width, G, G + 1)
+    l1 = build.input("l1", width, G, G + 1)
+    t0 = build.input("t0", width, G, G + 1)
+    t1 = build.input("t1", width, G, G + 1)
+    stage = 3 if pipelined_multiplier else 0
+    outs = {
+        name: build.output(name, width, G + stage, G + stage + 1)
+        for name in ("out00", "out01", "out10", "out11")
+    }
+
+    # Systolic skew registers (left-to-right and top-to-bottom).
+    r00_01 = build.invoke("r00_01", build.instantiate("R00_01", "Prev", [width, 1]), [G], [l0])
+    r00_10 = build.invoke("r00_10", build.instantiate("R00_10", "Prev", [width, 1]), [G], [t0])
+    r10_11 = build.invoke("r10_11", build.instantiate("R10_11", "Prev", [width, 1]), [G], [l1])
+    r01_11 = build.invoke("r01_11", build.instantiate("R01_11", "Prev", [width, 1]), [G], [t1])
+
+    pes = {name: build.instantiate(f"PE{name}", "Process")
+           for name in ("00", "01", "10", "11")}
+    pe00 = build.invoke("pe00", pes["00"], [G], [l0, t0])
+    pe01 = build.invoke("pe01", pes["01"], [G], [r00_01["prev"], t1])
+    pe10 = build.invoke("pe10", pes["10"], [G], [l1, r00_10["prev"]])
+    pe11 = build.invoke("pe11", pes["11"], [G], [r10_11["prev"], r01_11["prev"]])
+
+    build.connect(outs["out00"], pe00["out"])
+    build.connect(outs["out01"], pe01["out"])
+    build.connect(outs["out10"], pe10["out"])
+    build.connect(outs["out11"], pe11["out"])
+    return build.build()
+
+
+def systolic_program(width: int = 32, pipelined_multiplier: bool = False) -> Program:
+    """The array, its processing element, and the standard library."""
+    return with_stdlib(components=[
+        processing_element(width, pipelined_multiplier),
+        systolic_array(width, pipelined_multiplier),
+    ])

@@ -1,0 +1,321 @@
+"""Regenerating the paper's figures from simulation and compilation.
+
+Each function returns plain data structures (plus an ASCII rendering where
+the paper shows a waveform) so the figure benchmarks and the examples can
+print them:
+
+* :func:`figure1_waveforms` — the traditional-HDL ALU of Figure 1: addition
+  answers in the same cycle, multiplication silently arrives two cycles late;
+* :func:`figure2_divider_tradeoffs` — the divider design space of Figure 2:
+  latency, initiation interval and estimated area of the combinational,
+  pipelined and iterative restoring dividers;
+* :func:`figure4_pipelined_waveform` — two overlapped executions of
+  ``AddMult<G: 2>``;
+* :func:`figure5_constraint_catalogue` — one accepted and one rejected
+  program per type-system rule of Figure 5;
+* :func:`figure6_compilation_flow` — the running example of Figures 3/6
+  shown at every compilation stage (Filament, Low Filament, Calyx, Verilog).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core import (
+    AvailabilityError,
+    ComponentBuilder,
+    ConflictError,
+    DelayError,
+    PhantomError,
+    PipeliningError,
+    TypeCheckError,
+    check_program,
+    with_stdlib,
+)
+from ..core.lower import compile_program, emit_verilog, lower_program
+from ..core.parser import parse_program
+from ..designs.alu import hdl_style_alu
+from ..designs.addmult import addmult_program
+from ..designs.divider import divider_program
+from ..designs.golden import restoring_divide
+from ..harness import harness_for
+from ..sim.simulator import Simulator
+from ..sim.values import X, format_value
+from ..sim.waveform import WaveformRecorder
+from ..synth import synthesize
+
+__all__ = [
+    "figure1_waveforms",
+    "DividerPoint",
+    "figure2_divider_tradeoffs",
+    "figure4_pipelined_waveform",
+    "ConstraintCase",
+    "figure5_constraint_catalogue",
+    "figure6_compilation_flow",
+]
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — the traditional-HDL ALU
+# ---------------------------------------------------------------------------
+
+
+def figure1_waveforms(left: int = 10, right: int = 20) -> Dict[str, str]:
+    """Simulate the untyped ALU for both opcodes and render the waveforms.
+
+    Addition (op=0) produces ``left + right`` in the same cycle; the
+    multiplication waveform shows the output only becoming correct two
+    cycles later — the timing mismatch that motivates the paper.
+    """
+    renders: Dict[str, str] = {}
+    for op, label in ((0, "addition"), (1, "multiplication")):
+        program = hdl_style_alu()
+        recorder = WaveformRecorder(Simulator(program), ["op", "l", "r", "out"])
+        stimulus = [{"op": op, "l": left, "r": right}] + [{"op": op, "l": X, "r": X}] * 3
+        recorder.run(stimulus)
+        renders[label] = recorder.render()
+    return renders
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — divider design space
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DividerPoint:
+    """One divider variant's position in the area/throughput space."""
+
+    variant: str
+    latency: int
+    initiation_interval: int
+    luts: int
+    registers: int
+    correct: bool
+
+
+def figure2_divider_tradeoffs(bits: int = 8) -> List[DividerPoint]:
+    """Latency / throughput / area of the three restoring dividers, each
+    validated against the golden model first."""
+    component_of = {"comb": "CombDiv", "pipelined": "PipeDiv", "iterative": "IterDiv"}
+    vectors = [{"left": 100, "div": 7}, {"left": 255, "div": 3},
+               {"left": 77, "div": 11}, {"left": 9, "div": 2}]
+    points: List[DividerPoint] = []
+    for variant, name in component_of.items():
+        program = divider_program(variant, bits)
+        harness = harness_for(program, name)
+        report = harness.check(
+            vectors,
+            lambda t: {"q": restoring_divide(t["left"], t["div"], bits)["quotient"]},
+        )
+        resources = synthesize(compile_program(program, name), name=name)
+        points.append(DividerPoint(
+            variant=variant,
+            latency=harness.spec.latency(),
+            initiation_interval=harness.spec.initiation_interval,
+            luts=resources.luts,
+            registers=resources.registers,
+            correct=report.passed,
+        ))
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — pipelined use of AddMult
+# ---------------------------------------------------------------------------
+
+
+def figure4_pipelined_waveform() -> Tuple[str, bool]:
+    """Two overlapped ``AddMult`` executions, two cycles apart.
+
+    Returns the rendered waveform and whether both transactions produced the
+    expected ``a * b + c``.
+    """
+    program = addmult_program()
+    harness = harness_for(program, "AddMult")
+    transactions = [{"a": 1, "b": 1, "c": 1}, {"a": 2, "b": 2, "c": 2}]
+    report = harness.check(transactions, lambda t: {"out": t["a"] * t["b"] + t["c"]})
+
+    trace = harness.trace(transactions)
+    lines = ["cycle".ljust(8) + "".join(str(i).ljust(8) for i in range(len(trace))),
+             "out".ljust(8) + "".join(format_value(row.get("out", X)).ljust(8)
+                                      for row in trace)]
+    return "\n".join(lines), report.passed
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — the constraint catalogue
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ConstraintCase:
+    """One type-system rule demonstrated by a program and its verdict."""
+
+    rule: str
+    description: str
+    accepted: bool
+    error: Optional[str]
+
+
+def _check(component) -> Tuple[bool, Optional[str]]:
+    try:
+        check_program(with_stdlib(components=[component]))
+        return True, None
+    except TypeCheckError as error:
+        return False, f"{type(error).__name__}: {error}"
+
+
+def figure5_constraint_catalogue() -> List[ConstraintCase]:
+    """One rejected program per Figure 5 constraint (plus the corrected
+    variants the section's prose walks through)."""
+    cases: List[ConstraintCase] = []
+
+    # Delay well-formedness: a signal held longer than the event's delay.
+    build = ComponentBuilder("LongHold")
+    G = build.event("G", delay=1, interface="en")
+    op = build.input("op", 1, G, G + 3)
+    out = build.output("o", 1, G, G + 1)
+    build.connect(out, op)
+    accepted, error = _check(build.build())
+    cases.append(ConstraintCase(
+        "delay well-formedness",
+        "op held for [G, G+3) while G may retrigger every cycle",
+        accepted, error))
+
+    # Valid reads: reading a value outside its availability window.
+    build = ComponentBuilder("EarlyRead")
+    G = build.event("G", delay=3, interface="en")
+    a = build.input("a", 32, G, G + 1)
+    out = build.output("o", 32, G, G + 1)
+    mult = build.instantiate("M", "Mult")
+    product = build.invoke("m0", mult, [G], [a, a])
+    build.connect(out, product["out"])
+    accepted, error = _check(build.build())
+    cases.append(ConstraintCase(
+        "valid reads",
+        "multiplier output read two cycles before it is available",
+        accepted, error))
+
+    # Conflicting writes: the same output driven twice.
+    build = ComponentBuilder("DoubleDrive")
+    G = build.event("G", delay=1, interface="en")
+    a = build.input("a", 32, G, G + 1)
+    b = build.input("b", 32, G, G + 1)
+    out = build.output("o", 32, G, G + 1)
+    build.connect(out, a)
+    build.connect(out, b)
+    accepted, error = _check(build.build())
+    cases.append(ConstraintCase(
+        "conflict-free writes",
+        "component output driven by two connections",
+        accepted, error))
+
+    # Conflict-free instance reuse: two invocations in the same cycle.
+    build = ComponentBuilder("SameCycleReuse")
+    G = build.event("G", delay=1, interface="en")
+    a = build.input("a", 32, G, G + 1)
+    out = build.output("o", 32, G, G + 1)
+    adder = build.instantiate("A", "Reg")
+    first = build.invoke("r0", adder, [G], [a])
+    second = build.invoke("r1", adder, [G], [a])
+    build.connect(out, second["out"])
+    accepted, error = _check(build.build())
+    cases.append(ConstraintCase(
+        "conflict-free instance reuse",
+        "one register instance invoked twice in the same cycle",
+        accepted, error))
+
+    # Triggering subcomponents: invoking a slow multiplier from a delay-1 event.
+    build = ComponentBuilder("TooFast")
+    G = build.event("G", delay=1, interface="en")
+    a = build.input("a", 32, G, G + 1)
+    out = build.output("o", 32, G + 2, G + 3)
+    mult = build.instantiate("M", "Mult")
+    product = build.invoke("m0", mult, [G], [a, a])
+    build.connect(out, product["out"])
+    accepted, error = _check(build.build())
+    cases.append(ConstraintCase(
+        "triggering subcomponents",
+        "delay-1 pipeline invoking a delay-3 multiplier",
+        accepted, error))
+
+    # Reusing instances under pipelining: shared instance busy longer than
+    # the event's delay.
+    build = ComponentBuilder("SharedTooLong")
+    G = build.event("G", delay=1, interface="en")
+    a = build.input("a", 32, G, G + 1)
+    out = build.output("o", 32, G + 2, G + 3)
+    reg = build.instantiate("R", "Reg")
+    first = build.invoke("r0", reg, [G], [a])
+    second = build.invoke("r1", reg, [G + 1], [first["out"]])
+    build.connect(out, second["out"])
+    accepted, error = _check(build.build())
+    cases.append(ConstraintCase(
+        "pipelined instance reuse",
+        "register shared across two cycles inside a delay-1 pipeline",
+        accepted, error))
+
+    # Phantom events cannot share instances.
+    build = ComponentBuilder("PhantomShare")
+    G = build.event("G", delay=2, interface=None)
+    a = build.input("a", 32, G, G + 1)
+    out = build.output("o", 32, G + 2, G + 3)
+    reg = build.instantiate("R", "Reg")
+    first = build.invoke("r0", reg, [G], [a])
+    second = build.invoke("r1", reg, [G + 1], [first["out"]])
+    build.connect(out, second["out"])
+    accepted, error = _check(build.build())
+    cases.append(ConstraintCase(
+        "phantom check",
+        "phantom event used to time-multiplex a register",
+        accepted, error))
+
+    # And one accepted program, to show the catalogue is not vacuous.
+    build = ComponentBuilder("Accepted")
+    G = build.event("G", delay=1, interface="en")
+    a = build.input("a", 32, G, G + 1)
+    out = build.output("o", 32, G + 1, G + 2)
+    reg = build.instantiate("R", "Reg")
+    held = build.invoke("r0", reg, [G], [a])
+    build.connect(out, held["out"])
+    accepted, error = _check(build.build())
+    cases.append(ConstraintCase(
+        "well-typed pipeline",
+        "register pipeline with matching intervals and delays",
+        accepted, error))
+    return cases
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — the compilation flow
+# ---------------------------------------------------------------------------
+
+_FIGURE6_SOURCE = """
+comp main<G: 4>(
+  @interface[G] go: 1,
+  @[G, G+1] a: 32,
+  @[G+2, G+3] b: 32
+) -> (@[G, G+1] out: 32) {
+  A := new Add[32];
+  a0 := A<G>(a, a);
+  a1 := A<G+2>(b, b);
+  out = a0.out;
+}
+"""
+
+
+def figure6_compilation_flow() -> Dict[str, str]:
+    """The running example of Figures 3 and 6 at every stage of the
+    compilation pipeline."""
+    program = with_stdlib(parse_program(_FIGURE6_SOURCE))
+    checked = check_program(program)
+    low = lower_program(program, "main", checked)
+    calyx = compile_program(program, "main", checked)
+    return {
+        "filament": _FIGURE6_SOURCE.strip(),
+        "low_filament": str(low.get("main")),
+        "calyx": str(calyx.get("main")),
+        "verilog": emit_verilog(calyx),
+    }

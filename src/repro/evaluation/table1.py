@@ -1,0 +1,121 @@
+"""Table 1: latencies of Aetherling designs, reported vs. actual.
+
+For each kernel (conv2d, sharpen) and each of the seven throughputs, the
+driver
+
+1. asks the Aetherling substrate for the design and its *reported* interface
+   (space-time type + CLI latency),
+2. drives the generated netlist with a warm-up pixel stream under the
+   cycle-accurate harness, exactly as the reported interface claims
+   (inputs held for one cycle, new inputs every initiation interval), and
+3. measures the cycle at which the correct output actually appears and the
+   number of cycles the input really has to be held.
+
+The result is the paper's table: reported and actual agree for every
+fully-utilized design and disagree for the underutilized (1/3 and 1/9)
+designs, whose interfaces under-report both latency and input hold time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence
+
+from ..generators.aetherling import THROUGHPUTS, AetherlingDesign, generate
+from ..harness import audit_latency
+
+__all__ = ["Table1Row", "audit_design", "table1", "format_table1",
+           "PAPER_TABLE1"]
+
+#: The paper's Table 1 numbers (throughput -> (reported, actual)).
+PAPER_TABLE1: Dict[str, Dict[Fraction, tuple]] = {
+    "conv2d": {Fraction(16): (7, 7), Fraction(8): (6, 6), Fraction(4): (6, 6),
+               Fraction(2): (6, 6), Fraction(1): (7, 7),
+               Fraction(1, 3): (10, 12), Fraction(1, 9): (16, 21)},
+    "sharpen": {Fraction(16): (7, 7), Fraction(8): (7, 7), Fraction(4): (7, 7),
+                Fraction(2): (7, 7), Fraction(1): (8, 8),
+                Fraction(1, 3): (11, 13), Fraction(1, 9): (17, 20)},
+}
+
+
+@dataclass
+class Table1Row:
+    """One row: a design point plus the audit outcome."""
+
+    kernel: str
+    throughput: Fraction
+    space_time_type: str
+    reported_latency: int
+    actual_latency: Optional[int]
+    reported_hold: int
+    required_hold: Optional[int]
+
+    @property
+    def latency_correct(self) -> bool:
+        return self.reported_latency == self.actual_latency
+
+    def throughput_label(self) -> str:
+        if self.throughput >= 1:
+            return str(int(self.throughput))
+        return f"1/{self.throughput.denominator}"
+
+
+def _stimulus(design: AetherlingDesign, transactions: int) -> tuple:
+    """A warm-up pixel stream and the per-transaction expected outputs of the
+    last few transactions (used to pin the latency down unambiguously)."""
+    pixels = [(37 * index + 23) % 251 + 1
+              for index in range(transactions * design.lanes)]
+    stream = design.golden(pixels)
+    txns = [
+        {port: pixels[t * design.lanes + lane]
+         for lane, port in enumerate(design.input_ports)}
+        for t in range(transactions)
+    ]
+    probe = design.output_ports[-1]
+    probes = min(4, transactions)
+    expected = [{probe: stream[(t + 1) * design.lanes - 1]}
+                for t in range(transactions - probes, transactions)]
+    return txns, expected
+
+
+def audit_design(design: AetherlingDesign, transactions: int = 12,
+                 max_latency: int = 40, max_hold: int = 12) -> Table1Row:
+    """Audit one design point against its reported interface."""
+    txns, expected = _stimulus(design, transactions)
+    audit = audit_latency(design.calyx, design.reported_spec(), txns, expected,
+                          max_latency=max_latency, max_hold=max_hold)
+    return Table1Row(
+        kernel=design.kernel,
+        throughput=design.throughput,
+        space_time_type=str(design.space_time_type),
+        reported_latency=audit.reported_latency,
+        actual_latency=audit.actual_latency,
+        reported_hold=audit.reported_hold,
+        required_hold=audit.required_hold,
+    )
+
+
+def table1(kernel: str, throughputs: Sequence[Fraction] = THROUGHPUTS,
+           transactions: int = 12) -> List[Table1Row]:
+    """All rows of Table 1a (conv2d) or 1b (sharpen)."""
+    return [audit_design(generate(kernel, throughput), transactions)
+            for throughput in throughputs]
+
+
+def format_table1(rows: Sequence[Table1Row]) -> str:
+    """Render rows in the paper's layout, with the measured hold requirement
+    as an extra column."""
+    lines = [f"Table 1 — {rows[0].kernel} latencies (reported vs actual)",
+             f"{'Throughput':>10} {'Reported':>9} {'Actual':>7} "
+             f"{'Hold(rep)':>9} {'Hold(req)':>9}  Space-time type"]
+    for row in rows:
+        flag = "" if row.latency_correct else "   <-- reported incorrectly"
+        lines.append(
+            f"{row.throughput_label():>10} {row.reported_latency:>9} "
+            f"{row.actual_latency if row.actual_latency is not None else '?':>7} "
+            f"{row.reported_hold:>9} "
+            f"{row.required_hold if row.required_hold is not None else '?':>9}  "
+            f"{row.space_time_type}{flag}"
+        )
+    return "\n".join(lines)

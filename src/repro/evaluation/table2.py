@@ -1,0 +1,131 @@
+"""Table 2: resource usage and frequency of the conv2d designs.
+
+Three designs are compared, as in Section 7.2:
+
+* **Aetherling** — the generator's fully-utilized 1 pixel/clock conv2d;
+* **Filament** — Design 1 (stencil + pipelined multipliers + adder tree),
+  compiled from Filament by this repository's compiler;
+* **Filament Reticle** — Design 2 (stencil + Reticle DSP cascade), also
+  compiled from Filament, with the cascade charged per its generator report.
+
+All three are first cross-validated against the same golden convolution by
+the cycle-accurate harness (the paper validates with its timing-accurate
+harness before synthesising), then pushed through the synthesis cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.lower import compile_program
+from ..designs.conv2d import conv2d_base_program, conv2d_reticle_program
+from ..designs.golden import conv2d_stream
+from ..generators.aetherling import generate
+from ..harness import CycleAccurateHarness, harness_for
+from ..sim.values import is_x
+from ..synth import ResourceReport, extern_costs_from_reticle, synthesize
+
+__all__ = ["Table2Row", "PAPER_TABLE2", "validate_designs", "table2",
+           "format_table2"]
+
+#: The paper's Table 2 (LUTs, DSPs, Registers, MHz).
+PAPER_TABLE2: Dict[str, Tuple[int, int, int, float]] = {
+    "Aetherling": (104, 10, 78, 769.2),
+    "Filament": (128, 9, 11, 833.3),
+    "Filament Reticle": (14, 9, 20, 645.1),
+}
+
+#: Pixel stream used for cross-validation.
+_VALIDATION_PIXELS = [10, 30, 55, 200, 17, 99, 3, 250, 42, 77, 128, 5, 61, 9]
+
+
+@dataclass
+class Table2Row:
+    """One design's measured resources, next to the paper's row."""
+
+    name: str
+    report: ResourceReport
+    paper: Tuple[int, int, int, float]
+    validated: bool
+
+
+def _validate_stream(harness: CycleAccurateHarness, pixels: Sequence[int]) -> bool:
+    """Drive a pixel stream and compare every captured output against the
+    golden convolution."""
+    expected = conv2d_stream(pixels)
+    results = harness.run([{harness.spec.inputs[0].name: pixel} for pixel in pixels])
+    got = [result.outputs[harness.spec.outputs[0].name] for result in results]
+    return all(not is_x(value) and value == want
+               for value, want in zip(got, expected))
+
+
+def validate_designs() -> Dict[str, bool]:
+    """Cross-validate the three designs against one golden model."""
+    outcomes: Dict[str, bool] = {}
+
+    aetherling = generate("conv2d", 1)
+    harness = CycleAccurateHarness(aetherling.calyx, aetherling.reported_spec())
+    outcomes["Aetherling"] = _validate_stream(harness, _VALIDATION_PIXELS)
+
+    base_program = conv2d_base_program()
+    outcomes["Filament"] = _validate_stream(
+        harness_for(base_program, "Conv2d"), _VALIDATION_PIXELS)
+
+    reticle_program, _ = conv2d_reticle_program()
+    outcomes["Filament Reticle"] = _validate_stream(
+        harness_for(reticle_program, "Conv2dReticle"), _VALIDATION_PIXELS)
+    return outcomes
+
+
+def table2() -> List[Table2Row]:
+    """Build all three rows (validation + synthesis model)."""
+    validated = validate_designs()
+    rows: List[Table2Row] = []
+
+    aetherling = generate("conv2d", 1)
+    rows.append(Table2Row(
+        "Aetherling",
+        synthesize(aetherling.calyx, name="Aetherling"),
+        PAPER_TABLE2["Aetherling"],
+        validated["Aetherling"],
+    ))
+
+    base_program = conv2d_base_program()
+    rows.append(Table2Row(
+        "Filament",
+        synthesize(compile_program(base_program, "Conv2d"), name="Filament"),
+        PAPER_TABLE2["Filament"],
+        validated["Filament"],
+    ))
+
+    reticle_program, cascade_report = conv2d_reticle_program()
+    costs, min_period = extern_costs_from_reticle(cascade_report)
+    rows.append(Table2Row(
+        "Filament Reticle",
+        synthesize(compile_program(reticle_program, "Conv2dReticle"),
+                   name="Filament Reticle", extern_costs=costs,
+                   extern_min_period=min_period,
+                   extern_sequential=(cascade_report.name,)),
+        PAPER_TABLE2["Filament Reticle"],
+        validated["Filament Reticle"],
+    ))
+    return rows
+
+
+def format_table2(rows: Sequence[Table2Row]) -> str:
+    """Render measured-vs-paper rows."""
+    lines = ["Table 2 — conv2d resources and frequency (measured | paper)",
+             f"{'Name':20s} {'LUTs':>12} {'DSPs':>9} {'Registers':>14} "
+             f"{'Freq (MHz)':>16} {'validated':>10}"]
+    for row in rows:
+        paper_luts, paper_dsps, paper_regs, paper_freq = row.paper
+        lines.append(
+            f"{row.name:20s} "
+            f"{row.report.luts:5d} | {paper_luts:4d} "
+            f"{row.report.dsps:3d} | {paper_dsps:3d} "
+            f"{row.report.registers:6d} | {paper_regs:5d} "
+            f"{row.report.fmax_mhz:7.1f} | {paper_freq:6.1f} "
+            f"{'yes' if row.validated else 'NO':>10}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,14 @@
+"""Hardware-generator substrates used by the evaluation.
+
+The paper integrates designs produced by three external generators; each has
+a faithful stand-in here (see DESIGN.md for the substitution rationale):
+
+* :mod:`repro.generators.aetherling` — space-time-typed streaming
+  accelerators for ``conv2d``/``sharpen`` at seven throughputs (Table 1);
+* :mod:`repro.generators.pipelinec` — auto-pipelined dataflow designs with a
+  reported latency (Appendix B.2);
+* :mod:`repro.generators.reticle` — structural DSP-cascade dot products
+  (Table 2, Figure 8c).
+"""
+
+__all__ = ["aetherling", "pipelinec", "reticle"]

@@ -1,0 +1,18 @@
+"""Aetherling-style space-time-typed streaming accelerator generator
+(Section 7.1, Table 1)."""
+
+from .compiler import (
+    KERNELS,
+    THROUGHPUTS,
+    AetherlingDesign,
+    generate,
+    generate_all,
+    reported_latency,
+)
+from .types import IntType, SSeq, SpaceTimeType, TSeq, type_for_throughput
+
+__all__ = [
+    "KERNELS", "THROUGHPUTS", "AetherlingDesign", "generate", "generate_all",
+    "reported_latency",
+    "IntType", "SSeq", "SpaceTimeType", "TSeq", "type_for_throughput",
+]

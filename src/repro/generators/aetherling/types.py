@@ -1,0 +1,108 @@
+"""Aetherling-style space-time types (Section 7.1).
+
+Aetherling (Durst et al., PLDI 2020) describes the shape of a streaming
+accelerator's interface with *space-time types*: ``SSeq n t`` is ``n``
+elements presented in parallel (space), ``TSeq n i t`` is ``n`` valid
+elements followed by ``i`` invalid ones presented over time.  The throughput
+of a design in pixels per clock follows directly from its type, and the type
+also *claims* which cycles carry valid data — the claim the paper shows to be
+wrong for the underutilized designs.
+
+Only the fragment needed by the conv2d/sharpen evaluation is implemented:
+integers, ``SSeq`` and ``TSeq`` with nesting, throughput computation, and
+pretty-printing in the paper's notation (``TSeq 1 8 uint8``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Union
+
+__all__ = ["IntType", "SSeq", "TSeq", "SpaceTimeType", "type_for_throughput"]
+
+
+@dataclass(frozen=True)
+class IntType:
+    """A scalar element, e.g. ``uint8``."""
+
+    width: int = 8
+
+    def throughput(self) -> Fraction:
+        return Fraction(1)
+
+    def lanes(self) -> int:
+        return 1
+
+    def period(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return f"uint{self.width}"
+
+
+@dataclass(frozen=True)
+class SSeq:
+    """``SSeq n t`` — n elements in parallel (space)."""
+
+    n: int
+    element: "SpaceTimeType"
+
+    def throughput(self) -> Fraction:
+        return self.n * self.element.throughput()
+
+    def lanes(self) -> int:
+        return self.n * self.element.lanes()
+
+    def period(self) -> int:
+        return self.element.period()
+
+    def __str__(self) -> str:
+        return f"SSeq {self.n} ({self.element})"
+
+
+@dataclass(frozen=True)
+class TSeq:
+    """``TSeq n i t`` — n valid elements followed by i invalid ones (time)."""
+
+    n: int
+    invalid: int
+    element: "SpaceTimeType"
+
+    def throughput(self) -> Fraction:
+        return Fraction(self.n, self.n + self.invalid) * self.element.throughput()
+
+    def lanes(self) -> int:
+        return self.element.lanes()
+
+    def period(self) -> int:
+        return (self.n + self.invalid) * self.element.period()
+
+    def __str__(self) -> str:
+        return f"TSeq {self.n} {self.invalid} ({self.element})"
+
+
+SpaceTimeType = Union[IntType, SSeq, TSeq]
+
+
+def type_for_throughput(throughput: Fraction, width: int = 8) -> SpaceTimeType:
+    """The space-time type Aetherling assigns to a design of the given
+    throughput (pixels per clock).
+
+    * throughput ``p >= 1`` → ``TSeq 1 0 (SSeq p uint8)``: ``p`` pixels every
+      cycle;
+    * throughput ``1/k``   → ``TSeq 1 (k-1) uint8``: one valid pixel followed
+      by ``k - 1`` invalid cycles — the type whose "only valid in the first
+      cycle" claim the evaluation shows to be wrong.
+    """
+    throughput = Fraction(throughput)
+    element = IntType(width)
+    if throughput >= 1:
+        lanes = int(throughput)
+        if lanes != throughput:
+            raise ValueError(f"unsupported fractional throughput {throughput}")
+        return TSeq(1, 0, SSeq(lanes, element) if lanes > 1 else element)
+    period = throughput.denominator
+    if throughput.numerator != 1:
+        raise ValueError(f"unsupported throughput {throughput}")
+    return TSeq(1, period - 1, element)

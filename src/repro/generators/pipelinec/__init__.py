@@ -1,0 +1,16 @@
+"""PipelineC-style auto-pipelining HLS substrate (Section 7.1, Appendix B.2)."""
+
+from .compiler import (
+    DataflowGraph,
+    DataflowOp,
+    PipelineCDesign,
+    aes_design,
+    auto_pipeline,
+    fp_add_design,
+    generate,
+)
+
+__all__ = [
+    "DataflowGraph", "DataflowOp", "PipelineCDesign",
+    "aes_design", "auto_pipeline", "fp_add_design", "generate",
+]

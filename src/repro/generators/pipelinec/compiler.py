@@ -1,0 +1,261 @@
+"""A PipelineC-style auto-pipelining HLS substrate (Section 7.1, App. B.2).
+
+PipelineC takes a C-like dataflow description, automatically inserts pipeline
+registers to meet a frequency target, and prints the resulting latency on the
+command line.  The paper imports PipelineC-generated designs into Filament by
+writing extern signatures from that reported latency — and notes that doing
+so was straightforward because PipelineC designs are always fully pipelined
+and the reported latency is correct.
+
+This module reproduces the substrate:
+
+* a tiny dataflow-graph IR (:class:`DataflowOp`, :class:`DataflowGraph`)
+  standing in for the C input;
+* :func:`auto_pipeline` — levelises the graph and inserts one register stage
+  per level whose accumulated combinational delay exceeds the per-stage
+  budget implied by the frequency target (textbook retiming-by-levels);
+* :func:`generate` — produces the compiled netlist (a Calyx component built
+  from the standard primitives), the *reported latency*, and the Filament
+  extern signature a user would write from it;
+* the two designs the paper imports: :func:`fp_add_design` (latency 6) and
+  :func:`aes_design` (latency 18).  The AES datapath is a stand-in mixing
+  network of xor/shift/add rounds of the same depth (the paper only uses the
+  design's interface, not its cryptographic strength).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...calyx.ir import Assignment, CalyxComponent, CalyxProgram, Cell, CellPort, PortSpec
+from ...core.ast import Component
+from ...core.builder import ComponentBuilder
+from ...core.errors import FilamentError
+
+__all__ = [
+    "DataflowOp",
+    "DataflowGraph",
+    "PipelineCDesign",
+    "auto_pipeline",
+    "generate",
+    "fp_add_design",
+    "aes_design",
+]
+
+#: Combinational delay (ns) charged per operation when levelising — the same
+#: figures the synthesis timing model uses, so the two substrates agree.
+_OP_DELAY_NS = {
+    "add": 0.9,
+    "sub": 0.9,
+    "xor": 0.4,
+    "and": 0.4,
+    "or": 0.4,
+    "mul": 2.4,
+    "shl": 0.1,
+    "shr": 0.1,
+}
+
+#: Primitive used for each dataflow operation.
+_OP_PRIMITIVE = {
+    "add": "Add",
+    "sub": "Sub",
+    "xor": "Xor",
+    "and": "And",
+    "or": "Or",
+    "mul": "MultComb",
+    "shl": "ShiftLeft",
+    "shr": "ShiftRight",
+}
+
+_UNARY_OPS = ("shl", "shr")
+
+
+@dataclass(frozen=True)
+class DataflowOp:
+    """One operation: ``name = op(lhs, rhs)`` where operands are input names
+    or earlier op names (``rhs`` is the shift amount for shl/shr)."""
+
+    name: str
+    op: str
+    lhs: str
+    rhs: object  # operand name, or int for shift amounts
+
+    def delay_ns(self) -> float:
+        return _OP_DELAY_NS[self.op]
+
+
+@dataclass
+class DataflowGraph:
+    """The "C function": named inputs, a list of operations in dependency
+    order, and the name of the output value."""
+
+    name: str
+    inputs: List[str]
+    ops: List[DataflowOp]
+    output: str
+    width: int = 32
+
+
+@dataclass
+class PipelineCDesign:
+    """Everything the 'command line' of the generator reports, plus the
+    compiled netlist and the Filament extern signature derived from it."""
+
+    graph: DataflowGraph
+    calyx: CalyxProgram
+    reported_latency: int
+    stage_of: Dict[str, int] = field(default_factory=dict)
+    target_ns: float = 2.0
+
+    @property
+    def name(self) -> str:
+        return self.graph.name
+
+    def filament_signature(self) -> Component:
+        """The extern signature a Filament user writes from the report:
+        every input in the first cycle, the output ``reported_latency``
+        cycles later, fully pipelined (delay 1)."""
+        build = ComponentBuilder(self.name, extern=True)
+        G = build.event("G", delay=1, interface=None)
+        for port in self.graph.inputs:
+            build.input(port, self.graph.width, G, G + 1)
+        build.output("out", self.graph.width,
+                     G + self.reported_latency, G + self.reported_latency + 1)
+        return build.build()
+
+
+def auto_pipeline(graph: DataflowGraph, target_ns: float = 2.0) -> Dict[str, int]:
+    """Assign every value a pipeline stage.
+
+    Inputs are stage 0.  Walking ops in dependency order, an op lands in the
+    stage of its latest operand; whenever the accumulated combinational delay
+    within that stage would exceed ``target_ns`` the op is pushed into a new
+    stage (i.e. a register is inserted in front of it).  Returns the stage of
+    every value; the design's latency is the output's stage.
+    """
+    stage: Dict[str, int] = {name: 0 for name in graph.inputs}
+    slack: Dict[str, float] = {name: 0.0 for name in graph.inputs}
+    for op in graph.ops:
+        operands = [op.lhs] + ([op.rhs] if isinstance(op.rhs, str) else [])
+        for operand in operands:
+            if operand not in stage:
+                raise FilamentError(
+                    f"{graph.name}: operation {op.name} uses undefined value "
+                    f"{operand!r}"
+                )
+        op_stage = max(stage[o] for o in operands)
+        op_delay = max(slack[o] for o in operands if stage[o] == op_stage)
+        if op_delay + op.delay_ns() > target_ns:
+            op_stage += 1
+            op_delay = 0.0
+        stage[op.name] = op_stage
+        slack[op.name] = op_delay + op.delay_ns()
+    return stage
+
+
+def generate(graph: DataflowGraph, target_ns: float = 2.0) -> PipelineCDesign:
+    """Compile a dataflow graph into a pipelined netlist.
+
+    The netlist uses standard primitives plus ``Delay`` registers to carry
+    values across stage boundaries; the reported latency is the stage of the
+    output value, exactly what PipelineC prints.
+    """
+    stage = auto_pipeline(graph, target_ns)
+    latency = stage[graph.output]
+
+    component = CalyxComponent(
+        graph.name,
+        inputs=[PortSpec(name, graph.width) for name in graph.inputs],
+        outputs=[PortSpec("out", graph.width)],
+    )
+    program = CalyxProgram(entrypoint=graph.name)
+    program.add(component)
+
+    # For every value we keep, per stage, the cell port that carries it.
+    carriers: Dict[Tuple[str, int], CellPort] = {}
+    for name in graph.inputs:
+        carriers[(name, 0)] = CellPort(None, name)
+
+    def carried(name: str, target_stage: int) -> CellPort:
+        """The port holding ``name`` at ``target_stage``, inserting Delay
+        registers along the way as needed."""
+        current = stage[name]
+        while (name, target_stage) not in carriers:
+            # Find the latest stage at which the value is already available.
+            have = max(s for (n, s) in carriers if n == name and s <= target_stage)
+            reg = Cell(f"{name}_s{have + 1}", "Delay", (graph.width,))
+            component.add_cell(reg)
+            component.add_wire(Assignment(CellPort(reg.name, "in"),
+                                          carriers[(name, have)]))
+            carriers[(name, have + 1)] = CellPort(reg.name, "out")
+        return carriers[(name, target_stage)]
+
+    for op in graph.ops:
+        primitive = _OP_PRIMITIVE[op.op]
+        if op.op in _UNARY_OPS:
+            params = (graph.width, int(op.rhs))
+            cell = Cell(op.name, primitive, params)
+            component.add_cell(cell)
+            component.add_wire(Assignment(CellPort(op.name, "in"),
+                                          carried(op.lhs, stage[op.name])))
+        else:
+            cell = Cell(op.name, primitive, (graph.width,))
+            component.add_cell(cell)
+            component.add_wire(Assignment(CellPort(op.name, "left"),
+                                          carried(op.lhs, stage[op.name])))
+            component.add_wire(Assignment(CellPort(op.name, "right"),
+                                          carried(op.rhs, stage[op.name])))
+        carriers[(op.name, stage[op.name])] = CellPort(op.name, "out")
+        # Register the op's result into the next stage if any consumer (or
+        # the output) lives there; ``carried`` does this lazily, so nothing
+        # else is needed here.
+
+    component.add_wire(Assignment(CellPort(None, "out"),
+                                  carried(graph.output, latency)))
+    return PipelineCDesign(graph, program, latency, stage, target_ns)
+
+
+# ---------------------------------------------------------------------------
+# The two designs the paper imports (Appendix B.2)
+# ---------------------------------------------------------------------------
+
+
+def fp_add_design(width: int = 32) -> PipelineCDesign:
+    """A floating-point-adder-shaped datapath whose auto-pipelined latency is
+    6, matching the paper's ``FpAdd`` signature (``my_pipeline_return_output``
+    available in ``[G+6, G+7)``).
+
+    Seven chained multiply-accumulate rounds against a 2.5 ns stage budget
+    put one round per stage after the first, giving exactly six register
+    levels between input and output — the depth PipelineC reports for its
+    floating-point adder.
+    """
+    ops: List[DataflowOp] = []
+    previous = "x"
+    for round_index in range(7):
+        mixed = DataflowOp(f"m{round_index}", "mul", previous, "y")
+        ops.append(mixed)
+        previous = mixed.name
+    graph = DataflowGraph("FpAdd", ["x", "y"], ops, previous, width)
+    return generate(graph, target_ns=2.5)
+
+
+def aes_design(width: int = 32) -> PipelineCDesign:
+    """An AES-round-shaped mixing pipeline whose auto-pipelined latency is
+    18, matching the paper's ``AES`` signature (``out_words`` in
+    ``[G+18, G+19)``).
+
+    Nineteen key-mixing rounds (a wide multiply per round, standing in for
+    the SubBytes/MixColumns logic depth) against the same stage budget give
+    an 18-stage pipeline; the paper only relies on the design's interface,
+    not its cryptographic function.
+    """
+    ops: List[DataflowOp] = []
+    previous = "state_words"
+    for round_index in range(19):
+        mixed = DataflowOp(f"mix{round_index}", "mul", previous, "keys")
+        ops.append(mixed)
+        previous = mixed.name
+    graph = DataflowGraph("AES", ["state_words", "keys"], ops, previous, width)
+    return generate(graph, target_ns=2.5)

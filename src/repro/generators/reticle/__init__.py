@@ -1,0 +1,12 @@
+"""Reticle-style structural DSP-cascade generator (Section 7.2)."""
+
+from .dsp import (
+    TDOT_LATENCY,
+    TDOT_REPORT,
+    ReticleReport,
+    dot_cascade,
+    tdot_signature,
+)
+
+__all__ = ["TDOT_LATENCY", "TDOT_REPORT", "ReticleReport", "dot_cascade",
+           "tdot_signature"]

@@ -1,0 +1,199 @@
+"""A Reticle-style DSP-cascade generator (Section 7.2, Figure 8c).
+
+Reticle (Vega et al., PLDI 2021) emits *structural* designs that map directly
+onto FPGA DSP blocks instead of relying on the synthesis tool to infer them.
+The paper integrates a Reticle-generated dot-product cascade into a Filament
+conv2d by giving it an extern timeline type.
+
+This module reproduces that flow:
+
+* :func:`tdot_signature` — the 3-element ``Tdot`` cascade exactly as typed in
+  the paper (staggered ``a``/``b`` operand arrival, result five cycles after
+  the start);
+* :func:`dot_cascade` — the 9-element weighted dot-product used by the
+  Table 2 "Filament Reticle" design.  The cascade registers its inputs
+  internally (the alternative the paper itself notes: "a DSP cascade that
+  starts a new computation every cycle needs to either register all its
+  inputs or provide them in a staggered manner"), so the Filament wrapper can
+  feed every tap in the same cycle;
+* a behavioural model registered with the simulator for each generated
+  cascade, plus a :class:`ReticleReport` with the DSP/LUT/register footprint
+  the synthesis cost model charges for the black box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from ...core.ast import Component
+from ...core.builder import ComponentBuilder
+from ...sim.primitives import PrimitiveModel, register_primitive
+from ...sim.values import Value, X, is_x, mask
+
+__all__ = ["ReticleReport", "dot_cascade", "tdot_signature", "TDOT_LATENCY"]
+
+#: Latency of the paper's 3-element Tdot cascade (output in ``[G+5, G+6)``).
+TDOT_LATENCY = 5
+
+
+@dataclass(frozen=True)
+class ReticleReport:
+    """Resource footprint of a generated cascade, charged by the synthesis
+    model for the black-box extern."""
+
+    name: str
+    dsps: int
+    luts: int
+    registers: int
+    #: Worst combinational delay through one cascade stage in nanoseconds —
+    #: DSP cascades run slower than plain fabric adders, which is what drags
+    #: the Reticle design's frequency below the others in Table 2.
+    stage_delay_ns: float
+
+
+class _CascadeModel(PrimitiveModel):
+    """Behavioural model of a weighted dot-product cascade.
+
+    The cascade multiplies each input by its fixed weight and accumulates
+    through a chain of registered DSP stages, so the result appears
+    ``latency`` cycles after the inputs; a new set of inputs is accepted
+    every cycle.
+    """
+
+    def __init__(self, name: str, params: Sequence[int],
+                 weights: Sequence[int], latency: int) -> None:
+        super().__init__(name, params)
+        self._weights = tuple(weights)
+        self._latency = latency
+        self.inputs = tuple(f"x{i}" for i in range(len(weights)))
+        self.outputs = ("y",)
+        self._pipe = [X] * latency
+
+    def reset(self) -> None:
+        self._pipe = [X] * self._latency
+
+    def combinational(self, inputs: Dict[str, Value]) -> Dict[str, Value]:
+        return {"y": self._pipe[-1]}
+
+    def tick(self, inputs: Dict[str, Value]) -> None:
+        values = [inputs.get(f"x{i}", X) for i in range(len(self._weights))]
+        if any(is_x(v) for v in values):
+            result: Value = X
+        else:
+            result = mask(sum(w * v for w, v in zip(self._weights, values)),
+                          self.width)
+        self._pipe = [result] + self._pipe[:-1]
+
+    def is_sequential(self) -> bool:
+        return True
+
+
+def dot_cascade(name: str, weights: Sequence[int], width: int = 16,
+                latency: int = 6) -> Tuple[Component, ReticleReport]:
+    """Generate a weighted dot-product cascade.
+
+    Returns the Filament extern signature (every tap required in
+    ``[G, G+1)``, result in ``[G+latency, G+latency+1)``, delay 1) and the
+    resource report.  The behavioural model is registered with the simulator
+    under ``name`` so compiled designs can instantiate it like any other
+    primitive.
+    """
+    weights = tuple(weights)
+
+    def factory(params: Sequence[int], _weights=weights, _latency=latency):
+        return _CascadeModel(name, params or (width,), _weights, _latency)
+
+    register_primitive(name, factory)
+
+    build = ComponentBuilder(name, extern=True, params=("W",))
+    G = build.event("G", delay=1, interface=None)
+    for index in range(len(weights)):
+        build.input(f"x{index}", 8, G, G + 1)
+    build.output("y", width, G + latency, G + latency + 1)
+    component = build.build()
+
+    report = ReticleReport(
+        name=name,
+        dsps=len(weights),
+        # The cascade absorbs the multiplies and adds into DSP slices; only a
+        # sliver of fabric logic remains for input registering control.
+        luts=max(2, len(weights) // 2),
+        registers=len(weights) * 2 + 2,
+        stage_delay_ns=1.4,
+    )
+    return component, report
+
+
+def tdot_signature() -> Component:
+    """The paper's ``Tdot`` signature: a 3-element cascade whose operands
+    arrive staggered one cycle apart and whose result appears five cycles
+    after the first operand (Section 7.2)."""
+    build = ComponentBuilder("Tdot", extern=True, params=("W",))
+    G = build.event("G", delay=1, interface=None)
+    for index in range(3):
+        build.input(f"a{index}", 8, G + index, G + index + 1)
+        build.input(f"b{index}", 8, G + index, G + index + 1)
+    build.input("c", 8, G + 2, G + 3)
+    build.output("y", 8, G + TDOT_LATENCY, G + TDOT_LATENCY + 1)
+    return build.build()
+
+
+class _TdotModel(PrimitiveModel):
+    """Behavioural model of the staggered 3-element cascade: each stage
+    multiplies the operands that arrive in its cycle and accumulates into the
+    value travelling down the cascade."""
+
+    inputs = ("a0", "b0", "a1", "b1", "a2", "b2", "c")
+    outputs = ("y",)
+
+    def __init__(self, name: str, params: Sequence[int]) -> None:
+        super().__init__(name, params)
+        self._pipe: list = [X] * TDOT_LATENCY
+
+    def reset(self) -> None:
+        self._pipe = [X] * TDOT_LATENCY
+
+    def combinational(self, inputs: Dict[str, Value]) -> Dict[str, Value]:
+        return {"y": self._pipe[-1]}
+
+    def tick(self, inputs: Dict[str, Value]) -> None:
+        # Stage 0 consumes (a0, b0) now; stages 1 and 2 consume the operands
+        # that arrive one and two cycles later.  Modelled by injecting the
+        # stage-0 product now and adding the later products as the partial
+        # sum moves down the pipeline.
+        def product(a: Value, b: Value) -> Value:
+            if is_x(a) or is_x(b):
+                return X
+            return a * b
+
+        advanced = [X] * TDOT_LATENCY
+        advanced[0] = product(inputs.get("a0", X), inputs.get("b0", X))
+        for stage in range(1, TDOT_LATENCY):
+            carried = self._pipe[stage - 1]
+            if stage == 1:
+                extra = product(inputs.get("a1", X), inputs.get("b1", X))
+            elif stage == 2:
+                extra = product(inputs.get("a2", X), inputs.get("b2", X))
+                bias = inputs.get("c", X)
+                if not (is_x(extra) or is_x(bias)):
+                    extra = extra + bias
+                else:
+                    extra = X
+            else:
+                extra = 0
+            if is_x(carried) or is_x(extra):
+                advanced[stage] = X
+            else:
+                advanced[stage] = mask(carried + extra, self.width)
+        self._pipe = advanced
+
+    def is_sequential(self) -> bool:
+        return True
+
+
+register_primitive("Tdot", lambda params: _TdotModel("Tdot", params or (8,)))
+
+#: Resource report for the paper's Tdot black box.
+TDOT_REPORT = ReticleReport(name="Tdot", dsps=3, luts=2, registers=8,
+                            stage_delay_ns=1.4)

@@ -1,0 +1,156 @@
+"""Interface specifications extracted from timeline types.
+
+The paper's cycle-accurate harness (Section 7.1) "extracts the availability
+intervals and the event delays using a simple command-line flag provided to
+the compiler".  :class:`InterfaceSpec` is that extraction: a concrete,
+cycle-offset view of a component's signature that the driver uses to decide
+
+* which cycles (relative to a transaction's start) each input must be
+  driven,
+* which cycle each output is sampled at, and
+* how many cycles apart transactions may start (the initiation interval).
+
+Specs can be built from a Filament signature (:func:`spec_from_signature`) or
+assembled directly from reported metadata (e.g. the latency a generator like
+Aetherling *claims*), which is how the evaluation reproduces the latency
+audit of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.ast import Signature
+from ..core.errors import FilamentError
+from ..core.events import EventComparisonError
+
+__all__ = ["PortTiming", "InterfaceSpec", "spec_from_signature"]
+
+
+@dataclass(frozen=True)
+class PortTiming:
+    """Concrete timing of one data port: the half-open cycle window
+    ``[start, end)`` relative to the transaction's start cycle."""
+
+    name: str
+    width: int
+    start: int
+    end: int
+
+    @property
+    def hold_cycles(self) -> int:
+        return self.end - self.start
+
+    def cycles(self) -> range:
+        return range(self.start, self.end)
+
+    def __str__(self) -> str:
+        return f"{self.name}@[{self.start}, {self.end})"
+
+
+@dataclass
+class InterfaceSpec:
+    """Everything the harness needs to drive one component."""
+
+    name: str
+    inputs: List[PortTiming] = field(default_factory=list)
+    outputs: List[PortTiming] = field(default_factory=list)
+    #: Interface ports to pulse at the transaction's start cycle, with the
+    #: cycle offset at which each must go high (usually 0).
+    interface_ports: Dict[str, int] = field(default_factory=dict)
+    #: The initiation interval: minimum cycles between transaction starts.
+    initiation_interval: int = 1
+
+    # -- derived quantities ---------------------------------------------------
+
+    def input(self, name: str) -> PortTiming:
+        for port in self.inputs:
+            if port.name == name:
+                return port
+        raise FilamentError(f"{self.name}: no input named {name!r}")
+
+    def output(self, name: str) -> PortTiming:
+        for port in self.outputs:
+            if port.name == name:
+                return port
+        raise FilamentError(f"{self.name}: no output named {name!r}")
+
+    def latency(self) -> int:
+        """Cycle at which the first output becomes available — what the
+        evaluation calls the design's latency."""
+        if not self.outputs:
+            return 0
+        return min(port.start for port in self.outputs)
+
+    def horizon(self) -> int:
+        """One past the last cycle with any input or output activity."""
+        ends = [port.end for port in self.inputs + self.outputs]
+        return max(ends) if ends else 1
+
+    def with_latency(self, latency: int) -> "InterfaceSpec":
+        """A copy whose outputs start at ``latency`` (holding their original
+        duration).  Used by the latency-audit loop: 'we change the latency
+        till we get the right answer'."""
+        shifted = [
+            PortTiming(p.name, p.width, latency, latency + p.hold_cycles)
+            for p in self.outputs
+        ]
+        return InterfaceSpec(self.name, list(self.inputs), shifted,
+                             dict(self.interface_ports), self.initiation_interval)
+
+    def with_input_hold(self, hold: int) -> "InterfaceSpec":
+        """A copy whose inputs are held for ``hold`` cycles from their start
+        (used when auditing a generator's claimed input interface)."""
+        stretched = [
+            PortTiming(p.name, p.width, p.start, p.start + hold)
+            for p in self.inputs
+        ]
+        return InterfaceSpec(self.name, stretched, list(self.outputs),
+                             dict(self.interface_ports), self.initiation_interval)
+
+    def __str__(self) -> str:
+        inputs = ", ".join(str(p) for p in self.inputs)
+        outputs = ", ".join(str(p) for p in self.outputs)
+        return (f"{self.name}: II={self.initiation_interval} "
+                f"inputs({inputs}) -> outputs({outputs})")
+
+
+def spec_from_signature(signature: Signature,
+                        default_width: int = 32) -> InterfaceSpec:
+    """Extract an :class:`InterfaceSpec` from a Filament signature.
+
+    Every availability interval must be expressed over a single event (true
+    for every fully-scheduled design the evaluation drives); the initiation
+    interval is the delay of the first event, matching Section 4.3's
+    correspondence between delays and initiation intervals.
+    """
+    if not signature.events:
+        raise FilamentError(f"{signature.name}: signature binds no events")
+    primary = signature.events[0]
+    spec = InterfaceSpec(signature.name)
+    if primary.delay.is_concrete:
+        spec.initiation_interval = max(primary.delay.cycles(), 1)
+    for binding in signature.events:
+        if binding.interface_port is not None:
+            spec.interface_ports[binding.interface_port] = 0
+
+    def timing(port) -> PortTiming:
+        interval = port.interval
+        try:
+            start = interval.start.offset
+            end = interval.end.offset
+            if not interval.same_base():
+                raise EventComparisonError(str(interval))
+        except EventComparisonError:
+            raise FilamentError(
+                f"{signature.name}: port {port.name} has the multi-event "
+                f"interval {interval}; bind the events before building a "
+                f"harness spec"
+            ) from None
+        width = port.width if isinstance(port.width, int) else default_width
+        return PortTiming(port.name, width, start, end)
+
+    spec.inputs = [timing(port) for port in signature.inputs]
+    spec.outputs = [timing(port) for port in signature.outputs]
+    return spec

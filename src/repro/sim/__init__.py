@@ -1,0 +1,21 @@
+"""Cycle-accurate simulation substrate (stands in for cocotb + an RTL
+simulator in the paper's evaluation)."""
+
+from .primitives import (
+    PrimitiveModel,
+    create_primitive,
+    is_primitive,
+    primitive_names,
+    register_primitive,
+)
+from .simulator import Simulator, run_trace
+from .values import Value, X, format_value, is_x, mask, to_bool
+from .waveform import WaveformRecorder, render_ascii
+
+__all__ = [
+    "PrimitiveModel", "create_primitive", "is_primitive", "primitive_names",
+    "register_primitive",
+    "Simulator", "run_trace",
+    "Value", "X", "format_value", "is_x", "mask", "to_bool",
+    "WaveformRecorder", "render_ascii",
+]

@@ -1,0 +1,13 @@
+"""Synthesis cost model (the stand-in for Vivado in Table 2)."""
+
+from .area import AreaBreakdown, CellArea, ExternCosts, estimate_area
+from .flatten import flatten
+from .report import ResourceReport, extern_costs_from_reticle, synthesize
+from .timing import TimingEstimate, estimate_timing
+
+__all__ = [
+    "AreaBreakdown", "CellArea", "ExternCosts", "estimate_area",
+    "flatten",
+    "ResourceReport", "extern_costs_from_reticle", "synthesize",
+    "TimingEstimate", "estimate_timing",
+]

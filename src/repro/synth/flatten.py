@@ -1,0 +1,106 @@
+"""Flattening hierarchical Calyx programs.
+
+The synthesis cost model (and the critical-path analysis in particular)
+operates on a single flat netlist, mirroring how an FPGA tool sees the design
+after elaboration.  :func:`flatten` inlines every sub-component cell into its
+parent, prefixing inner cell names with the instance path so names stay
+unique, and re-routing assignments that cross the component boundary:
+
+* assignments in the parent that drive a child's input port become
+  assignments to an internal alias node, and the child's uses of that input
+  read the alias;
+* the child's assignments to its own outputs drive the alias node read by
+  the parent.
+
+Alias nodes are represented as zero-cost ``wire`` cells so the simulator is
+never needed here and the area model can ignore them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from ..calyx.ir import Assignment, CalyxComponent, CalyxProgram, Cell, CellPort, Guard
+from ..sim.primitives import is_primitive
+
+__all__ = ["flatten", "WIRE_PSEUDO_PRIMITIVE"]
+
+#: Pseudo-primitive used for boundary aliases introduced by flattening; it
+#: has zero area and zero delay in the cost model.
+WIRE_PSEUDO_PRIMITIVE = "flat_wire"
+
+
+def _remap(port: CellPort, prefix: str, boundary: Dict[str, str],
+           parent_prefix: str) -> CellPort:
+    """Rename a port reference from inside a child component."""
+    if port.cell is None:
+        # A reference to the child's own port: route through the alias cell.
+        return CellPort(boundary[port.port], "w")
+    return CellPort(f"{prefix}{port.cell}", port.port)
+
+
+def flatten(program: CalyxProgram, component: Optional[str] = None,
+            prefix: str = "") -> CalyxComponent:
+    """Return a flat copy of ``component`` (default: the entrypoint)."""
+    source = program.get(component or program.entrypoint)
+    flat = CalyxComponent(source.name, list(source.inputs), list(source.outputs))
+    _inline(program, source, flat, prefix="")
+    return flat
+
+
+def _inline(program: CalyxProgram, source: CalyxComponent,
+            flat: CalyxComponent, prefix: str) -> None:
+    child_cells = {}
+    for cell in source.cells:
+        if is_primitive(cell.component) or cell.component not in program:
+            flat.add_cell(Cell(f"{prefix}{cell.name}", cell.component, cell.params))
+        else:
+            child_cells[cell.name] = program.get(cell.component)
+
+    # Boundary aliases for every child port, so parent- and child-side
+    # assignments agree on a meeting point.
+    boundary: Dict[str, Dict[str, str]] = {}
+    for cell_name, child in child_cells.items():
+        ports = {}
+        for spec in child.inputs + child.outputs:
+            alias = f"{prefix}{cell_name}__{spec.name}"
+            flat.add_cell(Cell(alias, WIRE_PSEUDO_PRIMITIVE, (spec.width,)))
+            ports[spec.name] = alias
+        boundary[cell_name] = ports
+
+    def remap_parent(port: CellPort) -> CellPort:
+        if port.cell is None:
+            return CellPort(None, port.port) if not prefix else CellPort(f"{prefix}__self", port.port)
+        if port.cell in child_cells:
+            return CellPort(boundary[port.cell][port.port], "w")
+        return CellPort(f"{prefix}{port.cell}", port.port)
+
+    for wire in source.wires:
+        src: Union[CellPort, int] = wire.src
+        if isinstance(src, CellPort):
+            src = remap_parent(src)
+        guard = Guard(tuple(remap_parent(p) for p in wire.guard.ports))
+        flat.add_wire(Assignment(remap_parent(wire.dst), src, guard))
+
+    # Recursively inline each child, rewriting its self-port references to
+    # the boundary aliases.
+    for cell_name, child in child_cells.items():
+        child_prefix = f"{prefix}{cell_name}."
+        ports = boundary[cell_name]
+
+        child_flat = CalyxComponent(child.name, list(child.inputs), list(child.outputs))
+        _inline(program, child, child_flat, prefix="")
+
+        for cell in child_flat.cells:
+            flat.add_cell(Cell(f"{child_prefix}{cell.name}", cell.component, cell.params))
+        for wire in child_flat.wires:
+            def remap_child(port: CellPort) -> CellPort:
+                if port.cell is None:
+                    return CellPort(ports[port.port], "w")
+                return CellPort(f"{child_prefix}{port.cell}", port.port)
+
+            src = wire.src
+            if isinstance(src, CellPort):
+                src = remap_child(src)
+            guard = Guard(tuple(remap_child(p) for p in wire.guard.ports))
+            flat.add_wire(Assignment(remap_child(wire.dst), src, guard))

@@ -1,0 +1,67 @@
+"""Synthesis reports: the Table 2 row for one design.
+
+:func:`synthesize` runs the whole model: flatten the netlist, estimate area,
+estimate timing, and bundle the result in a :class:`ResourceReport` that the
+Table 2 driver prints next to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..calyx.ir import CalyxProgram
+from ..generators.reticle import ReticleReport
+from .area import AreaBreakdown, ExternCosts, estimate_area
+from .flatten import flatten
+from .timing import TimingEstimate, estimate_timing
+
+__all__ = ["ResourceReport", "synthesize", "extern_costs_from_reticle"]
+
+
+@dataclass
+class ResourceReport:
+    """One row of a resource/frequency comparison."""
+
+    name: str
+    luts: int
+    dsps: int
+    registers: int
+    fmax_mhz: float
+    area: AreaBreakdown
+    timing: TimingEstimate
+
+    def row(self) -> Tuple[str, int, int, int, float]:
+        return (self.name, self.luts, self.dsps, self.registers, round(self.fmax_mhz, 1))
+
+    def __str__(self) -> str:
+        return (f"{self.name:20s} LUTs={self.luts:5d} DSPs={self.dsps:3d} "
+                f"Registers={self.registers:5d} Freq={self.fmax_mhz:7.1f} MHz")
+
+
+def extern_costs_from_reticle(report: ReticleReport) -> Tuple[ExternCosts, Dict[str, float]]:
+    """Translate a Reticle generator report into the cost-model inputs: the
+    black box's area charge and its minimum clock period."""
+    costs = ExternCosts()
+    costs.add(report.name, luts=report.luts, dsps=report.dsps,
+              registers=report.registers)
+    return costs, {report.name: report.stage_delay_ns + 0.15}
+
+
+def synthesize(program: CalyxProgram, name: Optional[str] = None,
+               extern_costs: Optional[ExternCosts] = None,
+               extern_min_period: Optional[Dict[str, float]] = None,
+               extern_sequential: Tuple[str, ...] = ()) -> ResourceReport:
+    """Run the full cost model on a compiled design."""
+    flat = flatten(program)
+    area = estimate_area(flat, extern_costs)
+    timing = estimate_timing(flat, extern_min_period, extern_sequential)
+    return ResourceReport(
+        name=name or flat.name,
+        luts=round(area.luts),
+        dsps=area.dsps,
+        registers=round(area.registers),
+        fmax_mhz=timing.fmax_mhz,
+        area=area,
+        timing=timing,
+    )

@@ -1,0 +1,128 @@
+"""Integration tests for the evaluation drivers: the tables and figures."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.evaluation import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    audit_design,
+    figure1_waveforms,
+    figure2_divider_tradeoffs,
+    figure4_pipelined_waveform,
+    figure5_constraint_catalogue,
+    figure6_compilation_flow,
+    format_table1,
+    format_table2,
+    measure_compile_times,
+    table1,
+    table2,
+    validate_designs,
+)
+from repro.generators.aetherling import generate
+
+
+class TestTable1:
+    @pytest.mark.parametrize("kernel,throughput", [
+        ("conv2d", Fraction(1)), ("conv2d", Fraction(1, 9)),
+        ("sharpen", Fraction(1)), ("sharpen", Fraction(1, 3)),
+    ])
+    def test_selected_rows_match_paper(self, kernel, throughput):
+        row = audit_design(generate(kernel, throughput))
+        reported, actual = PAPER_TABLE1[kernel][throughput]
+        assert row.reported_latency == reported
+        assert row.actual_latency == actual
+
+    def test_underutilized_conv2d_needs_six_cycle_hold(self):
+        row = audit_design(generate("conv2d", Fraction(1, 9)))
+        assert row.reported_hold == 1 and row.required_hold == 6
+
+    def test_fully_utilized_interfaces_are_correct(self):
+        for throughput in (Fraction(16), Fraction(2)):
+            row = audit_design(generate("conv2d", throughput))
+            assert row.latency_correct and row.required_hold == 1
+
+    def test_format_marks_incorrect_rows(self):
+        rows = [audit_design(generate("conv2d", Fraction(1, 3))),
+                audit_design(generate("conv2d", Fraction(2)))]
+        text = format_table1(rows)
+        assert "reported incorrectly" in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {row.name: row for row in table2()}
+
+    def test_all_three_designs_validate(self, rows):
+        assert all(row.validated for row in rows.values())
+
+    def test_filament_beats_aetherling_on_frequency(self, rows):
+        assert rows["Filament"].report.fmax_mhz > rows["Aetherling"].report.fmax_mhz
+
+    def test_filament_uses_fewer_dsps_and_registers(self, rows):
+        assert rows["Filament"].report.dsps < rows["Aetherling"].report.dsps
+        assert rows["Filament"].report.registers < rows["Aetherling"].report.registers
+
+    def test_reticle_uses_an_order_of_magnitude_fewer_luts(self, rows):
+        reticle = rows["Filament Reticle"].report.luts
+        assert reticle * 5 < rows["Filament"].report.luts
+        assert reticle * 5 < rows["Aetherling"].report.luts
+
+    def test_register_ordering_matches_paper(self, rows):
+        # Paper: Aetherling 78 > Reticle 20 > Filament 11.
+        assert (rows["Aetherling"].report.registers
+                > rows["Filament Reticle"].report.registers
+                > rows["Filament"].report.registers)
+
+    def test_format_includes_paper_reference_numbers(self, rows):
+        text = format_table2(list(rows.values()))
+        assert "769.2" in text and "Filament Reticle" in text
+
+    def test_validate_designs_standalone(self):
+        assert all(validate_designs().values())
+
+
+class TestFigures:
+    def test_figure1_add_is_same_cycle_mul_is_late(self):
+        waves = figure1_waveforms(10, 20)
+        addition_first_cycle = waves["addition"].splitlines()[-1].split()[1]
+        assert addition_first_cycle == "30"
+        multiplication_rows = waves["multiplication"].splitlines()[-1].split()
+        assert multiplication_rows[1] != "200" and "200" in multiplication_rows
+
+    def test_figure2_tradeoff_shape(self):
+        points = {p.variant: p for p in figure2_divider_tradeoffs()}
+        assert all(p.correct for p in points.values())
+        assert points["comb"].latency < points["pipelined"].latency
+        assert points["iterative"].initiation_interval > points["pipelined"].initiation_interval
+        assert points["iterative"].luts < points["pipelined"].luts
+
+    def test_figure4_overlapped_executions(self):
+        waveform, passed = figure4_pipelined_waveform()
+        assert passed and "out" in waveform
+
+    def test_figure5_catalogue_rejects_every_bad_program(self):
+        cases = figure5_constraint_catalogue()
+        accepted = [case for case in cases if case.accepted]
+        rejected = [case for case in cases if not case.accepted]
+        assert len(accepted) == 1 and accepted[0].rule == "well-typed pipeline"
+        assert len(rejected) == 7
+        assert all(case.error for case in rejected)
+
+    def test_figure6_shows_every_stage(self):
+        stages = figure6_compilation_flow()
+        assert set(stages) == {"filament", "low_filament", "calyx", "verilog"}
+        assert "fsm" in stages["low_filament"]
+        assert "component main" in stages["calyx"]
+        assert "module main" in stages["verilog"]
+
+
+class TestCompileTimes:
+    def test_every_design_compiles_in_under_a_second(self):
+        timings = measure_compile_times()
+        assert len(timings) >= 10
+        assert all(timing.under_a_second for timing in timings), [
+            (t.name, t.seconds) for t in timings if not t.under_a_second
+        ]

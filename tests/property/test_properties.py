@@ -1,0 +1,180 @@
+"""Property-based tests (hypothesis) for the core data structures and the
+type-soundness statement of Section 6."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ComponentBuilder, check_program, with_stdlib
+from repro.core.ast import Constraint
+from repro.core.events import Delay, Event, Interval
+from repro.core.semantics import Log, component_log
+from repro.core.typecheck.solver import ConstraintSystem
+from repro.designs.golden import conv2d_stream, restoring_divide
+from repro.harness import harness_for
+
+offsets = st.integers(min_value=0, max_value=12)
+small_ints = st.integers(min_value=0, max_value=255)
+
+
+# ---------------------------------------------------------------------------
+# Event / interval algebra
+# ---------------------------------------------------------------------------
+
+
+@given(offsets, offsets)
+def test_event_addition_is_associative_with_offsets(a, b):
+    assert (Event("G") + a) + b == Event("G") + (a + b)
+
+
+@given(offsets, offsets, offsets)
+def test_substitution_commutes_with_shift(base, shift, offset):
+    binding = {"T": Event("G", base)}
+    event = Event("T", offset)
+    assert (event + shift).substitute(binding) == event.substitute(binding) + shift
+
+
+@given(offsets, st.integers(min_value=1, max_value=8), offsets,
+       st.integers(min_value=1, max_value=8))
+def test_interval_containment_is_antisymmetric_up_to_equality(s1, l1, s2, l2):
+    first = Interval(Event("G", s1), Event("G", s1 + l1))
+    second = Interval(Event("G", s2), Event("G", s2 + l2))
+    if first.contains(second) and second.contains(first):
+        assert first == second
+
+
+@given(offsets, st.integers(min_value=1, max_value=8), offsets)
+def test_shifted_intervals_overlap_iff_shift_below_length(start, length, shift):
+    interval = Interval(Event("G", start), Event("G", start + length))
+    assert interval.overlaps(interval.shift(shift)) == (shift < length)
+
+
+@given(st.integers(min_value=0, max_value=10), st.integers(min_value=0, max_value=10),
+       st.integers(min_value=0, max_value=10))
+def test_parametric_delay_resolution_matches_arithmetic(base, k, j):
+    delay = Delay.difference(Event("L"), Event("G", j))
+    binding = {"L": Event("T", base + k + j), "G": Event("T", base)}
+    assert delay.substitute(binding).cycles() == k
+
+
+# ---------------------------------------------------------------------------
+# Difference-logic solver
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=6), st.integers(min_value=0, max_value=6),
+       st.integers(min_value=0, max_value=6))
+def test_solver_transitivity(a, b, c):
+    system = ConstraintSystem([
+        Constraint(Event("B"), ">=", Event("A", a)),
+        Constraint(Event("C"), ">=", Event("B", b)),
+    ])
+    assert system.entails_le(Event("A", a + b), Event("C"))
+    if c > a + b:
+        assert not system.entails_le(Event("A", c), Event("C"))
+
+
+@given(st.integers(min_value=0, max_value=6), st.integers(min_value=0, max_value=6))
+def test_solver_agrees_with_concrete_evaluation_on_same_base(x, y):
+    system = ConstraintSystem()
+    assert system.entails_le(Event("G", x), Event("G", y)) == (x <= y)
+
+
+# ---------------------------------------------------------------------------
+# Logs (Definitions 6.1 and 6.2)
+# ---------------------------------------------------------------------------
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=6),
+                          st.sampled_from(["a", "b", "c"])), max_size=12))
+def test_log_union_is_commutative_on_well_formedness(entries):
+    first, second = Log(), Log()
+    for index, (cycle, port) in enumerate(entries):
+        target = first if index % 2 else second
+        target.add_write(cycle, port)
+    assert first.union(second).well_formed() == second.union(first).well_formed()
+
+
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=6))
+def test_busy_window_pipelines_safely_iff_delay_covers_it(busy, delay):
+    log = Log()
+    log.add_writes(range(busy), "M.go")
+    assert log.safely_pipelined(delay) == (delay >= busy)
+
+
+@given(st.integers(min_value=1, max_value=6))
+def test_minimum_initiation_interval_is_tight(busy):
+    log = Log()
+    log.add_writes(range(busy), "M.go")
+    ii = log.minimum_initiation_interval()
+    assert log.safely_pipelined(ii)
+    assert ii == 0 or not log.safely_pipelined(ii - 1)
+
+
+# ---------------------------------------------------------------------------
+# Type soundness: random register/adder pipelines that the checker accepts
+# produce well-formed, safely-pipelined logs AND compute correctly when
+# simulated under pipelined input.
+# ---------------------------------------------------------------------------
+
+
+def _register_chain(depth: int):
+    """A well-typed pipeline: ``depth`` registers in sequence after an adder."""
+    build = ComponentBuilder("Chain")
+    G = build.event("G", delay=1, interface="en")
+    a = build.input("a", 16, G, G + 1)
+    b = build.input("b", 16, G, G + 1)
+    out = build.output("o", 16, G + depth, G + depth + 1)
+    adder = build.instantiate("A", "Add", [16])
+    value = build.invoke("sum", adder, [G], [a, b])["out"]
+    for stage in range(depth):
+        register = build.instantiate(f"R{stage}", "Reg", [16])
+        value = build.invoke(f"r{stage}", register, [G + stage], [value])["out"]
+    build.connect(out, value)
+    return build.build()
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(min_value=1, max_value=6))
+def test_soundness_well_typed_chain_has_well_formed_log(depth):
+    component = _register_chain(depth)
+    program = with_stdlib(components=[component])
+    checked = check_program(program)
+    log = component_log(component, program, checked.get("Chain"))
+    assert log.well_formed()
+    assert log.safely_pipelined(1)
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(min_value=1, max_value=4),
+       st.lists(st.tuples(small_ints, small_ints), min_size=1, max_size=6))
+def test_well_typed_chain_computes_correctly_under_pipelining(depth, vectors):
+    component = _register_chain(depth)
+    program = with_stdlib(components=[component])
+    harness = harness_for(program, "Chain")
+    report = harness.check([{"a": a, "b": b} for a, b in vectors],
+                           lambda t: {"o": (t["a"] + t["b"]) & 0xFFFF})
+    assert report.passed, str(report)
+
+
+# ---------------------------------------------------------------------------
+# Golden models
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=255), st.integers(min_value=1, max_value=255))
+def test_restoring_division_matches_python_divmod(dividend, divisor):
+    result = restoring_divide(dividend, divisor)
+    assert result["quotient"] == dividend // divisor
+    assert result["remainder"] == dividend % divisor
+
+
+@given(st.lists(small_ints, min_size=1, max_size=30))
+def test_conv2d_stream_is_bounded_by_pixel_range(pixels):
+    assert all(0 <= value <= 255 for value in conv2d_stream(pixels))
+
+
+@given(st.lists(small_ints, min_size=1, max_size=20), st.integers(min_value=0, max_value=255))
+def test_conv2d_stream_prefix_property(pixels, extra):
+    """Appending a pixel never changes earlier outputs (causality)."""
+    base = conv2d_stream(pixels)
+    extended = conv2d_stream(pixels + [extra])
+    assert extended[:len(base)] == base

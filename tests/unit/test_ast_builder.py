@@ -1,0 +1,186 @@
+"""Unit tests for the AST data structures and the builder API."""
+
+import pytest
+
+from repro.core import (
+    ComponentBuilder,
+    ConstantPort,
+    FilamentError,
+    PortRef,
+    Program,
+    const,
+)
+from repro.core.ast import Connect, Instantiate, Invoke
+from repro.core.events import Delay, Event, Interval
+from repro.core.stdlib import stdlib_program, with_stdlib
+
+
+def simple_component(name="Pass"):
+    build = ComponentBuilder(name)
+    G = build.event("G", delay=1, interface="en")
+    a = build.input("a", 32, G, G + 1)
+    o = build.output("o", 32, G, G + 1)
+    build.connect(o, a)
+    return build.build()
+
+
+class TestSignature:
+    def test_event_lookup(self):
+        component = simple_component()
+        assert component.signature.event("G").delay.cycles() == 1
+        with pytest.raises(FilamentError):
+            component.signature.event("T")
+
+    def test_port_lookup(self):
+        signature = simple_component().signature
+        assert signature.input("a").width == 32
+        assert signature.output("o").width == 32
+        assert signature.has_input("a") and not signature.has_input("o")
+
+    def test_interface_ports_mapping(self):
+        signature = simple_component().signature
+        assert signature.interface_ports() == {"en": "G"}
+
+    def test_phantom_events_listed(self):
+        build = ComponentBuilder("P", extern=True)
+        build.event("G", delay=1, interface=None)
+        build.output("o", 1, Event("G"), Event("G", 1))
+        assert build.build().signature.phantom_events() == ("G",)
+
+    def test_bind_events_checks_arity(self):
+        signature = simple_component().signature
+        binding = signature.bind_events([Event("T", 2)])
+        assert binding == {"G": Event("T", 2)}
+        with pytest.raises(FilamentError):
+            signature.bind_events([Event("T"), Event("T", 1)])
+
+    def test_substitute_rewrites_all_intervals(self):
+        signature = simple_component().signature
+        resolved = signature.substitute({"G": Event("T", 3)})
+        assert resolved.input("a").interval == Interval(Event("T", 3), Event("T", 4))
+
+    def test_resolve_params_replaces_symbolic_widths(self):
+        build = ComponentBuilder("W", extern=True, params=("W",))
+        G = build.event("G", delay=1)
+        build.input("a", "W", G, G + 1)
+        build.output("o", "W", G, G + 1)
+        signature = build.build().signature.resolve_params([16])
+        assert signature.input("a").width == 16
+
+    def test_resolve_params_arity_checked(self):
+        build = ComponentBuilder("W", extern=True, params=("W",))
+        G = build.event("G", delay=1)
+        build.output("o", "W", G, G + 1)
+        with pytest.raises(FilamentError):
+            build.build().signature.resolve_params([1, 2])
+
+
+class TestProgram:
+    def test_duplicate_component_rejected(self):
+        program = Program()
+        program.add(simple_component())
+        with pytest.raises(FilamentError):
+            program.add(simple_component())
+
+    def test_get_unknown_component(self):
+        with pytest.raises(FilamentError):
+            Program().get("Missing")
+
+    def test_merge_prefers_left_on_clash(self):
+        custom = simple_component("Add")
+        merged = with_stdlib(components=[custom])
+        assert merged.get("Add") is custom
+
+    def test_stdlib_has_core_primitives(self):
+        program = stdlib_program()
+        for name in ("Add", "Mult", "FastMult", "Reg", "Register", "Mux",
+                     "Delay", "Prev", "ContPrev"):
+            assert name in program
+
+    def test_user_and_extern_partition(self):
+        program = with_stdlib(components=[simple_component()])
+        assert [c.name for c in program.user_components()] == ["Pass"]
+        assert all(c.is_extern for c in program.extern_components())
+
+
+class TestBuilder:
+    def test_duplicate_event_rejected(self):
+        build = ComponentBuilder("X")
+        build.event("G", delay=1)
+        with pytest.raises(FilamentError):
+            build.event("G", delay=2)
+
+    def test_duplicate_port_rejected(self):
+        build = ComponentBuilder("X")
+        G = build.event("G", delay=1)
+        build.input("a", 1, G, G + 1)
+        with pytest.raises(FilamentError):
+            build.output("a", 1, G, G + 1)
+
+    def test_duplicate_binding_rejected(self):
+        build = ComponentBuilder("X")
+        G = build.event("G", delay=1)
+        build.instantiate("A", "Add")
+        with pytest.raises(FilamentError):
+            build.instantiate("A", "Add")
+
+    def test_builder_cannot_be_reused(self):
+        build = ComponentBuilder("X")
+        build.event("G", delay=1)
+        build.output("o", 1, Event("G"), Event("G", 1))
+        build.connect(PortRef("o"), const(1, 1))
+        build.build()
+        with pytest.raises(FilamentError):
+            build.build()
+
+    def test_extern_with_body_rejected(self):
+        build = ComponentBuilder("X", extern=True)
+        G = build.event("G", delay=1)
+        build.instantiate("A", "Add")
+        with pytest.raises(FilamentError):
+            build.build()
+
+    def test_int_argument_becomes_constant_port(self):
+        build = ComponentBuilder("X")
+        G = build.event("G", delay=1, interface="en")
+        build.output("o", 32, G, G + 1)
+        adder = build.instantiate("A", "Add")
+        invocation = build.invoke("a0", adder, [G], [1, 2])
+        build.connect(PortRef("o"), invocation["out"])
+        component = build.build()
+        invoke = [c for c in component.body if isinstance(c, Invoke)][0]
+        assert invoke.args[0] == ConstantPort(1, 32)
+
+    def test_new_invoke_shorthand_creates_instance_and_invocation(self):
+        build = ComponentBuilder("X")
+        G = build.event("G", delay=1, interface="en")
+        build.output("o", 32, G, G + 1)
+        invocation = build.new_invoke("a0", "Add", [G], [1, 2])
+        build.connect(PortRef("o"), invocation["out"])
+        component = build.build()
+        kinds = [type(c) for c in component.body]
+        assert kinds.count(Instantiate) == 1 and kinds.count(Invoke) == 1
+
+    def test_invocation_handle_indexing(self):
+        handle = ComponentBuilder("X")
+        G = handle.event("G", delay=1)
+        adder = handle.instantiate("A", "Add")
+        invocation = handle.invoke("a0", adder, [G], [1, 1])
+        assert invocation["out"] == PortRef("out", owner="a0")
+        assert invocation.port("out") == invocation["out"]
+
+    def test_parametric_event_delay_in_builder(self):
+        build = ComponentBuilder("R", extern=True)
+        G = build.event("G", delay=Delay.difference(Event("L"), Event("G", 1)),
+                        interface="en")
+        L = build.event("L", delay=1)
+        build.constraint(L, ">", G + 1)
+        build.input("in", 32, G, G + 1)
+        build.output("out", 32, G + 1, L)
+        component = build.build()
+        assert not component.signature.event("G").delay.is_concrete
+
+    def test_command_str_round_trips_paper_syntax_fragments(self):
+        component = simple_component()
+        text = str(component)
+        assert "comp Pass" in text and "o = a" in text

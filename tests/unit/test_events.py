@@ -1,0 +1,162 @@
+"""Unit tests for the event/interval/delay algebra (timeline types)."""
+
+import pytest
+
+from repro.core.events import Delay, Event, EventComparisonError, Interval, evt, max_offset
+
+
+class TestEvent:
+    def test_offset_defaults_to_zero(self):
+        assert Event("G").offset == 0
+
+    def test_addition_shifts_offset(self):
+        assert Event("G") + 3 == Event("G", 3)
+
+    def test_addition_is_commutative_with_int(self):
+        assert 2 + Event("T", 1) == Event("T", 3)
+
+    def test_subtraction_of_int(self):
+        assert Event("G", 5) - 2 == Event("G", 3)
+
+    def test_difference_of_same_base_events(self):
+        assert (Event("G", 5) - Event("G", 2)) == 3
+
+    def test_difference_of_different_bases_raises(self):
+        with pytest.raises(EventComparisonError):
+            Event("G", 5) - Event("L", 2)
+
+    def test_comparison_same_base(self):
+        assert Event("G", 1) < Event("G", 2)
+        assert Event("G", 2) >= Event("G", 2)
+
+    def test_comparison_different_base_raises(self):
+        with pytest.raises(EventComparisonError):
+            Event("G") <= Event("L")
+
+    def test_substitute_rebases_and_adds_offsets(self):
+        binding = {"T": Event("G", 2)}
+        assert Event("T", 3).substitute(binding) == Event("G", 5)
+
+    def test_substitute_leaves_unbound_variables(self):
+        assert Event("T", 1).substitute({"X": Event("G")}) == Event("T", 1)
+
+    def test_resolve_to_concrete_cycle(self):
+        assert Event("G", 4).resolve(10) == 14
+
+    def test_str_formats_like_paper(self):
+        assert str(Event("G")) == "G"
+        assert str(Event("G", 2)) == "G+2"
+
+    def test_evt_helper(self):
+        assert evt("G", 1) == Event("G", 1)
+
+    def test_non_integer_offset_rejected(self):
+        with pytest.raises(TypeError):
+            Event("G", 1.5)
+
+    def test_empty_base_rejected(self):
+        with pytest.raises(ValueError):
+            Event("")
+
+    def test_hashable_and_usable_in_sets(self):
+        assert len({Event("G"), Event("G", 0), Event("G", 1)}) == 2
+
+    def test_max_offset(self):
+        assert max_offset([Event("G"), Event("G", 4), Event("G", 2)]) == 4
+        assert max_offset([]) == 0
+
+
+class TestInterval:
+    def test_length_of_same_base_interval(self):
+        assert Interval(Event("G"), Event("G", 3)).length() == 3
+
+    def test_length_of_multi_event_interval_raises(self):
+        with pytest.raises(EventComparisonError):
+            Interval(Event("G"), Event("L")).length()
+
+    def test_well_formed_requires_nonempty(self):
+        assert Interval(Event("G"), Event("G", 1)).well_formed()
+        assert not Interval(Event("G", 1), Event("G", 1)).well_formed()
+
+    def test_shift_translates_both_endpoints(self):
+        shifted = Interval(Event("G"), Event("G", 1)).shift(2)
+        assert shifted == Interval(Event("G", 2), Event("G", 3))
+
+    def test_substitute(self):
+        interval = Interval(Event("T"), Event("T", 1))
+        assert interval.substitute({"T": Event("G", 2)}) == Interval(
+            Event("G", 2), Event("G", 3))
+
+    def test_containment(self):
+        outer = Interval(Event("G"), Event("G", 3))
+        inner = Interval(Event("G", 1), Event("G", 2))
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_containment_is_reflexive(self):
+        interval = Interval(Event("G"), Event("G", 2))
+        assert interval.contains(interval)
+
+    def test_overlap_detection(self):
+        first = Interval(Event("G"), Event("G", 2))
+        second = Interval(Event("G", 1), Event("G", 3))
+        third = Interval(Event("G", 2), Event("G", 4))
+        assert first.overlaps(second)
+        assert not first.overlaps(third)  # half-open intervals share no cycle
+
+    def test_union_span(self):
+        first = Interval(Event("G"), Event("G", 1))
+        second = Interval(Event("G", 2), Event("G", 3))
+        assert first.union_span(second) == Interval(Event("G"), Event("G", 3))
+
+    def test_resolve_to_cycle_range(self):
+        assert list(Interval(Event("G", 1), Event("G", 3)).resolve(10)) == [11, 12]
+
+    def test_cycles_relative_to_base(self):
+        assert list(Interval(Event("G", 2), Event("G", 4)).cycles()) == [2, 3]
+
+    def test_str_is_half_open(self):
+        assert str(Interval(Event("G"), Event("G", 1))) == "[G, G+1)"
+
+    def test_event_variables(self):
+        assert Interval(Event("G"), Event("L")).event_variables() == {"G", "L"}
+
+
+class TestDelay:
+    def test_constant_delay(self):
+        assert Delay.constant(3).cycles() == 3
+        assert Delay.constant(3).is_concrete
+
+    def test_negative_constant_rejected(self):
+        with pytest.raises(ValueError):
+            Delay.constant(-1)
+
+    def test_parametric_delay_is_not_concrete(self):
+        delay = Delay.difference(Event("L"), Event("G", 1))
+        assert not delay.is_concrete
+        with pytest.raises(EventComparisonError):
+            delay.cycles()
+
+    def test_parametric_delay_resolves_under_binding(self):
+        delay = Delay.difference(Event("L"), Event("G", 1))
+        resolved = delay.substitute({"L": Event("T", 5), "G": Event("T")})
+        assert resolved.is_concrete
+        assert resolved.cycles() == 4
+
+    def test_parametric_delay_negative_resolution_rejected(self):
+        delay = Delay.difference(Event("L"), Event("G"))
+        with pytest.raises(EventComparisonError):
+            delay.substitute({"L": Event("T"), "G": Event("T", 2)})
+
+    def test_mixed_construction_rejected(self):
+        with pytest.raises(ValueError):
+            Delay(concrete=1, minuend=Event("L"), subtrahend=Event("G"))
+
+    def test_event_variables(self):
+        delay = Delay.difference(Event("L"), Event("G", 1))
+        assert delay.event_variables() == {"L", "G"}
+        assert Delay.constant(2).event_variables() == set()
+
+    def test_str(self):
+        assert str(Delay.constant(2)) == "2"
+        assert "L" in str(Delay.difference(Event("L"), Event("G")))

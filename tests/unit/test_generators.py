@@ -1,0 +1,178 @@
+"""Unit tests for the generator substrates (Aetherling, PipelineC, Reticle)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import check_program, with_stdlib
+from repro.core.errors import FilamentError
+from repro.generators.aetherling import (
+    THROUGHPUTS,
+    IntType,
+    SSeq,
+    TSeq,
+    generate,
+    reported_latency,
+    type_for_throughput,
+)
+from repro.generators.pipelinec import (
+    DataflowGraph,
+    DataflowOp,
+    aes_design,
+    auto_pipeline,
+    fp_add_design,
+    generate as pipelinec_generate,
+)
+from repro.generators.reticle import TDOT_LATENCY, dot_cascade, tdot_signature
+from repro.harness import CycleAccurateHarness
+from repro.sim import Simulator, is_x
+
+
+class TestSpaceTimeTypes:
+    def test_throughput_of_nested_types(self):
+        assert TSeq(1, 0, SSeq(4, IntType())).throughput() == 4
+        assert TSeq(1, 8, IntType()).throughput() == Fraction(1, 9)
+
+    def test_type_for_throughput_round_trips(self):
+        for throughput in THROUGHPUTS:
+            space_time = type_for_throughput(throughput)
+            assert space_time.throughput() == throughput
+
+    def test_underutilized_type_prints_like_paper(self):
+        assert str(type_for_throughput(Fraction(1, 9))) == "TSeq 1 8 (uint8)"
+
+    def test_period_of_underutilized_type(self):
+        assert type_for_throughput(Fraction(1, 3)).period() == 3
+
+    def test_unsupported_throughput_rejected(self):
+        with pytest.raises(ValueError):
+            type_for_throughput(Fraction(2, 3))
+
+
+class TestAetherlingGenerator:
+    def test_all_fourteen_design_points_generate(self):
+        for kernel in ("conv2d", "sharpen"):
+            for throughput in THROUGHPUTS:
+                design = generate(kernel, throughput)
+                assert design.calyx.entrypoint in design.calyx.components
+
+    def test_lane_counts_match_throughput(self):
+        assert generate("conv2d", 8).lanes == 8
+        assert generate("conv2d", Fraction(1, 3)).lanes == 1
+
+    def test_initiation_interval_matches_type_period(self):
+        design = generate("conv2d", Fraction(1, 9))
+        assert design.initiation_interval == 9
+
+    def test_reported_latency_table(self):
+        assert reported_latency("conv2d", Fraction(1, 9)) == 16
+        assert reported_latency("sharpen", 1) == 8
+
+    def test_reported_spec_claims_one_cycle_hold(self):
+        design = generate("conv2d", Fraction(1, 9))
+        spec = design.reported_spec()
+        assert spec.inputs[0].hold_cycles == 1
+        assert spec.outputs[0].start == 16
+
+    def test_full_throughput_design_computes_conv(self):
+        design = generate("conv2d", 1)
+        pixels = [9, 18, 27, 200, 45, 54, 63, 72, 81, 90, 99, 108]
+        expected = design.golden(pixels)
+        harness = CycleAccurateHarness(design.calyx, design.reported_spec())
+        in_port, out_port = design.input_ports[0], design.output_ports[0]
+        results = harness.run([{in_port: pixel} for pixel in pixels])
+        got = [result.output(out_port) for result in results]
+        assert got == expected
+
+    def test_underutilized_design_fails_under_claimed_interface(self):
+        """Driving the 1/9 design exactly as its TSeq type claims produces
+        wrong (X) outputs — the interface bug of Section 7.1."""
+        design = generate("conv2d", Fraction(1, 9))
+        harness = CycleAccurateHarness(design.calyx, design.reported_spec())
+        results = harness.run([{"I": 100}, {"I": 50}])
+        assert any(is_x(result.output("O")) for result in results)
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(FilamentError):
+            generate("blur", 1)
+
+    def test_unknown_throughput_rejected(self):
+        with pytest.raises(FilamentError):
+            generate("conv2d", Fraction(1, 5))
+
+
+class TestPipelineC:
+    def test_auto_pipeline_assigns_monotonic_stages(self):
+        graph = DataflowGraph(
+            "chain", ["x"],
+            [DataflowOp("m0", "mul", "x", "x"), DataflowOp("m1", "mul", "m0", "x")],
+            "m1")
+        stages = auto_pipeline(graph, target_ns=2.5)
+        assert stages["m1"] == stages["m0"] + 1
+
+    def test_undefined_operand_rejected(self):
+        graph = DataflowGraph("bad", ["x"], [DataflowOp("m0", "mul", "y", "x")], "m0")
+        with pytest.raises(FilamentError):
+            auto_pipeline(graph)
+
+    def test_fp_add_reports_latency_six(self):
+        assert fp_add_design().reported_latency == 6
+
+    def test_aes_reports_latency_eighteen(self):
+        assert aes_design().reported_latency == 18
+
+    def test_reported_latency_matches_simulated_pipeline_depth(self):
+        design = fp_add_design(width=32)
+        simulator = Simulator(design.calyx)
+        outputs = []
+        for cycle in range(design.reported_latency + 2):
+            inputs = {"x": 3, "y": 2} if cycle == 0 else {"x": 0, "y": 0}
+            outputs.append(simulator.step(inputs)["out"])
+        expected = 3
+        for _ in range(7):
+            expected = (expected * 2) & 0xFFFFFFFF
+        assert outputs[design.reported_latency] == expected
+
+    def test_filament_signature_from_report(self):
+        extern = fp_add_design().filament_signature()
+        assert extern.is_extern
+        assert extern.signature.output("out").interval.start.offset == 6
+        # The extern signature itself must be well-formed.
+        check_program(with_stdlib(components=[extern]))
+
+    def test_generated_netlist_is_fully_pipelined(self):
+        design = aes_design()
+        # Every value crosses at most one stage per Delay register, so the
+        # number of Delay cells is at least the latency.
+        component = design.calyx.get("AES")
+        delays = [cell for cell in component.cells if cell.component == "Delay"]
+        assert len(delays) >= design.reported_latency
+
+
+class TestReticle:
+    def test_tdot_signature_is_staggered(self):
+        signature = tdot_signature().signature
+        assert signature.input("a0").interval.start.offset == 0
+        assert signature.input("a2").interval.start.offset == 2
+        assert signature.output("y").interval.start.offset == TDOT_LATENCY
+
+    def test_dot_cascade_registers_model_and_signature(self):
+        component, report = dot_cascade("TestCascade", (1, 2, 3), width=16, latency=3)
+        assert report.dsps == 3
+        assert component.signature.output("y").interval.start.offset == 3
+        from repro.sim import create_primitive
+        model = create_primitive("TestCascade", (16,))
+        model.tick({"x0": 1, "x1": 1, "x2": 1})
+        model.tick({"x0": 0, "x1": 0, "x2": 0})
+        model.tick({"x0": 0, "x1": 0, "x2": 0})
+        assert model.combinational({})["y"] == 6
+
+    def test_cascade_accepts_new_inputs_every_cycle(self):
+        component, _ = dot_cascade("TestCascade2", (1, 1), width=16, latency=2)
+        from repro.sim import create_primitive
+        model = create_primitive("TestCascade2", (16,))
+        model.tick({"x0": 1, "x1": 1})
+        model.tick({"x0": 2, "x1": 2})
+        assert model.combinational({})["y"] == 2
+        model.tick({"x0": 0, "x1": 0})
+        assert model.combinational({})["y"] == 4

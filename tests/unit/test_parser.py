@@ -1,0 +1,166 @@
+"""Unit tests for the Filament surface-syntax parser."""
+
+import pytest
+
+from repro.core import ParseError, check_program, with_stdlib
+from repro.core.ast import Connect, ConstantPort, Instantiate, Invoke
+from repro.core.events import Event, Interval
+from repro.core.parser import parse_component, parse_program, tokenize
+
+
+EXTERN_ADD = """
+extern comp Adder<G: 1>(@[G, G+1] left: 32, @[G, G+1] right: 32)
+  -> (@[G, G+1] out: 32);
+"""
+
+MAIN = """
+comp main<G: 4>(
+  @interface[G] go: 1,
+  @[G, G+1] a: 32,
+  @[G+2, G+3] b: 32
+) -> (@[G, G+1] out: 32) {
+  A := new Add[32];
+  a0 := A<G>(a, a);
+  a1 := A<G+2>(b, b);
+  out = a0.out;
+}
+"""
+
+
+class TestLexer:
+    def test_comments_are_skipped(self):
+        tokens = tokenize("// a comment\ncomp /* block */ X")
+        assert [t.kind for t in tokens[:2]] == ["COMP", "IDENT"]
+
+    def test_positions_are_tracked(self):
+        tokens = tokenize("comp\n  main")
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("comp $")
+
+    def test_sized_literal_token(self):
+        tokens = tokenize("8'd255")
+        assert tokens[0].kind == "NUMBER" and tokens[0].text == "8'd255"
+
+
+class TestSignatures:
+    def test_extern_signature(self):
+        component = parse_component(EXTERN_ADD)
+        assert component.is_extern
+        assert component.signature.input("left").interval == Interval(
+            Event("G"), Event("G", 1))
+
+    def test_interface_port_binds_event(self):
+        program = parse_program(MAIN)
+        signature = program.get("main").signature
+        assert signature.event("G").interface_port == "go"
+        assert signature.event("G").delay.cycles() == 4
+
+    def test_event_without_delay_defaults_to_one(self):
+        component = parse_component(
+            "extern comp C<G>(@[G, G+1] a: 1) -> (@[G, G+1] o: 1);")
+        assert component.signature.event("G").delay.cycles() == 1
+
+    def test_parametric_delay_and_where_clause(self):
+        source = """
+        extern comp Register<G: L-(G+1), L: 1>(
+          @interface[G] en: 1, @[G, G+1] in: 32
+        ) -> (@[G+1, L] out: 32) where L > G+1;
+        """
+        signature = parse_component(source).signature
+        assert not signature.event("G").delay.is_concrete
+        assert signature.constraints[0].op == ">"
+
+    def test_compile_time_parameters(self):
+        source = ("extern comp Prev[W, SAFE]<G: 1>(@[G, G+1] in: W)"
+                  " -> (@[G, G+1] prev: W);")
+        signature = parse_component(source).signature
+        assert signature.params == ("W", "SAFE")
+        assert signature.input("in").width == "W"
+
+    def test_interface_port_unknown_event_rejected(self):
+        with pytest.raises(ParseError):
+            parse_component(
+                "comp C<G: 1>(@interface[T] go: 1) -> (@[G, G+1] o: 1) { o = go; }")
+
+    def test_missing_annotation_rejected(self):
+        with pytest.raises(ParseError):
+            parse_component("extern comp C<G: 1>(clk: 1) -> (@[G, G+1] o: 1);")
+
+
+class TestBodies:
+    def test_commands_parsed(self):
+        program = parse_program(MAIN)
+        body = program.get("main").body
+        assert isinstance(body[0], Instantiate)
+        assert body[0].params == (32,)
+        assert isinstance(body[1], Invoke)
+        assert body[1].events == (Event("G"),)
+        assert isinstance(body[3], Connect)
+
+    def test_combined_new_invoke_expands(self):
+        source = """
+        comp C<G: 1>(@interface[G] go: 1, @[G, G+1] a: 32) -> (@[G, G+1] o: 32) {
+          a0 := new Add<G>(a, a);
+          o = a0.out;
+        }
+        """
+        body = parse_component(source).body
+        assert isinstance(body[0], Instantiate) and isinstance(body[1], Invoke)
+        assert body[1].instance == body[0].name
+
+    def test_constant_arguments(self):
+        source = """
+        comp C<G: 1>(@interface[G] go: 1) -> (@[G, G+1] o: 32) {
+          a0 := new Add<G>(8'd7, 3);
+          o = a0.out;
+        }
+        """
+        invoke = parse_component(source).body[1]
+        assert invoke.args[0] == ConstantPort(7, 8)
+        assert invoke.args[1] == ConstantPort(3, 32)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_component(EXTERN_ADD + " extra")
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(ParseError):
+            parse_component(
+                "comp C<G: 1>(@interface[G] go: 1) -> (@[G, G+1] o: 1) { A := new Add }")
+
+    def test_error_mentions_location(self):
+        try:
+            parse_component("comp C<G: 1>(@[G, G+1] a: 1) -> (@[G, ] o: 1);")
+        except ParseError as error:
+            assert error.line is not None
+        else:  # pragma: no cover
+            pytest.fail("expected a parse error")
+
+
+class TestEndToEnd:
+    def test_parsed_program_type_checks_with_stdlib(self):
+        program = with_stdlib(parse_program(MAIN))
+        checked = check_program(program)
+        assert "main" in checked
+
+    def test_parse_section2_alu_signature(self):
+        source = """
+        comp ALU<G: 1>(
+          @interface[G] en: 1, @[G+2, G+3] op: 1,
+          @[G, G+1] l: 32, @[G, G+1] r: 32
+        ) -> (@[G+2, G+3] o: 32) {
+          A := new Add; FM := new FastMult; Mx := new Mux;
+          R0 := new Reg; R1 := new Reg;
+          a0 := A<G>(l, r);
+          r0 := R0<G>(a0.out);
+          r1 := R1<G+1>(r0.out);
+          m0 := FM<G>(l, r);
+          mux := Mx<G+2>(op, m0.out, r1.out);
+          o = mux.out;
+        }
+        """
+        program = with_stdlib(parse_program(source))
+        assert "ALU" in check_program(program)

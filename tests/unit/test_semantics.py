@@ -1,0 +1,149 @@
+"""Unit tests for the log-based semantics (Section 6 / Appendix A)."""
+
+import pytest
+
+from repro.core import ComponentBuilder, check_program, with_stdlib
+from repro.core.semantics import Log, component_log
+
+
+def build_program(component):
+    program = with_stdlib(components=[component])
+    checked = check_program(program)
+    return program, checked.get(component.name)
+
+
+class TestLog:
+    def test_well_formed_when_reads_covered(self):
+        log = Log()
+        log.add_write(0, "a")
+        log.add_read(0, "a")
+        assert log.well_formed()
+
+    def test_read_without_write_is_ill_formed(self):
+        log = Log()
+        log.add_read(1, "a")
+        assert not log.well_formed()
+        assert any("read" in violation for violation in log.violations())
+
+    def test_duplicate_writes_are_conflicts(self):
+        log = Log()
+        log.add_write(2, "a")
+        log.add_write(2, "a")
+        assert not log.well_formed()
+        assert any("conflicting" in violation for violation in log.violations())
+
+    def test_union_is_the_paper_composition(self):
+        first, second = Log(), Log()
+        first.add_write(0, "a")
+        second.add_write(0, "a")
+        assert first.well_formed() and second.well_formed()
+        assert not first.union(second).well_formed()
+
+    def test_shift_models_pipelined_reexecution(self):
+        log = Log()
+        log.add_write(0, "a")
+        shifted = log.shift(3)
+        assert shifted.writes_of("a") == [3]
+
+    def test_rename_substitutes_ports(self):
+        log = Log()
+        log.add_read(0, "dst")
+        log.add_write(0, "dst")
+        renamed = log.rename({"dst": "src"})
+        assert renamed.reads_of("src") == [0]
+
+    def test_safely_pipelined_definition(self):
+        # Busy for two cycles -> safe at delay 2, unsafe at delay 1.
+        log = Log()
+        log.add_writes([0, 1], "M.go")
+        assert log.safely_pipelined(2)
+        assert not log.safely_pipelined(1)
+
+    def test_minimum_initiation_interval(self):
+        log = Log()
+        log.add_writes([0, 1, 2], "M.go")
+        assert log.minimum_initiation_interval() == 3
+
+    def test_horizon_and_equality(self):
+        log = Log()
+        log.add_write(4, "a")
+        assert log.horizon() == 5
+        assert log == log.copy()
+
+
+class TestComponentLogs:
+    def test_register_pipeline_log(self):
+        build = ComponentBuilder("C")
+        G = build.event("G", delay=1, interface="en")
+        a = build.input("a", 32, G, G + 1)
+        out = build.output("o", 32, G + 1, G + 2)
+        reg = build.instantiate("R", "Reg")
+        held = build.invoke("r0", reg, [G], [a])
+        build.connect(out, held["out"])
+        program, checked = build_program(build.build())
+        log = component_log(program.get("C"), program, checked)
+        assert log.well_formed()
+        assert log.reads_of("a") == [0]
+        assert log.writes_of("r0.out") == [1]
+        assert log.writes_of("R.en") == [0]
+
+    def test_well_typed_component_is_safely_pipelined_at_its_delay(self):
+        build = ComponentBuilder("C")
+        G = build.event("G", delay=1, interface="en")
+        a = build.input("a", 32, G, G + 1)
+        out = build.output("o", 32, G + 2, G + 3)
+        mult = build.instantiate("M", "FastMult")
+        product = build.invoke("m0", mult, [G], [a, a])
+        build.connect(out, product["out"])
+        program, checked = build_program(build.build())
+        log = component_log(program.get("C"), program, checked)
+        assert log.well_formed()
+        assert log.safely_pipelined(1)
+
+    def test_sequential_multiplier_needs_its_delay(self):
+        build = ComponentBuilder("C")
+        G = build.event("G", delay=3, interface="en")
+        a = build.input("a", 32, G, G + 1)
+        out = build.output("o", 32, G + 2, G + 3)
+        mult = build.instantiate("M", "Mult")
+        product = build.invoke("m0", mult, [G], [a, a])
+        build.connect(out, product["out"])
+        program, checked = build_program(build.build())
+        log = component_log(program.get("C"), program, checked)
+        assert log.minimum_initiation_interval() == 3
+        assert log.safely_pipelined(3)
+        assert not log.safely_pipelined(2)
+
+    def test_shared_instance_raises_minimum_ii(self):
+        build = ComponentBuilder("C")
+        G = build.event("G", delay=4, interface="en")
+        a = build.input("a", 32, G, G + 1)
+        b = build.input("b", 32, G + 2, G + 3)
+        out = build.output("o", 32, G + 2, G + 3)
+        adder = build.instantiate("A", "Add")
+        first = build.invoke("a0", adder, [G], [a, a])
+        second = build.invoke("a1", adder, [G + 2], [b, b])
+        build.connect(out, second["out"])
+        program, checked = build_program(build.build())
+        log = component_log(program.get("C"), program, checked)
+        # The adder instance is busy at offsets 0 and 2, so re-execution any
+        # 3+ cycles later can never collide.
+        assert log.minimum_initiation_interval() == 3
+
+    def test_soundness_on_every_accepted_evaluation_design(self):
+        from repro.designs import (
+            addmult_program, alu_program, conv2d_base_program, divider_program,
+        )
+        cases = [
+            (alu_program("pipelined"), "ALU", 1),
+            (alu_program("sequential"), "ALU", 3),
+            (addmult_program(), "AddMult", 2),
+            (divider_program("pipelined"), "PipeDiv", 1),
+            (divider_program("iterative"), "IterDiv", 8),
+            (conv2d_base_program(), "Conv2d", 1),
+        ]
+        for program, name, delay in cases:
+            checked = check_program(program)
+            log = component_log(program.get(name), program, checked.get(name))
+            assert log.well_formed(), name
+            assert log.safely_pipelined(delay), name

@@ -1,0 +1,234 @@
+"""Unit tests for the cycle-accurate simulator and its primitive models."""
+
+import pytest
+
+from repro.calyx.ir import Assignment, CalyxComponent, CalyxProgram, Cell, CellPort, Guard, PortSpec
+from repro.core.errors import SimulationError
+from repro.sim import Simulator, WaveformRecorder, X, create_primitive, is_primitive, is_x
+from repro.sim.primitives import primitive_names
+from repro.core.stdlib import PRIMITIVE_NAMES
+
+
+class TestPrimitiveModels:
+    def test_every_stdlib_extern_has_a_model(self):
+        for name in PRIMITIVE_NAMES:
+            assert is_primitive(name), name
+
+    def test_add_masks_to_width(self):
+        model = create_primitive("Add", (8,))
+        assert model.combinational({"left": 200, "right": 100})["out"] == (300 & 0xFF)
+
+    def test_x_poisons_arithmetic(self):
+        model = create_primitive("Add", (8,))
+        assert is_x(model.combinational({"left": X, "right": 1})["out"])
+
+    def test_mux_selects_defined_input(self):
+        model = create_primitive("Mux", (8,))
+        assert model.combinational({"sel": 1, "in1": 7, "in0": X})["out"] == 7
+        assert model.combinational({"sel": 0, "in1": X, "in0": 9})["out"] == 9
+        assert is_x(model.combinational({"sel": X, "in1": 1, "in0": 2})["out"])
+
+    def test_comparisons_are_one_bit(self):
+        model = create_primitive("Ge", (8,))
+        assert model.combinational({"left": 5, "right": 5})["out"] == 1
+        assert model.combinational({"left": 4, "right": 5})["out"] == 0
+
+    def test_slice_and_concat(self):
+        slicer = create_primitive("Slice", (8, 7, 4))
+        assert slicer.combinational({"in": 0xAB})["out"] == 0xA
+        concat = create_primitive("Concat", (4, 4))
+        assert concat.combinational({"hi": 0xA, "lo": 0xB})["out"] == 0xAB
+
+    def test_shift_by_constant(self):
+        left = create_primitive("ShiftLeft", (8, 2))
+        assert left.combinational({"in": 3})["out"] == 12
+        right = create_primitive("ShiftRight", (8, 2))
+        assert right.combinational({"in": 12})["out"] == 3
+
+    def test_register_holds_until_enabled(self):
+        model = create_primitive("Reg", (8,))
+        assert is_x(model.combinational({})["out"])
+        model.tick({"en": 1, "in": 42})
+        assert model.combinational({})["out"] == 42
+        model.tick({"en": 0, "in": 7})
+        assert model.combinational({})["out"] == 42
+        model.tick({"en": X, "in": 7})  # unknown enable is inactive
+        assert model.combinational({})["out"] == 42
+
+    def test_delay_powers_on_to_zero_and_shifts_every_cycle(self):
+        model = create_primitive("Delay", (8,))
+        assert model.combinational({})["out"] == 0
+        model.tick({"in": 9})
+        assert model.combinational({})["out"] == 9
+
+    def test_prev_reads_previous_value_in_same_cycle(self):
+        model = create_primitive("Prev", (8, 1))
+        assert model.combinational({})["prev"] == 0
+        model.tick({"en": 1, "in": 5})
+        assert model.combinational({})["prev"] == 5
+
+    def test_prev_unsafe_variant_starts_undefined(self):
+        model = create_primitive("Prev", (8, 0))
+        assert is_x(model.combinational({})["prev"])
+
+    def test_pipelined_multiplier_latency(self):
+        model = create_primitive("FastMult", (16,))
+        model.tick({"left": 3, "right": 4})
+        assert is_x(model.combinational({})["out"])
+        model.tick({"left": X, "right": X})
+        assert model.combinational({})["out"] == 12
+
+    def test_three_stage_multiplier(self):
+        model = create_primitive("PipelinedMult", (16,))
+        model.tick({"left": 3, "right": 5})
+        model.tick({"left": X, "right": X})
+        model.tick({"left": X, "right": X})
+        assert model.combinational({})["out"] == 15
+
+    def test_fsm_shift_register(self):
+        model = create_primitive("fsm", (3,))
+        out = model.combinational({"go": 1})
+        assert out["_0"] == 1 and out["_1"] == 0 and out["_2"] == 0
+        model.tick({"go": 1})
+        out = model.combinational({"go": 0})
+        assert out["_0"] == 0 and out["_1"] == 1 and out["_2"] == 0
+        model.tick({"go": 0})
+        out = model.combinational({"go": 0})
+        assert out["_2"] == 1
+
+    def test_dsp_mac(self):
+        model = create_primitive("DspMac", (16,))
+        model.tick({"ce": 1, "a": 2, "b": 3, "pin": 10})
+        assert model.combinational({})["pout"] == 16
+
+    def test_unknown_primitive_rejected(self):
+        with pytest.raises(SimulationError):
+            create_primitive("NoSuchThing")
+
+    def test_registry_is_sorted_and_nonempty(self):
+        names = primitive_names()
+        assert names == tuple(sorted(names)) and len(names) > 20
+
+
+def _single_add_program():
+    component = CalyxComponent(
+        "top",
+        inputs=[PortSpec("a", 8), PortSpec("b", 8)],
+        outputs=[PortSpec("o", 8)],
+    )
+    component.add_cell(Cell("A", "Add", (8,)))
+    component.add_wire(Assignment(CellPort("A", "left"), CellPort(None, "a")))
+    component.add_wire(Assignment(CellPort("A", "right"), CellPort(None, "b")))
+    component.add_wire(Assignment(CellPort(None, "o"), CellPort("A", "out")))
+    program = CalyxProgram(entrypoint="top")
+    program.add(component)
+    return program
+
+
+class TestSimulator:
+    def test_combinational_add(self):
+        simulator = Simulator(_single_add_program())
+        assert simulator.step({"a": 2, "b": 3})["o"] == 5
+
+    def test_undriven_input_is_x(self):
+        simulator = Simulator(_single_add_program())
+        assert is_x(simulator.step({"a": 2})["o"])
+
+    def test_unknown_input_port_rejected(self):
+        simulator = Simulator(_single_add_program())
+        with pytest.raises(SimulationError):
+            simulator.step({"nope": 1})
+
+    def test_guarded_assignment_muxes_by_fsm_state(self):
+        component = CalyxComponent(
+            "top",
+            inputs=[PortSpec("go", 1), PortSpec("a", 8), PortSpec("b", 8)],
+            outputs=[PortSpec("o", 8)],
+        )
+        component.add_cell(Cell("F", "fsm", (2,)))
+        component.add_cell(Cell("R", "Delay", (8,)))
+        component.add_wire(Assignment(CellPort("F", "go"), CellPort(None, "go")))
+        component.add_wire(Assignment(CellPort("R", "in"), CellPort(None, "a"),
+                                      Guard((CellPort("F", "_0"),))))
+        component.add_wire(Assignment(CellPort("R", "in"), CellPort(None, "b"),
+                                      Guard((CellPort("F", "_1"),))))
+        component.add_wire(Assignment(CellPort(None, "o"), CellPort("R", "out")))
+        program = CalyxProgram(entrypoint="top")
+        program.add(component)
+        simulator = Simulator(program)
+        simulator.step({"go": 1, "a": 11, "b": 22})
+        assert simulator.step({"go": 0, "a": 0, "b": 22})["o"] == 11
+        assert simulator.step({"go": 0, "a": 0, "b": 0})["o"] == 22
+
+    def test_conflicting_drivers_detected(self):
+        component = CalyxComponent(
+            "top", inputs=[PortSpec("a", 8), PortSpec("b", 8)],
+            outputs=[PortSpec("o", 8)])
+        component.add_wire(Assignment(CellPort(None, "o"), CellPort(None, "a")))
+        component.add_wire(Assignment(CellPort(None, "o"), CellPort(None, "b")))
+        program = CalyxProgram(entrypoint="top")
+        program.add(component)
+        with pytest.raises(SimulationError):
+            Simulator(program).step({"a": 1, "b": 2})
+
+    def test_agreeing_drivers_are_allowed(self):
+        component = CalyxComponent(
+            "top", inputs=[PortSpec("a", 8)], outputs=[PortSpec("o", 8)])
+        component.add_wire(Assignment(CellPort(None, "o"), CellPort(None, "a")))
+        component.add_wire(Assignment(CellPort(None, "o"), CellPort(None, "a")))
+        program = CalyxProgram(entrypoint="top")
+        program.add(component)
+        assert Simulator(program).step({"a": 3})["o"] == 3
+
+    def test_combinational_loop_settles_to_x_and_is_caught_by_timing(self):
+        """With X-propagation a combinational loop stabilises at X in
+        simulation; the static timing model is what reports it as an error."""
+        component = CalyxComponent("top", inputs=[], outputs=[PortSpec("o", 8)])
+        component.add_cell(Cell("A", "Add", (8,)))
+        component.add_cell(Cell("B", "Add", (8,)))
+        component.add_wire(Assignment(CellPort("A", "left"), CellPort("B", "out")))
+        component.add_wire(Assignment(CellPort("A", "right"), 1))
+        component.add_wire(Assignment(CellPort("B", "left"), CellPort("A", "out")))
+        component.add_wire(Assignment(CellPort("B", "right"), 1))
+        component.add_wire(Assignment(CellPort(None, "o"), CellPort("A", "out")))
+        program = CalyxProgram(entrypoint="top")
+        program.add(component)
+        assert is_x(Simulator(program).step({})["o"])
+        from repro.synth import estimate_timing, flatten
+        with pytest.raises(SimulationError):
+            estimate_timing(flatten(program))
+
+    def test_hierarchical_simulation(self):
+        child = CalyxComponent(
+            "child", inputs=[PortSpec("x", 8)], outputs=[PortSpec("y", 8)])
+        child.add_cell(Cell("A", "Add", (8,)))
+        child.add_wire(Assignment(CellPort("A", "left"), CellPort(None, "x")))
+        child.add_wire(Assignment(CellPort("A", "right"), 1))
+        child.add_wire(Assignment(CellPort(None, "y"), CellPort("A", "out")))
+
+        parent = CalyxComponent(
+            "parent", inputs=[PortSpec("x", 8)], outputs=[PortSpec("y", 8)])
+        parent.add_cell(Cell("C", "child"))
+        parent.add_wire(Assignment(CellPort("C", "x"), CellPort(None, "x")))
+        parent.add_wire(Assignment(CellPort(None, "y"), CellPort("C", "y")))
+
+        program = CalyxProgram(entrypoint="parent")
+        program.add(child)
+        program.add(parent)
+        assert Simulator(program).step({"x": 41})["y"] == 42
+
+    def test_reset_restores_power_on_state(self):
+        program = _single_add_program()
+        simulator = Simulator(program)
+        simulator.step({"a": 1, "b": 1})
+        simulator.reset()
+        assert simulator.cycle == 0
+
+    def test_waveform_recorder_renders_and_dumps_vcd(self):
+        program = _single_add_program()
+        recorder = WaveformRecorder(Simulator(program))
+        recorder.run([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        rendered = recorder.render()
+        assert "o" in rendered and "7" in rendered
+        assert "$enddefinitions" in recorder.render_vcd()
+        assert recorder.column("o") == [3, 7]

@@ -1,0 +1,111 @@
+"""Unit tests for the difference-logic constraint solver."""
+
+import pytest
+
+from repro.core.ast import Constraint
+from repro.core.events import Event, Interval
+from repro.core.typecheck.solver import ConstraintSystem
+
+
+def test_same_base_comparisons_need_no_constraints():
+    system = ConstraintSystem()
+    assert system.entails_le(Event("G"), Event("G", 2))
+    assert not system.entails_le(Event("G", 3), Event("G", 2))
+
+
+def test_unrelated_variables_are_not_ordered():
+    system = ConstraintSystem()
+    assert not system.entails_le(Event("G"), Event("L"))
+    assert not system.entails_le(Event("L"), Event("G"))
+
+
+def test_direct_constraint_entailment():
+    system = ConstraintSystem([Constraint(Event("L"), ">", Event("G"))])
+    assert system.entails_lt(Event("G"), Event("L"))
+    assert system.entails_le(Event("G", 1), Event("L"))
+
+
+def test_strict_constraint_uses_integer_semantics():
+    # L > G over the integers means L >= G + 1.
+    system = ConstraintSystem([Constraint(Event("L"), ">", Event("G"))])
+    assert system.entails_le(Event("G", 1), Event("L"))
+    assert not system.entails_le(Event("G", 2), Event("L"))
+
+
+def test_transitive_entailment():
+    system = ConstraintSystem([
+        Constraint(Event("B"), ">=", Event("A", 2)),
+        Constraint(Event("C"), ">=", Event("B", 3)),
+    ])
+    assert system.entails_le(Event("A", 5), Event("C"))
+    assert not system.entails_le(Event("A", 6), Event("C"))
+
+
+def test_equality_constraint():
+    system = ConstraintSystem([Constraint(Event("L"), "==", Event("G", 4))])
+    assert system.entails_le(Event("L"), Event("G", 4))
+    assert system.entails_le(Event("G", 4), Event("L"))
+
+
+def test_feasibility_of_consistent_system():
+    system = ConstraintSystem([
+        Constraint(Event("L"), ">", Event("G")),
+        Constraint(Event("M"), ">", Event("L")),
+    ])
+    assert system.feasible()
+
+
+def test_infeasible_cycle_detected():
+    system = ConstraintSystem([
+        Constraint(Event("L"), ">", Event("G")),
+        Constraint(Event("G"), ">", Event("L")),
+    ])
+    assert not system.feasible()
+
+
+def test_interval_containment_under_constraints():
+    # The register's output [G+1, L) contains [G+1, G+2) whenever L > G+1.
+    system = ConstraintSystem([Constraint(Event("L"), ">", Event("G", 1))])
+    outer = Interval(Event("G", 1), Event("L"))
+    inner = Interval(Event("G", 1), Event("G", 2))
+    assert system.interval_contains(outer, inner)
+
+
+def test_interval_containment_fails_without_constraints():
+    system = ConstraintSystem()
+    outer = Interval(Event("G", 1), Event("L"))
+    inner = Interval(Event("G", 1), Event("G", 2))
+    assert not system.interval_contains(outer, inner)
+
+
+def test_interval_nonempty_under_constraints():
+    system = ConstraintSystem([Constraint(Event("L"), ">", Event("G"))])
+    assert system.interval_nonempty(Interval(Event("G"), Event("L")))
+    assert not system.interval_nonempty(Interval(Event("L"), Event("G")))
+
+
+def test_entails_constraint_round_trip():
+    facts = [Constraint(Event("L"), ">=", Event("G", 2))]
+    system = ConstraintSystem(facts)
+    assert system.entails_constraint(Constraint(Event("L"), ">", Event("G")))
+    assert not system.entails_constraint(Constraint(Event("L"), ">", Event("G", 2)))
+
+
+def test_copy_is_independent():
+    system = ConstraintSystem([Constraint(Event("L"), ">", Event("G"))])
+    clone = system.copy()
+    clone.add_constraint(Constraint(Event("M"), ">", Event("L", 5)))
+    assert clone.entails_lt(Event("L"), Event("M"))
+    assert not system.entails_lt(Event("L"), Event("M"))
+
+
+def test_tightest_bound_wins():
+    system = ConstraintSystem()
+    system.add_constraint(Constraint(Event("L"), ">=", Event("G", 1)))
+    system.add_constraint(Constraint(Event("L"), ">=", Event("G", 4)))
+    assert system.entails_le(Event("G", 4), Event("L"))
+
+
+def test_invalid_constraint_operator_rejected():
+    with pytest.raises(Exception):
+        Constraint(Event("L"), "<", Event("G"))

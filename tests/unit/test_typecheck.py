@@ -1,0 +1,278 @@
+"""Unit tests for the type checker: the constraint catalogue of Figure 5 and
+the error progression of Section 2."""
+
+import pytest
+
+from repro.core import (
+    AvailabilityError,
+    ComponentBuilder,
+    ConflictError,
+    DelayError,
+    OrderingError,
+    PhantomError,
+    PipeliningError,
+    TypeCheckError,
+    check_program,
+    with_stdlib,
+)
+from repro.core.ast import PortRef
+from repro.core.events import Delay, Event
+from repro.designs.alu import naive_alu, pipelined_alu, sequential_alu
+from repro.designs.fpadd import stage_crossing_in_filament
+
+
+def check_one(component):
+    return check_program(with_stdlib(components=[component]))
+
+
+def passthrough_builder(name="C", delay=1):
+    build = ComponentBuilder(name)
+    G = build.event("G", delay=delay, interface="en")
+    return build, G
+
+
+class TestSignatureChecks:
+    def test_interval_longer_than_delay_rejected(self):
+        build, G = passthrough_builder()
+        op = build.input("op", 1, G, G + 3)
+        out = build.output("o", 1, G, G + 1)
+        build.connect(out, op)
+        with pytest.raises(DelayError):
+            check_one(build.build())
+
+    def test_empty_interval_rejected(self):
+        build, G = passthrough_builder()
+        build.input("a", 1, G + 1, G + 1)
+        build.output("o", 1, G, G + 1)
+        with pytest.raises(TypeCheckError):
+            check_one(build.build())
+
+    def test_user_component_with_ordering_constraint_rejected(self):
+        build, G = passthrough_builder()
+        L = build.event("L", delay=1)
+        build.constraint(L, ">", G)
+        a = build.input("a", 1, G, G + 1)
+        out = build.output("o", 1, G, G + 1)
+        build.connect(out, a)
+        with pytest.raises(OrderingError):
+            check_one(build.build())
+
+    def test_user_component_with_parametric_delay_rejected(self):
+        build = ComponentBuilder("C")
+        build.event("G", delay=Delay.difference(Event("L"), Event("G")),
+                    interface="en")
+        build.event("L", delay=1)
+        build.output("o", 1, Event("G"), Event("G", 1))
+        build.connect(PortRef("o"), PortRef("o"))
+        with pytest.raises(OrderingError):
+            check_one(build.build())
+
+    def test_unbound_event_in_port_rejected(self):
+        build, G = passthrough_builder()
+        build.input("a", 1, Event("T"), Event("T", 1))
+        build.output("o", 1, G, G + 1)
+        with pytest.raises(TypeCheckError):
+            check_one(build.build())
+
+
+class TestValidReads:
+    def test_reading_before_available(self):
+        with pytest.raises(AvailabilityError):
+            check_one(naive_alu())
+
+    def test_stage_crossing_bug_is_an_availability_error(self):
+        with pytest.raises(AvailabilityError):
+            check_one(stage_crossing_in_filament())
+
+    def test_error_message_mentions_both_intervals(self):
+        try:
+            check_one(naive_alu())
+        except AvailabilityError as error:
+            assert "[G+2, G+3)" in str(error) and "[G, G+1)" in str(error)
+
+    def test_reading_input_of_invocation_rejected(self):
+        build, G = passthrough_builder()
+        a = build.input("a", 32, G, G + 1)
+        out = build.output("o", 32, G, G + 1)
+        adder = build.instantiate("A", "Add")
+        inv = build.invoke("a0", adder, [G], [a, a])
+        build.connect(out, inv["left"])
+        with pytest.raises(TypeCheckError):
+            check_one(build.build())
+
+    def test_unknown_port_rejected(self):
+        build, G = passthrough_builder()
+        build.output("o", 32, G, G + 1)
+        build.connect(PortRef("o"), PortRef("mystery"))
+        with pytest.raises(TypeCheckError):
+            check_one(build.build())
+
+    def test_constant_arguments_always_valid(self):
+        build, G = passthrough_builder()
+        out = build.output("o", 32, G, G + 1)
+        adder = build.instantiate("A", "Add")
+        inv = build.invoke("a0", adder, [G], [1, 2])
+        build.connect(out, inv["out"])
+        check_one(build.build())
+
+    def test_forward_references_are_allowed(self):
+        """Bodies are unordered: an invocation may read the output of an
+        invocation appearing later in the text."""
+        build, G = passthrough_builder()
+        a = build.input("a", 32, G, G + 1)
+        out = build.output("o", 32, G, G + 1)
+        adder = build.instantiate("A", "Add")
+        adder2 = build.instantiate("B", "Add")
+        first = build.invoke("a0", adder, [G], [PortRef("out", owner="b0"), a])
+        build.invoke("b0", adder2, [G], [a, a])
+        build.connect(out, first["out"])
+        check_one(build.build())
+
+
+class TestConflicts:
+    def test_same_cycle_instance_reuse_rejected(self):
+        build, G = passthrough_builder()
+        a = build.input("a", 32, G, G + 1)
+        out = build.output("o", 32, G + 1, G + 2)
+        reg = build.instantiate("R", "Reg")
+        build.invoke("r0", reg, [G], [a])
+        second = build.invoke("r1", reg, [G], [a])
+        build.connect(out, second["out"])
+        with pytest.raises(ConflictError):
+            check_one(build.build())
+
+    def test_overlapping_mult_reuse_rejected(self):
+        # Section 4.2: two invocations of a delay-3 multiplier one cycle apart.
+        build, G = passthrough_builder(delay=10)
+        a = build.input("a", 32, G, G + 1)
+        b = build.input("b", 32, G + 1, G + 2)
+        out = build.output("o", 32, G + 3, G + 4)
+        mult = build.instantiate("M", "Mult")
+        build.invoke("m0", mult, [G], [a, a])
+        second = build.invoke("m1", mult, [G + 1], [b, b])
+        build.connect(out, second["out"])
+        with pytest.raises(ConflictError):
+            check_one(build.build())
+
+    def test_double_driven_output_rejected(self):
+        build, G = passthrough_builder()
+        a = build.input("a", 32, G, G + 1)
+        b = build.input("b", 32, G, G + 1)
+        out = build.output("o", 32, G, G + 1)
+        build.connect(out, a)
+        build.connect(out, b)
+        with pytest.raises(ConflictError):
+            check_one(build.build())
+
+    def test_undriven_output_rejected(self):
+        build, G = passthrough_builder()
+        build.input("a", 32, G, G + 1)
+        build.output("o", 32, G, G + 1)
+        with pytest.raises(TypeCheckError):
+            check_one(build.build())
+
+    def test_driving_component_input_rejected(self):
+        build, G = passthrough_builder()
+        a = build.input("a", 32, G, G + 1)
+        out = build.output("o", 32, G, G + 1)
+        build.connect(out, a)
+        build.connect(PortRef("a"), a)
+        with pytest.raises(TypeCheckError):
+            check_one(build.build())
+
+
+class TestSafePipelining:
+    def test_slow_subcomponent_in_fast_pipeline_rejected(self):
+        # The sequential ALU itself is fine (delay 3); the pipelined shape
+        # with the slow multiplier is what must be rejected.
+        build, G = passthrough_builder(delay=1)
+        a = build.input("a", 32, G, G + 1)
+        out = build.output("o", 32, G + 2, G + 3)
+        mult = build.instantiate("M", "Mult")
+        product = build.invoke("m0", mult, [G], [a, a])
+        build.connect(out, product["out"])
+        with pytest.raises(PipeliningError):
+            check_one(build.build())
+
+    def test_shared_instance_span_exceeding_delay_rejected(self):
+        build, G = passthrough_builder(delay=1)
+        a = build.input("a", 32, G, G + 1)
+        out = build.output("o", 32, G + 2, G + 3)
+        reg = build.instantiate("R", "Reg")
+        first = build.invoke("r0", reg, [G], [a])
+        second = build.invoke("r1", reg, [G + 1], [first["out"]])
+        build.connect(out, second["out"])
+        with pytest.raises(PipeliningError):
+            check_one(build.build())
+
+    def test_shared_instance_fits_when_delay_large_enough(self):
+        build, G = passthrough_builder(delay=2)
+        a = build.input("a", 32, G, G + 1)
+        out = build.output("o", 32, G + 2, G + 3)
+        reg = build.instantiate("R", "Reg")
+        first = build.invoke("r0", reg, [G], [a])
+        second = build.invoke("r1", reg, [G + 1], [first["out"]])
+        build.connect(out, second["out"])
+        check_one(build.build())
+
+    def test_paper_alu_progression(self):
+        with pytest.raises(AvailabilityError):
+            check_one(naive_alu())
+        check_one(sequential_alu())
+        check_one(pipelined_alu())
+
+    def test_register_ordering_constraint_enforced(self):
+        # Register<G, L> requires L > G+1; binding both to the same cycle
+        # violates it.
+        build, G = passthrough_builder(delay=4)
+        a = build.input("a", 32, G, G + 1)
+        out = build.output("o", 32, G + 1, G + 2)
+        reg = build.instantiate("R", "Register")
+        held = build.invoke("r0", reg, [G, G + 1], [a])
+        build.connect(out, held["out"])
+        with pytest.raises(OrderingError):
+            check_one(build.build())
+
+    def test_register_with_long_hold_accepted(self):
+        build, G = passthrough_builder(delay=4)
+        a = build.input("a", 32, G, G + 1)
+        out = build.output("o", 32, G + 1, G + 4)
+        reg = build.instantiate("R", "Register")
+        held = build.invoke("r0", reg, [G, G + 4], [a])
+        build.connect(out, held["out"])
+        check_one(build.build())
+
+
+class TestPhantomCheck:
+    def test_phantom_event_cannot_share_instances(self):
+        build = ComponentBuilder("C")
+        G = build.event("G", delay=2, interface=None)
+        a = build.input("a", 32, G, G + 1)
+        out = build.output("o", 32, G + 2, G + 3)
+        reg = build.instantiate("R", "Reg")
+        first = build.invoke("r0", reg, [G], [a])
+        second = build.invoke("r1", reg, [G + 1], [first["out"]])
+        build.connect(out, second["out"])
+        with pytest.raises(PhantomError):
+            check_program(with_stdlib(components=[build.build()]))
+
+    def test_phantom_event_cannot_trigger_interface_subcomponent(self):
+        build = ComponentBuilder("C")
+        G = build.event("G", delay=1, interface=None)
+        a = build.input("a", 32, G, G + 1)
+        out = build.output("o", 32, G + 1, G + 2)
+        reg = build.instantiate("R", "Reg")
+        held = build.invoke("r0", reg, [G], [a])
+        build.connect(out, held["out"])
+        with pytest.raises(PhantomError):
+            check_program(with_stdlib(components=[build.build()]))
+
+    def test_phantom_event_with_phantom_subcomponents_accepted(self):
+        build = ComponentBuilder("C")
+        G = build.event("G", delay=1, interface=None)
+        a = build.input("a", 32, G, G + 1)
+        out = build.output("o", 32, G + 1, G + 2)
+        delay = build.instantiate("D", "Delay")
+        held = build.invoke("d0", delay, [G], [a])
+        build.connect(out, held["out"])
+        check_program(with_stdlib(components=[build.build()]))
