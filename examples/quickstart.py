@@ -15,12 +15,12 @@ Run with:  python examples/quickstart.py
 
 from repro.core import (
     AvailabilityError,
+    CompilationSession,
     ComponentBuilder,
     PipeliningError,
     check_program,
     with_stdlib,
 )
-from repro.core.lower import compile_program, emit_verilog
 from repro.designs.alu import naive_alu, pipelined_alu
 from repro.designs.golden import alu as golden_alu
 from repro.harness import harness_for
@@ -65,9 +65,11 @@ def step_2_unpipelinable_alu() -> None:
 def step_3_pipelined_alu() -> None:
     print("== Step 3: the pipelined ALU, compiled and simulated ==")
     program = with_stdlib(components=[pipelined_alu()])
-    check_program(program)
 
-    harness = harness_for(program, "ALU")
+    # One session owns every staged artifact: the program is type checked
+    # once, and the harness, the Calyx netlist and the Verilog all reuse it.
+    session = CompilationSession(program)
+    harness = session.harness("ALU")
     transactions = [
         {"op": 0, "l": 10, "r": 20},
         {"op": 1, "l": 10, "r": 20},
@@ -78,9 +80,12 @@ def step_3_pipelined_alu() -> None:
         transactions, lambda t: {"o": golden_alu(t["op"], t["l"], t["r"])})
     print(f"one transaction per cycle, {len(transactions)} transactions:", report)
 
-    verilog = emit_verilog(compile_program(program, "ALU"))
+    verilog = session.compile("ALU", upto="verilog")
     print(f"\ngenerated Verilog: {len(verilog.splitlines())} lines "
           f"(module ALU + primitive library)")
+    stage_ms = {stage: f"{seconds * 1000:.2f} ms"
+                for stage, seconds in session.stage_seconds().items()}
+    print(f"session stage timings: {stage_ms}")
 
 
 if __name__ == "__main__":

@@ -32,6 +32,7 @@ from .errors import (
     TypeCheckError,
 )
 from .events import Delay, Event, EventComparisonError, Interval, evt
+from .session import CompilationSession, StageTiming
 from .stdlib import stdlib_program, with_stdlib
 from .typecheck import check_component, check_program
 
@@ -43,6 +44,7 @@ __all__ = [
     "OrderingError", "ParseError", "PhantomError", "PipeliningError",
     "TypeCheckError",
     "Delay", "Event", "EventComparisonError", "Interval", "evt",
+    "CompilationSession", "StageTiming",
     "stdlib_program", "with_stdlib",
     "check_component", "check_program",
 ]

@@ -1,7 +1,7 @@
 """The compilation pipeline of Section 5: Filament → Low Filament → Calyx →
 Verilog."""
 
-from .calyx_backend import compile_program, compile_to_calyx
+from .calyx_backend import compile_component, compile_program, compile_to_calyx
 from .low_filament import (
     ExplicitInvoke,
     FsmInstance,
@@ -15,7 +15,7 @@ from .lowering import lower_component, lower_program
 from .verilog_backend import emit_component, emit_verilog
 
 __all__ = [
-    "compile_program", "compile_to_calyx",
+    "compile_component", "compile_program", "compile_to_calyx",
     "ExplicitInvoke", "FsmInstance", "GuardState", "LowAssign",
     "LowComponent", "LowGuard", "LowProgram",
     "lower_component", "lower_program",

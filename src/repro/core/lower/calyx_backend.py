@@ -34,7 +34,7 @@ from ..typecheck import CheckedProgram, check_program
 from .low_filament import LowComponent, LowProgram
 from .lowering import lower_program
 
-__all__ = ["compile_to_calyx", "compile_program"]
+__all__ = ["compile_component", "compile_to_calyx", "compile_program"]
 
 
 def _port_width(width: Union[int, str], default: int = 32) -> int:
@@ -106,11 +106,17 @@ class _CalyxBackend:
         return component
 
 
+def compile_component(low: LowComponent, program: Program) -> CalyxComponent:
+    """Translate one lowered component into Calyx (the per-component unit
+    that :class:`~repro.core.session.CompilationSession` memoizes)."""
+    return _CalyxBackend(low, program).compile()
+
+
 def compile_to_calyx(low_program: LowProgram, program: Program) -> CalyxProgram:
     """Translate every lowered component into Calyx."""
     calyx = CalyxProgram(entrypoint=low_program.entrypoint)
     for low in low_program.components.values():
-        calyx.add(_CalyxBackend(low, program).compile())
+        calyx.add(compile_component(low, program))
     return calyx
 
 
@@ -118,8 +124,10 @@ def compile_program(program: Program, entrypoint: str,
                     checked: Optional[CheckedProgram] = None) -> CalyxProgram:
     """The full compilation pipeline: type check, lower to Low Filament,
     translate to Calyx.  This is the one-call API used by the harness, the
-    synthesis model and the examples."""
-    if checked is None:
-        checked = check_program(program)
-    low = lower_program(program, entrypoint, checked)
-    return compile_to_calyx(low, program)
+    synthesis model and the examples — a thin wrapper over the program's
+    shared :class:`~repro.core.session.CompilationSession`, so repeated
+    compiles of one program object hit the session caches."""
+    from ..session import CompilationSession
+    if checked is not None:
+        return CompilationSession(program, checked=checked).calyx(entrypoint)
+    return CompilationSession.for_program(program).calyx(entrypoint)

@@ -1,6 +1,12 @@
 """Experiment drivers that regenerate every table and figure of the paper."""
 
-from .compile_time import CompileTiming, evaluation_designs, measure_compile_times
+from .compile_time import (
+    CompileTiming,
+    SimThroughput,
+    evaluation_designs,
+    measure_compile_times,
+    measure_sim_throughput,
+)
 from .figures import (
     ConstraintCase,
     DividerPoint,
@@ -14,7 +20,8 @@ from .table1 import PAPER_TABLE1, Table1Row, audit_design, format_table1, table1
 from .table2 import PAPER_TABLE2, Table2Row, format_table2, table2, validate_designs
 
 __all__ = [
-    "CompileTiming", "evaluation_designs", "measure_compile_times",
+    "CompileTiming", "SimThroughput", "evaluation_designs",
+    "measure_compile_times", "measure_sim_throughput",
     "ConstraintCase", "DividerPoint", "figure1_waveforms",
     "figure2_divider_tradeoffs", "figure4_pipelined_waveform",
     "figure5_constraint_catalogue", "figure6_compilation_flow",

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core import (
     AvailabilityError,
+    CompilationSession,
     ComponentBuilder,
     ConflictError,
     DelayError,
@@ -33,8 +34,6 @@ from ..core import (
     check_program,
     with_stdlib,
 )
-from ..core.lower import compile_program, emit_verilog, lower_program
-from ..core.parser import parse_program
 from ..designs.alu import hdl_style_alu
 from ..designs.addmult import addmult_program
 from ..designs.divider import divider_program
@@ -104,12 +103,14 @@ def figure2_divider_tradeoffs(bits: int = 8) -> List[DividerPoint]:
     points: List[DividerPoint] = []
     for variant, name in component_of.items():
         program = divider_program(variant, bits)
-        harness = harness_for(program, name)
+        session = CompilationSession.for_program(program)
+        calyx = session.calyx(name)
+        harness = harness_for(program, name, calyx=calyx)
         report = harness.check(
             vectors,
             lambda t: {"q": restoring_divide(t["left"], t["div"], bits)["quotient"]},
         )
-        resources = synthesize(compile_program(program, name), name=name)
+        resources = synthesize(calyx, name=name)
         points.append(DividerPoint(
             variant=variant,
             latency=harness.spec.latency(),
@@ -308,14 +309,14 @@ comp main<G: 4>(
 
 def figure6_compilation_flow() -> Dict[str, str]:
     """The running example of Figures 3 and 6 at every stage of the
-    compilation pipeline."""
-    program = with_stdlib(parse_program(_FIGURE6_SOURCE))
-    checked = check_program(program)
-    low = lower_program(program, "main", checked)
-    calyx = compile_program(program, "main", checked)
+    compilation pipeline — one :class:`CompilationSession` from source text,
+    with every stage's artifact pulled from the staged caches."""
+    session = CompilationSession.from_source(_FIGURE6_SOURCE)
+    low = session.compile("main", upto="lower")
+    calyx = session.compile("main", upto="calyx")
     return {
         "filament": _FIGURE6_SOURCE.strip(),
         "low_filament": str(low.get("main")),
         "calyx": str(calyx.get("main")),
-        "verilog": emit_verilog(calyx),
+        "verilog": session.compile("main", upto="verilog"),
     }

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from ..core.lower import compile_program
+from ..core.session import CompilationSession
 from ..designs.conv2d import conv2d_base_program, conv2d_reticle_program
 from ..designs.golden import conv2d_stream
 from ..generators.aetherling import generate
@@ -60,57 +60,53 @@ def _validate_stream(harness: CycleAccurateHarness, pixels: Sequence[int]) -> bo
                for value, want in zip(got, expected))
 
 
-def validate_designs() -> Dict[str, bool]:
-    """Cross-validate the three designs against one golden model."""
-    outcomes: Dict[str, bool] = {}
+def _table2_designs():
+    """The three design points as ``(name, harness, calyx, synth_kwargs)``.
 
+    Each Filament design is compiled once through its program's shared
+    :class:`~repro.core.session.CompilationSession`; the validating harness
+    and the synthesis model both consume the cached Calyx artifact.  This is
+    the single source of truth for both :func:`validate_designs` and
+    :func:`table2`."""
     aetherling = generate("conv2d", 1)
-    harness = CycleAccurateHarness(aetherling.calyx, aetherling.reported_spec())
-    outcomes["Aetherling"] = _validate_stream(harness, _VALIDATION_PIXELS)
+    yield ("Aetherling",
+           CycleAccurateHarness(aetherling.calyx, aetherling.reported_spec()),
+           aetherling.calyx, {})
 
     base_program = conv2d_base_program()
-    outcomes["Filament"] = _validate_stream(
-        harness_for(base_program, "Conv2d"), _VALIDATION_PIXELS)
+    base_calyx = CompilationSession.for_program(base_program).calyx("Conv2d")
+    yield ("Filament",
+           harness_for(base_program, "Conv2d", calyx=base_calyx),
+           base_calyx, {})
 
-    reticle_program, _ = conv2d_reticle_program()
-    outcomes["Filament Reticle"] = _validate_stream(
-        harness_for(reticle_program, "Conv2dReticle"), _VALIDATION_PIXELS)
-    return outcomes
+    reticle_program, cascade_report = conv2d_reticle_program()
+    reticle_calyx = CompilationSession.for_program(
+        reticle_program).calyx("Conv2dReticle")
+    costs, min_period = extern_costs_from_reticle(cascade_report)
+    yield ("Filament Reticle",
+           harness_for(reticle_program, "Conv2dReticle", calyx=reticle_calyx),
+           reticle_calyx,
+           {"extern_costs": costs, "extern_min_period": min_period,
+            "extern_sequential": (cascade_report.name,)})
+
+
+def validate_designs() -> Dict[str, bool]:
+    """Cross-validate the three designs against one golden model."""
+    return {name: _validate_stream(harness, _VALIDATION_PIXELS)
+            for name, harness, _, _ in _table2_designs()}
 
 
 def table2() -> List[Table2Row]:
     """Build all three rows (validation + synthesis model)."""
-    validated = validate_designs()
-    rows: List[Table2Row] = []
-
-    aetherling = generate("conv2d", 1)
-    rows.append(Table2Row(
-        "Aetherling",
-        synthesize(aetherling.calyx, name="Aetherling"),
-        PAPER_TABLE2["Aetherling"],
-        validated["Aetherling"],
-    ))
-
-    base_program = conv2d_base_program()
-    rows.append(Table2Row(
-        "Filament",
-        synthesize(compile_program(base_program, "Conv2d"), name="Filament"),
-        PAPER_TABLE2["Filament"],
-        validated["Filament"],
-    ))
-
-    reticle_program, cascade_report = conv2d_reticle_program()
-    costs, min_period = extern_costs_from_reticle(cascade_report)
-    rows.append(Table2Row(
-        "Filament Reticle",
-        synthesize(compile_program(reticle_program, "Conv2dReticle"),
-                   name="Filament Reticle", extern_costs=costs,
-                   extern_min_period=min_period,
-                   extern_sequential=(cascade_report.name,)),
-        PAPER_TABLE2["Filament Reticle"],
-        validated["Filament Reticle"],
-    ))
-    return rows
+    return [
+        Table2Row(
+            name,
+            synthesize(calyx, name=name, **synth_kwargs),
+            PAPER_TABLE2[name],
+            _validate_stream(harness, _VALIDATION_PIXELS),
+        )
+        for name, harness, calyx, synth_kwargs in _table2_designs()
+    ]
 
 
 def format_table2(rows: Sequence[Table2Row]) -> str:

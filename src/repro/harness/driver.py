@@ -27,7 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from ..calyx.ir import CalyxProgram
 from ..core.ast import Program
 from ..core.errors import FilamentError, SimulationError
-from ..core.lower import compile_program
+from ..core.session import CompilationSession
 from ..sim.simulator import Simulator
 from ..sim.values import Value, X, format_value, is_x
 from .spec import InterfaceSpec, spec_from_signature
@@ -93,6 +93,16 @@ class CycleAccurateHarness:
                     f"harness spec drives unknown input {port.name!r} of "
                     f"{self.component}"
                 )
+        #: The compiled simulation engine, built once per harness; every run
+        #: resets it to power-on state instead of recompiling the schedule.
+        self._simulator: Optional[Simulator] = None
+
+    def _fresh_simulator(self) -> Simulator:
+        if self._simulator is None:
+            self._simulator = Simulator(self.calyx, self.component)
+        else:
+            self._simulator.reset()
+        return self._simulator
 
     # -- stimulus construction -----------------------------------------------
 
@@ -145,8 +155,7 @@ class CycleAccurateHarness:
         """Run the transactions back-to-back at the initiation interval and
         capture each one's outputs during their availability windows."""
         stimulus, starts = self._schedule(transactions, spacing, extra_cycles)
-        simulator = Simulator(self.calyx, self.component)
-        trace: List[Dict[str, Value]] = [simulator.step(inputs) for inputs in stimulus]
+        trace = self._fresh_simulator().run_batch(stimulus)
 
         results = []
         for index, (start, transaction) in enumerate(zip(starts, transactions)):
@@ -166,8 +175,7 @@ class CycleAccurateHarness:
         """The raw per-cycle output trace (used by waveform figures and by
         the latency audit)."""
         stimulus, _ = self._schedule(transactions, spacing, extra_cycles)
-        simulator = Simulator(self.calyx, self.component)
-        return [simulator.step(inputs) for inputs in stimulus]
+        return self._fresh_simulator().run_batch(stimulus)
 
     def check(self, transactions: Sequence[Transaction],
               golden: Callable[[Transaction], Dict[str, int]],
@@ -189,11 +197,16 @@ class CycleAccurateHarness:
 
 
 def harness_for(program: Program, component: str,
-                calyx: Optional[CalyxProgram] = None) -> CycleAccurateHarness:
+                calyx: Optional[CalyxProgram] = None,
+                session: Optional[CompilationSession] = None) -> CycleAccurateHarness:
     """Compile ``component`` (unless a compiled program is supplied) and wrap
-    it in a harness driven by its own timeline type."""
+    it in a harness driven by its own timeline type.  Compilation routes
+    through ``session`` when given, or the program's shared
+    :class:`~repro.core.session.CompilationSession` otherwise, so repeated
+    harnesses over one program hit the staged caches."""
     if calyx is None:
-        calyx = compile_program(program, component)
+        session = session or CompilationSession.for_program(program)
+        calyx = session.calyx(component)
     spec = spec_from_signature(program.get(component).signature)
     return CycleAccurateHarness(calyx, spec, component)
 

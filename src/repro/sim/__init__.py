@@ -1,6 +1,7 @@
 """Cycle-accurate simulation substrate (stands in for cocotb + an RTL
 simulator in the paper's evaluation)."""
 
+from .engine import ScheduledEngine
 from .primitives import (
     PrimitiveModel,
     create_primitive,
@@ -13,6 +14,7 @@ from .values import Value, X, format_value, is_x, mask, to_bool
 from .waveform import WaveformRecorder, render_ascii
 
 __all__ = [
+    "ScheduledEngine",
     "PrimitiveModel", "create_primitive", "is_primitive", "primitive_names",
     "register_primitive",
     "Simulator", "run_trace",

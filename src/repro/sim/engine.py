@@ -1,0 +1,464 @@
+"""A compiled, scheduled simulation engine for Calyx netlists.
+
+The original :class:`~repro.sim.simulator.Simulator` is a naive fixpoint
+interpreter: every cycle it sweeps *all* primitives, children and guarded
+assignments until nothing changes, rebuilding its per-destination driver
+grouping on every sweep.  For the deeply pipelined designs the evaluation
+drives through thousands of cycles that is a large constant-factor tax.
+
+:class:`ScheduledEngine` compiles the netlist once, at construction:
+
+* the guarded assignments are grouped by destination port a single time
+  (the grouping used to be rebuilt per sweep);
+* every evaluation obligation — a primitive's combinational function, a
+  child component instance, or one destination's driver group — becomes a
+  *node* whose combinational dependencies are known statically (primitives
+  declare theirs via :attr:`PrimitiveModel.combinational_inputs`);
+* the nodes are levelized into a topological **schedule**; a settle is then
+  a single pass over the schedule instead of an iterated fixpoint.
+
+Topological evaluation computes exactly the least fixpoint the sweep loop
+converges to, because every value is monotone during a cycle (signals only
+refine from ``X`` to a concrete value while the inputs are held).  When the
+dependency graph is genuinely cyclic — combinational loops, or feedback
+through a child instance — the engine keeps the original bounded sweep loop
+as a fallback for that component, so behaviour (including the
+``SimulationError`` on unsettled loops and X-stabilised loops) is unchanged.
+
+Child instances conservatively depend on *all* of their input ports, not
+just the combinationally-relevant ones: the child's sequential ``tick`` uses
+the input values its last settle saw, so every input must be final before
+the child node runs.
+
+On top of ``step``, :meth:`ScheduledEngine.run_batch` executes a whole
+stimulus list with the per-cycle input validation hoisted out of the loop —
+the fast path used by the cycle-accurate harness for pipelined transaction
+streams.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..calyx.ir import Assignment, CalyxComponent, CalyxProgram, Cell, CellPort
+from ..core.errors import SimulationError
+from .primitives import PrimitiveModel, create_primitive, is_primitive
+from .values import Value, X, format_value, is_x, to_bool
+
+__all__ = ["ScheduledEngine", "SimulatorMode", "_MAX_SWEEPS"]
+
+#: Upper bound on settle sweeps before declaring a combinational loop
+#: (fallback path only; the scheduled path needs a single pass).
+_MAX_SWEEPS = 200
+
+#: Engine selection: ``"auto"`` builds a schedule and falls back to the
+#: sweep loop only for cyclic components; ``"fixpoint"`` forces the sweep
+#: loop everywhere (the reference semantics, kept for differential testing).
+SimulatorMode = str
+
+_PRIM = 0
+_CHILD = 1
+_GROUP = 2
+
+#: A signal key: ``(cell_name_or_None, port_name)``.
+_Key = Tuple[Optional[str], str]
+
+
+class _CompiledAssign:
+    """One guarded assignment with its ports pre-resolved to value keys."""
+
+    __slots__ = ("assignment", "guard_keys", "src_key", "src_const")
+
+    def __init__(self, assignment: Assignment) -> None:
+        self.assignment = assignment
+        # ``None`` means the always-true guard.
+        self.guard_keys: Optional[Tuple[_Key, ...]] = (
+            None if assignment.guard.always
+            else tuple((p.cell, p.port) for p in assignment.guard.ports)
+        )
+        if isinstance(assignment.src, int):
+            self.src_key: Optional[_Key] = None
+            self.src_const: Value = assignment.src
+        else:
+            self.src_key = (assignment.src.cell, assignment.src.port)
+            self.src_const = X
+
+
+class _DriverGroup:
+    """All assignments driving one destination port, grouped once."""
+
+    __slots__ = ("dst", "dst_key", "assigns")
+
+    def __init__(self, dst: CellPort, assigns: List[_CompiledAssign]) -> None:
+        self.dst = dst
+        self.dst_key: _Key = (dst.cell, dst.port)
+        self.assigns = assigns
+
+
+class ScheduledEngine:
+    """Simulates one component of a :class:`CalyxProgram` from a
+    precompiled evaluation schedule."""
+
+    def __init__(self, program: CalyxProgram,
+                 component: Optional[str] = None,
+                 mode: SimulatorMode = "auto") -> None:
+        self.program = program
+        self.mode = mode
+        name = component if component is not None else program.entrypoint
+        if name is None:
+            raise SimulationError("no component selected for simulation")
+        self.component: CalyxComponent = program.get(name)
+        self._primitives: Dict[str, PrimitiveModel] = {}
+        self._children: Dict[str, ScheduledEngine] = {}
+        for cell in self.component.cells:
+            if is_primitive(cell.component):
+                self._primitives[cell.name] = create_primitive(
+                    cell.component, cell.params)
+            elif cell.component in program:
+                self._children[cell.name] = type(self)(
+                    program, cell.component, mode=mode)
+            else:
+                raise SimulationError(
+                    f"{self.component.name}: cell {cell.name} instantiates "
+                    f"unknown component {cell.component!r}"
+                )
+        self._input_names = tuple(self.component.input_names())
+        self._input_set = frozenset(self._input_names)
+
+        # Driver grouping, computed once (the fixpoint interpreter used to
+        # rebuild this dictionary on every sweep of every cycle).
+        by_dst: Dict[CellPort, List[_CompiledAssign]] = {}
+        for wire in self.component.wires:
+            by_dst.setdefault(wire.dst, []).append(_CompiledAssign(wire))
+        self._groups: List[_DriverGroup] = [
+            _DriverGroup(dst, assigns) for dst, assigns in by_dst.items()
+        ]
+
+        self._schedule: Optional[List[Tuple[int, object]]] = (
+            None if mode == "fixpoint" else self._build_schedule()
+        )
+
+        #: Current values of every (cell, port) pair; ``None`` cell means the
+        #: component's own ports.
+        self._values: Dict[_Key, Value] = {}
+        self.cycle = 0
+        self.reset()
+
+    # -- schedule construction -------------------------------------------------
+
+    @property
+    def is_scheduled(self) -> bool:
+        """Whether this component settles via the levelized schedule (the
+        sweep-loop fallback is in effect otherwise)."""
+        return self._schedule is not None
+
+    def scheduled_everywhere(self) -> bool:
+        """Whether this component *and every child, recursively* run on the
+        levelized schedule."""
+        return self.is_scheduled and all(
+            child.scheduled_everywhere() for child in self._children.values()
+        )
+
+    def _build_schedule(self) -> Optional[List[Tuple[int, object]]]:
+        """Levelize the netlist into a topological evaluation order, or
+        return ``None`` when the combinational dependency graph is cyclic
+        (or otherwise irregular) and the sweep fallback must be used."""
+        nodes: List[Tuple[int, object]] = []
+        defines: List[Tuple[_Key, ...]] = []
+        depends: List[Tuple[_Key, ...]] = []
+
+        for cell_name, model in self._primitives.items():
+            comb = model.combinational_inputs
+            if comb is None:
+                comb = model.inputs
+            nodes.append((_PRIM, (cell_name, model)))
+            defines.append(tuple((cell_name, port) for port in model.outputs))
+            depends.append(tuple((cell_name, port) for port in comb))
+
+        for cell_name, child in self._children.items():
+            # All inputs, not just combinationally-relevant ones: the child's
+            # tick reads the inputs of its last settle.
+            nodes.append((_CHILD, (cell_name, child)))
+            defines.append(tuple((cell_name, port)
+                                 for port in child.component.output_names()))
+            depends.append(tuple((cell_name, port)
+                                 for port in child.component.input_names()))
+
+        for group in self._groups:
+            nodes.append((_GROUP, group))
+            defines.append((group.dst_key,))
+            depends.append(tuple(
+                key
+                for assign in group.assigns
+                for key in (assign.guard_keys or ()) +
+                           ((assign.src_key,) if assign.src_key else ())
+            ))
+
+        # Map each signal to its unique defining node; duplicate or
+        # input-shadowing definitions are irregular netlists -> fallback.
+        defined_by: Dict[_Key, int] = {}
+        for index, keys in enumerate(defines):
+            for key in keys:
+                if key in defined_by:
+                    return None
+                if key[0] is None and key[1] in self._input_set:
+                    return None
+                defined_by[key] = index
+
+        # Kahn's algorithm over node-level edges, preserving declaration
+        # order among ready nodes for determinism.
+        successors: List[List[int]] = [[] for _ in nodes]
+        indegree = [0] * len(nodes)
+        for index, keys in enumerate(depends):
+            sources = {defined_by[key] for key in keys if key in defined_by}
+            if index in sources:
+                # A node reading its own destination (e.g. ``p = p ? v``) is
+                # a combinational cycle; only the sweep loop evaluates it —
+                # and detects its conflicts — faithfully.
+                return None
+            for source in sources:
+                successors[source].append(index)
+                indegree[index] += 1
+        ready = [index for index, degree in enumerate(indegree) if degree == 0]
+        order: List[int] = []
+        while ready:
+            index = ready.pop(0)
+            order.append(index)
+            for successor in successors[index]:
+                indegree[successor] -= 1
+                if indegree[successor] == 0:
+                    ready.append(successor)
+        if len(order) != len(nodes):
+            return None  # combinational cycle -> sweep fallback
+        return [nodes[index] for index in order]
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Return every primitive and child to its power-on state."""
+        for model in self._primitives.values():
+            model.reset()
+        for child in self._children.values():
+            child.reset()
+        self._values = {}
+        self.cycle = 0
+
+    # -- value plumbing --------------------------------------------------------
+
+    def _read(self, port: Union[CellPort, int]) -> Value:
+        if isinstance(port, int):
+            return port
+        return self._values.get((port.cell, port.port), X)
+
+    def _cell_inputs(self, cell_name: str, ports: Sequence[str]) -> Dict[str, Value]:
+        values = self._values
+        return {port: values.get((cell_name, port), X) for port in ports}
+
+    # -- one cycle -------------------------------------------------------------
+
+    def step(self, inputs: Optional[Dict[str, Value]] = None) -> Dict[str, Value]:
+        """Run one full clock cycle: drive ``inputs``, settle combinational
+        logic, sample the outputs, then advance sequential state.  Returns
+        the component's output port values during this cycle."""
+        inputs = inputs or {}
+        for name in inputs:
+            if name not in self._input_set:
+                raise SimulationError(
+                    f"{self.component.name}: unknown input port {name!r}"
+                )
+        return self._step_unchecked(inputs)
+
+    def run_batch(self, stimuli: Sequence[Dict[str, Value]]) -> List[Dict[str, Value]]:
+        """Execute a whole stimulus list and return the per-cycle output
+        dicts.  Input-name validation happens once for the batch, so
+        pipelined transaction streams avoid per-cycle re-dispatch."""
+        known = self._input_set
+        unknown = {name for cycle_inputs in stimuli for name in cycle_inputs} - known
+        if unknown:
+            raise SimulationError(
+                f"{self.component.name}: unknown input port "
+                f"{sorted(unknown)[0]!r}"
+            )
+        return [self._step_unchecked(cycle_inputs) for cycle_inputs in stimuli]
+
+    def _step_unchecked(self, inputs: Dict[str, Value]) -> Dict[str, Value]:
+        self._begin_cycle(inputs)
+        self._settle()
+        outputs = self.outputs()
+        self._tick()
+        self.cycle += 1
+        return outputs
+
+    def outputs(self) -> Dict[str, Value]:
+        """Output port values as of the last settle."""
+        return {port.name: self._values.get((None, port.name), X)
+                for port in self.component.outputs}
+
+    def peek(self, cell: Optional[str], port: str) -> Value:
+        """Inspect any internal signal (used by waveforms and tests)."""
+        return self._values.get((cell, port), X)
+
+    # -- settle ----------------------------------------------------------------
+
+    def _begin_cycle(self, inputs: Dict[str, Value]) -> None:
+        self._values = {}
+        for name in self._input_names:
+            self._values[(None, name)] = inputs.get(name, X)
+
+    def _settle(self) -> None:
+        if self._schedule is not None:
+            self._settle_scheduled()
+        else:
+            self._settle_sweeps()
+
+    def _settle_scheduled(self) -> None:
+        """One pass over the levelized schedule: every node's dependencies
+        are final by the time it runs, so each is evaluated exactly once."""
+        values = self._values
+        for kind, payload in self._schedule:
+            if kind == _GROUP:
+                self._evaluate_group(payload, values)
+            elif kind == _PRIM:
+                cell_name, model = payload
+                outputs = model.combinational(
+                    {port: values.get((cell_name, port), X)
+                     for port in model.inputs})
+                for port, value in outputs.items():
+                    values[(cell_name, port)] = value
+            else:
+                cell_name, child = payload
+                # Preserving semantics, exactly like the sweep loop's child
+                # evaluation: a child signal whose drivers are all inactive
+                # this cycle retains its previous value.
+                child._begin_cycle_preserving({
+                    name: values.get((cell_name, name), X)
+                    for name in child._input_names
+                })
+                child._settle()
+                for name, value in child.outputs().items():
+                    values[(cell_name, name)] = value
+
+    def _evaluate_group(self, group: _DriverGroup,
+                        values: Dict[_Key, Value]) -> None:
+        active_values: List[Value] = []
+        for assign in group.assigns:
+            guard_keys = assign.guard_keys
+            if guard_keys is not None and not any(
+                    to_bool(values.get(key, X)) for key in guard_keys):
+                continue
+            if assign.src_key is None:
+                active_values.append(assign.src_const)
+            else:
+                active_values.append(values.get(assign.src_key, X))
+        if not active_values:
+            return
+        concrete = [v for v in active_values if not is_x(v)]
+        if len(set(concrete)) > 1:
+            self._raise_conflict(group, active_values)
+        values[group.dst_key] = concrete[0] if concrete else X
+
+    def _raise_conflict(self, group: _DriverGroup,
+                        values: List[Value]) -> None:
+        active = [assign.assignment for assign in group.assigns
+                  if assign.guard_keys is None or any(
+                      to_bool(self._values.get(key, X))
+                      for key in assign.guard_keys)]
+        drivers = ", ".join(str(a) for a in active)
+        raise SimulationError(
+            f"{self.component.name}: conflicting drivers for {group.dst} in "
+            f"cycle {self.cycle}: {drivers} "
+            f"(values {[format_value(v) for v in values]})"
+        )
+
+    # -- sweep fallback --------------------------------------------------------
+
+    def _settle_sweeps(self) -> None:
+        """The original bounded fixpoint loop, retained for genuinely cyclic
+        netlists (still using the precomputed driver grouping)."""
+        for _ in range(_MAX_SWEEPS):
+            changed = False
+            changed |= self._evaluate_primitives()
+            changed |= self._evaluate_children()
+            changed |= self._evaluate_assignments()
+            if not changed:
+                return
+        raise SimulationError(
+            f"{self.component.name}: combinational logic did not settle "
+            f"within {_MAX_SWEEPS} sweeps (possible combinational loop)"
+        )
+
+    def _evaluate_primitives(self) -> bool:
+        changed = False
+        values = self._values
+        for cell_name, model in self._primitives.items():
+            outputs = model.combinational(self._cell_inputs(cell_name, model.inputs))
+            for port, value in outputs.items():
+                key = (cell_name, port)
+                previous = values.get(key, X)
+                if previous is not value and previous != value:
+                    values[key] = value
+                    changed = True
+        return changed
+
+    def _evaluate_children(self) -> bool:
+        changed = False
+        values = self._values
+        for cell_name, child in self._children.items():
+            child_inputs = {
+                name: values.get((cell_name, name), X)
+                for name in child._input_names
+            }
+            child._begin_cycle_preserving(child_inputs)
+            child._settle()
+            for name, value in child.outputs().items():
+                key = (cell_name, name)
+                previous = values.get(key, X)
+                if previous is not value and previous != value:
+                    values[key] = value
+                    changed = True
+        return changed
+
+    def _begin_cycle_preserving(self, inputs: Dict[str, Value]) -> None:
+        """Like :meth:`_begin_cycle` but keeps already-computed internal
+        values so repeated settles within a parent's fixpoint converge."""
+        for name, value in inputs.items():
+            self._values[(None, name)] = value
+
+    def _evaluate_assignments(self) -> bool:
+        changed = False
+        values = self._values
+        for group in self._groups:
+            active = [assign for assign in group.assigns
+                      if assign.guard_keys is None or any(
+                          to_bool(values.get(key, X))
+                          for key in assign.guard_keys)]
+            if not active:
+                continue
+            active_values = [
+                assign.src_const if assign.src_key is None
+                else values.get(assign.src_key, X)
+                for assign in active
+            ]
+            concrete = [v for v in active_values if not is_x(v)]
+            if len(set(concrete)) > 1:
+                drivers = ", ".join(str(a.assignment) for a in active)
+                raise SimulationError(
+                    f"{self.component.name}: conflicting drivers for "
+                    f"{group.dst} in cycle {self.cycle}: {drivers} "
+                    f"(values {[format_value(v) for v in active_values]})"
+                )
+            value = concrete[0] if concrete else X
+            previous = values.get(group.dst_key, X)
+            if previous is not value and previous != value:
+                values[group.dst_key] = value
+                changed = True
+        return changed
+
+    # -- tick ------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        for cell_name, model in self._primitives.items():
+            model.tick(self._cell_inputs(cell_name, model.inputs))
+        for child in self._children.values():
+            child._tick()
+            child.cycle += 1

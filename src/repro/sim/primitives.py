@@ -38,6 +38,11 @@ class PrimitiveModel:
     #: Names of input and output ports, filled in by subclasses.
     inputs: Tuple[str, ...] = ()
     outputs: Tuple[str, ...] = ()
+    #: Input ports whose *current-cycle* value can affect
+    #: :meth:`combinational` outputs.  ``None`` means every input port; a
+    #: registered primitive whose outputs depend only on stored state sets
+    #: this to ``()`` so the scheduled engine can levelize across it.
+    combinational_inputs: Optional[Tuple[str, ...]] = None
 
     def __init__(self, name: str, params: Sequence[int]) -> None:
         self.name = name
@@ -194,6 +199,7 @@ class _PipelinedMultModel(PrimitiveModel):
 
     inputs = ("go", "left", "right")
     outputs = ("out",)
+    combinational_inputs = ()
 
     def __init__(self, name: str, params: Sequence[int], latency: int) -> None:
         super().__init__(name, params)
@@ -224,6 +230,7 @@ class _RegModel(PrimitiveModel):
 
     inputs = ("en", "in")
     outputs = ("out",)
+    combinational_inputs = ()
 
     def __init__(self, name: str, params: Sequence[int]) -> None:
         super().__init__(name, params)
@@ -255,6 +262,7 @@ class _DelayModel(PrimitiveModel):
 
     inputs = ("in",)
     outputs = ("out",)
+    combinational_inputs = ()
 
     def __init__(self, name: str, params: Sequence[int]) -> None:
         super().__init__(name, params)
@@ -280,6 +288,7 @@ class _PrevModel(PrimitiveModel):
     ``ContPrev`` is the phantom-event variant without an enable."""
 
     outputs = ("prev",)
+    combinational_inputs = ()
 
     def __init__(self, name: str, params: Sequence[int], has_enable: bool) -> None:
         super().__init__(name, params)
@@ -309,6 +318,7 @@ class _DspMacModel(PrimitiveModel):
 
     inputs = ("ce", "a", "b", "pin")
     outputs = ("pout",)
+    combinational_inputs = ()
 
     def __init__(self, name: str, params: Sequence[int]) -> None:
         super().__init__(name, params)
@@ -340,6 +350,7 @@ class FsmModel(PrimitiveModel):
     ``i`` cycles after the trigger was high."""
 
     inputs = ("go",)
+    combinational_inputs = ("go",)
 
     def __init__(self, name: str, params: Sequence[int]) -> None:
         super().__init__(name, params)

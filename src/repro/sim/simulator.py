@@ -6,215 +6,54 @@ Calyx programs produced by Filament's backend (or hand-built netlists from
 the generator substrates) with standard two-phase clocked semantics:
 
 1. **settle** — propagate values through guarded assignments and
-   combinational primitive outputs until a fixpoint is reached (a bounded
-   iteration count turns combinational loops into
+   combinational primitive outputs; the execution plan is a levelized
+   schedule precompiled by :class:`~repro.sim.engine.ScheduledEngine` (a
+   bounded sweep loop remains as the fallback for genuinely cyclic regions,
+   turning unsettled combinational loops into
    :class:`~repro.core.errors.SimulationError`);
 2. **tick** — advance every sequential primitive's registered state using the
    values present during the cycle.
 
 Hierarchy is supported directly: a cell whose component is not a primitive
-is simulated by a nested :class:`Simulator`, which keeps compiled user
-components (e.g. ``conv2d`` instantiating ``Stencil``) runnable without a
-flattening pass.
+is simulated by a nested engine, which keeps compiled user components
+(e.g. ``conv2d`` instantiating ``Stencil``) runnable without a flattening
+pass.
 
 Conflicting drivers — two simultaneously-active guarded assignments driving
 different values onto one port — raise :class:`SimulationError`.  Filament's
 type system guarantees this cannot happen for compiled programs; the error
 path exists to catch bugs in hand-written netlists and is exercised by the
 test suite.
+
+:class:`Simulator` is the stable public API (``step``/``peek``/``outputs``/
+``reset``/``run_batch``); it is the scheduled engine with the historical
+name.  Pass ``mode="fixpoint"`` to force the reference sweep-loop semantics
+(used by the differential tests and the before/after benchmarks).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional
 
-from ..calyx.ir import Assignment, CalyxComponent, CalyxProgram, Cell, CellPort
-from ..core.errors import SimulationError
-from .primitives import PrimitiveModel, create_primitive, is_primitive
-from .values import Value, X, format_value, is_x, to_bool
+from ..calyx.ir import CalyxProgram
+from .engine import _MAX_SWEEPS, ScheduledEngine, SimulatorMode
+from .values import Value
 
 __all__ = ["Simulator", "run_trace"]
 
-#: Upper bound on settle sweeps before declaring a combinational loop.
-_MAX_SWEEPS = 200
 
+class Simulator(ScheduledEngine):
+    """Simulates one component of a :class:`CalyxProgram`.
 
-class Simulator:
-    """Simulates one component of a :class:`CalyxProgram`."""
-
-    def __init__(self, program: CalyxProgram,
-                 component: Optional[str] = None) -> None:
-        self.program = program
-        name = component if component is not None else program.entrypoint
-        if name is None:
-            raise SimulationError("no component selected for simulation")
-        self.component: CalyxComponent = program.get(name)
-        self._primitives: Dict[str, PrimitiveModel] = {}
-        self._children: Dict[str, Simulator] = {}
-        for cell in self.component.cells:
-            if is_primitive(cell.component):
-                self._primitives[cell.name] = create_primitive(
-                    cell.component, cell.params)
-            elif cell.component in program:
-                self._children[cell.name] = Simulator(program, cell.component)
-            else:
-                raise SimulationError(
-                    f"{self.component.name}: cell {cell.name} instantiates "
-                    f"unknown component {cell.component!r}"
-                )
-        #: Current values of every (cell, port) pair; ``None`` cell means the
-        #: component's own ports.
-        self._values: Dict[Tuple[Optional[str], str], Value] = {}
-        self.cycle = 0
-        self.reset()
-
-    # -- lifecycle -----------------------------------------------------------
-
-    def reset(self) -> None:
-        """Return every primitive and child to its power-on state."""
-        for model in self._primitives.values():
-            model.reset()
-        for child in self._children.values():
-            child.reset()
-        self._values = {}
-        self.cycle = 0
-
-    # -- value plumbing --------------------------------------------------------
-
-    def _read(self, port: Union[CellPort, int]) -> Value:
-        if isinstance(port, int):
-            return port
-        return self._values.get((port.cell, port.port), X)
-
-    def _write(self, cell: Optional[str], port: str, value: Value) -> None:
-        self._values[(cell, port)] = value
-
-    def _cell_inputs(self, cell_name: str, ports: Tuple[str, ...]) -> Dict[str, Value]:
-        return {port: self._values.get((cell_name, port), X) for port in ports}
-
-    def _guard_active(self, assignment: Assignment) -> bool:
-        if assignment.guard.always:
-            return True
-        return any(to_bool(self._read(port)) for port in assignment.guard.ports)
-
-    # -- one cycle ---------------------------------------------------------------
-
-    def step(self, inputs: Optional[Dict[str, Value]] = None) -> Dict[str, Value]:
-        """Run one full clock cycle: drive ``inputs``, settle combinational
-        logic, sample the outputs, then advance sequential state.  Returns
-        the component's output port values during this cycle."""
-        self._begin_cycle(inputs or {})
-        self._settle()
-        outputs = self.outputs()
-        self._tick()
-        self.cycle += 1
-        return outputs
-
-    def outputs(self) -> Dict[str, Value]:
-        """Output port values as of the last settle."""
-        return {port.name: self._values.get((None, port.name), X)
-                for port in self.component.outputs}
-
-    def peek(self, cell: Optional[str], port: str) -> Value:
-        """Inspect any internal signal (used by waveforms and tests)."""
-        return self._values.get((cell, port), X)
-
-    # -- internals ----------------------------------------------------------------
-
-    def _begin_cycle(self, inputs: Dict[str, Value]) -> None:
-        known_inputs = set(self.component.input_names())
-        for name in inputs:
-            if name not in known_inputs:
-                raise SimulationError(
-                    f"{self.component.name}: unknown input port {name!r}"
-                )
-        self._values = {}
-        for name in known_inputs:
-            self._values[(None, name)] = inputs.get(name, X)
-
-    def _settle(self) -> None:
-        for _ in range(_MAX_SWEEPS):
-            changed = False
-            changed |= self._evaluate_primitives()
-            changed |= self._evaluate_children()
-            changed |= self._evaluate_assignments()
-            if not changed:
-                return
-        raise SimulationError(
-            f"{self.component.name}: combinational logic did not settle "
-            f"within {_MAX_SWEEPS} sweeps (possible combinational loop)"
-        )
-
-    def _evaluate_primitives(self) -> bool:
-        changed = False
-        for cell_name, model in self._primitives.items():
-            outputs = model.combinational(self._cell_inputs(cell_name, model.inputs))
-            for port, value in outputs.items():
-                key = (cell_name, port)
-                if self._values.get(key, X) is not value and self._values.get(key, X) != value:
-                    self._values[key] = value
-                    changed = True
-        return changed
-
-    def _evaluate_children(self) -> bool:
-        changed = False
-        for cell_name, child in self._children.items():
-            child_inputs = {
-                name: self._values.get((cell_name, name), X)
-                for name in child.component.input_names()
-            }
-            child._begin_cycle_preserving(child_inputs)
-            child._settle()
-            for name, value in child.outputs().items():
-                key = (cell_name, name)
-                if self._values.get(key, X) is not value and self._values.get(key, X) != value:
-                    self._values[key] = value
-                    changed = True
-        return changed
-
-    def _begin_cycle_preserving(self, inputs: Dict[str, Value]) -> None:
-        """Like :meth:`_begin_cycle` but keeps already-computed internal
-        values so repeated settles within a parent's fixpoint converge."""
-        for name, value in inputs.items():
-            self._values[(None, name)] = value
-
-    def _evaluate_assignments(self) -> bool:
-        changed = False
-        # Group by destination so conflicting drivers are detected.
-        by_dst: Dict[CellPort, List[Assignment]] = {}
-        for wire in self.component.wires:
-            by_dst.setdefault(wire.dst, []).append(wire)
-        for dst, assignments in by_dst.items():
-            active = [a for a in assignments if self._guard_active(a)]
-            if not active:
-                continue
-            values = [self._read(a.src) for a in active]
-            concrete = [v for v in values if not is_x(v)]
-            if len(set(concrete)) > 1:
-                drivers = ", ".join(str(a) for a in active)
-                raise SimulationError(
-                    f"{self.component.name}: conflicting drivers for {dst} in "
-                    f"cycle {self.cycle}: {drivers} "
-                    f"(values {[format_value(v) for v in values]})"
-                )
-            value = concrete[0] if concrete else X
-            key = (dst.cell, dst.port)
-            if self._values.get(key, X) is not value and self._values.get(key, X) != value:
-                self._values[key] = value
-                changed = True
-        return changed
-
-    def _tick(self) -> None:
-        for cell_name, model in self._primitives.items():
-            model.tick(self._cell_inputs(cell_name, model.inputs))
-        for cell_name, child in self._children.items():
-            child._tick()
-            child.cycle += 1
+    See :class:`~repro.sim.engine.ScheduledEngine` for the execution model;
+    this subclass only pins down the public name relied on throughout the
+    repository and the paper-facing docs.
+    """
 
 
 def run_trace(program: CalyxProgram, stimuli: List[Dict[str, Value]],
-              component: Optional[str] = None) -> List[Dict[str, Value]]:
+              component: Optional[str] = None,
+              mode: SimulatorMode = "auto") -> List[Dict[str, Value]]:
     """Convenience driver: apply one dict of input values per cycle and
     return the per-cycle output dicts."""
-    simulator = Simulator(program, component)
-    return [simulator.step(cycle_inputs) for cycle_inputs in stimuli]
+    return Simulator(program, component, mode=mode).run_batch(stimuli)
