@@ -8,6 +8,8 @@ The package is organised as:
 * :mod:`repro.calyx` — the Calyx-like structural IR the compiler targets;
 * :mod:`repro.sim` — a cycle-accurate netlist simulator with X-propagation;
 * :mod:`repro.harness` — the signature-driven cycle-accurate test harness;
+* :mod:`repro.conformance` — random well-typed program generation and N-way
+  differential execution (generator, shrinker, coverage ledger, corpus);
 * :mod:`repro.generators` — Aetherling/PipelineC/Reticle-style hardware
   generator substrates used by the evaluation;
 * :mod:`repro.synth` — the synthesis cost model (area + frequency);

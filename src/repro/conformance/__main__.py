@@ -1,0 +1,157 @@
+"""Command-line driver for the conformance subsystem.
+
+Examples::
+
+    # 50 generated programs through the full differential matrix
+    python -m repro.conformance --seeds 50 --ledger conformance-ledger.json
+
+    # replay the committed golden corpus
+    python -m repro.conformance --replay tests/corpus
+
+    # mint new corpus entries from a seed range
+    python -m repro.conformance --seeds 10 --write-corpus tests/corpus
+
+Exit status is non-zero when any program diverges.  Failures are shrunk to
+minimal reproducers unless ``--no-shrink`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .corpus import corpus_entry, load_entries, replay_entry, write_entry
+from .coverage import CoverageLedger
+from .differential import run_conformance
+from .generator import GeneratorConfig, build, generate
+from .shrink import divergence_categories, shrink, spec_fails
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.conformance",
+        description="Random well-typed program generation + N-way "
+                    "differential execution.",
+    )
+    parser.add_argument("--seeds", type=int, default=20,
+                        help="number of generator seeds to run (default 20)")
+    parser.add_argument("--start", type=int, default=0,
+                        help="first seed of the range (default 0)")
+    parser.add_argument("--transactions", type=int, default=12,
+                        help="random transactions per program (default 12)")
+    parser.add_argument("--ledger", metavar="PATH",
+                        help="write the coverage ledger JSON here")
+    parser.add_argument("--replay", metavar="DIR",
+                        help="replay the corpus entries in DIR instead of "
+                             "generating from seeds")
+    parser.add_argument("--write-corpus", metavar="DIR",
+                        help="persist every generated program as a corpus "
+                             "entry in DIR")
+    parser.add_argument("--max-ops", type=int, default=None,
+                        help="override the generator's max op count")
+    parser.add_argument("--no-roundtrip", action="store_true",
+                        help="skip the print/re-parse round-trip oracle")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="do not shrink failing programs")
+    parser.add_argument("--quiet", action="store_true",
+                        help="only print failures and the final summary")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    config = GeneratorConfig()
+    if args.max_ops is not None:
+        overridden = config.to_dict()
+        overridden["max_ops"] = args.max_ops
+        config = GeneratorConfig.from_dict(overridden)
+
+    ledger = CoverageLedger()
+    failures = 0
+
+    if args.replay:
+        entries = load_entries(args.replay)
+        if not entries:
+            print(f"no corpus entries found in {args.replay}")
+            return 1
+        jobs = [(entry.get("seed"), lambda e=entry: replay_entry(e))
+                for _, entry in entries]
+        print(f"replaying {len(entries)} corpus entr(y/ies) from "
+              f"{args.replay}")
+    else:
+        seeds = range(args.start, args.start + args.seeds)
+        jobs = [(seed, lambda s=seed: generate(s, config)) for seed in seeds]
+        print(f"running seeds {args.start}..{args.start + args.seeds - 1}")
+
+    for seed, thunk in jobs:
+        generated = thunk()
+        result = run_conformance(
+            generated,
+            transactions=args.transactions,
+            seed=0 if seed is None else seed,
+            roundtrip=not args.no_roundtrip,
+        )
+        result.seed = seed
+        if result.coverage is not None:
+            result.coverage.seed = seed
+            ledger.add(result.coverage)
+
+        label = generated.spec.name if seed is None else f"seed {seed}"
+        if result.passed:
+            if not args.quiet:
+                ops = ",".join(sorted(result.coverage.ops)) or "passthrough"
+                path = ("scheduled" if result.coverage.scheduled
+                        else "fallback")
+                print(f"  {label}: ok ({generated.statements()} stmts, "
+                      f"II={generated.ii}, {path}; {ops})")
+        else:
+            failures += 1
+            print(f"  {label}: DIVERGED")
+            print("    " + "\n    ".join(result.divergences[:10]))
+            if not args.no_shrink:
+                # The predicate must reproduce *this* failure: same stimulus
+                # seed, transaction count and round-trip setting, and the
+                # same divergence categories.
+                categories = divergence_categories(result.divergences)
+                stimulus_seed = 0 if seed is None else seed
+
+                def reproduces(spec) -> bool:
+                    return spec_fails(spec,
+                                      transactions=args.transactions,
+                                      seed=stimulus_seed,
+                                      roundtrip=not args.no_roundtrip,
+                                      categories=categories)
+
+                if reproduces(generated.spec):
+                    minimal = shrink(generated.spec, reproduces)
+                    reproducer = build(minimal)
+                    print(f"    shrunk to {reproducer.statements()} "
+                          f"statement(s):")
+                    for line in reproducer.text().splitlines():
+                        print(f"      {line}")
+                else:
+                    print("    (failure did not reproduce under the shrink "
+                          "predicate; no reproducer printed)")
+
+        if args.write_corpus and seed is not None:
+            path = write_entry(args.write_corpus,
+                               corpus_entry(generated, seed=seed,
+                                            config=config))
+            if not args.quiet:
+                print(f"    corpus entry written: {path}")
+
+    print()
+    print(ledger.summary())
+    if args.ledger:
+        path = ledger.save(args.ledger)
+        print(f"coverage ledger written to {path}")
+    if failures:
+        print(f"{failures} program(s) diverged")
+        return 1
+    print("all programs agree across every oracle")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,184 @@
+"""The conformance coverage ledger.
+
+Every conformance run records *what a seed actually exercised*: which op
+kinds and widths appeared in the generated program, its initiation interval,
+whether instances were structurally shared, which engine code path settled
+the netlist (levelized schedule vs. sweep-loop fallback), and whether the
+stimulus contained X cycles.  The ledger aggregates those records, can be
+persisted as JSON (the CI artifact), merged across shards, and reports which
+constructs a seed matrix has *not* yet covered — the feedback loop that
+keeps the seed corpus honest.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .generator import OP_KINDS, GeneratedProgram
+
+__all__ = ["CoverageRecord", "CoverageLedger"]
+
+
+@dataclass
+class CoverageRecord:
+    """What one generated program + differential run exercised."""
+
+    name: str
+    seed: Optional[int] = None
+    ii: int = 1
+    statements: int = 0
+    ops: Dict[str, int] = field(default_factory=dict)
+    widths: List[int] = field(default_factory=list)
+    shared_instances: int = 0
+    scheduled: bool = True
+    fallback_components: List[str] = field(default_factory=list)
+    stimulus_has_x: bool = False
+    transactions: int = 0
+    divergences: int = 0
+
+    @staticmethod
+    def from_program(generated: GeneratedProgram,
+                     seed: Optional[int] = None) -> "CoverageRecord":
+        """The static half of a record (the differential runner fills in the
+        engine-path and stimulus fields)."""
+        spec = generated.spec
+        ops: Dict[str, int] = {}
+        for node in spec.nodes:
+            ops[node.kind] = ops.get(node.kind, 0) + 1
+        widths = sorted({port.width for port in spec.inputs}
+                        | {node.width for node in spec.nodes})
+        return CoverageRecord(
+            name=spec.name,
+            seed=seed,
+            ii=spec.ii,
+            statements=generated.statements(),
+            ops=ops,
+            widths=widths,
+            shared_instances=sum(1 for node in spec.nodes
+                                 if node.share_with is not None),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name, "seed": self.seed, "ii": self.ii,
+            "statements": self.statements, "ops": dict(self.ops),
+            "widths": list(self.widths),
+            "shared_instances": self.shared_instances,
+            "scheduled": self.scheduled,
+            "fallback_components": list(self.fallback_components),
+            "stimulus_has_x": self.stimulus_has_x,
+            "transactions": self.transactions,
+            "divergences": self.divergences,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "CoverageRecord":
+        return CoverageRecord(**data)
+
+
+class CoverageLedger:
+    """An aggregation of :class:`CoverageRecord` entries."""
+
+    def __init__(self, records: Optional[List[CoverageRecord]] = None) -> None:
+        self.records: List[CoverageRecord] = list(records or [])
+
+    def add(self, record: CoverageRecord) -> None:
+        self.records.append(record)
+
+    def merge(self, other: "CoverageLedger") -> "CoverageLedger":
+        return CoverageLedger(self.records + other.records)
+
+    # -- aggregate views ------------------------------------------------------
+
+    @property
+    def programs(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_divergences(self) -> int:
+        return sum(record.divergences for record in self.records)
+
+    def op_histogram(self) -> Dict[str, int]:
+        histogram: Dict[str, int] = {}
+        for record in self.records:
+            for kind, count in record.ops.items():
+                histogram[kind] = histogram.get(kind, 0) + count
+        return dict(sorted(histogram.items()))
+
+    def width_histogram(self) -> Dict[int, int]:
+        histogram: Dict[int, int] = {}
+        for record in self.records:
+            for width in record.widths:
+                histogram[width] = histogram.get(width, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def ii_histogram(self) -> Dict[int, int]:
+        histogram: Dict[int, int] = {}
+        for record in self.records:
+            histogram[record.ii] = histogram.get(record.ii, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def engine_paths(self) -> Dict[str, int]:
+        """How many programs settled on the levelized schedule everywhere
+        vs. routed (somewhere) through the sweep-loop fallback."""
+        scheduled = sum(1 for record in self.records if record.scheduled)
+        return {"scheduled": scheduled,
+                "fallback": len(self.records) - scheduled}
+
+    def unexercised_ops(self) -> List[str]:
+        """Op kinds the generator knows but no recorded program used."""
+        used = set()
+        for record in self.records:
+            used.update(record.ops)
+        return sorted(set(OP_KINDS) - used)
+
+    def summary(self) -> str:
+        paths = self.engine_paths()
+        lines = [
+            f"conformance coverage: {self.programs} program(s), "
+            f"{self.total_divergences} divergence(s)",
+            f"  engine paths: {paths['scheduled']} scheduled, "
+            f"{paths['fallback']} fallback",
+            f"  II histogram: {self.ii_histogram()}",
+            f"  widths: {self.width_histogram()}",
+            f"  ops: {self.op_histogram()}",
+        ]
+        missing = self.unexercised_ops()
+        if missing:
+            lines.append(f"  unexercised ops: {', '.join(missing)}")
+        shared = sum(record.shared_instances for record in self.records)
+        lines.append(f"  shared invocations: {shared}, X stimulus: "
+                     f"{sum(1 for r in self.records if r.stimulus_has_x)}"
+                     f"/{self.programs}")
+        return "\n".join(lines)
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "programs": self.programs,
+            "divergences": self.total_divergences,
+            "op_histogram": self.op_histogram(),
+            "width_histogram": {str(k): v for k, v in self.width_histogram().items()},
+            "engine_paths": self.engine_paths(),
+            "records": [record.to_dict() for record in self.records],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "CoverageLedger":
+        return CoverageLedger(
+            [CoverageRecord.from_dict(record) for record in data["records"]]
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        return path
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "CoverageLedger":
+        return CoverageLedger.from_dict(json.loads(Path(path).read_text()))

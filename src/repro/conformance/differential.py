@@ -1,0 +1,295 @@
+"""N-way differential execution of generated programs.
+
+One generated program is pushed through every oracle the repository has,
+under identical random stimulus, and all answers must agree:
+
+1. **type checker** — the program must be accepted (it is well typed by
+   construction);
+2. **log semantics** (:mod:`repro.core.semantics`) — the reference
+   interpretation must yield a well-formed, safely-pipelined log (the
+   executable soundness statement of Section 6);
+3. **Calyx well-formedness** — the lowered program must pass
+   :mod:`repro.calyx.wellformed`;
+4. **print → re-parse round-trip** — the component printed by
+   :mod:`repro.core.printer` must re-parse to a structurally identical AST,
+   and the re-parsed program must produce the *same execution trace*;
+5. **engines** — the scheduled engine (``mode="auto"``) and the reference
+   fixpoint engine (``mode="fixpoint"``) must produce cycle-identical
+   traces, including X propagation (the harness drives X outside every
+   availability window);
+6. **golden model** — every captured transaction output must equal the
+   generator's exact Python evaluation of the dataflow spec.
+
+Custom engines can be injected through the ``engines`` parameter (a mapping
+from name to ``factory(calyx, entrypoint)``), which is how the test suite
+verifies that a deliberately broken engine *is* caught and shrunk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..calyx.wellformed import check_program as calyx_wellformed
+from ..core.errors import FilamentError, SimulationError
+from ..core.parser import parse_component
+from ..core.semantics import component_log
+from ..core.session import CompilationSession
+from ..core.stdlib import with_stdlib
+from ..core.typecheck import check_program
+from ..harness.driver import harness_for
+from ..harness.fuzz import random_transactions
+from ..sim.engine import ScheduledEngine
+from ..sim.simulator import Simulator
+from ..sim.values import X, format_value, is_x
+from .coverage import CoverageRecord
+from .generator import GeneratedProgram
+
+__all__ = [
+    "ConformanceResult",
+    "EngineFactory",
+    "default_engines",
+    "run_conformance",
+    "traces_equal",
+]
+
+#: Builds an engine for a compiled program; must expose ``run_batch``.
+EngineFactory = Callable[[object, str], object]
+
+#: How many per-engine trace mismatches are reported before truncating.
+_MAX_REPORTED = 5
+
+
+def default_engines() -> Dict[str, EngineFactory]:
+    """The standard two-engine matrix: the levelized scheduled engine and
+    the reference sweep-loop (fixpoint) engine."""
+    return {
+        "scheduled": lambda calyx, entry: Simulator(calyx, entry, mode="auto"),
+        "fixpoint": lambda calyx, entry: Simulator(calyx, entry, mode="fixpoint"),
+    }
+
+
+@dataclass
+class ConformanceResult:
+    """The verdict of one N-way differential run."""
+
+    name: str
+    seed: Optional[int]
+    transactions: int
+    stimulus_seed: int
+    engines: List[str] = field(default_factory=list)
+    divergences: List[str] = field(default_factory=list)
+    coverage: Optional[CoverageRecord] = None
+
+    @property
+    def passed(self) -> bool:
+        return not self.divergences
+
+    def __str__(self) -> str:
+        status = "OK" if self.passed else "DIVERGE"
+        lines = [f"{status} {self.name} (stimulus seed {self.stimulus_seed}, "
+                 f"{self.transactions} transaction(s), engines: "
+                 f"{', '.join(self.engines)})"]
+        lines.extend(self.divergences[:20])
+        if len(self.divergences) > 20:
+            lines.append(f"... and {len(self.divergences) - 20} more")
+        return "\n".join(lines)
+
+
+def traces_equal(left: Sequence[dict], right: Sequence[dict]) -> bool:
+    """Cycle-by-cycle trace equality, X matching X."""
+    if len(left) != len(right):
+        return False
+    for a, b in zip(left, right):
+        if set(a) != set(b):
+            return False
+        for name in a:
+            va, vb = a[name], b[name]
+            if is_x(va) != is_x(vb) or (not is_x(va) and va != vb):
+                return False
+    return True
+
+
+def _compare_traces(reference_name: str, reference: List[dict],
+                    candidate_name: str, candidate: List[dict],
+                    divergences: List[str]) -> None:
+    if len(reference) != len(candidate):
+        divergences.append(
+            f"engine {candidate_name}: trace length {len(candidate)} != "
+            f"{reference_name}'s {len(reference)}"
+        )
+        return
+    reported = 0
+    for cycle, (want, got) in enumerate(zip(reference, candidate)):
+        for port in sorted(set(want) | set(got)):
+            va, vb = want.get(port, X), got.get(port, X)
+            same = (is_x(va) and is_x(vb)) or (
+                not is_x(va) and not is_x(vb) and va == vb)
+            if not same:
+                divergences.append(
+                    f"engine {candidate_name} vs {reference_name}: cycle "
+                    f"{cycle} port {port}: {format_value(vb)} != "
+                    f"{format_value(va)}"
+                )
+                reported += 1
+                if reported >= _MAX_REPORTED:
+                    divergences.append(
+                        f"engine {candidate_name}: further mismatches "
+                        f"suppressed")
+                    return
+
+
+def _fallback_components(engine: object) -> List[str]:
+    """Names of components (recursively) settled by the sweep fallback."""
+    names: List[str] = []
+
+    def walk(node: object) -> None:
+        if not isinstance(node, ScheduledEngine):
+            return
+        if not node.is_scheduled:
+            names.append(node.component.name)
+        for child in node._children.values():
+            walk(child)
+
+    walk(engine)
+    return sorted(set(names))
+
+
+def run_conformance(generated: GeneratedProgram,
+                    transactions: int = 12,
+                    seed: int = 0,
+                    engines: Optional[Dict[str, EngineFactory]] = None,
+                    roundtrip: bool = True) -> ConformanceResult:
+    """Run the full N-way differential matrix over one generated program.
+
+    ``seed`` seeds the *stimulus* stream (independent of the program seed)
+    so interleaved runs stay reproducible; it is recorded in the result.
+    """
+    engines = dict(engines) if engines is not None else default_engines()
+    spec = generated.spec
+    result = ConformanceResult(
+        name=spec.name, seed=None, transactions=transactions,
+        stimulus_seed=seed, engines=sorted(engines),
+    )
+    coverage = CoverageRecord.from_program(generated)
+    coverage.transactions = transactions
+    result.coverage = coverage
+    divergences = result.divergences
+
+    # 1. The type checker must accept the program.
+    try:
+        checked = check_program(generated.program)
+    except FilamentError as error:
+        divergences.append(f"typecheck: {error}")
+        coverage.divergences = len(divergences)
+        return result
+
+    # 2. The log semantics must certify well-formedness + safe pipelining.
+    try:
+        log = component_log(generated.component, generated.program,
+                            checked.get(spec.name))
+        if not log.well_formed():
+            divergences.append("semantics: log is not well formed")
+        if not log.safely_pipelined(spec.ii):
+            divergences.append(
+                f"semantics: log is not safely pipelined at II={spec.ii}")
+    except FilamentError as error:
+        divergences.append(f"semantics: {error}")
+
+    # 3. Lowering to Calyx + structural well-formedness.
+    session = CompilationSession(generated.program, checked=checked)
+    try:
+        calyx = session.calyx(spec.name)
+    except FilamentError as error:
+        divergences.append(f"lowering: {error}")
+        coverage.divergences = len(divergences)
+        return result
+    for problem in calyx_wellformed(calyx):
+        divergences.append(f"calyx-wellformed: {problem}")
+
+    # 4. Print -> re-parse round-trip (AST equality now; trace equality in
+    #    step 5 via the extra engine).
+    reparsed_calyx = None
+    if roundtrip:
+        try:
+            text = generated.text()
+            reparsed = parse_component(text)
+            if reparsed != generated.component:
+                divergences.append(
+                    "roundtrip: re-parsed component differs structurally "
+                    "from the original")
+            else:
+                reparsed_program = with_stdlib(components=[reparsed])
+                reparsed_calyx = CompilationSession(
+                    reparsed_program).calyx(spec.name)
+        except FilamentError as error:
+            divergences.append(f"roundtrip: {error}")
+
+    # 5. Identical traces from every engine under identical stimulus.
+    harness = harness_for(generated.program, spec.name, calyx=calyx)
+    stream = random_transactions(harness, transactions, seed=seed)
+    stimulus, starts = harness._schedule(stream)
+    coverage.stimulus_has_x = any(
+        any(is_x(value) for value in cycle.values()) for cycle in stimulus)
+
+    traces: Dict[str, List[dict]] = {}
+    built_engines: Dict[str, object] = {}
+    for engine_name in sorted(engines):
+        try:
+            engine = engines[engine_name](calyx, spec.name)
+            built_engines[engine_name] = engine
+            traces[engine_name] = engine.run_batch(stimulus)
+        except SimulationError as error:
+            divergences.append(f"engine {engine_name}: {error}")
+    if reparsed_calyx is not None:
+        try:
+            traces["reparsed"] = Simulator(
+                reparsed_calyx, spec.name, mode="auto").run_batch(stimulus)
+            result.engines = result.engines + ["reparsed"]
+        except SimulationError as error:
+            divergences.append(f"engine reparsed: {error}")
+
+    reference_name = "fixpoint" if "fixpoint" in traces else (
+        sorted(traces)[0] if traces else None)
+    if reference_name is not None:
+        reference = traces[reference_name]
+        for engine_name in sorted(traces):
+            if engine_name == reference_name:
+                continue
+            _compare_traces(reference_name, reference, engine_name,
+                            traces[engine_name], divergences)
+
+    # Engine-path coverage comes from the scheduled engine when present.
+    scheduled_engine = built_engines.get("scheduled")
+    if isinstance(scheduled_engine, ScheduledEngine):
+        coverage.scheduled = scheduled_engine.scheduled_everywhere()
+        coverage.fallback_components = _fallback_components(scheduled_engine)
+
+    # 6. Captured outputs must match the exact golden model.
+    if reference_name is not None:
+        reference = traces[reference_name]
+        output_ports = harness.spec.outputs
+        reported = 0
+        for index, (start, transaction) in enumerate(zip(starts, stream)):
+            expected = generated.golden(transaction)
+            for port in output_ports:
+                capture = start + port.start
+                got = reference[capture].get(port.name, X) \
+                    if capture < len(reference) else X
+                want = expected[port.name]
+                if is_x(got) or got != want:
+                    divergences.append(
+                        f"golden: transaction {index} output {port.name} "
+                        f"expected {want} got {format_value(got)} at cycle "
+                        f"{capture}"
+                    )
+                    reported += 1
+                    if reported >= _MAX_REPORTED:
+                        divergences.append("golden: further mismatches "
+                                           "suppressed")
+                        break
+            if reported >= _MAX_REPORTED:
+                break
+
+    coverage.divergences = len(divergences)
+    return result

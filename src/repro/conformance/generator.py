@@ -1,0 +1,630 @@
+"""Seeded generation of random, well-typed Filament components.
+
+The paper validates designs by fuzzing implementations against golden models
+(Appendix B.1); this module generates the *designs themselves*.  Each seed
+deterministically produces a :class:`ProgramSpec` — a small, serialisable
+dataflow IR — which :func:`build` turns into a real
+:class:`~repro.core.ast.Component` via :class:`~repro.core.builder.ComponentBuilder`
+plus an exact Python golden model for its outputs.
+
+Programs are well typed **by construction**:
+
+* every value carries a ``(width, time)`` tag; combinational operands are
+  retimed onto a common cycle with ``Reg``/``Delay`` chains before use, so
+  every read lands exactly inside the producer's availability interval;
+* the component's event delay (its initiation interval) is respected by
+  every primitive: ``Mult`` (delay 3) is only emitted when the II is at
+  least 3, everything else has delay 1;
+* structural sharing reuses one instance across invocations only when the
+  claims are disjoint and their span fits within the II — the reuse rule of
+  Section 4.4.
+
+Because the spec is plain data it can be persisted as a corpus entry
+(:mod:`repro.conformance.corpus`), replayed deterministically, and shrunk to
+a minimal failing reproducer (:mod:`repro.conformance.shrink`).
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.ast import Component, ConstantPort, Program
+from ..core.builder import ComponentBuilder
+from ..core.errors import FilamentError
+from ..core.printer import format_component
+from ..core.stdlib import with_stdlib
+
+__all__ = [
+    "GeneratorConfig",
+    "GenerationError",
+    "InputSpec",
+    "NodeSpec",
+    "ProgramSpec",
+    "GeneratedProgram",
+    "generate",
+    "generate_spec",
+    "build",
+    "ref_width",
+    "OP_KINDS",
+]
+
+#: A reference to a value: ``("in", i)`` (the i-th input), ``("op", j)``
+#: (the j-th node's output), or ``("const", value, width)``.
+Ref = Tuple
+
+
+class GenerationError(FilamentError):
+    """An internally inconsistent :class:`ProgramSpec`."""
+
+
+# ---------------------------------------------------------------------------
+# The spec IR
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InputSpec:
+    """One data input of the generated component, available during
+    ``[G + time, G + time + 1)``."""
+
+    name: str
+    width: int
+    time: int = 0
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One primitive operation.  ``operands`` are in the primitive's port
+    order; ``params`` are the instantiation parameters; ``share_with`` names
+    an earlier node whose instance this node reuses (structural sharing)."""
+
+    kind: str
+    operands: Tuple[Ref, ...]
+    width: int
+    params: Tuple[int, ...]
+    share_with: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """A whole generated component as plain, JSON-able data."""
+
+    name: str
+    ii: int
+    inputs: Tuple[InputSpec, ...]
+    nodes: Tuple[NodeSpec, ...]
+    outputs: Tuple[Ref, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "ii": self.ii,
+            "inputs": [[p.name, p.width, p.time] for p in self.inputs],
+            "nodes": [
+                {
+                    "kind": n.kind,
+                    "operands": [list(ref) for ref in n.operands],
+                    "width": n.width,
+                    "params": list(n.params),
+                    "share_with": n.share_with,
+                }
+                for n in self.nodes
+            ],
+            "outputs": [list(ref) for ref in self.outputs],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "ProgramSpec":
+        return ProgramSpec(
+            name=data["name"],
+            ii=data["ii"],
+            inputs=tuple(InputSpec(n, w, t) for n, w, t in data["inputs"]),
+            nodes=tuple(
+                NodeSpec(
+                    kind=n["kind"],
+                    operands=tuple(tuple(ref) for ref in n["operands"]),
+                    width=n["width"],
+                    params=tuple(n["params"]),
+                    share_with=n.get("share_with"),
+                )
+                for n in data["nodes"]
+            ),
+            outputs=tuple(tuple(ref) for ref in data["outputs"]),
+        )
+
+
+# ---------------------------------------------------------------------------
+# The op catalogue
+# ---------------------------------------------------------------------------
+
+#: kind -> (stdlib component, latency, callee primary-event delay)
+_BINARY = {"add": "Add", "sub": "Sub", "and": "And", "or": "Or", "xor": "Xor",
+           "multcomb": "MultComb"}
+_COMPARE = {"eq": "Eq", "neq": "Neq", "lt": "Lt", "gt": "Gt", "le": "Le",
+            "ge": "Ge"}
+_SEQUENTIAL = {
+    # kind: (component, latency, callee delay)
+    "reg": ("Reg", 1, 1),
+    "delay": ("Delay", 1, 1),
+    "fastmult": ("FastMult", 2, 1),
+    "pipemult": ("PipelinedMult", 3, 1),
+    "mult": ("Mult", 2, 3),
+}
+_UNARY = {"not": "Not", "shl": "ShiftLeft", "shr": "ShiftRight"}
+
+#: Every op kind the generator can emit (the coverage ledger's universe).
+OP_KINDS: Tuple[str, ...] = tuple(
+    sorted(list(_BINARY) + list(_COMPARE) + list(_SEQUENTIAL) + list(_UNARY)
+           + ["mux", "slice", "concat"])
+)
+
+
+def _component_of(kind: str) -> str:
+    if kind in _BINARY:
+        return _BINARY[kind]
+    if kind in _COMPARE:
+        return _COMPARE[kind]
+    if kind in _SEQUENTIAL:
+        return _SEQUENTIAL[kind][0]
+    if kind in _UNARY:
+        return _UNARY[kind]
+    return {"mux": "Mux", "slice": "Slice", "concat": "Concat"}[kind]
+
+
+def _latency_of(kind: str) -> int:
+    return _SEQUENTIAL[kind][1] if kind in _SEQUENTIAL else 0
+
+
+def _callee_delay(kind: str) -> int:
+    return _SEQUENTIAL[kind][2] if kind in _SEQUENTIAL else 1
+
+
+# ---------------------------------------------------------------------------
+# Spec analysis (times and widths)
+# ---------------------------------------------------------------------------
+
+
+class _Analysis:
+    """Derived timing/width facts about a spec: when each node is invoked,
+    when and how wide its output is, and the same for arbitrary refs."""
+
+    def __init__(self, spec: ProgramSpec) -> None:
+        self.spec = spec
+        self.invoke_time: List[int] = []
+        self.out_time: List[int] = []
+        for index, node in enumerate(spec.nodes):
+            times = [self._ref_time(ref) for ref in node.operands]
+            known = [t for t in times if t is not None]
+            if known and any(t != known[0] for t in known):
+                raise GenerationError(
+                    f"{spec.name}: node {index} ({node.kind}) mixes operand "
+                    f"times {sorted(set(known))}"
+                )
+            start = known[0] if known else 0
+            self.invoke_time.append(start)
+            self.out_time.append(start + _latency_of(node.kind))
+
+    def _ref_time(self, ref: Ref) -> Optional[int]:
+        tag = ref[0]
+        if tag == "in":
+            return self.spec.inputs[ref[1]].time
+        if tag == "op":
+            if ref[1] >= len(self.out_time):
+                raise GenerationError(
+                    f"{self.spec.name}: forward reference to node {ref[1]}"
+                )
+            return self.out_time[ref[1]]
+        return None  # constants are timeless
+
+    def ref_time(self, ref: Ref) -> int:
+        time = self._ref_time(ref)
+        return 0 if time is None else time
+
+    def ref_width(self, ref: Ref) -> int:
+        tag = ref[0]
+        if tag == "in":
+            return self.spec.inputs[ref[1]].width
+        if tag == "op":
+            return self.spec.nodes[ref[1]].width
+        return ref[2]
+
+
+# ---------------------------------------------------------------------------
+# Building a real component from a spec
+# ---------------------------------------------------------------------------
+
+
+def _build_component(spec: ProgramSpec) -> Component:
+    analysis = _Analysis(spec)
+    builder = ComponentBuilder(spec.name)
+    G = builder.event("G", delay=spec.ii, interface="en")
+
+    input_handles = {}
+    for port in spec.inputs:
+        input_handles[port.name] = builder.input(
+            port.name, port.width, G + port.time, G + port.time + 1)
+
+    def as_source(ref: Ref):
+        tag = ref[0]
+        if tag == "in":
+            return input_handles[spec.inputs[ref[1]].name]
+        if tag == "op":
+            return handles[ref[1]]["out"]
+        return ConstantPort(ref[1], ref[2])
+
+    handles = []
+    instances: Dict[int, object] = {}
+    for index, node in enumerate(spec.nodes):
+        component_name = _component_of(node.kind)
+        share = node.share_with
+        if (share is not None and share in instances
+                and spec.nodes[share].kind == node.kind
+                and spec.nodes[share].params == node.params):
+            instance = instances[share]
+        else:
+            instance = builder.instantiate(f"i{index}", component_name,
+                                           node.params)
+            instances[index] = instance
+        arguments = [as_source(ref) for ref in node.operands]
+        handles.append(builder.invoke(
+            f"n{index}", instance, [G + analysis.invoke_time[index]],
+            arguments))
+
+    for position, ref in enumerate(spec.outputs):
+        time = analysis.ref_time(ref)
+        width = analysis.ref_width(ref)
+        out = builder.output(f"o{position}", width, G + time, G + time + 1)
+        builder.connect(out, as_source(ref))
+    return builder.build()
+
+
+# ---------------------------------------------------------------------------
+# The golden model
+# ---------------------------------------------------------------------------
+
+
+def _mask(value: int, width: int) -> int:
+    return value & ((1 << width) - 1)
+
+
+_BINARY_EVAL = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "multcomb": lambda a, b: a * b,
+    "fastmult": lambda a, b: a * b,
+    "pipemult": lambda a, b: a * b,
+    "mult": lambda a, b: a * b,
+}
+
+_COMPARE_EVAL = {
+    "eq": lambda a, b: a == b, "neq": lambda a, b: a != b,
+    "lt": lambda a, b: a < b, "gt": lambda a, b: a > b,
+    "le": lambda a, b: a <= b, "ge": lambda a, b: a >= b,
+}
+
+
+def evaluate(spec: ProgramSpec, transaction: Dict[str, int]) -> Dict[str, int]:
+    """The exact expected outputs of one transaction (pure Python ints)."""
+    values: List[int] = []
+
+    def value_of(ref: Ref) -> int:
+        tag = ref[0]
+        if tag == "in":
+            port = spec.inputs[ref[1]]
+            return _mask(transaction[port.name], port.width)
+        if tag == "op":
+            return values[ref[1]]
+        return _mask(ref[1], ref[2])
+
+    for node in spec.nodes:
+        operands = [value_of(ref) for ref in node.operands]
+        kind = node.kind
+        if kind in _BINARY_EVAL:
+            result = _mask(_BINARY_EVAL[kind](*operands), node.width)
+        elif kind in _COMPARE_EVAL:
+            result = int(_COMPARE_EVAL[kind](*operands))
+        elif kind == "not":
+            result = _mask(~operands[0], node.width)
+        elif kind in ("reg", "delay"):
+            result = _mask(operands[0], node.width)
+        elif kind == "mux":
+            sel, in1, in0 = operands
+            result = _mask(in1 if sel else in0, node.width)
+        elif kind == "slice":
+            _, hi, lo = node.params
+            result = (operands[0] >> lo) & ((1 << (hi - lo + 1)) - 1)
+        elif kind == "concat":
+            _, low_width = node.params
+            result = (operands[0] << low_width) | _mask(operands[1], low_width)
+        elif kind == "shl":
+            result = _mask(operands[0] << node.params[1], node.width)
+        elif kind == "shr":
+            result = _mask(operands[0] >> node.params[1], node.width)
+        else:
+            raise GenerationError(f"unknown op kind {kind!r}")
+        values.append(result)
+
+    return {f"o{position}": value_of(ref)
+            for position, ref in enumerate(spec.outputs)}
+
+
+# ---------------------------------------------------------------------------
+# The generated-program bundle
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GeneratedProgram:
+    """A built spec: the component, its program (stdlib merged), and the
+    golden model."""
+
+    spec: ProgramSpec
+    component: Component
+    program: Program
+
+    @property
+    def entrypoint(self) -> str:
+        return self.spec.name
+
+    @property
+    def ii(self) -> int:
+        return self.spec.ii
+
+    def statements(self) -> int:
+        """Number of body commands (the shrink metric)."""
+        return len(self.component.body)
+
+    def golden(self, transaction: Dict[str, int]) -> Dict[str, int]:
+        return evaluate(self.spec, transaction)
+
+    def text(self) -> str:
+        """The component in parseable surface syntax."""
+        return format_component(self.component)
+
+
+def build(spec: ProgramSpec) -> GeneratedProgram:
+    """Materialise a spec into a component + program + golden model."""
+    component = _build_component(spec)
+    return GeneratedProgram(spec, component, with_stdlib(components=[component]))
+
+
+# ---------------------------------------------------------------------------
+# Random generation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the random program generator (all defaults CI-friendly)."""
+
+    min_inputs: int = 1
+    max_inputs: int = 4
+    min_ops: int = 3
+    max_ops: int = 14
+    max_outputs: int = 3
+    widths: Tuple[int, ...] = (1, 8, 16, 32, 64)
+    max_input_stagger: int = 2
+    allow_sharing: bool = True
+    allow_sequential: bool = True
+    share_probability: float = 0.35
+    const_probability: float = 0.2
+    ii_choices: Tuple[int, ...] = (1, 1, 2, 3)
+
+    def to_dict(self) -> dict:
+        return {
+            "min_inputs": self.min_inputs, "max_inputs": self.max_inputs,
+            "min_ops": self.min_ops, "max_ops": self.max_ops,
+            "max_outputs": self.max_outputs, "widths": list(self.widths),
+            "max_input_stagger": self.max_input_stagger,
+            "allow_sharing": self.allow_sharing,
+            "allow_sequential": self.allow_sequential,
+            "share_probability": self.share_probability,
+            "const_probability": self.const_probability,
+            "ii_choices": list(self.ii_choices),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "GeneratorConfig":
+        data = dict(data)
+        for key in ("widths", "ii_choices"):
+            if key in data:
+                data[key] = tuple(data[key])
+        return GeneratorConfig(**data)
+
+
+@dataclass
+class _Value:
+    """A pool entry during generation."""
+
+    ref: Ref
+    width: int
+    time: int
+
+
+class _SpecGenerator:
+    def __init__(self, seed: int, config: GeneratorConfig) -> None:
+        self.seed = seed
+        self.config = config
+        self.rng = random.Random(f"repro-conformance:{seed}")
+        self.ii = self.rng.choice(config.ii_choices)
+        self.inputs: List[InputSpec] = []
+        self.nodes: List[NodeSpec] = []
+        #: instance-owner node -> list of (start, end) claims on it
+        self.claims: Dict[int, List[Tuple[int, int]]] = {}
+
+    # -- helpers ------------------------------------------------------------
+
+    def _const(self, width: int) -> _Value:
+        return _Value(("const", self.rng.getrandbits(width), width), width, 0)
+
+    def _add_node(self, kind: str, operands: Sequence[_Value], width: int,
+                  params: Tuple[int, ...]) -> _Value:
+        time = max([v.time for v in operands if v.ref[0] != "const"],
+                   default=0)
+        share = self._try_share(kind, params, time)
+        index = len(self.nodes)
+        self.nodes.append(NodeSpec(kind, tuple(v.ref for v in operands),
+                                   width, params, share))
+        if share is None:
+            delay = _callee_delay(kind)
+            self.claims[index] = [(time, time + delay)]
+        else:
+            self.claims[share].append((time, time + _callee_delay(kind)))
+        return _Value(("op", index), width, time + _latency_of(kind))
+
+    def _try_share(self, kind: str, params: Tuple[int, ...],
+                   time: int) -> Optional[int]:
+        """Reuse an existing instance when the Section 4.4 rule allows it:
+        same component/params, disjoint claims, span within the II."""
+        if (not self.config.allow_sharing or self.ii <= 1
+                or self.rng.random() >= self.config.share_probability):
+            return None
+        delay = _callee_delay(kind)
+        new_claim = (time, time + delay)
+        candidates = []
+        for owner, claims in self.claims.items():
+            node = self.nodes[owner]
+            if node.kind != kind or node.params != params:
+                continue
+            if any(new_claim[0] < end and start < new_claim[1]
+                   for start, end in claims):
+                continue
+            span_start = min([new_claim[0]] + [s for s, _ in claims])
+            span_end = max([new_claim[1]] + [e for _, e in claims])
+            if span_end - span_start <= self.ii:
+                candidates.append(owner)
+        return self.rng.choice(candidates) if candidates else None
+
+    def _retime(self, value: _Value, to_time: int) -> _Value:
+        """Insert Reg/Delay stages until ``value`` is available at
+        ``to_time`` (the generator's alignment pass)."""
+        while value.time < to_time:
+            kind = "reg" if (self.config.allow_sequential
+                             and self.rng.random() < 0.5) else "delay"
+            value = self._add_node(kind, [value], value.width, (value.width,))
+        return value
+
+    def _align(self, values: Sequence[_Value]) -> List[_Value]:
+        target = max(v.time for v in values)
+        return [self._retime(v, target) for v in values]
+
+    def _pick(self, pool: List[_Value], width: Optional[int] = None,
+              max_width: Optional[int] = None) -> Optional[_Value]:
+        candidates = [v for v in pool
+                      if (width is None or v.width == width)
+                      and (max_width is None or v.width <= max_width)]
+        return self.rng.choice(candidates) if candidates else None
+
+    # -- main ---------------------------------------------------------------
+
+    def generate(self) -> ProgramSpec:
+        rng = self.rng
+        config = self.config
+        names = string.ascii_lowercase
+        for index in range(rng.randint(config.min_inputs, config.max_inputs)):
+            time = 0 if index == 0 else rng.randrange(config.max_input_stagger + 1)
+            self.inputs.append(InputSpec(names[index], rng.choice(config.widths),
+                                         time))
+        pool: List[_Value] = [
+            _Value(("in", index), port.width, port.time)
+            for index, port in enumerate(self.inputs)
+        ]
+
+        kinds = (list(_BINARY) + list(_COMPARE) + ["mux", "slice", "concat",
+                                                   "not", "shl", "shr"])
+        if config.allow_sequential:
+            kinds += list(_SEQUENTIAL)
+        for _ in range(rng.randint(config.min_ops, config.max_ops)):
+            kind = rng.choice(kinds)
+            if kind == "mult" and self.ii < _callee_delay("mult"):
+                kind = "fastmult"
+            value = self._emit(kind, pool)
+            if value is not None:
+                pool.append(value)
+
+        ops = [v for v in pool if v.ref[0] == "op"]
+        outputs: List[Ref] = []
+        if ops:
+            deepest = max(ops, key=lambda v: v.time)
+            outputs.append(deepest.ref)
+            extra = [v for v in ops if v.ref != deepest.ref]
+            rng.shuffle(extra)
+            for value in extra[:rng.randrange(config.max_outputs)]:
+                if value.ref not in outputs:
+                    outputs.append(value.ref)
+        else:  # degenerate seed: wire an input straight through
+            outputs.append(pool[0].ref)
+
+        return ProgramSpec(
+            name=f"Gen{self.seed}",
+            ii=self.ii,
+            inputs=tuple(self.inputs),
+            nodes=tuple(self.nodes),
+            outputs=tuple(outputs[:config.max_outputs]),
+        )
+
+    def _emit(self, kind: str, pool: List[_Value]) -> Optional[_Value]:
+        rng = self.rng
+        if kind in _BINARY or kind in _COMPARE or kind in (
+                "mult", "fastmult", "pipemult"):
+            left = self._pick(pool)
+            right = self._pick(pool, width=left.width)
+            if right is None or rng.random() < self.config.const_probability:
+                right = self._const(left.width)
+            left, right = self._align([left, right])
+            width = 1 if kind in _COMPARE else left.width
+            return self._add_node(kind, [left, right], width, (left.width,))
+        if kind == "mux":
+            in1 = self._pick(pool)
+            in0 = self._pick(pool, width=in1.width) or self._const(in1.width)
+            sel = self._pick(pool, width=1) or self._const(1)
+            sel, in1, in0 = self._align([sel, in1, in0])
+            return self._add_node("mux", [sel, in1, in0], in1.width,
+                                  (in1.width,))
+        if kind == "slice":
+            value = self._pick(pool)
+            lo = rng.randrange(value.width)
+            hi = rng.randrange(lo, value.width)
+            return self._add_node("slice", [value], hi - lo + 1,
+                                  (value.width, hi, lo))
+        if kind == "concat":
+            hi = self._pick(pool, max_width=32)
+            lo = self._pick(pool, max_width=32)
+            if hi is None or lo is None:
+                return None
+            hi, lo = self._align([hi, lo])
+            return self._add_node("concat", [hi, lo], hi.width + lo.width,
+                                  (hi.width, lo.width))
+        if kind in ("shl", "shr"):
+            value = self._pick(pool)
+            by = rng.randrange(min(value.width, 8)) if value.width > 1 else 0
+            return self._add_node(kind, [value], value.width,
+                                  (value.width, by))
+        if kind == "not":
+            value = self._pick(pool)
+            return self._add_node("not", [value], value.width, (value.width,))
+        if kind in ("reg", "delay"):
+            value = self._pick(pool)
+            return self._add_node(kind, [value], value.width, (value.width,))
+        raise GenerationError(f"unknown op kind {kind!r}")
+
+
+def ref_width(spec: ProgramSpec, ref: Ref) -> int:
+    """The bit width of any value reference within ``spec``."""
+    return _Analysis(spec).ref_width(ref)
+
+
+def generate_spec(seed: int, config: Optional[GeneratorConfig] = None) -> ProgramSpec:
+    """Deterministically generate the spec for ``seed``."""
+    return _SpecGenerator(seed, config or GeneratorConfig()).generate()
+
+
+def generate(seed: int, config: Optional[GeneratorConfig] = None) -> GeneratedProgram:
+    """Generate and build the program for ``seed``."""
+    return build(generate_spec(seed, config))

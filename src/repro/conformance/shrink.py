@@ -1,0 +1,192 @@
+"""Shrinking failing generated programs to minimal reproducers.
+
+When the differential executor finds a divergence, the offending
+:class:`~repro.conformance.generator.ProgramSpec` is usually tens of
+statements deep.  :func:`shrink` reduces it while preserving the failure,
+in the spirit of delta debugging:
+
+* drop surplus output ports;
+* *hoist* an output to one of the operands of its defining node (cutting
+  the deepest op out of the observed cone);
+* replace a node operand with a constant (cutting an entire agreeing
+  subtree out from under the node that actually misbehaves);
+* garbage-collect every node and input no longer reachable from an output.
+
+Each candidate is re-validated by the caller-supplied predicate — a
+candidate that no longer fails (or no longer even builds) is discarded, so
+the result is always a well-formed spec that still exhibits the original
+divergence.  Engine bugs typically shrink to a single primitive: an
+instantiate + an invoke + an output connection, i.e. three statements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from .generator import NodeSpec, ProgramSpec, Ref, build, ref_width
+
+__all__ = ["shrink", "spec_fails", "prune", "divergence_categories"]
+
+
+def prune(spec: ProgramSpec) -> ProgramSpec:
+    """Remove every node and input unreachable from the outputs, remapping
+    references (and dropping ``share_with`` links whose owner died)."""
+    live_nodes: Set[int] = set()
+    live_inputs: Set[int] = set()
+
+    def visit(ref: Ref) -> None:
+        if ref[0] == "in":
+            live_inputs.add(ref[1])
+        elif ref[0] == "op" and ref[1] not in live_nodes:
+            live_nodes.add(ref[1])
+            for operand in spec.nodes[ref[1]].operands:
+                visit(operand)
+
+    for ref in spec.outputs:
+        visit(ref)
+
+    if not live_inputs:
+        # The harness needs at least one data input to drive transactions.
+        live_inputs.add(0)
+
+    node_map: Dict[int, int] = {
+        old: new for new, old in enumerate(sorted(live_nodes))}
+    input_map: Dict[int, int] = {
+        old: new for new, old in enumerate(sorted(live_inputs))}
+
+    def remap(ref: Ref) -> Ref:
+        if ref[0] == "in":
+            return ("in", input_map[ref[1]])
+        if ref[0] == "op":
+            return ("op", node_map[ref[1]])
+        return ref
+
+    nodes: List[NodeSpec] = []
+    for old in sorted(live_nodes):
+        node = spec.nodes[old]
+        share = node.share_with
+        if share is not None:
+            share = node_map.get(share)
+        nodes.append(replace(
+            node,
+            operands=tuple(remap(ref) for ref in node.operands),
+            share_with=share,
+        ))
+
+    return ProgramSpec(
+        name=spec.name,
+        ii=spec.ii,
+        inputs=tuple(spec.inputs[old] for old in sorted(live_inputs)),
+        nodes=tuple(nodes),
+        outputs=tuple(remap(ref) for ref in spec.outputs),
+    )
+
+
+def _candidates(spec: ProgramSpec):
+    """Single-step reductions, most aggressive first."""
+    # Drop one output (when several exist).
+    if len(spec.outputs) > 1:
+        for index in range(len(spec.outputs)):
+            outputs = spec.outputs[:index] + spec.outputs[index + 1:]
+            yield replace(spec, outputs=outputs)
+    # Hoist one output onto an operand of its defining node.
+    for index, ref in enumerate(spec.outputs):
+        if ref[0] != "op":
+            continue
+        for operand in spec.nodes[ref[1]].operands:
+            outputs = (spec.outputs[:index] + (operand,)
+                       + spec.outputs[index + 1:])
+            if outputs != spec.outputs:
+                yield replace(spec, outputs=outputs)
+    # Cut an operand subtree by replacing it with a constant.  Candidates
+    # that break timing alignment fail to build; ones that relocate an
+    # invocation onto a conflicting sharing claim (or break safe
+    # pipelining) build fine but diverge with a *typecheck* category —
+    # use a category-aware predicate (``spec_fails(categories=...)``) so
+    # the shrinker keeps chasing the original failure, not a new one.
+    for index, node in enumerate(spec.nodes):
+        for position, ref in enumerate(node.operands):
+            if ref[0] != "op":
+                continue
+            width = ref_width(spec, ref)
+            ones = (1 << width) - 1
+            alternating = ones // 3 if width > 1 else 1
+            for value in (ones, alternating):
+                operands = (node.operands[:position]
+                            + (("const", value, width),)
+                            + node.operands[position + 1:])
+                nodes = (spec.nodes[:index]
+                         + (replace(node, operands=operands),)
+                         + spec.nodes[index + 1:])
+                yield replace(spec, nodes=nodes)
+
+
+def shrink(spec: ProgramSpec,
+           still_failing: Callable[[ProgramSpec], bool],
+           max_attempts: int = 500) -> ProgramSpec:
+    """Greedily minimise ``spec`` while ``still_failing`` holds.
+
+    ``still_failing`` receives a candidate spec and must return True when
+    the candidate still exhibits the failure; it must tolerate arbitrary
+    candidates (returning False for ones that fail to build).
+    """
+    pruned = prune(spec)
+    if pruned != spec and still_failing(pruned):
+        # A failure living outside the output cone would vanish under the
+        # garbage collection; only adopt the pruned spec when it still fails.
+        spec = pruned
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _candidates(spec):
+            attempts += 1
+            candidate = prune(candidate)
+            if candidate == spec:
+                continue
+            if still_failing(candidate):
+                spec = candidate
+                improved = True
+                break
+            if attempts >= max_attempts:
+                break
+    return spec
+
+
+def divergence_categories(divergences: Iterable[str]) -> Set[str]:
+    """The failure classes present in a divergence list: ``typecheck``,
+    ``semantics``, ``calyx-wellformed``, ``roundtrip``, ``engine`` or
+    ``golden`` (the first word of each message's prefix)."""
+    return {line.split(":", 1)[0].split()[0] for line in divergences}
+
+
+def spec_fails(spec: ProgramSpec,
+               engines: Optional[dict] = None,
+               transactions: int = 8,
+               seed: int = 0,
+               roundtrip: bool = False,
+               categories: Optional[Set[str]] = None) -> bool:
+    """A ready-made shrink predicate: does a conformance run over ``spec``
+    diverge?  Build/compile errors count as *not failing* (the shrinker must
+    never wander off the well-typed subspace).
+
+    Pass the ``categories`` of the original failure (see
+    :func:`divergence_categories`) so a reduction step cannot trade an
+    engine bug for an unrelated typecheck/semantics failure; match the
+    original run's ``transactions``/``seed``/``roundtrip`` so a
+    stimulus-dependent divergence stays reproducible during shrinking.
+    """
+    from .differential import run_conformance
+    try:
+        generated = build(spec)
+        result = run_conformance(generated, transactions=transactions,
+                                 seed=seed, engines=engines,
+                                 roundtrip=roundtrip)
+    except Exception:
+        return False
+    if result.passed:
+        return False
+    if categories is None:
+        return True
+    return bool(categories & divergence_categories(result.divergences))

@@ -1,0 +1,113 @@
+"""Printing Filament ASTs back to parseable surface syntax.
+
+The dataclass ``__str__`` methods in :mod:`repro.core.ast` render components
+for error messages and documentation, but they drop information the parser
+needs — most notably ``@interface[G]`` ports and compile-time parameter
+lists.  This module is the *faithful* printer: for every program ``p`` built
+by the builder API or by the parser,
+
+    ``parse_program(format_program(p))`` is structurally equal to ``p``.
+
+That round-trip property is what the conformance subsystem
+(:mod:`repro.conformance`) checks on every randomly generated program, so
+the printer deliberately mirrors the grammar of :mod:`repro.core.parser`
+construct by construct.
+
+The one normalisation the printer performs: the combined
+``x := new C<G>(...)`` surface form was already expanded by the parser into
+an instantiation plus an invocation, and the printer emits those two
+commands separately.  Re-parsing therefore reproduces the expanded AST
+exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast import (
+    Component,
+    Connect,
+    ConstantPort,
+    Instantiate,
+    Invoke,
+    PortDef,
+    Program,
+    Signature,
+    Source,
+)
+from .errors import FilamentError
+from .events import Delay
+
+__all__ = ["format_program", "format_component", "format_signature"]
+
+
+def _format_delay(delay: Delay) -> str:
+    if delay.is_concrete:
+        return str(delay.concrete)
+    return f"{delay.minuend}-({delay.subtrahend})"
+
+
+def _format_port(port: PortDef) -> str:
+    return f"@[{port.interval.start}, {port.interval.end}] {port.name}: {port.width}"
+
+
+def _format_source(source: Source) -> str:
+    if isinstance(source, ConstantPort):
+        return f"{source.width}'d{source.value}"
+    return str(source)
+
+
+def format_signature(signature: Signature) -> str:
+    """The signature header, without the trailing ``;`` or body braces."""
+    keyword = "extern comp" if signature.is_extern else "comp"
+    params = f"[{', '.join(signature.params)}]" if signature.params else ""
+    events = ", ".join(
+        f"{binding.name}: {_format_delay(binding.delay)}"
+        for binding in signature.events
+    )
+    inputs: List[str] = [
+        f"@interface[{binding.name}] {binding.interface_port}: 1"
+        for binding in signature.events
+        if binding.interface_port is not None
+    ]
+    inputs += [_format_port(port) for port in signature.inputs]
+    outputs = [_format_port(port) for port in signature.outputs]
+    where = ""
+    if signature.constraints:
+        where = " where " + ", ".join(
+            f"{c.lhs} {c.op} {c.rhs}" for c in signature.constraints
+        )
+    return (f"{keyword} {signature.name}{params}<{events}>"
+            f"({', '.join(inputs)}) -> ({', '.join(outputs)}){where}")
+
+
+def _format_command(command) -> str:
+    if isinstance(command, Instantiate):
+        params = f"[{', '.join(map(str, command.params))}]" if command.params else ""
+        return f"{command.name} := new {command.component}{params};"
+    if isinstance(command, Invoke):
+        events = ", ".join(str(event) for event in command.events)
+        args = ", ".join(_format_source(arg) for arg in command.args)
+        return f"{command.name} := {command.instance}<{events}>({args});"
+    if isinstance(command, Connect):
+        return f"{command.dst} = {_format_source(command.src)};"
+    raise FilamentError(f"cannot print unknown command {command!r}")
+
+
+def format_component(component: Component) -> str:
+    """One component definition in parseable surface syntax."""
+    header = format_signature(component.signature)
+    if component.is_extern or not component.body:
+        return f"{header};"
+    body = "\n".join(f"  {_format_command(command)}" for command in component.body)
+    return f"{header} {{\n{body}\n}}"
+
+
+def format_program(program: Program, include_externs: bool = True) -> str:
+    """A whole program.  ``include_externs=False`` skips extern components
+    (useful when the reader will merge the standard library back in)."""
+    components = [
+        component for component in program
+        if include_externs or not component.is_extern
+    ]
+    return "\n\n".join(format_component(component) for component in components)

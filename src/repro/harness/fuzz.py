@@ -29,7 +29,13 @@ def random_transactions(harness: CycleAccurateHarness, count: int,
                         seed: int = 0,
                         exclude: Sequence[str] = ()) -> List[Transaction]:
     """``count`` reproducible random transactions for ``harness``; ports in
-    ``exclude`` are left undriven (useful for mode pins fixed elsewhere)."""
+    ``exclude`` are left undriven (useful for mode pins fixed elsewhere).
+
+    Every call builds its own :class:`random.Random` from ``seed`` (streams
+    never share global RNG state, so interleaved streams stay reproducible)
+    and values span the port's *full* width — a 64-bit port receives
+    stimulus with high bits set, not values capped at 2**30.
+    """
     generator = random.Random(seed)
     transactions: List[Transaction] = []
     for _ in range(count):
@@ -37,17 +43,24 @@ def random_transactions(harness: CycleAccurateHarness, count: int,
         for port in harness.spec.inputs:
             if port.name in exclude:
                 continue
-            transaction[port.name] = generator.randrange(0, 1 << min(port.width, 30))
+            transaction[port.name] = generator.getrandbits(port.width)
         transactions.append(transaction)
     return transactions
 
 
 @dataclass
 class DifferentialReport:
-    """Outcome of a differential run: per-transaction divergences."""
+    """Outcome of a differential run: per-transaction divergences.
+
+    ``seed`` records the stimulus-stream seed when the transactions were
+    generated internally (``differential_test(..., count=, seed=)``), so a
+    failing report can be replayed exactly; it is ``None`` when the caller
+    supplied the transactions.
+    """
 
     transactions: int
     divergences: List[str] = field(default_factory=list)
+    seed: Optional[int] = None
 
     @property
     def passed(self) -> bool:
@@ -55,7 +68,8 @@ class DifferentialReport:
 
     def __str__(self) -> str:
         status = "AGREE" if self.passed else "DIVERGE"
-        lines = [f"{status} over {self.transactions} transaction(s)"]
+        replay = "" if self.seed is None else f" [stimulus seed {self.seed}]"
+        lines = [f"{status} over {self.transactions} transaction(s){replay}"]
         lines.extend(self.divergences[:20])
         if len(self.divergences) > 20:
             lines.append(f"... and {len(self.divergences) - 20} more")
@@ -64,17 +78,27 @@ class DifferentialReport:
 
 def differential_test(reference: CycleAccurateHarness,
                       candidate: CycleAccurateHarness,
-                      transactions: Sequence[Transaction],
-                      outputs: Optional[Sequence[str]] = None) -> DifferentialReport:
+                      transactions: Optional[Sequence[Transaction]] = None,
+                      outputs: Optional[Sequence[str]] = None,
+                      count: int = 50, seed: int = 0) -> DifferentialReport:
     """Run the same transactions through two harnesses and compare the named
-    outputs (all common outputs by default)."""
+    outputs (all common outputs by default).
+
+    When ``transactions`` is omitted, ``count`` random transactions are
+    generated from a *per-stream* RNG seeded with ``seed`` (never the global
+    RNG), and the seed is recorded in the report for replay.
+    """
+    stream_seed: Optional[int] = None
+    if transactions is None:
+        stream_seed = seed
+        transactions = random_transactions(reference, count, seed=seed)
     names = list(outputs) if outputs is not None else [
         port.name for port in reference.spec.outputs
         if any(p.name == port.name for p in candidate.spec.outputs)
     ]
     reference_results = reference.run(transactions)
     candidate_results = candidate.run(transactions)
-    report = DifferentialReport(len(transactions))
+    report = DifferentialReport(len(transactions), seed=stream_seed)
     for ref, cand in zip(reference_results, candidate_results):
         for name in names:
             want, got = ref.output(name), cand.output(name)
@@ -90,10 +114,11 @@ def differential_test(reference: CycleAccurateHarness,
 def fuzz_against_golden(harness: CycleAccurateHarness,
                         golden: Callable[[Transaction], Dict[str, int]],
                         count: int = 50, seed: int = 0) -> DifferentialReport:
-    """Fuzz a design against a Python golden model."""
+    """Fuzz a design against a Python golden model.  The stimulus stream is
+    seeded per call (recorded in the report), never from global RNG state."""
     transactions = random_transactions(harness, count, seed)
     results = harness.run(transactions)
-    report = DifferentialReport(count)
+    report = DifferentialReport(count, seed=seed)
     for result in results:
         expected = golden(result.inputs)
         for name, want in expected.items():

@@ -1,0 +1,69 @@
+"""The golden corpus: committed entries replay deterministically, digests
+catch builder/printer drift, and the coverage ledger persists."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.conformance import (
+    CorpusError,
+    CoverageLedger,
+    corpus_entry,
+    generate,
+    load_entries,
+    replay_entry,
+    run_conformance,
+    write_entry,
+)
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+
+
+def test_committed_corpus_exists():
+    entries = load_entries(CORPUS_DIR)
+    assert len(entries) >= 5, "the golden corpus shrank unexpectedly"
+
+
+@pytest.mark.parametrize("path,entry",
+                         load_entries(CORPUS_DIR),
+                         ids=[p.name for p, _ in load_entries(CORPUS_DIR)])
+def test_corpus_entry_replays_clean(path, entry):
+    generated = replay_entry(entry)
+    assert generated.statements() == entry["statements"]
+    result = run_conformance(generated, transactions=6,
+                             seed=entry.get("seed") or 0)
+    assert result.passed, f"{path.name}: {result}"
+
+
+def test_digest_drift_is_detected():
+    entry = corpus_entry(generate(3), seed=3)
+    entry["digest"] = "0" * 16
+    with pytest.raises(CorpusError, match="digest"):
+        replay_entry(entry)
+
+
+def test_write_and_load_round_trip(tmp_path):
+    generated = generate(7)
+    written = write_entry(tmp_path, corpus_entry(generated, seed=7,
+                                                 note="round trip"))
+    entries = load_entries(tmp_path)
+    assert [path for path, _ in entries] == [written]
+    replayed = replay_entry(entries[0][1])
+    assert replayed.spec == generated.spec
+
+
+def test_coverage_ledger_persists_and_merges(tmp_path):
+    ledger = CoverageLedger()
+    for seed in range(3):
+        result = run_conformance(generate(seed), transactions=4, seed=seed)
+        result.coverage.seed = seed
+        ledger.add(result.coverage)
+    path = ledger.save(tmp_path / "ledger.json")
+    loaded = CoverageLedger.load(path)
+    assert loaded.programs == 3
+    assert loaded.op_histogram() == ledger.op_histogram()
+    assert loaded.engine_paths() == {"scheduled": 3, "fallback": 0}
+
+    merged = loaded.merge(ledger)
+    assert merged.programs == 6
+    assert "conformance coverage" in merged.summary()

@@ -108,6 +108,53 @@ def _looped_program() -> CalyxProgram:
     return program
 
 
+def _settling_loop_program() -> CalyxProgram:
+    """A *deliberately cyclic* netlist that still settles: a mux whose
+    ``in1`` feeds back from its own output.  With ``sel = 0`` the loop is
+    transparent (``out = a``); with ``sel = 1`` the loop X-stabilises.  The
+    register gives the design multi-cycle state so a whole stimulus stream
+    has to route through the sweep fallback."""
+    component = CalyxComponent(
+        "top", inputs=[PortSpec("a", 8), PortSpec("sel", 1)],
+        outputs=[PortSpec("o", 8)])
+    component.add_cell(Cell("M", "Mux", (8,)))
+    component.add_cell(Cell("R", "Reg", (8,)))
+    component.add_wire(Assignment(CellPort("M", "in0"), CellPort(None, "a")))
+    component.add_wire(Assignment(CellPort("M", "in1"), CellPort("M", "out")))
+    component.add_wire(Assignment(CellPort("M", "sel"), CellPort(None, "sel")))
+    component.add_wire(Assignment(CellPort("R", "in"), CellPort("M", "out")))
+    component.add_wire(Assignment(CellPort("R", "en"), 1))
+    component.add_wire(Assignment(CellPort(None, "o"), CellPort("R", "out")))
+    program = CalyxProgram(entrypoint="top")
+    program.add(component)
+    return program
+
+
+def test_fixpoint_fallback_traces_identically_over_a_stream():
+    """The scheduled engine must refuse to levelize the cyclic mux netlist,
+    route the whole multi-cycle stream through the sweep loop, and still
+    produce exactly the reference fixpoint trace — including the X cycles
+    the feedback path introduces."""
+    stimulus = [{"a": value, "sel": value % 2} for value in range(1, 11)]
+
+    fallback = Simulator(_settling_loop_program(), mode="auto")
+    assert not fallback.is_scheduled
+    assert not fallback.scheduled_everywhere()
+    reference = Simulator(_settling_loop_program(), mode="fixpoint")
+
+    fallback_trace = fallback.run_batch(stimulus)
+    assert _traces_equal(fallback_trace, reference.run_batch(stimulus))
+
+    # Semantics spot-check: the register sees ``a`` after sel=0 cycles and
+    # X after sel=1 cycles (the loop X-stabilises), one cycle later.
+    for cycle, inputs in enumerate(stimulus[:-1]):
+        observed = fallback_trace[cycle + 1]["o"]
+        if inputs["sel"] == 0:
+            assert observed == inputs["a"]
+        else:
+            assert is_x(observed)
+
+
 def test_combinational_loop_falls_back_and_stabilises_to_x():
     """A cyclic netlist cannot be levelized: ``auto`` mode transparently
     falls back to the sweep loop and behaves exactly like ``fixpoint``."""

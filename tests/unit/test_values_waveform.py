@@ -1,0 +1,123 @@
+"""Direct coverage for :mod:`repro.sim.values` and
+:mod:`repro.sim.waveform` — the X algebra and the waveform recorder."""
+
+import pytest
+
+from repro.calyx.ir import Assignment, CalyxComponent, CalyxProgram, Cell, CellPort, PortSpec
+from repro.sim import Simulator, X, is_x
+from repro.sim.values import _Unknown, format_value, mask, to_bool
+from repro.sim.waveform import WaveformRecorder, render_ascii
+
+
+# ---------------------------------------------------------------------------
+# values.py
+# ---------------------------------------------------------------------------
+
+
+def test_x_is_a_singleton():
+    assert _Unknown() is X
+    assert is_x(X)
+    assert not is_x(0)
+    assert not is_x(123)
+
+
+def test_x_has_no_truth_value():
+    with pytest.raises(TypeError, match="is_x"):
+        bool(X)
+
+
+def test_mask_truncates_and_preserves_x():
+    assert mask(0x1FF, 8) == 0xFF
+    assert mask(5, 8) == 5
+    assert is_x(mask(X, 8))
+
+
+def test_to_bool_treats_x_and_zero_as_inactive():
+    assert not to_bool(X)
+    assert not to_bool(0)
+    assert to_bool(1)
+    assert to_bool(255)
+
+
+def test_format_value_renders_x_and_ints():
+    assert format_value(X) == "X"
+    assert format_value(42) == "42"
+
+
+# ---------------------------------------------------------------------------
+# waveform.py
+# ---------------------------------------------------------------------------
+
+
+def _registered_passthrough() -> CalyxProgram:
+    """``o`` is ``a`` delayed by one always-enabled register."""
+    component = CalyxComponent("top", inputs=[PortSpec("a", 8)],
+                               outputs=[PortSpec("o", 8)])
+    component.add_cell(Cell("R", "Reg", (8,)))
+    component.add_wire(Assignment(CellPort("R", "in"), CellPort(None, "a")))
+    component.add_wire(Assignment(CellPort("R", "en"), 1))
+    component.add_wire(Assignment(CellPort(None, "o"), CellPort("R", "out")))
+    program = CalyxProgram(entrypoint="top")
+    program.add(component)
+    return program
+
+
+def _recorded() -> WaveformRecorder:
+    recorder = WaveformRecorder(Simulator(_registered_passthrough()))
+    recorder.run([{"a": 5}, {"a": 9}, {"a": X}, {}])
+    return recorder
+
+
+def test_recorder_captures_x_propagation():
+    recorder = _recorded()
+    assert recorder.column("a") == [5, 9, X, X]
+    # The register imposes one cycle of latency; its power-on state is X.
+    out = recorder.column("o")
+    assert is_x(out[0])
+    assert out[1:3] == [5, 9]
+    assert is_x(out[3])
+
+
+def test_ascii_rendering_shows_signals_and_x():
+    rendered = _recorded().render()
+    assert "cycle" in rendered
+    assert "a" in rendered and "o" in rendered
+    assert "X" in rendered and "9" in rendered
+
+
+def test_render_ascii_empty_trace():
+    assert render_ascii([], ["a"]) == "(empty trace)"
+
+
+def _parse_vcd(text):
+    """A minimal VCD reader: per-cycle values keyed by signal name."""
+    identifiers = {}
+    for line in text.splitlines():
+        if line.startswith("$var"):
+            _, _, _, ident, name, _ = line.split()
+            identifiers[ident] = name
+    cycles = []
+    current = {}
+    for line in text.splitlines():
+        if line.startswith("#"):
+            if cycles or current:
+                cycles.append(dict(current))
+            continue
+        if line.startswith("b") and " " in line:
+            bits, ident = line.split()
+            value = X if bits == "bx" else int(bits[1:], 2)
+            current[identifiers[ident]] = value
+    cycles.append(dict(current))
+    return cycles[1:] if cycles and not cycles[0] else cycles
+
+
+def test_vcd_round_trips_the_recorded_trace():
+    recorder = _recorded()
+    cycles = _parse_vcd(recorder.render_vcd())
+    assert len(cycles) == len(recorder.trace)
+    for replayed, recorded in zip(cycles, recorder.trace):
+        for name in ("a", "o"):
+            want, got = recorded[name], replayed[name]
+            assert is_x(want) == is_x(got)
+            if not is_x(want):
+                assert want == got
