@@ -1,0 +1,142 @@
+"""Lane-packed simulation throughput: transactions/sec at 1, 8 and 64 lanes.
+
+The fuzz workload (independently seeded random transaction streams against
+the ``AddMult`` design's golden model) is the traffic pattern every
+downstream consumer of the simulator generates: the conformance matrix, the
+Appendix B fuzz harness and the evaluation drivers all pay one full Python
+netlist interpretation per stimulus stream.  Lane packing evaluates a whole
+batch of streams per netlist pass, so throughput should scale well past the
+scalar engine's — the acceptance bar is >= 5x at 64 lanes.
+
+Run as a script (the CI ``lane-throughput-smoke`` job) to print and persist
+the figure::
+
+    PYTHONPATH=src python benchmarks/bench_lane_throughput.py \
+        --transactions 40 --out lane-throughput.json
+
+The script exits non-zero if 64 lanes are not faster than 1 — a regression
+gate for the packed fast path.  Under pytest the same measurement runs at a
+smoke-test size and only checks that the packed results stay bit-identical
+to scalar runs (wall-clock asserts in shared CI runners are left to the
+dedicated job, which also uploads the JSON artifact).
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.session import CompilationSession  # noqa: E402
+from repro.designs import addmult_program  # noqa: E402
+from repro.designs.golden import addmult as addmult_golden  # noqa: E402
+from repro.harness import harness_for, random_transactions  # noqa: E402
+from repro.harness.fuzz import fuzz_against_golden  # noqa: E402
+from repro.sim import is_x  # noqa: E402
+
+LANE_POINTS = (1, 8, 64)
+DESIGN = "AddMult"
+
+
+def _golden(transaction):
+    return {"out": addmult_golden(transaction["a"], transaction["b"],
+                                  transaction["c"])}
+
+
+def _harness():
+    program = addmult_program()
+    session = CompilationSession.for_program(program)
+    return harness_for(program, DESIGN, session=session)
+
+
+def measure(transactions: int = 40, repeats: int = 3) -> dict:
+    """Transactions/sec for the fuzz workload at every lane point.
+
+    ``lanes=1`` runs each stream through the scalar ``run_batch`` loop (the
+    pre-existing fast path); ``lanes>1`` runs the same streams through one
+    lane-packed pass.  The wall clock covers the whole fuzz check, golden
+    model included, so the figure is end-to-end.
+    """
+    harness = _harness()
+    figures = {}
+    for lanes in LANE_POINTS:
+        # Warm once (compile + schedule are shared; first run JITs nothing
+        # but touches every cache), then keep the best of ``repeats``.
+        best = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            report = fuzz_against_golden(
+                harness, _golden, count=transactions, seed=7,
+                lanes=lanes)
+            elapsed = time.perf_counter() - start
+            assert report.passed, str(report)
+            throughput = report.transactions / elapsed
+            best = throughput if best is None else max(best, throughput)
+        figures[lanes] = best
+    return {
+        "design": DESIGN,
+        "workload": "fuzz_against_golden",
+        "transactions_per_stream": transactions,
+        "lanes": {str(lanes): round(figure, 1)
+                  for lanes, figure in figures.items()},
+        "speedup_64_vs_1": round(figures[64] / figures[1], 2),
+    }
+
+
+def _packed_matches_scalar(transactions: int = 12, lanes: int = 8) -> None:
+    """The correctness backstop for the benchmark workload: every lane's
+    trace must be bit-identical (values and X planes) to its scalar run."""
+    harness = _harness()
+    streams = [random_transactions(harness, transactions, seed=seed)
+               for seed in range(lanes)]
+    packed = harness.run_lanes(streams)
+    for stream, results in zip(streams, packed):
+        scalar = harness.run(stream)
+        assert len(results) == len(scalar)
+        for lane_result, scalar_result in zip(results, scalar):
+            for name, want in scalar_result.outputs.items():
+                got = lane_result.outputs[name]
+                assert is_x(got) == is_x(want)
+                if not is_x(want):
+                    assert got == want
+
+
+def test_lane_packed_fuzz_matches_scalar():
+    _packed_matches_scalar()
+
+
+def test_lane_throughput_figure_is_well_formed():
+    figure = measure(transactions=10, repeats=1)
+    assert set(figure["lanes"]) == {str(p) for p in LANE_POINTS}
+    assert all(value > 0 for value in figure["lanes"].values())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--transactions", type=int, default=40,
+                        help="transactions per stream (default 40)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats, best-of (default 3)")
+    parser.add_argument("--out", metavar="PATH",
+                        help="write the JSON figure here")
+    args = parser.parse_args(argv)
+
+    figure = measure(args.transactions, args.repeats)
+    print(f"lane throughput on {figure['design']} "
+          f"({figure['transactions_per_stream']} transactions/stream):")
+    for lanes in LANE_POINTS:
+        print(f"  lanes={lanes:3d}: {figure['lanes'][str(lanes)]:>10.1f} tx/s")
+    print(f"  speedup 64 vs 1: {figure['speedup_64_vs_1']}x")
+    if args.out:
+        Path(args.out).write_text(json.dumps(figure, indent=2) + "\n")
+        print(f"figure written to {args.out}")
+    if figure["speedup_64_vs_1"] <= 1.0:
+        print("FAIL: 64 lanes are not faster than 1", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,10 @@ def _parser() -> argparse.ArgumentParser:
                         help="first seed of the range (default 0)")
     parser.add_argument("--transactions", type=int, default=12,
                         help="random transactions per program (default 12)")
+    parser.add_argument("--lanes", type=int, default=4,
+                        help="stimulus streams run lane-packed through one "
+                             "engine and checked against scalar traces "
+                             "(default 4; 1 disables the packed way)")
     parser.add_argument("--ledger", metavar="PATH",
                         help="write the coverage ledger JSON here")
     parser.add_argument("--replay", metavar="DIR",
@@ -91,6 +95,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             transactions=args.transactions,
             seed=0 if seed is None else seed,
             roundtrip=not args.no_roundtrip,
+            lanes=args.lanes,
         )
         result.seed = seed
         if result.coverage is not None:

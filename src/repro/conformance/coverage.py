@@ -35,8 +35,15 @@ class CoverageRecord:
     shared_instances: int = 0
     scheduled: bool = True
     fallback_components: List[str] = field(default_factory=list)
+    #: Component name → why the engine fell back to the sweep loop
+    #: (``duplicate-definition``, ``input-shadowing``, ``self-loop``,
+    #: ``combinational-cycle``); empty for fully scheduled programs.
+    fallback_reasons: Dict[str, str] = field(default_factory=dict)
     stimulus_has_x: bool = False
     transactions: int = 0
+    #: How many stimulus streams ran lane-packed through one engine
+    #: instantiation (1 = scalar only, no packed-vs-scalar check).
+    lanes: int = 1
     divergences: int = 0
 
     @staticmethod
@@ -69,8 +76,10 @@ class CoverageRecord:
             "shared_instances": self.shared_instances,
             "scheduled": self.scheduled,
             "fallback_components": list(self.fallback_components),
+            "fallback_reasons": dict(self.fallback_reasons),
             "stimulus_has_x": self.stimulus_has_x,
             "transactions": self.transactions,
+            "lanes": self.lanes,
             "divergences": self.divergences,
         }
 
@@ -128,6 +137,14 @@ class CoverageLedger:
         return {"scheduled": scheduled,
                 "fallback": len(self.records) - scheduled}
 
+    def fallback_reason_histogram(self) -> Dict[str, int]:
+        """Why fallbacks happened, across every recorded component."""
+        histogram: Dict[str, int] = {}
+        for record in self.records:
+            for reason in record.fallback_reasons.values():
+                histogram[reason] = histogram.get(reason, 0) + 1
+        return dict(sorted(histogram.items()))
+
     def unexercised_ops(self) -> List[str]:
         """Op kinds the generator knows but no recorded program used."""
         used = set()
@@ -146,6 +163,12 @@ class CoverageLedger:
             f"  widths: {self.width_histogram()}",
             f"  ops: {self.op_histogram()}",
         ]
+        reasons = self.fallback_reason_histogram()
+        if reasons:
+            lines.append(f"  fallback reasons: {reasons}")
+        lanes = sorted({record.lanes for record in self.records})
+        if lanes and lanes != [1]:
+            lines.append(f"  packed lanes per run: {lanes}")
         missing = self.unexercised_ops()
         if missing:
             lines.append(f"  unexercised ops: {', '.join(missing)}")
@@ -165,6 +188,7 @@ class CoverageLedger:
             "op_histogram": self.op_histogram(),
             "width_histogram": {str(k): v for k, v in self.width_histogram().items()},
             "engine_paths": self.engine_paths(),
+            "fallback_reasons": self.fallback_reason_histogram(),
             "records": [record.to_dict() for record in self.records],
         }
 

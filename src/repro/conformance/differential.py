@@ -17,7 +17,12 @@ under identical random stimulus, and all answers must agree:
    fixpoint engine (``mode="fixpoint"``) must produce cycle-identical
    traces, including X propagation (the harness drives X outside every
    availability window);
-6. **golden model** — every captured transaction output must equal the
+6. **lane-packed vs scalar** — ``lanes`` independently seeded stimulus
+   streams run through one lane-packed pass
+   (:meth:`~repro.sim.engine.ScheduledEngine.run_lanes`) of a single engine
+   instantiation, and every lane's trace must be bit-identical (values and
+   X planes) to a scalar run of that stream;
+7. **golden model** — every captured transaction output must equal the
    generator's exact Python evaluation of the dataflow spec.
 
 Custom engines can be injected through the ``engines`` parameter (a mapping
@@ -159,11 +164,16 @@ def run_conformance(generated: GeneratedProgram,
                     transactions: int = 12,
                     seed: int = 0,
                     engines: Optional[Dict[str, EngineFactory]] = None,
-                    roundtrip: bool = True) -> ConformanceResult:
+                    roundtrip: bool = True,
+                    lanes: int = 4) -> ConformanceResult:
     """Run the full N-way differential matrix over one generated program.
 
     ``seed`` seeds the *stimulus* stream (independent of the program seed)
     so interleaved runs stay reproducible; it is recorded in the result.
+    ``lanes`` independently seeded streams (``seed``, ``seed + 1``, …) are
+    additionally pushed through one lane-packed engine instantiation and
+    each lane is checked bit-for-bit against its scalar trace; ``lanes=1``
+    disables the packed way.
     """
     engines = dict(engines) if engines is not None else default_engines()
     spec = generated.spec
@@ -264,8 +274,40 @@ def run_conformance(generated: GeneratedProgram,
     if isinstance(scheduled_engine, ScheduledEngine):
         coverage.scheduled = scheduled_engine.scheduled_everywhere()
         coverage.fallback_components = _fallback_components(scheduled_engine)
+        coverage.fallback_reasons = scheduled_engine.fallback_reasons()
 
-    # 6. Captured outputs must match the exact golden model.
+    # 6. Lane-packed execution must be bit-identical to scalar runs: the
+    #    original stimulus plus ``lanes - 1`` freshly seeded streams go
+    #    through ONE engine instantiation's run_lanes, and each lane is
+    #    compared against its own scalar trace.  ``coverage.lanes`` only
+    #    reports a packed width when the packed run actually happened.
+    coverage.lanes = 1
+    if lanes > 1 and reference_name is not None:
+        streams = [stimulus]
+        for lane in range(1, lanes):
+            extra = random_transactions(harness, transactions,
+                                        seed=seed + lane)
+            streams.append(harness._schedule(extra)[0])
+        packed_engine = Simulator(calyx, spec.name, mode="auto")
+        try:
+            packed_traces = packed_engine.run_lanes(streams)
+        except SimulationError as error:
+            divergences.append(f"engine packed: {error}")
+        else:
+            result.engines = result.engines + ["packed"]
+            coverage.lanes = lanes
+            scalar_engine = Simulator(calyx, spec.name, mode="auto")
+            for lane, lane_stimulus in enumerate(streams):
+                if lane == 0:
+                    scalar_trace = traces[reference_name]
+                else:
+                    scalar_engine.reset()
+                    scalar_trace = scalar_engine.run_batch(lane_stimulus)
+                _compare_traces(f"scalar lane {lane}", scalar_trace,
+                                f"packed[{lane}]", packed_traces[lane],
+                                divergences)
+
+    # 7. Captured outputs must match the exact golden model.
     if reference_name is not None:
         reference = traces[reference_name]
         output_ports = harness.spec.outputs

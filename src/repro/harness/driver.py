@@ -119,7 +119,15 @@ class CycleAccurateHarness:
         spacing = spacing if spacing is not None else self.spec.initiation_interval
         starts = [index * spacing for index in range(len(transactions))]
         total = (starts[-1] if starts else 0) + self.spec.horizon() + extra_cycles
-        stimulus: List[Dict[str, Value]] = [dict() for _ in range(total)]
+
+        # Every cycle starts from the idle template — interface ports 0, data
+        # ports X so early/late reads are caught — and transactions overwrite
+        # their windows.  Copying the template is one C-level dict copy per
+        # cycle, which matters when lane-packed runs schedule many streams.
+        idle: Dict[str, Value] = {name: 0 for name in self.spec.interface_ports}
+        for port in self.spec.inputs:
+            idle[port.name] = X
+        stimulus: List[Dict[str, Value]] = [dict(idle) for _ in range(total)]
 
         for start, transaction in zip(starts, transactions):
             for offset_port, cycle in self.spec.interface_ports.items():
@@ -130,21 +138,14 @@ class CycleAccurateHarness:
                     continue
                 for cycle in port.cycles():
                     slot = stimulus[start + cycle]
-                    if port.name in slot and slot[port.name] != value:
+                    existing = slot[port.name]
+                    if existing is not X and existing != value:
                         raise SimulationError(
                             f"transactions overlap on input {port.name} at "
                             f"cycle {start + cycle}; spacing {spacing} is "
                             f"below the initiation interval"
                         )
                     slot[port.name] = value
-
-        # Interface ports default to 0 (not X) when idle; data ports default
-        # to X so early/late reads are caught.
-        for cycle_inputs in stimulus:
-            for port_name in self.spec.interface_ports:
-                cycle_inputs.setdefault(port_name, 0)
-            for port in self.spec.inputs:
-                cycle_inputs.setdefault(port.name, X)
         return stimulus, starts
 
     # -- running ---------------------------------------------------------------
@@ -156,7 +157,10 @@ class CycleAccurateHarness:
         capture each one's outputs during their availability windows."""
         stimulus, starts = self._schedule(transactions, spacing, extra_cycles)
         trace = self._fresh_simulator().run_batch(stimulus)
+        return self._capture(trace, starts, transactions)
 
+    def _capture(self, trace: List[Dict[str, Value]], starts: List[int],
+                 transactions: Sequence[Transaction]) -> List[TransactionResult]:
         results = []
         for index, (start, transaction) in enumerate(zip(starts, transactions)):
             result = TransactionResult(index, start, dict(transaction))
@@ -168,6 +172,24 @@ class CycleAccurateHarness:
                 result.outputs[port.name] = value
             results.append(result)
         return results
+
+    def run_lanes(self, transaction_streams: Sequence[Sequence[Transaction]],
+                  spacing: Optional[int] = None,
+                  extra_cycles: int = 4) -> List[List[TransactionResult]]:
+        """Run several *independent* transaction streams as lanes of one
+        lane-packed netlist pass and capture each stream's outputs.
+
+        Every stream is pipelined internally exactly as :meth:`run` would
+        pipeline it; the streams never interact, they only share the
+        simulator pass, so N fuzz streams cost roughly one.
+        """
+        schedules = [self._schedule(list(stream), spacing, extra_cycles)
+                     for stream in transaction_streams]
+        traces = self._fresh_simulator().run_lanes(
+            [stimulus for stimulus, _ in schedules])
+        return [self._capture(trace, starts, stream)
+                for trace, (_, starts), stream
+                in zip(traces, schedules, transaction_streams)]
 
     def trace(self, transactions: Sequence[Transaction],
               spacing: Optional[int] = None,

@@ -9,7 +9,10 @@ of :class:`~repro.harness.driver.CycleAccurateHarness`:
 * :func:`random_transactions` — reproducible random input vectors sized to
   each port's width;
 * :func:`differential_test` — run the same transactions through two designs
-  (or a design and a Python golden model) and report every divergence.
+  (or a design and a Python golden model) and report every divergence;
+* :func:`fuzz_against_golden` — check a design against a golden model,
+  optionally running many independently seeded streams as lanes of one
+  lane-packed simulator pass (``lanes=``).
 """
 
 from __future__ import annotations
@@ -56,11 +59,18 @@ class DifferentialReport:
     generated internally (``differential_test(..., count=, seed=)``), so a
     failing report can be replayed exactly; it is ``None`` when the caller
     supplied the transactions.
+
+    ``fallback_reasons`` records, per harness role (``"reference"`` /
+    ``"candidate"``) and per component, why the simulation engine routed
+    through the sweep-loop fallback instead of the levelized schedule (see
+    :attr:`~repro.sim.engine.ScheduledEngine.fallback_reason`); empty when
+    everything ran on the schedule.
     """
 
     transactions: int
     divergences: List[str] = field(default_factory=list)
     seed: Optional[int] = None
+    fallback_reasons: Dict[str, Dict[str, str]] = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -70,6 +80,11 @@ class DifferentialReport:
         status = "AGREE" if self.passed else "DIVERGE"
         replay = "" if self.seed is None else f" [stimulus seed {self.seed}]"
         lines = [f"{status} over {self.transactions} transaction(s){replay}"]
+        for role, reasons in sorted(self.fallback_reasons.items()):
+            if reasons:
+                detail = ", ".join(f"{name}: {reason}"
+                                   for name, reason in sorted(reasons.items()))
+                lines.append(f"  {role} engine fallback: {detail}")
         lines.extend(self.divergences[:20])
         if len(self.divergences) > 20:
             lines.append(f"... and {len(self.divergences) - 20} more")
@@ -99,6 +114,10 @@ def differential_test(reference: CycleAccurateHarness,
     reference_results = reference.run(transactions)
     candidate_results = candidate.run(transactions)
     report = DifferentialReport(len(transactions), seed=stream_seed)
+    for role, harness in (("reference", reference), ("candidate", candidate)):
+        simulator = harness._simulator
+        if simulator is not None:
+            report.fallback_reasons[role] = simulator.fallback_reasons()
     for ref, cand in zip(reference_results, candidate_results):
         for name in names:
             want, got = ref.output(name), cand.output(name)
@@ -113,19 +132,34 @@ def differential_test(reference: CycleAccurateHarness,
 
 def fuzz_against_golden(harness: CycleAccurateHarness,
                         golden: Callable[[Transaction], Dict[str, int]],
-                        count: int = 50, seed: int = 0) -> DifferentialReport:
+                        count: int = 50, seed: int = 0,
+                        lanes: int = 1) -> DifferentialReport:
     """Fuzz a design against a Python golden model.  The stimulus stream is
-    seeded per call (recorded in the report), never from global RNG state."""
-    transactions = random_transactions(harness, count, seed)
-    results = harness.run(transactions)
-    report = DifferentialReport(count, seed=seed)
-    for result in results:
-        expected = golden(result.inputs)
-        for name, want in expected.items():
-            got = result.output(name)
-            if is_x(got) or got != want:
-                report.divergences.append(
-                    f"transaction {result.index} ({result.inputs}): {name} "
-                    f"expected {want} got {format_value(got)}"
-                )
+    seeded per call (recorded in the report), never from global RNG state.
+
+    With ``lanes > 1``, ``lanes`` independent streams (seeded ``seed``,
+    ``seed + 1``, …) run lane-packed through **one** netlist pass and every
+    stream is checked against the golden model — the way to push ``lanes``
+    times the fuzz traffic through the simulator for roughly one stream's
+    interpretation cost.
+    """
+    if lanes <= 1:
+        streams = [random_transactions(harness, count, seed)]
+        per_stream = [harness.run(streams[0])]
+    else:
+        streams = [random_transactions(harness, count, seed=seed + lane)
+                   for lane in range(lanes)]
+        per_stream = harness.run_lanes(streams)
+    report = DifferentialReport(count * len(streams), seed=seed)
+    for lane, results in enumerate(per_stream):
+        tag = "" if len(per_stream) == 1 else f"lane {lane} "
+        for result in results:
+            expected = golden(result.inputs)
+            for name, want in expected.items():
+                got = result.output(name)
+                if is_x(got) or got != want:
+                    report.divergences.append(
+                        f"{tag}transaction {result.index} ({result.inputs}): "
+                        f"{name} expected {want} got {format_value(got)}"
+                    )
     return report

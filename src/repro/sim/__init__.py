@@ -10,7 +10,16 @@ from .primitives import (
     register_primitive,
 )
 from .simulator import Simulator, run_trace
-from .values import Value, X, format_value, is_x, mask, to_bool
+from .values import (
+    LaneContext,
+    PackedValue,
+    Value,
+    X,
+    format_value,
+    is_x,
+    mask,
+    to_bool,
+)
 from .waveform import WaveformRecorder, render_ascii
 
 __all__ = [
@@ -18,6 +27,7 @@ __all__ = [
     "PrimitiveModel", "create_primitive", "is_primitive", "primitive_names",
     "register_primitive",
     "Simulator", "run_trace",
+    "LaneContext", "PackedValue",
     "Value", "X", "format_value", "is_x", "mask", "to_bool",
     "WaveformRecorder", "render_ascii",
 ]

@@ -34,18 +34,39 @@ On top of ``step``, :meth:`ScheduledEngine.run_batch` executes a whole
 stimulus list with the per-cycle input validation hoisted out of the loop —
 the fast path used by the cycle-accurate harness for pipelined transaction
 streams.
+
+:meth:`ScheduledEngine.run_lanes` goes further: N *independent* stimulus
+streams are packed into bigint lanes (:class:`~repro.sim.values.PackedValue`)
+and one pass over the schedule evaluates every stream at once with bitwise
+bigint operations — trace-identical to N scalar runs, on both the scheduled
+and sweep-fallback paths.  Packing amortises the dominant cost of the whole
+repository (Python-interpreting the netlist) across the batch, which is what
+lets the conformance matrix and the fuzz harness drive wide stimulus loads
+at a usable throughput.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..calyx.ir import Assignment, CalyxComponent, CalyxProgram, Cell, CellPort
 from ..core.errors import SimulationError
-from .primitives import PrimitiveModel, create_primitive, is_primitive
-from .values import Value, X, format_value, is_x, to_bool
+from .primitives import PrimitiveModel, ReplicatedLanes, create_primitive, is_primitive
+from .values import (
+    LaneContext,
+    PackedValue,
+    Value,
+    X,
+    format_value,
+    is_x,
+)
 
 __all__ = ["ScheduledEngine", "SimulatorMode", "_MAX_SWEEPS"]
+
+#: Sentinel for "no driver is active or possibly active" — the destination
+#: port keeps whatever value it already had.
+_UNDRIVEN = object()
 
 #: Upper bound on settle sweeps before declaring a combinational loop
 #: (fallback path only; the scheduled path needs a single pass).
@@ -134,9 +155,15 @@ class ScheduledEngine:
             _DriverGroup(dst, assigns) for dst, assigns in by_dst.items()
         ]
 
-        self._schedule: Optional[List[Tuple[int, object]]] = (
-            None if mode == "fixpoint" else self._build_schedule()
-        )
+        #: Why the sweep fallback is in effect (``None`` while the levelized
+        #: schedule runs): ``"mode=fixpoint"``, ``"duplicate-definition"``,
+        #: ``"input-shadowing"``, ``"self-loop"`` or ``"combinational-cycle"``.
+        self.fallback_reason: Optional[str] = None
+        if mode == "fixpoint":
+            self.fallback_reason = "mode=fixpoint"
+            self._schedule: Optional[List[Tuple[int, object]]] = None
+        else:
+            self._schedule = self._build_schedule()
 
         #: Current values of every (cell, port) pair; ``None`` cell means the
         #: component's own ports.
@@ -159,10 +186,21 @@ class ScheduledEngine:
             child.scheduled_everywhere() for child in self._children.values()
         )
 
+    def fallback_reasons(self) -> Dict[str, str]:
+        """Component name → why the sweep fallback is in effect, collected
+        recursively; empty when everything runs on the levelized schedule."""
+        reasons: Dict[str, str] = {}
+        if not self.is_scheduled and self.fallback_reason is not None:
+            reasons[self.component.name] = self.fallback_reason
+        for child in self._children.values():
+            reasons.update(child.fallback_reasons())
+        return reasons
+
     def _build_schedule(self) -> Optional[List[Tuple[int, object]]]:
         """Levelize the netlist into a topological evaluation order, or
-        return ``None`` when the combinational dependency graph is cyclic
-        (or otherwise irregular) and the sweep fallback must be used."""
+        return ``None`` (recording :attr:`fallback_reason`) when the
+        combinational dependency graph is cyclic (or otherwise irregular)
+        and the sweep fallback must be used."""
         nodes: List[Tuple[int, object]] = []
         defines: List[Tuple[_Key, ...]] = []
         depends: List[Tuple[_Key, ...]] = []
@@ -200,47 +238,57 @@ class ScheduledEngine:
         for index, keys in enumerate(defines):
             for key in keys:
                 if key in defined_by:
+                    self.fallback_reason = "duplicate-definition"
                     return None
                 if key[0] is None and key[1] in self._input_set:
+                    self.fallback_reason = "input-shadowing"
                     return None
                 defined_by[key] = index
 
         # Kahn's algorithm over node-level edges, preserving declaration
-        # order among ready nodes for determinism.
+        # order among ready nodes for determinism.  The ready set is a deque
+        # (FIFO popleft keeps the declaration order) — a list's ``pop(0)``
+        # made schedule construction O(n²) in node count.
         successors: List[List[int]] = [[] for _ in nodes]
         indegree = [0] * len(nodes)
         for index, keys in enumerate(depends):
             sources = {defined_by[key] for key in keys if key in defined_by}
             if index in sources:
                 # A node reading its own destination (e.g. ``p = p ? v``) is
-                # a combinational cycle; only the sweep loop evaluates it —
-                # and detects its conflicts — faithfully.
+                # a combinational cycle; only the sweep loop evaluates it
+                # faithfully.
+                self.fallback_reason = "self-loop"
                 return None
             for source in sources:
                 successors[source].append(index)
                 indegree[index] += 1
-        ready = [index for index, degree in enumerate(indegree) if degree == 0]
+        ready = deque(index for index, degree in enumerate(indegree)
+                      if degree == 0)
         order: List[int] = []
         while ready:
-            index = ready.pop(0)
+            index = ready.popleft()
             order.append(index)
             for successor in successors[index]:
                 indegree[successor] -= 1
                 if indegree[successor] == 0:
                     ready.append(successor)
         if len(order) != len(nodes):
-            return None  # combinational cycle -> sweep fallback
+            self.fallback_reason = "combinational-cycle"
+            return None
         return [nodes[index] for index in order]
 
     # -- lifecycle -------------------------------------------------------------
 
     def reset(self) -> None:
-        """Return every primitive and child to its power-on state."""
+        """Return every primitive and child to its power-on state (and leave
+        any lane-packed run's state behind)."""
         for model in self._primitives.values():
             model.reset()
         for child in self._children.values():
             child.reset()
         self._values = {}
+        self._lane_models: Dict[str, PrimitiveModel] = {}
+        self._packed_values: Dict[_Key, PackedValue] = {}
         self.cycle = 0
 
     # -- value plumbing --------------------------------------------------------
@@ -280,6 +328,91 @@ class ScheduledEngine:
                 f"{sorted(unknown)[0]!r}"
             )
         return [self._step_unchecked(cycle_inputs) for cycle_inputs in stimuli]
+
+    def run_lanes(self, stimuli_batches: Sequence[Sequence[Dict[str, Value]]]
+                  ) -> List[List[Dict[str, Value]]]:
+        """Execute N independent stimulus streams in lane-packed mode and
+        return one per-cycle output trace per stream.
+
+        Each stream's trace is bit-identical — values and X planes — to the
+        trace :meth:`run_batch` would produce for that stream alone on a
+        freshly reset engine: lanes never interact, they merely share the
+        netlist pass.  Streams may have different lengths; shorter streams
+        are padded with undriven (X) cycles whose results are discarded.
+        Input values are truncated to their port's declared width.  The
+        engine is reset before and after the run.
+        """
+        batches = [list(batch) for batch in stimuli_batches]
+        if not batches:
+            return []
+        known = self._input_set
+        unknown = {name for batch in batches for cycle_inputs in batch
+                   for name in cycle_inputs} - known
+        if unknown:
+            raise SimulationError(
+                f"{self.component.name}: unknown input port "
+                f"{sorted(unknown)[0]!r}"
+            )
+        ctx = LaneContext(len(batches), self._max_packed_width() + 1)
+        lengths = [len(batch) for batch in batches]
+        traces: List[List[Dict[str, Value]]] = [[] for _ in batches]
+        input_ports = [(port.name, port.width) for port in self.component.inputs]
+        output_names = [port.name for port in self.component.outputs]
+        uniform = min(lengths) == max(lengths)
+        self._enter_lanes(ctx)
+        try:
+            for cycle in range(max(lengths)):
+                if uniform:
+                    rows = [batch[cycle] for batch in batches]
+                else:
+                    rows = [batch[cycle] if cycle < length else {}
+                            for batch, length in zip(batches, lengths)]
+                packed_inputs = {}
+                for name, width in input_ports:
+                    lane_values = [row.get(name, X) for row in rows]
+                    packed_inputs[name] = PackedValue.pack(
+                        lane_values, ctx, width)
+                outputs = self._step_packed(packed_inputs, ctx)
+                columns = [outputs[name].unpack() for name in output_names]
+                for index, (trace, length) in enumerate(zip(traces, lengths)):
+                    if cycle < length:
+                        trace.append({name: column[index] for name, column
+                                      in zip(output_names, columns)})
+        finally:
+            self.reset()
+        return traces
+
+    def _max_packed_width(self) -> int:
+        """The widest signal anywhere in this component's hierarchy; the
+        uniform lane stride is one more (the per-slot guard bit)."""
+        widths = [port.width for port in self.component.inputs]
+        widths += [port.width for port in self.component.outputs]
+        widths += [model.packed_width_hint
+                   for model in self._primitives.values()]
+        widths += [child._max_packed_width()
+                   for child in self._children.values()]
+        return max(widths) if widths else 1
+
+    def _enter_lanes(self, ctx: LaneContext) -> None:
+        """Re-initialise the whole hierarchy for a packed run.  Primitives
+        without native packed support are wrapped in
+        :class:`~repro.sim.primitives.ReplicatedLanes` (one scalar instance
+        per lane), so correctness never depends on the cell mix."""
+        self._packed_values = {}
+        self.cycle = 0
+        self._lane_models = {}
+        for cell in self.component.cells:
+            model = self._primitives.get(cell.name)
+            if model is None:
+                continue
+            if model.supports_packed:
+                model.reset_packed(ctx)
+                self._lane_models[cell.name] = model
+            else:
+                self._lane_models[cell.name] = ReplicatedLanes(
+                    cell.component, cell.params, ctx)
+        for child in self._children.values():
+            child._enter_lanes(ctx)
 
     def _step_unchecked(self, inputs: Dict[str, Value]) -> Dict[str, Value]:
         self._begin_cycle(inputs)
@@ -338,32 +471,65 @@ class ScheduledEngine:
                 for name, value in child.outputs().items():
                     values[(cell_name, name)] = value
 
-    def _evaluate_group(self, group: _DriverGroup,
-                        values: Dict[_Key, Value]) -> None:
+    def _resolve_group(self, group: _DriverGroup,
+                       values: Dict[_Key, Value]) -> object:
+        """The value the group drives this instant, :data:`X`, or
+        :data:`_UNDRIVEN`.
+
+        Definitely-active drivers (a guard port is known non-zero) must
+        agree on one concrete value.  A *possibly*-active driver — every
+        guard port either zero or X — forces X unless its value provably
+        cannot change the result, because an X guard means the hardware may
+        or may not be driving; routing to a definite "inactive" branch would
+        hide the unknown.
+        """
+        actives: List[_CompiledAssign] = []
         active_values: List[Value] = []
+        maybe_values: List[Value] = []
         for assign in group.assigns:
             guard_keys = assign.guard_keys
-            if guard_keys is not None and not any(
-                    to_bool(values.get(key, X)) for key in guard_keys):
-                continue
-            if assign.src_key is None:
-                active_values.append(assign.src_const)
+            if guard_keys is None:
+                active, possible = True, False
             else:
-                active_values.append(values.get(assign.src_key, X))
-        if not active_values:
-            return
+                active = unknown = False
+                for key in guard_keys:
+                    guard = values.get(key, X)
+                    if is_x(guard):
+                        unknown = True
+                    elif guard != 0:
+                        active = True
+                        break
+                possible = not active and unknown
+            if not active and not possible:
+                continue
+            source = (assign.src_const if assign.src_key is None
+                      else values.get(assign.src_key, X))
+            if active:
+                actives.append(assign)
+                active_values.append(source)
+            else:
+                maybe_values.append(source)
+        if not actives and not maybe_values:
+            return _UNDRIVEN
         concrete = [v for v in active_values if not is_x(v)]
         if len(set(concrete)) > 1:
-            self._raise_conflict(group, active_values)
-        values[group.dst_key] = concrete[0] if concrete else X
+            self._raise_conflict(group, actives, active_values)
+        result: Value = concrete[0] if concrete else X
+        if maybe_values and not (concrete and all(
+                not is_x(v) and v == result for v in maybe_values)):
+            return X
+        return result
+
+    def _evaluate_group(self, group: _DriverGroup,
+                        values: Dict[_Key, Value]) -> None:
+        value = self._resolve_group(group, values)
+        if value is not _UNDRIVEN:
+            values[group.dst_key] = value
 
     def _raise_conflict(self, group: _DriverGroup,
+                        actives: List[_CompiledAssign],
                         values: List[Value]) -> None:
-        active = [assign.assignment for assign in group.assigns
-                  if assign.guard_keys is None or any(
-                      to_bool(self._values.get(key, X))
-                      for key in assign.guard_keys)]
-        drivers = ", ".join(str(a) for a in active)
+        drivers = ", ".join(str(assign.assignment) for assign in actives)
         raise SimulationError(
             f"{self.component.name}: conflicting drivers for {group.dst} in "
             f"cycle {self.cycle}: {drivers} "
@@ -428,31 +594,213 @@ class ScheduledEngine:
         changed = False
         values = self._values
         for group in self._groups:
-            active = [assign for assign in group.assigns
-                      if assign.guard_keys is None or any(
-                          to_bool(values.get(key, X))
-                          for key in assign.guard_keys)]
-            if not active:
+            value = self._resolve_group(group, values)
+            if value is _UNDRIVEN:
                 continue
-            active_values = [
-                assign.src_const if assign.src_key is None
-                else values.get(assign.src_key, X)
-                for assign in active
-            ]
-            concrete = [v for v in active_values if not is_x(v)]
-            if len(set(concrete)) > 1:
-                drivers = ", ".join(str(a.assignment) for a in active)
-                raise SimulationError(
-                    f"{self.component.name}: conflicting drivers for "
-                    f"{group.dst} in cycle {self.cycle}: {drivers} "
-                    f"(values {[format_value(v) for v in active_values]})"
-                )
-            value = concrete[0] if concrete else X
             previous = values.get(group.dst_key, X)
             if previous is not value and previous != value:
                 values[group.dst_key] = value
                 changed = True
         return changed
+
+    # -- lane-packed execution -------------------------------------------------
+    #
+    # The packed methods mirror the scalar settle/tick machinery one-to-one:
+    # the same compiled schedule, the same driver groups, the same sweep
+    # fallback — only the value domain changes from scalar ``Value`` to
+    # ``PackedValue``, so every lane follows exactly the scalar semantics.
+
+    def _step_packed(self, inputs: Dict[str, PackedValue],
+                     ctx: LaneContext) -> Dict[str, PackedValue]:
+        self._packed_values = {}
+        for name in self._input_names:
+            self._packed_values[(None, name)] = inputs.get(name, ctx.all_x)
+        self._settle_packed(ctx)
+        outputs = self._outputs_packed(ctx)
+        self._tick_packed(ctx)
+        self.cycle += 1
+        return outputs
+
+    def _outputs_packed(self, ctx: LaneContext) -> Dict[str, PackedValue]:
+        return {port.name: self._packed_values.get((None, port.name), ctx.all_x)
+                for port in self.component.outputs}
+
+    def _begin_lane_cycle_preserving(self, inputs: Dict[str, PackedValue]) -> None:
+        """Packed counterpart of :meth:`_begin_cycle_preserving`."""
+        for name, value in inputs.items():
+            self._packed_values[(None, name)] = value
+
+    def _settle_packed(self, ctx: LaneContext) -> None:
+        if self._schedule is not None:
+            self._settle_scheduled_packed(ctx)
+        else:
+            self._settle_sweeps_packed(ctx)
+
+    def _settle_scheduled_packed(self, ctx: LaneContext) -> None:
+        values = self._packed_values
+        all_x = ctx.all_x
+        for kind, payload in self._schedule:
+            if kind == _GROUP:
+                value = self._resolve_group_packed(payload, values, ctx)
+                if value is not None:
+                    values[payload.dst_key] = value
+            elif kind == _PRIM:
+                cell_name, _ = payload
+                model = self._lane_models[cell_name]
+                outputs = model.combinational_packed(
+                    {port: values.get((cell_name, port), all_x)
+                     for port in model.inputs}, ctx)
+                for port, value in outputs.items():
+                    values[(cell_name, port)] = value
+            else:
+                cell_name, child = payload
+                child._begin_lane_cycle_preserving({
+                    name: values.get((cell_name, name), all_x)
+                    for name in child._input_names
+                })
+                child._settle_packed(ctx)
+                for name, value in child._outputs_packed(ctx).items():
+                    values[(cell_name, name)] = value
+
+    def _resolve_group_packed(self, group: _DriverGroup,
+                              values: Dict[_Key, PackedValue],
+                              ctx: LaneContext) -> Optional[PackedValue]:
+        """Per-lane :meth:`_resolve_group`: lanes with agreeing definite
+        drivers take the value, X-guard lanes go X unless provably
+        unaffected, lanes with no (possible) driver keep their previous
+        value.  Returns ``None`` when no lane is driven at all."""
+        lsb = ctx.lsb
+        all_x = ctx.all_x
+        driven_any = driven_concrete = value_bits = 0
+        possibles: List[Tuple[int, int, int]] = []
+        for assign in group.assigns:
+            guard_keys = assign.guard_keys
+            if guard_keys is None:
+                active, possible = lsb, 0
+            else:
+                active = unknown = 0
+                for key in guard_keys:
+                    guard = values.get(key, all_x)
+                    unknown |= guard.xmask & lsb
+                    active |= ctx.nonzero(guard.bits)
+                possible = unknown & ~active
+            if not active and not possible:
+                continue
+            if assign.src_key is None:
+                src_bits = ctx.broadcast(assign.src_const)
+                src_x = 0
+            else:
+                source = values.get(assign.src_key, all_x)
+                src_bits = source.bits
+                src_x = source.xmask & lsb
+            if active:
+                concrete = active & ~src_x
+                clash = concrete & driven_concrete
+                if clash:
+                    differs = ctx.nonzero(
+                        (value_bits ^ src_bits) & ctx.spread(clash)) & clash
+                    if differs:
+                        self._raise_lane_conflict(group, differs, ctx)
+                value_bits |= src_bits & ctx.spread(concrete & ~driven_concrete)
+                driven_concrete |= concrete
+                driven_any |= active
+            if possible:
+                possibles.append((possible, src_bits, src_x))
+        maybe_any = x_override = 0
+        for possible, src_bits, src_x in possibles:
+            maybe_any |= possible
+            agrees = possible & driven_concrete & ~src_x
+            if agrees:
+                differs = ctx.nonzero(
+                    (value_bits ^ src_bits) & ctx.spread(agrees)) & agrees
+                agrees &= ~differs
+            x_override |= possible & ~agrees
+        set_lanes = driven_any | maybe_any
+        if not set_lanes:
+            return None
+        final_concrete = driven_concrete & ~x_override
+        previous = values.get(group.dst_key, all_x)
+        keep = ~ctx.spread(set_lanes)
+        bits = (previous.bits & keep) | (value_bits & ctx.spread(final_concrete))
+        xmask = ((previous.xmask & keep)
+                 | ctx.spread(set_lanes & ~final_concrete))
+        return PackedValue(ctx.lanes, ctx.stride, bits, xmask)
+
+    def _raise_lane_conflict(self, group: _DriverGroup, lanes: int,
+                             ctx: LaneContext) -> None:
+        lane = ((lanes & -lanes).bit_length() - 1) // ctx.stride
+        raise SimulationError(
+            f"{self.component.name}: conflicting drivers for {group.dst} in "
+            f"cycle {self.cycle} (lane {lane})"
+        )
+
+    def _settle_sweeps_packed(self, ctx: LaneContext) -> None:
+        for _ in range(_MAX_SWEEPS):
+            changed = False
+            changed |= self._evaluate_primitives_packed(ctx)
+            changed |= self._evaluate_children_packed(ctx)
+            changed |= self._evaluate_assignments_packed(ctx)
+            if not changed:
+                return
+        raise SimulationError(
+            f"{self.component.name}: combinational logic did not settle "
+            f"within {_MAX_SWEEPS} sweeps (possible combinational loop)"
+        )
+
+    def _evaluate_primitives_packed(self, ctx: LaneContext) -> bool:
+        changed = False
+        values = self._packed_values
+        all_x = ctx.all_x
+        for cell_name, model in self._lane_models.items():
+            outputs = model.combinational_packed(
+                {port: values.get((cell_name, port), all_x)
+                 for port in model.inputs}, ctx)
+            for port, value in outputs.items():
+                key = (cell_name, port)
+                if values.get(key, all_x) != value:
+                    values[key] = value
+                    changed = True
+        return changed
+
+    def _evaluate_children_packed(self, ctx: LaneContext) -> bool:
+        changed = False
+        values = self._packed_values
+        all_x = ctx.all_x
+        for cell_name, child in self._children.items():
+            child._begin_lane_cycle_preserving({
+                name: values.get((cell_name, name), all_x)
+                for name in child._input_names
+            })
+            child._settle_packed(ctx)
+            for name, value in child._outputs_packed(ctx).items():
+                key = (cell_name, name)
+                if values.get(key, all_x) != value:
+                    values[key] = value
+                    changed = True
+        return changed
+
+    def _evaluate_assignments_packed(self, ctx: LaneContext) -> bool:
+        changed = False
+        values = self._packed_values
+        for group in self._groups:
+            value = self._resolve_group_packed(group, values, ctx)
+            if value is None:
+                continue
+            if values.get(group.dst_key, ctx.all_x) != value:
+                values[group.dst_key] = value
+                changed = True
+        return changed
+
+    def _tick_packed(self, ctx: LaneContext) -> None:
+        values = self._packed_values
+        all_x = ctx.all_x
+        for cell_name, model in self._lane_models.items():
+            model.tick_packed(
+                {port: values.get((cell_name, port), all_x)
+                 for port in model.inputs}, ctx)
+        for child in self._children.values():
+            child._tick_packed(ctx)
+            child.cycle += 1
 
     # -- tick ------------------------------------------------------------------
 

@@ -1,0 +1,200 @@
+"""Unit tests for lane-packed values and packed primitive evaluation.
+
+The core property: for every primitive kind, running N scalar model
+instances side by side and running one packed model over N lanes must be
+indistinguishable — same output values, same X planes, cycle by cycle
+through registered state.  The random streams drive X at a healthy rate so
+the per-lane X masks are exercised everywhere.
+"""
+
+import random
+
+import pytest
+
+from repro.sim import LaneContext, PackedValue, X, create_primitive, is_x
+from repro.sim.primitives import ReplicatedLanes
+
+#: (primitive, params, {port: width}) — one entry per behavioural case the
+#: registry can produce, with widths chosen to stress carry containment
+#: (including full 64-bit lanes).
+CASES = [
+    ("Add", (8,), {"left": 8, "right": 8}),
+    ("Add", (64,), {"left": 64, "right": 64}),
+    ("FlexAdd", (16,), {"left": 16, "right": 16}),
+    ("Sub", (8,), {"left": 8, "right": 8}),
+    ("Sub", (64,), {"left": 64, "right": 64}),
+    ("And", (8,), {"left": 8, "right": 8}),
+    ("Or", (8,), {"left": 8, "right": 8}),
+    ("Xor", (8,), {"left": 8, "right": 8}),
+    ("MultComb", (16,), {"left": 16, "right": 16}),
+    ("MultComb", (64,), {"left": 64, "right": 64}),
+    ("Eq", (8,), {"left": 8, "right": 8}),
+    ("Neq", (8,), {"left": 8, "right": 8}),
+    ("Lt", (8,), {"left": 8, "right": 8}),
+    ("Lt", (64,), {"left": 64, "right": 64}),
+    ("Gt", (8,), {"left": 8, "right": 8}),
+    ("Le", (8,), {"left": 8, "right": 8}),
+    ("Ge", (64,), {"left": 64, "right": 64}),
+    ("Not", (8,), {"in": 8}),
+    ("Mux", (8,), {"sel": 1, "in1": 8, "in0": 8}),
+    ("Slice", (8, 6, 2), {"in": 8}),
+    ("Concat", (4, 4), {"hi": 4, "lo": 4}),
+    ("ShiftLeft", (8, 3), {"in": 8}),
+    ("ShiftRight", (8, 3), {"in": 8}),
+    ("ShiftLeft", (8, 9), {"in": 8}),
+    ("Const", (8, 42), {}),
+    ("Mult", (16,), {"go": 1, "left": 16, "right": 16}),
+    ("FastMult", (16,), {"go": 1, "left": 16, "right": 16}),
+    ("PipelinedMult", (16,), {"go": 1, "left": 16, "right": 16}),
+    ("Reg", (8,), {"en": 1, "in": 8}),
+    ("Register", (8,), {"en": 1, "in": 8}),
+    ("Delay", (8,), {"in": 8}),
+    ("Prev", (8, 1), {"en": 1, "in": 8}),
+    ("Prev", (8, 0), {"en": 1, "in": 8}),
+    ("ContPrev", (8, 1), {"in": 8}),
+    ("DspMac", (16,), {"ce": 1, "a": 16, "b": 16, "pin": 16}),
+    ("fsm", (4,), {"go": 1}),
+]
+
+LANES = 5
+CYCLES = 10
+
+
+def _random_value(rng, width, x_rate=0.3):
+    if rng.random() < x_rate:
+        return X
+    return rng.getrandbits(width)
+
+
+def _same(a, b):
+    return is_x(a) == is_x(b) and (is_x(a) or a == b)
+
+
+class TestPackedValue:
+    def test_pack_unpack_roundtrip(self):
+        ctx = LaneContext(4, 9)
+        values = [3, X, 255, 0]
+        packed = PackedValue.pack(values, ctx, width=8)
+        assert packed.unpack() == values
+        assert is_x(packed.lane(1)) and packed.lane(2) == 255
+
+    def test_pack_truncates_to_width(self):
+        ctx = LaneContext(2, 9)
+        packed = PackedValue.pack([0x1FF, 1], ctx, width=8)
+        assert packed.lane(0) == 0xFF
+
+    def test_x_lanes_carry_no_value_bits(self):
+        ctx = LaneContext(3, 5)
+        packed = PackedValue(3, 5, 0b01111_01111_01111, 0b11111 << 5)
+        assert packed.bits & packed.xmask == 0
+        assert is_x(packed.lane(1))
+        assert packed.x_lanes(ctx) == 1 << 5
+
+    def test_equality_and_broadcast(self):
+        ctx = LaneContext(3, 9)
+        assert PackedValue.broadcast(7, ctx) == PackedValue.pack([7] * 3, ctx)
+        assert PackedValue.broadcast(X, ctx) == ctx.all_x
+        assert PackedValue.broadcast(7, ctx) != PackedValue.broadcast(8, ctx)
+
+    def test_pack_length_mismatch_rejected(self):
+        ctx = LaneContext(3, 9)
+        with pytest.raises(ValueError):
+            PackedValue.pack([1, 2], ctx)
+
+    def test_context_nonzero_and_spread(self):
+        ctx = LaneContext(3, 9)
+        packed = PackedValue.pack([0, 5, 0], ctx, width=8)
+        assert ctx.nonzero(packed.bits) == 1 << 9
+        assert ctx.spread(1 << 9) == 0x1FF << 9
+
+
+@pytest.mark.parametrize("name,params,widths", CASES,
+                         ids=[f"{c[0]}{list(c[1])}" for c in CASES])
+def test_packed_matches_n_scalar_instances(name, params, widths):
+    rng = random.Random(hash((name, params)) & 0xFFFF)
+    scalars = [create_primitive(name, params) for _ in range(LANES)]
+    packed_model = create_primitive(name, params)
+    assert packed_model.supports_packed, name
+    ctx = LaneContext(LANES, max(packed_model.packed_width_hint,
+                                 *(list(widths.values()) or [1])) + 1)
+    packed_model.reset_packed(ctx)
+    for _ in range(CYCLES):
+        lane_inputs = [
+            {port: _random_value(rng, width) for port, width in widths.items()}
+            for _ in range(LANES)
+        ]
+        packed_inputs = {
+            port: PackedValue.pack([lane[port] for lane in lane_inputs], ctx)
+            for port in widths
+        }
+        packed_outputs = packed_model.combinational_packed(packed_inputs, ctx)
+        for lane, (scalar, inputs) in enumerate(zip(scalars, lane_inputs)):
+            scalar_outputs = scalar.combinational(inputs)
+            for port in packed_model.outputs:
+                want = scalar_outputs.get(port, X)
+                got = packed_outputs[port].lane(lane)
+                assert _same(want, got), (name, port, lane, want, got)
+        packed_model.tick_packed(packed_inputs, ctx)
+        for scalar, inputs in zip(scalars, lane_inputs):
+            scalar.tick(inputs)
+
+
+def test_replicated_lanes_matches_scalar_for_custom_primitive():
+    """Substrate-registered black boxes (here the Reticle ``Tdot``) take the
+    replicated-lanes path and must stay exact, registered state included."""
+    import repro.generators.reticle.dsp  # noqa: F401 — registers Tdot
+
+    rng = random.Random(5)
+    widths = {p: 8 for p in ("a0", "b0", "a1", "b1", "a2", "b2", "c")}
+    scalars = [create_primitive("Tdot", (8,)) for _ in range(LANES)]
+    template = create_primitive("Tdot", (8,))
+    assert not template.supports_packed
+    ctx = LaneContext(LANES, 9)
+    wrapper = ReplicatedLanes("Tdot", (8,), ctx)
+    for _ in range(8):
+        lane_inputs = [
+            {port: _random_value(rng, width) for port, width in widths.items()}
+            for _ in range(LANES)
+        ]
+        packed_inputs = {
+            port: PackedValue.pack([lane[port] for lane in lane_inputs], ctx)
+            for port in widths
+        }
+        packed_outputs = wrapper.combinational_packed(packed_inputs, ctx)
+        for lane, (scalar, inputs) in enumerate(zip(scalars, lane_inputs)):
+            want = scalar.combinational(inputs)["y"]
+            got = packed_outputs["y"].lane(lane)
+            assert _same(want, got)
+        wrapper.tick_packed(packed_inputs, ctx)
+        for scalar, inputs in zip(scalars, lane_inputs):
+            scalar.tick(inputs)
+
+
+class TestControlXPropagation:
+    """An X control input must never pick a definite branch."""
+
+    def test_register_x_enable_poisons_state(self):
+        model = create_primitive("Reg", (8,))
+        model.tick({"en": 1, "in": 9})
+        model.tick({"en": X, "in": 5})
+        assert is_x(model.combinational({})["out"])
+
+    def test_prev_x_enable_poisons_state(self):
+        model = create_primitive("Prev", (8, 1))
+        model.tick({"en": 1, "in": 9})
+        model.tick({"en": X, "in": 5})
+        assert is_x(model.combinational({})["prev"])
+
+    def test_dsp_mac_x_clock_enable_poisons_state(self):
+        model = create_primitive("DspMac", (16,))
+        model.tick({"ce": 1, "a": 2, "b": 3, "pin": 0})
+        model.tick({"ce": X, "a": 1, "b": 1, "pin": 0})
+        assert is_x(model.combinational({})["pout"])
+
+    def test_fsm_x_trigger_shifts_x(self):
+        model = create_primitive("fsm", (3,))
+        assert is_x(model.combinational({"go": X})["_0"])
+        model.tick({"go": X})
+        assert is_x(model.combinational({"go": 0})["_1"])
+        model.tick({"go": 0})
+        assert is_x(model.combinational({"go": 0})["_2"])
