@@ -11,7 +11,12 @@ reports the :class:`~repro.core.session.CompilationSession` instrumentation:
   fixpoint interpreter versus the compiled, scheduled engine.
 """
 
+import sys
+from pathlib import Path
+
 import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from repro.core.lower import compile_program
 from repro.core.session import CompilationSession
@@ -74,18 +79,47 @@ def test_session_recompile_is_a_cache_hit():
 
 
 def test_simulator_cycles_per_second(benchmark):
-    """The before/after figure for the simulation engine: the scheduled
-    engine must be measurably (>= 2x on at least one design) faster than
-    the fixpoint interpreter on the same stimulus."""
+    """The before/after figure for the simulation engine tiers: the
+    scheduled engine must be measurably (>= 2x on at least one design)
+    faster than the fixpoint interpreter on the same stimulus, and the
+    compiled kernel faster again."""
     results = benchmark.pedantic(measure_sim_throughput, rounds=1, iterations=1)
     print()
     print(f"{'design':20s} {'cycles':>7} {'fixpoint c/s':>13} "
-          f"{'scheduled c/s':>14} {'speedup':>8}")
+          f"{'scheduled c/s':>14} {'compiled c/s':>13} {'sched':>7} "
+          f"{'kernel':>7}")
     for result in results:
         print(f"{result.name:20s} {result.cycles:7d} "
               f"{result.fixpoint_cps:13.0f} {result.scheduled_cps:14.0f} "
-              f"{result.speedup:7.2f}x")
+              f"{result.compiled_cps:13.0f} {result.speedup:6.2f}x "
+              f"{result.kernel_speedup:6.2f}x")
     if not benchmark.disabled:
         # Timing assertions are for real benchmark runs only; the CI smoke
         # invocation (--benchmark-disable, shared runners) just prints.
         assert max(result.speedup for result in results) >= 2.0
+        assert max(result.kernel_speedup for result in results) >= 2.0
+
+
+def main() -> int:
+    """Persist the per-design engine-tier figure as
+    ``BENCH_compile_time.json`` (the common benchmark schema)."""
+    from common import write_bench
+
+    rows = []
+    for result in measure_sim_throughput():
+        for engine, rate in (("fixpoint", result.fixpoint_cps),
+                             ("scheduled", result.scheduled_cps),
+                             ("compiled", result.compiled_cps)):
+            rows.append({"engine": engine, "config": result.name,
+                         "tx_per_sec": rate})
+    # Per-design baseline: each design's speedups are relative to its own
+    # fixpoint rate (a cross-design ratio would conflate design size with
+    # engine speed).
+    path = write_bench("compile_time", "evaluation designs, cycles/sec",
+                       rows, baseline="fixpoint")
+    print(f"figure written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,167 @@
+"""Kernel codegen throughput: compiled kernels vs the scheduled interpreter.
+
+The workload is the same AddMult fuzz traffic `bench_lane_throughput.py`
+measures (independently seeded random transaction streams checked against
+the golden model) — the traffic pattern every downstream consumer of the
+simulator generates.  This benchmark pins the *engine tier* instead of the
+lane count:
+
+* **scalar** — one stream through ``run_batch`` under the scheduled
+  interpreter (``mode="auto"``) and under the generated kernel
+  (``mode="compiled"``); the acceptance bar is a >= 3x speedup;
+* **packed @ 64 lanes** — the same comparison through ``run_lanes``; the
+  compiled packed kernel must be at least as fast as the lane-packed
+  interpreter.
+
+Run as a script (the CI ``kernel-throughput-smoke`` job) to print the
+figure and persist ``BENCH_kernel_throughput.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_kernel_throughput.py \
+        --transactions 40
+
+The script exits non-zero unless the compiled scalar kernel beats the
+scheduled interpreter.  Under pytest the same measurement runs at smoke
+size and asserts the compiled results stay bit-identical to the scheduled
+engine (wall-clock asserts are left to the dedicated CI job).
+"""
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import write_bench  # noqa: E402
+from repro.core.session import CompilationSession  # noqa: E402
+from repro.designs import addmult_program  # noqa: E402
+from repro.designs.golden import addmult as addmult_golden  # noqa: E402
+from repro.harness import harness_for  # noqa: E402
+from repro.harness.fuzz import fuzz_against_golden  # noqa: E402
+
+DESIGN = "AddMult"
+PACKED_LANES = 64
+#: (row label, engine mode, lanes) — the measured matrix.
+POINTS = (
+    ("scheduled scalar", "auto", 1),
+    ("compiled scalar", "compiled", 1),
+    ("scheduled packed", "auto", PACKED_LANES),
+    ("compiled packed", "compiled", PACKED_LANES),
+)
+
+
+def _golden(transaction):
+    return {"out": addmult_golden(transaction["a"], transaction["b"],
+                                  transaction["c"])}
+
+
+def _harness(mode: str):
+    program = addmult_program()
+    session = CompilationSession.for_program(program)
+    return harness_for(program, DESIGN, session=session, mode=mode)
+
+
+def measure(transactions: int = 40, repeats: int = 3) -> dict:
+    """Transactions/sec of the fuzz workload for every (engine, lanes)
+    point; best-of-``repeats`` after one warm-up run (compile, schedule and
+    kernel codegen are all amortized over the stream, as in real use)."""
+    rows = []
+    for label, mode, lanes in POINTS:
+        harness = _harness(mode)
+        engine, config = label.split()
+        best = None
+        for _ in range(repeats + 1):  # first round warms every cache
+            start = time.perf_counter()
+            report = fuzz_against_golden(harness, _golden,
+                                         count=transactions, seed=7,
+                                         lanes=lanes)
+            elapsed = time.perf_counter() - start
+            assert report.passed, str(report)
+            throughput = report.transactions / elapsed
+            best = throughput if best is None else max(best, throughput)
+        rows.append({"engine": engine, "config": config,
+                     "tx_per_sec": best, "lanes": lanes})
+    return {
+        "design": DESIGN,
+        "workload": f"{DESIGN} fuzz_against_golden",
+        "transactions_per_stream": transactions,
+        "rows": rows,
+    }
+
+
+def _row(figure: dict, engine: str, config: str) -> dict:
+    return next(row for row in figure["rows"]
+                if row["engine"] == engine and row["config"] == config)
+
+
+def _compiled_matches_scheduled(transactions: int = 10) -> None:
+    """Correctness backstop for the benchmark workload: the compiled
+    harness must capture exactly what the scheduled harness captures."""
+    from repro.harness import random_transactions
+    from repro.sim import is_x
+
+    scheduled = _harness("auto")
+    compiled = _harness("compiled")
+    stream = random_transactions(scheduled, transactions, seed=5)
+    want = scheduled.run(stream)
+    got = compiled.run(stream)
+    assert compiled._simulator.uses_kernel(), \
+        compiled._simulator.kernel_fallback_reason
+    for a, b in zip(want, got):
+        for name, value in a.outputs.items():
+            other = b.outputs[name]
+            assert is_x(value) == is_x(other)
+            if not is_x(value):
+                assert value == other
+
+
+def test_compiled_harness_matches_scheduled():
+    _compiled_matches_scheduled()
+
+
+def test_kernel_throughput_figure_is_well_formed():
+    figure = measure(transactions=6, repeats=1)
+    assert len(figure["rows"]) == len(POINTS)
+    assert all(row["tx_per_sec"] > 0 for row in figure["rows"])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--transactions", type=int, default=40,
+                        help="transactions per stream (default 40)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats, best-of (default 3)")
+    args = parser.parse_args(argv)
+
+    figure = measure(args.transactions, args.repeats)
+    path = write_bench("kernel_throughput", figure["workload"],
+                       figure["rows"], baseline="scheduled scalar")
+    print(f"kernel throughput on {figure['design']} "
+          f"({figure['transactions_per_stream']} transactions/stream):")
+    for row in figure["rows"]:
+        print(f"  {row['engine']:>10s} {row['config']:<7s}"
+              f"(lanes={row['lanes']:3d}): {row['tx_per_sec']:>10.1f} tx/s")
+    scalar_speedup = (_row(figure, "compiled", "scalar")["tx_per_sec"]
+                      / _row(figure, "scheduled", "scalar")["tx_per_sec"])
+    packed_speedup = (_row(figure, "compiled", "packed")["tx_per_sec"]
+                      / _row(figure, "scheduled", "packed")["tx_per_sec"])
+    print(f"  compiled vs scheduled, scalar:   {scalar_speedup:.2f}x")
+    print(f"  compiled vs scheduled, 64 lanes: {packed_speedup:.2f}x")
+    print(f"figure written to {path}")
+    if scalar_speedup <= 1.0:
+        print("FAIL: the compiled kernel does not beat the scheduled "
+              "interpreter", file=sys.stderr)
+        return 1
+    # The packed acceptance bar is "at least as fast as the lane-packed
+    # interpreter"; 0.95 leaves headroom for shared-runner noise around
+    # the (smaller) packed margin.
+    if packed_speedup < 0.95:
+        print("FAIL: the compiled packed kernel regressed below the "
+              "lane-packed interpreter at 64 lanes", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

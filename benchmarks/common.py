@@ -1,0 +1,91 @@
+"""Shared benchmark-figure writer.
+
+Every performance benchmark in this directory persists its headline figure
+as ``BENCH_<name>.json`` at the repository root with one common schema, so
+the perf trajectory of the repository is machine-readable across PRs:
+
+```json
+{
+  "bench": "kernel_throughput",
+  "workload": "AddMult fuzz_against_golden",
+  "rows": [
+    {"engine": "scheduled", "config": "scalar", "tx_per_sec": 123.4,
+     "speedup": 1.0},
+    {"engine": "compiled",  "config": "scalar", "tx_per_sec": 1234.5,
+     "speedup": 10.0}
+  ],
+  "baseline": "scheduled scalar"
+}
+```
+
+``speedup`` is always relative to the named baseline row.  CI jobs upload
+these files as artifacts; gates read the freshly written file rather than
+re-measuring.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = ["bench_path", "write_bench"]
+
+#: Figures land at the repository root (next to README.md).
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def bench_path(name: str) -> Path:
+    """Where ``write_bench(name, ...)`` persists its figure."""
+    return _REPO_ROOT / f"BENCH_{name}.json"
+
+
+def write_bench(name: str, workload: str, rows: List[Dict],
+                baseline: Optional[str] = None) -> Path:
+    """Write one benchmark figure in the common schema and return its path.
+
+    ``rows`` are dicts with at least ``engine``, ``config`` and
+    ``tx_per_sec``.  ``baseline`` names the reference as
+    ``"<engine> <config>"`` for one global baseline row (the first row by
+    default), or as just ``"<engine>"`` for a *per-config* baseline: each
+    row's ``speedup`` is then relative to that engine's row with the same
+    config — the right shape for multi-workload figures, where a
+    cross-workload ratio would conflate workload size with engine speed.
+    """
+    rows = [dict(row) for row in rows]
+    if not rows:
+        raise ValueError(f"bench {name!r}: no rows to write")
+    if baseline is None:
+        baseline = f"{rows[0]['engine']} {rows[0]['config']}"
+
+    def base_rate_for(row: Dict) -> float:
+        if " " in baseline:
+            matches = (r for r in rows
+                       if f"{r['engine']} {r['config']}" == baseline)
+        else:
+            matches = (r for r in rows
+                       if r["engine"] == baseline
+                       and r["config"] == row["config"])
+        reference = next(matches, None)
+        if reference is None:
+            raise ValueError(f"bench {name!r}: no baseline row "
+                             f"{baseline!r} for config {row['config']!r}")
+        return float(reference["tx_per_sec"]) or 1e-12
+
+    # Speedups come from the unrounded rates (rounding first would zero a
+    # sub-0.05 tx/s baseline and blow up every ratio); rounding is for
+    # display only.
+    speedups = [float(row["tx_per_sec"]) / base_rate_for(row)
+                for row in rows]
+    for row, speedup in zip(rows, speedups):
+        row["tx_per_sec"] = round(float(row["tx_per_sec"]), 1)
+        row["speedup"] = round(speedup, 2)
+    figure = {
+        "bench": name,
+        "workload": workload,
+        "rows": rows,
+        "baseline": baseline,
+    }
+    path = bench_path(name)
+    path.write_text(json.dumps(figure, indent=2) + "\n")
+    return path

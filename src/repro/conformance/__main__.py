@@ -23,7 +23,7 @@ from typing import List, Optional
 
 from .corpus import corpus_entry, load_entries, replay_entry, write_entry
 from .coverage import CoverageLedger
-from .differential import run_conformance
+from .differential import default_engines, run_conformance
 from .generator import GeneratorConfig, build, generate
 from .shrink import divergence_categories, shrink, spec_fails
 
@@ -44,6 +44,10 @@ def _parser() -> argparse.ArgumentParser:
                         help="stimulus streams run lane-packed through one "
                              "engine and checked against scalar traces "
                              "(default 4; 1 disables the packed way)")
+    parser.add_argument("--engine", action="append", dest="engines",
+                        choices=["scheduled", "fixpoint", "compiled"],
+                        help="engines to include in the differential matrix "
+                             "(repeatable; default: all three)")
     parser.add_argument("--ledger", metavar="PATH",
                         help="write the coverage ledger JSON here")
     parser.add_argument("--replay", metavar="DIR",
@@ -71,6 +75,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         overridden["max_ops"] = args.max_ops
         config = GeneratorConfig.from_dict(overridden)
 
+    engines = default_engines()
+    if args.engines:
+        engines = {name: factory for name, factory in engines.items()
+                   if name in set(args.engines)}
+
     ledger = CoverageLedger()
     failures = 0
 
@@ -94,6 +103,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             generated,
             transactions=args.transactions,
             seed=0 if seed is None else seed,
+            engines=engines,
             roundtrip=not args.no_roundtrip,
             lanes=args.lanes,
         )
@@ -123,6 +133,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
                 def reproduces(spec) -> bool:
                     return spec_fails(spec,
+                                      engines=engines,
                                       transactions=args.transactions,
                                       seed=stimulus_seed,
                                       roundtrip=not args.no_roundtrip,

@@ -44,6 +44,11 @@ class CoverageRecord:
     #: How many stimulus streams ran lane-packed through one engine
     #: instantiation (1 = scalar only, no packed-vs-scalar check).
     lanes: int = 1
+    #: Whether the ``compiled`` engine executed through a generated kernel
+    #: (:mod:`repro.sim.codegen`); when it fell back to the interpreter,
+    #: :attr:`kernel_fallback` records why.
+    kernel: bool = False
+    kernel_fallback: Optional[str] = None
     divergences: int = 0
 
     @staticmethod
@@ -80,6 +85,8 @@ class CoverageRecord:
             "stimulus_has_x": self.stimulus_has_x,
             "transactions": self.transactions,
             "lanes": self.lanes,
+            "kernel": self.kernel,
+            "kernel_fallback": self.kernel_fallback,
             "divergences": self.divergences,
         }
 
@@ -145,6 +152,29 @@ class CoverageLedger:
                 histogram[reason] = histogram.get(reason, 0) + 1
         return dict(sorted(histogram.items()))
 
+    def kernel_paths(self) -> Dict[str, int]:
+        """How many programs the compiled engine ran through a generated
+        kernel vs. the interpreter fallback.  Runs whose matrix did not
+        include the compiled engine at all (no kernel, no fallback reason)
+        are counted separately rather than mislabelled as fallbacks."""
+        kernel = fallback = 0
+        for record in self.records:
+            if record.kernel:
+                kernel += 1
+            elif record.kernel_fallback:
+                fallback += 1
+        return {"kernel": kernel, "interpreter": fallback,
+                "not-attempted": len(self.records) - kernel - fallback}
+
+    def kernel_fallback_histogram(self) -> Dict[str, int]:
+        """Why the compiled engine fell back, across recorded programs."""
+        histogram: Dict[str, int] = {}
+        for record in self.records:
+            if record.kernel_fallback:
+                histogram[record.kernel_fallback] = (
+                    histogram.get(record.kernel_fallback, 0) + 1)
+        return dict(sorted(histogram.items()))
+
     def unexercised_ops(self) -> List[str]:
         """Op kinds the generator knows but no recorded program used."""
         used = set()
@@ -166,6 +196,15 @@ class CoverageLedger:
         reasons = self.fallback_reason_histogram()
         if reasons:
             lines.append(f"  fallback reasons: {reasons}")
+        kernels = self.kernel_paths()
+        if kernels["kernel"] or kernels["interpreter"]:
+            # All-fallback runs are exactly what this line must surface, so
+            # it prints whenever the compiled engine was attempted at all.
+            lines.append(f"  kernel paths: {kernels['kernel']} compiled "
+                         f"kernel, {kernels['interpreter']} interpreter")
+            kernel_reasons = self.kernel_fallback_histogram()
+            if kernel_reasons:
+                lines.append(f"  kernel fallbacks: {kernel_reasons}")
         lanes = sorted({record.lanes for record in self.records})
         if lanes and lanes != [1]:
             lines.append(f"  packed lanes per run: {lanes}")
@@ -189,6 +228,8 @@ class CoverageLedger:
             "width_histogram": {str(k): v for k, v in self.width_histogram().items()},
             "engine_paths": self.engine_paths(),
             "fallback_reasons": self.fallback_reason_histogram(),
+            "kernel_paths": self.kernel_paths(),
+            "kernel_fallbacks": self.kernel_fallback_histogram(),
             "records": [record.to_dict() for record in self.records],
         }
 

@@ -13,10 +13,11 @@ under identical random stimulus, and all answers must agree:
 4. **print → re-parse round-trip** — the component printed by
    :mod:`repro.core.printer` must re-parse to a structurally identical AST,
    and the re-parsed program must produce the *same execution trace*;
-5. **engines** — the scheduled engine (``mode="auto"``) and the reference
-   fixpoint engine (``mode="fixpoint"``) must produce cycle-identical
-   traces, including X propagation (the harness drives X outside every
-   availability window);
+5. **engines** — the scheduled engine (``mode="auto"``), the reference
+   fixpoint engine (``mode="fixpoint"``) and the generated-kernel engine
+   (``mode="compiled"``, :mod:`repro.sim.codegen`) must produce
+   cycle-identical traces, including X propagation (the harness drives X
+   outside every availability window);
 6. **lane-packed vs scalar** — ``lanes`` independently seeded stimulus
    streams run through one lane-packed pass
    (:meth:`~repro.sim.engine.ScheduledEngine.run_lanes`) of a single engine
@@ -66,11 +67,14 @@ _MAX_REPORTED = 5
 
 
 def default_engines() -> Dict[str, EngineFactory]:
-    """The standard two-engine matrix: the levelized scheduled engine and
-    the reference sweep-loop (fixpoint) engine."""
+    """The standard three-engine matrix: the levelized scheduled engine,
+    the reference sweep-loop (fixpoint) engine, and the generated-kernel
+    (compiled) engine — every generated program must trace identically
+    across all of them."""
     return {
         "scheduled": lambda calyx, entry: Simulator(calyx, entry, mode="auto"),
         "fixpoint": lambda calyx, entry: Simulator(calyx, entry, mode="fixpoint"),
+        "compiled": lambda calyx, entry: Simulator(calyx, entry, mode="compiled"),
     }
 
 
@@ -275,6 +279,10 @@ def run_conformance(generated: GeneratedProgram,
         coverage.scheduled = scheduled_engine.scheduled_everywhere()
         coverage.fallback_components = _fallback_components(scheduled_engine)
         coverage.fallback_reasons = scheduled_engine.fallback_reasons()
+    compiled_engine = built_engines.get("compiled")
+    if isinstance(compiled_engine, ScheduledEngine):
+        coverage.kernel = compiled_engine.uses_kernel()
+        coverage.kernel_fallback = compiled_engine.kernel_fallback_reason
 
     # 6. Lane-packed execution must be bit-identical to scalar runs: the
     #    original stimulus plus ``lanes - 1`` freshly seeded streams go

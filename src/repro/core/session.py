@@ -269,9 +269,21 @@ class CompilationSession:
 
     def simulator(self, entrypoint: str, mode: str = "auto"):
         """A fresh :class:`~repro.sim.Simulator` for the compiled
-        ``entrypoint`` (compiling it on first use)."""
+        ``entrypoint`` (compiling it on first use).
+
+        With ``mode="compiled"`` the simulation kernel is generated eagerly
+        and the build is recorded as a ``"kernel"`` stage timing —
+        structurally identical netlists hit the process-wide kernel cache
+        (keyed by netlist digest), so a warm recompile shows up as a cache
+        hit exactly like the check/lower/calyx stages do."""
         from ..sim.simulator import Simulator
-        return Simulator(self.calyx(entrypoint), entrypoint, mode=mode)
+        simulator = Simulator(self.calyx(entrypoint), entrypoint, mode=mode)
+        if mode == "compiled":
+            info = simulator.prepare()
+            if info["kernel"]:
+                self._record("kernel", entrypoint, info["seconds"],
+                             cached=info["cached"])
+        return simulator
 
     def harness(self, entrypoint: str):
         """A cycle-accurate harness for ``entrypoint`` driven by its own

@@ -78,12 +78,21 @@ class HarnessReport:
 
 
 class CycleAccurateHarness:
-    """Drives one compiled design according to an :class:`InterfaceSpec`."""
+    """Drives one compiled design according to an :class:`InterfaceSpec`.
+
+    ``mode`` selects the simulation engine tier (see
+    :class:`~repro.sim.Simulator`); the default is the compiled-kernel tier,
+    which automatically falls back to the scheduled interpreter for
+    netlists codegen cannot handle, so harness semantics never change —
+    only throughput does.
+    """
 
     def __init__(self, calyx: CalyxProgram, spec: InterfaceSpec,
-                 component: Optional[str] = None) -> None:
+                 component: Optional[str] = None,
+                 mode: str = "compiled") -> None:
         self.calyx = calyx
         self.spec = spec
+        self.mode = mode
         self.component = component or calyx.entrypoint
         simulator_component = self.calyx.get(self.component)
         known = set(simulator_component.input_names())
@@ -99,7 +108,8 @@ class CycleAccurateHarness:
 
     def _fresh_simulator(self) -> Simulator:
         if self._simulator is None:
-            self._simulator = Simulator(self.calyx, self.component)
+            self._simulator = Simulator(self.calyx, self.component,
+                                        mode=self.mode)
         else:
             self._simulator.reset()
         return self._simulator
@@ -220,17 +230,20 @@ class CycleAccurateHarness:
 
 def harness_for(program: Program, component: str,
                 calyx: Optional[CalyxProgram] = None,
-                session: Optional[CompilationSession] = None) -> CycleAccurateHarness:
+                session: Optional[CompilationSession] = None,
+                mode: str = "compiled") -> CycleAccurateHarness:
     """Compile ``component`` (unless a compiled program is supplied) and wrap
     it in a harness driven by its own timeline type.  Compilation routes
     through ``session`` when given, or the program's shared
     :class:`~repro.core.session.CompilationSession` otherwise, so repeated
-    harnesses over one program hit the staged caches."""
+    harnesses over one program hit the staged caches.  ``mode`` selects the
+    engine tier (compiled kernel by default, with automatic interpreter
+    fallback)."""
     if calyx is None:
         session = session or CompilationSession.for_program(program)
         calyx = session.calyx(component)
     spec = spec_from_signature(program.get(component).signature)
-    return CycleAccurateHarness(calyx, spec, component)
+    return CycleAccurateHarness(calyx, spec, component, mode=mode)
 
 
 @dataclass

@@ -1,6 +1,12 @@
 """Cycle-accurate simulation substrate (stands in for cocotb + an RTL
 simulator in the paper's evaluation)."""
 
+from .codegen import (
+    KernelUnavailable,
+    clear_kernel_cache,
+    kernel_cache_stats,
+    netlist_digest,
+)
 from .engine import ScheduledEngine
 from .primitives import (
     PrimitiveModel,
@@ -24,6 +30,8 @@ from .waveform import WaveformRecorder, render_ascii
 
 __all__ = [
     "ScheduledEngine",
+    "KernelUnavailable", "clear_kernel_cache", "kernel_cache_stats",
+    "netlist_digest",
     "PrimitiveModel", "create_primitive", "is_primitive", "primitive_names",
     "register_primitive",
     "Simulator", "run_trace",

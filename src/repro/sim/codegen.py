@@ -1,0 +1,1416 @@
+"""Kernel codegen: compile netlists to specialized Python simulation kernels.
+
+The scheduled engine already levelizes a netlist once, but every simulated
+cycle still pays interpreter tax: per-node dispatch through the schedule
+loop, tuple-keyed ``_values`` dict lookups, and a rebuilt inputs dict per
+primitive per cycle.  This module takes the standard next tier — the one
+Verilator-style simulators take — and compiles each netlist **once** into
+straight-line host code:
+
+* every ``(cell, port)`` signal is interned to a slot index in a flat
+  Python list (no dicts anywhere on the hot path);
+* the levelized schedule is emitted as straight-line Python source — one
+  statement group per node, with each stdlib primitive's semantics inlined
+  as bigint/mask expressions (the same guard-bit and X-plane tricks the
+  lane-packed interpreter uses);
+* driver groups fold to direct moves or small if/elif chains for the
+  overwhelmingly common single-assignment case, with a slot-based resolver
+  (still dict-free) for genuinely multi-driven ports;
+* the sequential update (``tick``) is a second straight-line block, with
+  register state aliased onto the output slots it feeds;
+* hierarchy is compiled compositionally: each child component becomes its
+  own settle/tick closure pair called from the parent's straight line.
+
+Two kernel variants are emitted per netlist: a **scalar** kernel that rides
+``run_batch``/``step``, and a **lane-packed** kernel (parameterized by a
+:class:`~repro.sim.values.LaneContext` at instantiation) that rides
+``run_lanes`` with two flat slot lists (value bits and X planes).
+
+Primitives registered by generator substrates — black boxes without an
+inlinable template — call back into their interpreter model from inside the
+generated kernel, so semantics never fork; netlists that the scheduler
+itself rejected (``fallback_reason`` set anywhere in the hierarchy) never
+reach codegen and run on the interpreter unchanged.
+
+Generated programs are cached process-wide, keyed by a **netlist digest**
+(the printed structural text of every reachable component), so recompiling
+the same design — across sessions, harnesses and conformance runs — is a
+cache hit; :class:`~repro.core.session.CompilationSession` reports those
+hits next to its other stage timings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import SimulationError
+from .primitives import PrimitiveModel, ReplicatedLanes, create_primitive
+from .values import LaneContext, PackedValue, Value, X, format_value
+
+__all__ = [
+    "KernelUnavailable",
+    "CompiledKernelProgram",
+    "kernel_for",
+    "netlist_digest",
+    "kernel_cache_stats",
+    "clear_kernel_cache",
+]
+
+#: Sentinel returned by the slot-based group resolver when no driver is
+#: active or possibly active (mirrors the engine's ``_UNDRIVEN``).
+_UNDRIVEN = object()
+
+#: A signal key, as in the engine: ``(cell_name_or_None, port_name)``.
+_Key = Tuple[Optional[str], str]
+
+
+class KernelUnavailable(Exception):
+    """Codegen cannot produce a kernel for this netlist; the caller falls
+    back to the scheduled interpreter (semantics are never at risk)."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+# ---------------------------------------------------------------------------
+# Runtime helpers shared by every generated kernel
+# ---------------------------------------------------------------------------
+#
+# The generated source only inlines the *common* cases.  Multi-driven ports
+# resolve through these slot-based helpers, which mirror the engine's
+# ``_resolve_group``/``_resolve_group_packed`` bit for bit — including the
+# conflicting-driver errors — but read slots instead of a keyed dict.
+
+
+def _resolve_slots(s: list, plan: tuple, cycle: int):
+    """Scalar driver-group resolution over slots (see
+    ``ScheduledEngine._resolve_group``)."""
+    comp, group, assigns = plan
+    actives: list = []
+    active_values: list = []
+    maybe_values: list = []
+    for guard_idxs, src_idx, const, assign in assigns:
+        if guard_idxs is None:
+            active, possible = True, False
+        else:
+            active = unknown = False
+            for idx in guard_idxs:
+                guard = s[idx]
+                if guard is X:
+                    unknown = True
+                elif guard != 0:
+                    active = True
+                    break
+            possible = not active and unknown
+        if not active and not possible:
+            continue
+        source = const if src_idx is None else s[src_idx]
+        if active:
+            actives.append(assign)
+            active_values.append(source)
+        else:
+            maybe_values.append(source)
+    if not actives and not maybe_values:
+        return _UNDRIVEN
+    concrete = [v for v in active_values if v is not X]
+    if len(set(concrete)) > 1:
+        drivers = ", ".join(str(assign.assignment) for assign in actives)
+        raise SimulationError(
+            f"{comp}: conflicting drivers for {group.dst} in "
+            f"cycle {cycle}: {drivers} "
+            f"(values {[format_value(v) for v in active_values]})"
+        )
+    result = concrete[0] if concrete else X
+    if maybe_values and not (concrete and all(
+            v is not X and v == result for v in maybe_values)):
+        return X
+    return result
+
+
+def _resolve_slots_packed(vb: list, vx: list, plan: tuple,
+                          ctx: LaneContext, cycle: int) -> None:
+    """Lane-packed driver-group resolution over slot pairs (see
+    ``ScheduledEngine._resolve_group_packed``); writes the destination
+    slots in place."""
+    comp, group, dst, fresh, assigns = plan
+    lsb = ctx.lsb
+    driven_any = driven_concrete = value_bits = 0
+    possibles: list = []
+    for guard_idxs, src_idx, const, _assign in assigns:
+        if guard_idxs is None:
+            active, possible = lsb, 0
+        else:
+            active = unknown = 0
+            for idx in guard_idxs:
+                unknown |= vx[idx] & lsb
+                active |= ctx.nonzero(vb[idx])
+            possible = unknown & ~active
+        if not active and not possible:
+            continue
+        if src_idx is None:
+            src_bits = ctx.broadcast(const)
+            src_x = 0
+        else:
+            src_bits = vb[src_idx]
+            src_x = vx[src_idx] & lsb
+        if active:
+            concrete = active & ~src_x
+            clash = concrete & driven_concrete
+            if clash:
+                differs = ctx.nonzero(
+                    (value_bits ^ src_bits) & ctx.spread(clash)) & clash
+                if differs:
+                    lane = ((differs & -differs).bit_length() - 1) // ctx.stride
+                    raise SimulationError(
+                        f"{comp}: conflicting drivers for {group.dst} in "
+                        f"cycle {cycle} (lane {lane})"
+                    )
+            value_bits |= src_bits & ctx.spread(concrete & ~driven_concrete)
+            driven_concrete |= concrete
+            driven_any |= active
+        if possible:
+            possibles.append((possible, src_bits, src_x))
+    maybe_any = x_override = 0
+    for possible, src_bits, src_x in possibles:
+        maybe_any |= possible
+        agrees = possible & driven_concrete & ~src_x
+        if agrees:
+            differs = ctx.nonzero(
+                (value_bits ^ src_bits) & ctx.spread(agrees)) & agrees
+            agrees &= ~differs
+        x_override |= possible & ~agrees
+    set_lanes = driven_any | maybe_any
+    if not set_lanes:
+        if fresh:
+            # A fresh component's dict would simply lack the key (all X);
+            # slots persist, so write the all-X state explicitly.
+            vb[dst] = 0
+            vx[dst] = ctx.full
+        return
+    if fresh:
+        prev_bits, prev_x = 0, ctx.full
+    else:
+        prev_bits, prev_x = vb[dst], vx[dst]
+    final_concrete = driven_concrete & ~x_override
+    keep = ~ctx.spread(set_lanes)
+    xmask = (prev_x & keep) | ctx.spread(set_lanes & ~final_concrete)
+    vb[dst] = ((prev_bits & keep)
+               | (value_bits & ctx.spread(final_concrete))) & ~xmask
+    vx[dst] = xmask
+
+
+def _packed_products(a_bits: int, a_x: int, b_bits: int, b_x: int,
+                     out_mask: int, lsb: int, lane_mask: int,
+                     stride: int) -> Tuple[int, int]:
+    """Exact per-lane products over raw slot pairs (mirrors
+    ``repro.sim.primitives._lane_products``)."""
+    xmask = a_x | b_x
+    defined = lsb & ~xmask
+    bits = 0
+    while defined:
+        low = defined & -defined
+        shift = low.bit_length() - 1
+        bits |= ((((a_bits >> shift) & lane_mask)
+                  * ((b_bits >> shift) & lane_mask)) & out_mask) << shift
+        defined ^= low
+    return bits, xmask
+
+
+def _pk_model(name: str, params: Sequence[int],
+              ctx: LaneContext) -> PrimitiveModel:
+    """A packed-capable model instance for a black-box primitive: the
+    native model when it implements the packed protocol, otherwise the
+    one-scalar-instance-per-lane adapter (exactly the engine's policy)."""
+    model = create_primitive(name, params)
+    if model.supports_packed:
+        model.reset_packed(ctx)
+        return model
+    return ReplicatedLanes(name, params, ctx)
+
+
+# ---------------------------------------------------------------------------
+# Source emission
+# ---------------------------------------------------------------------------
+
+#: Scalar expression templates for the stdlib binary primitives
+#: (``{a}``/``{b}`` are operand slot reads; the result is masked by the
+#: caller where needed).
+_SCALAR_BINARY = {
+    "Add": "({a} + {b})",
+    "FlexAdd": "({a} + {b})",
+    "Sub": "({a} - {b})",
+    "And": "({a} & {b})",
+    "Or": "({a} | {b})",
+    "Xor": "({a} ^ {b})",
+    "MultComb": "({a} * {b})",
+    "Eq": "(1 if {a} == {b} else 0)",
+    "Neq": "(1 if {a} != {b} else 0)",
+    "Lt": "(1 if {a} < {b} else 0)",
+    "Gt": "(1 if {a} > {b} else 0)",
+    "Le": "(1 if {a} <= {b} else 0)",
+    "Ge": "(1 if {a} >= {b} else 0)",
+}
+
+#: Packed bit-expression builders for the stdlib binary primitives:
+#: ``(a, b, w) -> expression over canonical value bits`` (X planes are
+#: handled uniformly by the emitter).
+_PACKED_BINARY_EXPR = {
+    "Add": lambda a, b, w: f"(({a} + {b}) & VM{w})",
+    "FlexAdd": lambda a, b, w: f"(({a} + {b}) & VM{w})",
+    "Sub": lambda a, b, w: f"((({a} | GB{w}) - {b}) & VM{w})",
+    "And": lambda a, b, w: f"(({a} & {b}) & VM{w})",
+    "Or": lambda a, b, w: f"(({a} | {b}) & VM{w})",
+    "Xor": lambda a, b, w: f"(({a} ^ {b}) & VM{w})",
+    "Eq": lambda a, b, w:
+        f"(LSB & ~(((({a} ^ {b}) + VM{w}) & GB{w}) >> {w}))",
+    "Neq": lambda a, b, w: f"(((({a} ^ {b}) + VM{w}) & GB{w}) >> {w})",
+    "Ge": lambda a, b, w: f"(((({a} | GB{w}) - {b}) >> {w}) & LSB)",
+    "Lt": lambda a, b, w:
+        f"(LSB & ~(((({a} | GB{w}) - {b}) >> {w}) & LSB))",
+    "Le": lambda a, b, w: f"(((({b} | GB{w}) - {a}) >> {w}) & LSB)",
+    "Gt": lambda a, b, w:
+        f"(LSB & ~(((({b} | GB{w}) - {a}) >> {w}) & LSB))",
+}
+
+#: Sequential multiplier latencies (``Mult``/``FastMult``/``PipelinedMult``
+#: share one model class).
+_MULT_LATENCY = {"Mult": 2, "FastMult": 2, "PipelinedMult": 3}
+
+
+class _Lines:
+    """A tiny indented-source builder."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.indent = 0
+
+    def emit(self, line: str = "") -> None:
+        self.lines.append(("    " * self.indent + line) if line else "")
+
+    def text(self) -> str:
+        return "\n".join(self.lines)
+
+
+def _is_stdlib(model: PrimitiveModel) -> bool:
+    """Whether ``model`` is one of the stdlib classes this module knows how
+    to inline (a substrate overriding a stdlib name with its own class is
+    treated as a black box, so semantics never fork)."""
+    return type(model).__module__ == PrimitiveModel.__module__
+
+
+class _ComponentCompiler:
+    """Compiles one component (one engine of the hierarchy) to source for
+    both kernel variants, sharing a single slot map."""
+
+    def __init__(self, engine, comp_id: int, child_ids: Dict[str, int],
+                 fresh: bool) -> None:
+        self.engine = engine
+        self.comp_id = comp_id
+        self.child_ids = child_ids  # component name -> comp_id
+        self.fresh = fresh
+        self.component = engine.component
+        self.name = self.component.name
+        self.cell_types = {cell.name: (cell.component, tuple(cell.params))
+                           for cell in self.component.cells}
+        self.slots: Dict[_Key, int] = {}
+        #: slot -> scalar init value (default X); parallel packed init is
+        #: derived from the same table.
+        self.init: Dict[int, Value] = {}
+        #: Extra per-primitive state slots (pipelined multiplier stages).
+        self.extra_state: Dict[str, List[int]] = {}
+        #: Injected namespace constants (group plans).
+        self.constants: Dict[str, object] = {}
+        #: Per black-box cell, the keys its ``combinational()`` reads
+        #: *before* their defining node runs (possible because such models
+        #: may not declare the dependency), and the union of those keys.
+        self._early_reads = self._compute_early_blackbox_reads()
+        self._early_read_keys = {key for keys in self._early_reads.values()
+                                 for key in keys}
+        self._collect_slots()
+
+    # -- slot map --------------------------------------------------------------
+
+    def _slot(self, key: _Key) -> int:
+        index = self.slots.get(key)
+        if index is None:
+            index = len(self.slots)
+            self.slots[key] = index
+        return index
+
+    def _collect_slots(self) -> None:
+        engine = self.engine
+        for name in engine._input_names:
+            self._slot((None, name))
+        for port in self.component.outputs:
+            self._slot((None, port.name))
+        for node in engine._prim_nodes:
+            for _, key in node.in_items:
+                self._slot(key)
+            for key in node.out_keys.values():
+                self._slot(key)
+        for node in engine._child_nodes:
+            for _, key in node.in_items:
+                self._slot(key)
+            for _, key in node.out_items:
+                self._slot(key)
+        for group in engine._groups:
+            self._slot(group.dst_key)
+            for assign in group.assigns:
+                for key in assign.guard_keys or ():
+                    self._slot(key)
+                if assign.src_key is not None:
+                    self._slot(assign.src_key)
+        # Dedicated state slots for registered primitives (kept apart from
+        # the output slots so a post-cycle ``peek`` sees the settled value,
+        # exactly like the interpreter's ``_values``), plus init values.
+        for node in engine._prim_nodes:
+            model = node.model
+            if not _is_stdlib(model):
+                continue
+            name = model.name
+            width = model.width
+
+            def state_slot(tag: str, initial: Value) -> int:
+                index = len(self.slots)
+                self.slots[(node.cell, tag)] = index
+                if initial is not X:
+                    self.init[index] = initial
+                return index
+
+            if name in _MULT_LATENCY:
+                # stage0 is the newest value, the last stage feeds ``out``.
+                self.extra_state[node.cell] = [
+                    state_slot(f"#stage{stage}", X)
+                    for stage in range(_MULT_LATENCY[name])]
+            elif name in ("Reg", "Register"):
+                self.extra_state[node.cell] = [state_slot("#state", X)]
+            elif name == "Delay":
+                self.extra_state[node.cell] = [state_slot("#state", 0)]
+            elif name in ("Prev", "ContPrev"):
+                initial = 0 if model.param(1, 1) else X
+                self.extra_state[node.cell] = [state_slot("#state", initial)]
+            elif name == "DspMac":
+                self.extra_state[node.cell] = [state_slot("#state", X)]
+            elif name == "fsm":
+                self.extra_state[node.cell] = [
+                    state_slot(f"#tap{state}", 0)
+                    for state in range(1, model.states)]
+            elif name == "Const" and self._const_preloaded(node.cell):
+                out = self.slots[(node.cell, "out")]
+                self.init[out] = model.param(1, 0) & ((1 << width) - 1)
+        # Single unconditional constant drives are preloaded, never
+        # emitted — unless a black box reads the slot before the group's
+        # schedule position, where the interpreter sees X (fresh) or the
+        # previous cycle's value (preserving) rather than the constant.
+        for group in engine._groups:
+            if self._preloaded(group):
+                assign = group.assigns[0]
+                self.init[self.slots[group.dst_key]] = assign.src_const
+
+    def _preloaded(self, group) -> bool:
+        return (len(group.assigns) == 1
+                and group.assigns[0].guard_keys is None
+                and group.assigns[0].src_key is None
+                and group.dst_key not in self._early_read_keys)
+
+    def _const_preloaded(self, cell: str) -> bool:
+        """Whether a ``Const`` cell's output can live purely in the init
+        table (no black box reads it before the Const node runs)."""
+        return (cell, "out") not in self._early_read_keys
+
+    # -- shared analysis -------------------------------------------------------
+
+    def _compute_early_blackbox_reads(self) -> Dict[str, List[_Key]]:
+        """Per black-box cell, the input keys whose defining node runs
+        *later* in the schedule (never-defined keys stay X in their slots
+        and need no handling).  Those reads force two things: the keys
+        cannot be const-preloaded (the interpreter does not see the
+        constant at that point), and in a fresh component the kernel must
+        clear them to X at the start of every settle (the interpreter's
+        per-cycle dict would read X; slots persist)."""
+        written = set((None, name) for name in self.engine._input_names)
+        defined = set(written)
+        for _kind, payload in self.engine._schedule:
+            if hasattr(payload, "out_keys"):
+                defined.update(payload.out_keys.values())
+            elif hasattr(payload, "out_items"):
+                defined.update(key for _, key in payload.out_items)
+            else:
+                defined.add(payload.dst_key)
+        reads: Dict[str, List[_Key]] = {}
+        from .engine import _GROUP, _PRIM
+        for kind, payload in self.engine._schedule:
+            if kind == _PRIM:
+                model = payload.model
+                if not _is_stdlib(model):
+                    late = [key for _, key in payload.in_items
+                            if key not in written and key in defined]
+                    if late:
+                        reads[payload.cell] = late
+                written.update(payload.out_keys.values())
+            elif kind == _GROUP:
+                written.add(payload.dst_key)
+            else:
+                written.update(key for _, key in payload.out_items)
+        return reads
+
+    def _blackbox_hazards(self) -> Dict[str, List[_Key]]:
+        """The early black-box reads a *fresh* component clears to X at
+        settle start (a preserving component's stale slot IS the
+        interpreter semantics, so nothing is cleared there)."""
+        return self._early_reads if self.fresh else {}
+
+    # -- scalar emission -------------------------------------------------------
+
+    def emit_scalar(self, out: _Lines) -> None:
+        engine = self.engine
+        cid = self.comp_id
+        out.emit(f"def make_c{cid}():  # component {self.name!r}"
+                 f"{' (top, fresh)' if self.fresh else ''}")
+        out.indent += 1
+        out.emit(f"s = list(INIT_c{cid})")
+        out.emit("n = 0")
+        for node in engine._prim_nodes:
+            if not _is_stdlib(node.model):
+                comp_name, params = self.cell_types[node.cell]
+                out.emit(f"m_{self._ident(node.cell)} = "
+                         f"_mk({comp_name!r}, {params!r})")
+        for node in engine._child_nodes:
+            child_id = self.child_ids[node.engine.component.name]
+            ident = self._ident(node.cell)
+            out.emit(f"st_{ident}, tk_{ident}, rs_{ident}, _ = "
+                     f"make_c{child_id}()")
+        self._emit_scalar_settle(out)
+        self._emit_scalar_tick(out)
+        self._emit_scalar_reset(out)
+        out.emit("return settle, tick, reset, s")
+        out.indent -= 1
+        out.emit()
+        out.emit()
+
+    @staticmethod
+    def _ident(cell: str) -> str:
+        return "".join(ch if ch.isalnum() else "_" for ch in cell)
+
+    def _emit_scalar_settle(self, out: _Lines) -> None:
+        engine = self.engine
+        inputs = engine._input_names
+        args = ", ".join(f"a{i}" for i in range(len(inputs)))
+        out.emit(f"def settle({args}):")
+        out.indent += 1
+        for i, name in enumerate(inputs):
+            out.emit(f"s[{self.slots[(None, name)]}] = a{i}"
+                     f"  # input {name}")
+        hazards = self._blackbox_hazards()
+        for cell, keys in hazards.items():
+            for key in keys:
+                out.emit(f"s[{self.slots[key]}] = X"
+                         f"  # {cell} reads {key} before its driver runs")
+        from .engine import _GROUP, _PRIM
+        temp = [0]
+
+        def fresh_temp(prefix: str = "t") -> str:
+            temp[0] += 1
+            return f"{prefix}{temp[0]}"
+
+        for kind, payload in engine._schedule:
+            if kind == _PRIM:
+                self._emit_scalar_prim(out, payload, fresh_temp)
+            elif kind == _GROUP:
+                self._emit_scalar_group(out, payload, fresh_temp)
+            else:
+                self._emit_scalar_child(out, payload)
+        outputs = [self.slots[(None, port.name)]
+                   for port in self.component.outputs]
+        if outputs:
+            out.emit("return ("
+                     + ", ".join(f"s[{i}]" for i in outputs) + ",)")
+        else:
+            out.emit("return ()")
+        out.indent -= 1
+        out.emit()
+
+    def _emit_scalar_prim(self, out: _Lines, node, fresh_temp) -> None:
+        model = node.model
+        cell = node.cell
+        if not _is_stdlib(model):
+            items = ", ".join(f"{port!r}: s[{self.slots[key]}]"
+                              for port, key in node.in_items)
+            result = fresh_temp("bo")
+            out.emit(f"{result} = m_{self._ident(cell)}"
+                     f".combinational({{{items}}})  # black box {cell}")
+            for port, key in node.out_keys.items():
+                out.emit(f"if {port!r} in {result}: "
+                         f"s[{self.slots[key]}] = {result}[{port!r}]")
+            return
+        name = model.name
+        width = model.width
+        mask = (1 << width) - 1
+        sl = self.slots
+
+        def rd(port: str) -> str:
+            return f"s[{sl[(cell, port)]}]"
+
+        if name in _SCALAR_BINARY:
+            o = sl[(cell, "out")]
+            a, b = fresh_temp(), fresh_temp()
+            out.emit(f"{a} = {rd('left')}; {b} = {rd('right')}"
+                     f"  # {cell} = {name}[{width}]")
+            expr = _SCALAR_BINARY[name].format(a=a, b=b)
+            out_width = getattr(model, "_output_width", None)
+            if out_width is not None:
+                mask = (1 << out_width) - 1
+            out.emit(f"s[{o}] = X if {a} is X or {b} is X "
+                     f"else {expr} & {hex(mask)}")
+        elif name == "Not":
+            o = sl[(cell, "out")]
+            a = fresh_temp()
+            out.emit(f"{a} = {rd('in')}  # {cell} = Not[{width}]")
+            out.emit(f"s[{o}] = X if {a} is X else (~{a}) & {hex(mask)}")
+        elif name == "Mux":
+            o = sl[(cell, "out")]
+            c, v = fresh_temp(), fresh_temp()
+            out.emit(f"{c} = {rd('sel')}  # {cell} = Mux[{width}]")
+            out.emit(f"if {c} is X:")
+            out.emit(f"    s[{o}] = X")
+            out.emit("else:")
+            out.emit(f"    {v} = {rd('in1')} if {c} else {rd('in0')}")
+            out.emit(f"    s[{o}] = {v} if {v} is X else {v} & {hex(mask)}")
+        elif name == "Slice":
+            o = sl[(cell, "out")]
+            hi = model.param(1, width - 1)
+            lo = model.param(2, 0)
+            slice_mask = (1 << (hi - lo + 1)) - 1
+            v = fresh_temp()
+            out.emit(f"{v} = {rd('in')}  # {cell} = Slice[{width},{hi},{lo}]")
+            out.emit(f"s[{o}] = X if {v} is X "
+                     f"else ({v} >> {lo}) & {hex(slice_mask)}")
+        elif name == "Concat":
+            o = sl[(cell, "out")]
+            wh = model.param(0, 32)
+            wl = model.param(1, 32)
+            h, l = fresh_temp(), fresh_temp()
+            out.emit(f"{h} = {rd('hi')}; {l} = {rd('lo')}"
+                     f"  # {cell} = Concat[{wh},{wl}]")
+            out.emit(f"s[{o}] = X if {h} is X or {l} is X else "
+                     f"((({h} & {hex((1 << wh) - 1)}) << {wl}) | "
+                     f"({l} & {hex((1 << wl) - 1)}))")
+        elif name in ("ShiftLeft", "ShiftRight"):
+            o = sl[(cell, "out")]
+            by = model.param(1, 1)
+            v = fresh_temp()
+            op = "<<" if name == "ShiftLeft" else ">>"
+            out.emit(f"{v} = {rd('in')}  # {cell} = {name}[{width},{by}]")
+            out.emit(f"s[{o}] = X if {v} is X "
+                     f"else ({v} {op} {by}) & {hex(mask)}")
+        elif name == "Const":
+            if not self._const_preloaded(cell):
+                # An early black-box read precedes this node, so the value
+                # must appear at the node's schedule position, not at init.
+                value = model.param(1, 0) & ((1 << width) - 1)
+                out.emit(f"s[{sl[(cell, 'out')]}] = {value}"
+                         f"  # {cell} = Const[{width}] (early reader)")
+        elif name == "fsm":
+            o0 = sl[(cell, "_0")]
+            g = fresh_temp()
+            out.emit(f"{g} = {rd('go')}  # {cell} = fsm[{model.states}]")
+            out.emit(f"s[{o0}] = X if {g} is X else (1 if {g} != 0 else 0)")
+            for state, tap in enumerate(self.extra_state[cell], start=1):
+                out.emit(f"s[{sl[(cell, f'_{state}')]}] = s[{tap}]")
+        elif name in ("Reg", "Register", "Delay", "Prev", "ContPrev",
+                      "DspMac") or name in _MULT_LATENCY:
+            port = ("prev" if name in ("Prev", "ContPrev")
+                    else "pout" if name == "DspMac" else "out")
+            state = self.extra_state[cell][-1]
+            out.emit(f"s[{sl[(cell, port)]}] = s[{state}]"
+                     f"  # {cell} = {name}[{width}] registered output")
+        else:  # pragma: no cover - registry names are closed above
+            raise KernelUnavailable(f"no scalar template for {name}")
+
+    def _emit_scalar_child(self, out: _Lines, node) -> None:
+        ident = self._ident(node.cell)
+        args = ", ".join(f"s[{self.slots[key]}]" for _, key in node.in_items)
+        targets = ", ".join(f"s[{self.slots[key]}]"
+                            for _, key in node.out_items)
+        if not node.out_items:
+            out.emit(f"st_{ident}({args})  # child {node.cell}")
+        elif len(node.out_items) == 1:
+            out.emit(f"{targets}, = st_{ident}({args})  # child {node.cell}")
+        else:
+            out.emit(f"{targets} = st_{ident}({args})  # child {node.cell}")
+
+    def _scalar_src(self, assign) -> str:
+        if assign.src_key is None:
+            return repr(assign.src_const)
+        return f"s[{self.slots[assign.src_key]}]"
+
+    def _emit_scalar_group(self, out: _Lines, group, fresh_temp) -> None:
+        d = self.slots[group.dst_key]
+        if self._preloaded(group):
+            return
+        if len(group.assigns) == 1:
+            assign = group.assigns[0]
+            src = self._scalar_src(assign)
+            if assign.guard_keys is None:
+                out.emit(f"s[{d}] = {src}  # {group.dst} = {assign.assignment.src}")
+                return
+            guards = [fresh_temp("g") for _ in assign.guard_keys]
+            reads = "; ".join(
+                f"{g} = s[{self.slots[key]}]"
+                for g, key in zip(guards, assign.guard_keys))
+            out.emit(f"{reads}  # {group.dst} = guarded")
+            active = " or ".join(f"({g} is not X and {g} != 0)"
+                                 for g in guards)
+            unknown = " or ".join(f"{g} is X" for g in guards)
+            out.emit(f"if {active}:")
+            out.emit(f"    s[{d}] = {src}")
+            if self.fresh:
+                out.emit("else:")
+                out.emit(f"    s[{d}] = X")
+            else:
+                out.emit(f"elif {unknown}:")
+                out.emit(f"    s[{d}] = X")
+            return
+        # Multi-driven port: the slot-based resolver (dict-free, exact
+        # conflict semantics).
+        plan_name = f"GP_c{self.comp_id}_{d}"
+        self.constants[plan_name] = (
+            self.name, group,
+            tuple((tuple(self.slots[key] for key in assign.guard_keys)
+                   if assign.guard_keys is not None else None,
+                   (self.slots[assign.src_key]
+                    if assign.src_key is not None else None),
+                   assign.src_const, assign)
+                  for assign in group.assigns))
+        v = fresh_temp("v")
+        out.emit(f"{v} = _rg(s, {plan_name}, n)  # {group.dst}: "
+                 f"{len(group.assigns)} drivers")
+        if self.fresh:
+            out.emit(f"s[{d}] = X if {v} is _U else {v}")
+        else:
+            out.emit(f"if {v} is not _U:")
+            out.emit(f"    s[{d}] = {v}")
+
+    def _emit_scalar_tick(self, out: _Lines) -> None:
+        out.emit("def tick():")
+        out.indent += 1
+        out.emit("nonlocal n")
+        temp = [0]
+
+        def fresh_temp(prefix: str = "t") -> str:
+            temp[0] += 1
+            return f"{prefix}{temp[0]}"
+
+        sl = self.slots
+        for node in self.engine._prim_nodes:
+            model = node.model
+            cell = node.cell
+            if not _is_stdlib(model):
+                items = ", ".join(f"{port!r}: s[{sl[key]}]"
+                                  for port, key in node.in_items)
+                out.emit(f"m_{self._ident(cell)}.tick({{{items}}})"
+                         f"  # black box {cell}")
+                continue
+            name = model.name
+            width = model.width
+            mask = (1 << width) - 1
+
+            def rd(port: str) -> str:
+                return f"s[{sl[(cell, port)]}]"
+
+            if name in ("Reg", "Register", "Prev"):
+                d = self.extra_state[cell][0]
+                e, v = fresh_temp("e"), fresh_temp("v")
+                out.emit(f"{e} = {rd('en')}  # {cell} = {name}[{width}]")
+                out.emit(f"if {e} is X:")
+                out.emit(f"    s[{d}] = X")
+                out.emit(f"elif {e} != 0:")
+                out.emit(f"    {v} = {rd('in')}")
+                out.emit(f"    s[{d}] = {v} if {v} is X else {v} & {hex(mask)}")
+            elif name in ("Delay", "ContPrev"):
+                d = self.extra_state[cell][0]
+                v = fresh_temp("v")
+                out.emit(f"{v} = {rd('in')}  # {cell} = {name}[{width}]")
+                out.emit(f"s[{d}] = {v} if {v} is X else {v} & {hex(mask)}")
+            elif name in _MULT_LATENCY:
+                stages = self.extra_state[cell]  # newest .. oldest
+                l, r, p = fresh_temp("l"), fresh_temp("r"), fresh_temp("p")
+                out.emit(f"{l} = {rd('left')}; {r} = {rd('right')}"
+                         f"  # {cell} = {name}[{width}]")
+                out.emit(f"{p} = X if {l} is X or {r} is X "
+                         f"else ({l} * {r}) & {hex(mask)}")
+                for older, newer in zip(reversed(stages[1:]),
+                                        reversed(stages[:-1])):
+                    out.emit(f"s[{older}] = s[{newer}]")
+                out.emit(f"s[{stages[0]}] = {p}")
+            elif name == "DspMac":
+                d = self.extra_state[cell][0]
+                e = fresh_temp("e")
+                a, b, acc = fresh_temp(), fresh_temp(), fresh_temp("p")
+                out.emit(f"{e} = {rd('ce')}  # {cell} = DspMac[{width}]")
+                out.emit(f"if {e} is X:")
+                out.emit(f"    s[{d}] = X")
+                out.emit(f"elif {e} != 0:")
+                out.emit(f"    {a} = {rd('a')}; {b} = {rd('b')}")
+                out.emit(f"    if {a} is X or {b} is X:")
+                out.emit(f"        s[{d}] = X")
+                out.emit("    else:")
+                out.emit(f"        {acc} = {rd('pin')}")
+                out.emit(f"        s[{d}] = ({a} * {b} + "
+                         f"(0 if {acc} is X else {acc})) & {hex(mask)}")
+            elif name == "fsm":
+                states = model.states
+                if states > 1:
+                    taps = self.extra_state[cell]  # _1 .. _{states-1}
+                    out.emit(f"# {cell} = fsm[{states}] shift")
+                    for k in range(len(taps) - 1, 0, -1):
+                        out.emit(f"s[{taps[k]}] = s[{taps[k - 1]}]")
+                    out.emit(f"s[{taps[0]}] = s[{sl[(cell, '_0')]}]")
+        for node in self.engine._child_nodes:
+            out.emit(f"tk_{self._ident(node.cell)}()  # child {node.cell}")
+        out.emit("n += 1")
+        out.indent -= 1
+        out.emit()
+
+    def _emit_scalar_reset(self, out: _Lines) -> None:
+        out.emit("def reset():")
+        out.indent += 1
+        out.emit("nonlocal n")
+        out.emit("n = 0")
+        out.emit(f"s[:] = INIT_c{self.comp_id}")
+        for node in self.engine._prim_nodes:
+            if not _is_stdlib(node.model):
+                out.emit(f"m_{self._ident(node.cell)}.reset()")
+        for node in self.engine._child_nodes:
+            out.emit(f"rs_{self._ident(node.cell)}()")
+        out.indent -= 1
+        out.emit()
+
+    def scalar_init(self) -> Tuple[Value, ...]:
+        values: List[Value] = [X] * len(self.slots)
+        for index, value in self.init.items():
+            values[index] = value
+        return tuple(values)
+
+    # -- packed emission -------------------------------------------------------
+
+    def _packed_widths(self) -> List[int]:
+        widths = set()
+        for node in self.engine._prim_nodes:
+            model = node.model
+            if not _is_stdlib(model):
+                continue
+            name = model.name
+            width = model.width
+            if name in _SCALAR_BINARY or name in ("Not", "Mux", "Reg",
+                                                  "Register", "Delay",
+                                                  "Prev", "ContPrev",
+                                                  "DspMac"):
+                widths.add(width)
+            if name in _SCALAR_BINARY and getattr(model, "_output_width",
+                                                  None) is not None:
+                widths.add(model._output_width)
+            if name == "Slice":
+                hi = model.param(1, width - 1)
+                lo = model.param(2, 0)
+                widths.add(hi - lo + 1)
+            if name == "Concat":
+                widths.update((model.param(0, 32), model.param(1, 32)))
+            if name == "ShiftLeft":
+                by = model.param(1, 1)
+                if by < width:
+                    widths.add(width - by)
+            if name == "ShiftRight":
+                widths.add(model.param(1, 1))
+            if name in _MULT_LATENCY:
+                widths.add(width)
+        return sorted(widths)
+
+    def emit_packed(self, out: _Lines) -> None:
+        engine = self.engine
+        cid = self.comp_id
+        out.emit(f"def make_c{cid}_packed(ctx):  # component {self.name!r}")
+        out.indent += 1
+        out.emit("LSB = ctx.lsb; FULL = ctx.full; ST = ctx.stride")
+        out.emit("SH = ST - 1; SL = (1 << ST) - 1; LM = (1 << SH) - 1")
+        out.emit("NZ = LSB * LM")
+        for width in self._packed_widths():
+            out.emit(f"VM{width} = ctx.value_mask({width}); "
+                     f"GB{width} = LSB << {width}")
+        out.emit(f"NS = {len(self.slots)}")
+        out.emit("vb = [0] * NS; vx = [FULL] * NS")
+        out.emit("n = 0")
+        for node in engine._prim_nodes:
+            if not _is_stdlib(node.model):
+                comp_name, params = self.cell_types[node.cell]
+                out.emit(f"m_{self._ident(node.cell)} = "
+                         f"_pkm({comp_name!r}, {params!r}, ctx)")
+        for node in engine._child_nodes:
+            child_id = self.child_ids[node.engine.component.name]
+            ident = self._ident(node.cell)
+            out.emit(f"st_{ident}, tk_{ident}, rs_{ident} = "
+                     f"make_c{child_id}_packed(ctx)")
+        self._emit_packed_reset(out)
+        self._emit_packed_settle(out)
+        self._emit_packed_tick(out)
+        out.emit("reset()")
+        out.emit("return settle, tick, reset")
+        out.indent -= 1
+        out.emit()
+        out.emit()
+
+    def _emit_packed_reset(self, out: _Lines) -> None:
+        out.emit("def reset():")
+        out.indent += 1
+        out.emit("nonlocal n")
+        out.emit("n = 0")
+        out.emit("vb[:] = [0] * NS; vx[:] = [FULL] * NS")
+        for index, value in sorted(self.init.items()):
+            if value is X:
+                continue
+            out.emit(f"vb[{index}] = ctx.broadcast({value!r}); "
+                     f"vx[{index}] = 0")
+        for node in self.engine._prim_nodes:
+            if not _is_stdlib(node.model):
+                out.emit(f"m_{self._ident(node.cell)}.reset_packed(ctx)")
+        for node in self.engine._child_nodes:
+            out.emit(f"rs_{self._ident(node.cell)}()")
+        out.indent -= 1
+        out.emit()
+
+    def _emit_packed_settle(self, out: _Lines) -> None:
+        engine = self.engine
+        inputs = engine._input_names
+        args = ", ".join(f"b{i}, x{i}" for i in range(len(inputs)))
+        out.emit(f"def settle({args}):")
+        out.indent += 1
+        for i, name in enumerate(inputs):
+            index = self.slots[(None, name)]
+            out.emit(f"vb[{index}] = b{i}; vx[{index}] = x{i}"
+                     f"  # input {name}")
+        for cell, keys in self._blackbox_hazards().items():
+            for key in keys:
+                index = self.slots[key]
+                out.emit(f"vb[{index}] = 0; vx[{index}] = FULL"
+                         f"  # {cell} reads {key} before its driver runs")
+        from .engine import _GROUP, _PRIM
+        temp = [0]
+
+        def fresh_temp(prefix: str = "t") -> str:
+            temp[0] += 1
+            return f"{prefix}{temp[0]}"
+
+        for kind, payload in engine._schedule:
+            if kind == _PRIM:
+                self._emit_packed_prim(out, payload, fresh_temp)
+            elif kind == _GROUP:
+                self._emit_packed_group(out, payload, fresh_temp)
+            else:
+                self._emit_packed_child(out, payload)
+        pairs = []
+        for port in self.component.outputs:
+            index = self.slots[(None, port.name)]
+            pairs.extend((f"vb[{index}]", f"vx[{index}]"))
+        out.emit("return " + (", ".join(pairs) if pairs else "()"))
+        out.indent -= 1
+        out.emit()
+
+    def _emit_packed_prim(self, out: _Lines, node, fresh_temp) -> None:
+        model = node.model
+        cell = node.cell
+        sl = self.slots
+        if not _is_stdlib(model):
+            items = ", ".join(
+                f"{port!r}: _PV(ctx.lanes, ST, vb[{sl[key]}], vx[{sl[key]}])"
+                for port, key in node.in_items)
+            result = fresh_temp("bo")
+            v = fresh_temp("bv")
+            out.emit(f"{result} = m_{self._ident(cell)}"
+                     f".combinational_packed({{{items}}}, ctx)"
+                     f"  # black box {cell}")
+            for port, key in node.out_keys.items():
+                out.emit(f"if {port!r} in {result}:")
+                out.emit(f"    {v} = {result}[{port!r}]")
+                out.emit(f"    vb[{sl[key]}] = {v}.bits; "
+                         f"vx[{sl[key]}] = {v}.xmask")
+            return
+        name = model.name
+        width = model.width
+
+        def b(port: str) -> str:
+            return f"vb[{sl[(cell, port)]}]"
+
+        def x(port: str) -> str:
+            return f"vx[{sl[(cell, port)]}]"
+
+        if name in _PACKED_BINARY_EXPR:
+            o = sl[(cell, "out")]
+            xm = fresh_temp("x")
+            out.emit(f"{xm} = {x('left')} | {x('right')}"
+                     f"  # {cell} = {name}[{width}]")
+            expr = _PACKED_BINARY_EXPR[name](b("left"), b("right"), width)
+            out.emit(f"vb[{o}] = {expr} & ~{xm}")
+            out.emit(f"vx[{o}] = {xm}")
+        elif name == "MultComb":
+            o = sl[(cell, "out")]
+            out.emit(f"vb[{o}], vx[{o}] = _mulp({b('left')}, {x('left')}, "
+                     f"{b('right')}, {x('right')}, {hex((1 << width) - 1)}, "
+                     f"LSB, LM, ST)  # {cell} = MultComb[{width}]")
+        elif name == "Not":
+            o = sl[(cell, "out")]
+            out.emit(f"vb[{o}] = (VM{width} & ~{b('in')}) & ~{x('in')}"
+                     f"  # {cell} = Not[{width}]")
+            out.emit(f"vx[{o}] = {x('in')}")
+        elif name == "Mux":
+            o = sl[(cell, "out")]
+            tk, xm = fresh_temp("k"), fresh_temp("x")
+            out.emit(f"{tk} = ((({b('sel')} + NZ) >> SH) & LSB) * SL"
+                     f"  # {cell} = Mux[{width}]")
+            out.emit(f"{xm} = {x('sel')} | ({x('in1')} & {tk}) | "
+                     f"({x('in0')} & ~{tk})")
+            out.emit(f"vb[{o}] = ((({b('in1')} & {tk}) | "
+                     f"({b('in0')} & ~{tk})) & VM{width}) & ~{xm}")
+            out.emit(f"vx[{o}] = {xm}")
+        elif name == "Slice":
+            o = sl[(cell, "out")]
+            hi = model.param(1, width - 1)
+            lo = model.param(2, 0)
+            out.emit(f"vb[{o}] = ({b('in')} >> {lo}) & VM{hi - lo + 1}"
+                     f"  # {cell} = Slice[{width},{hi},{lo}]")
+            out.emit(f"vx[{o}] = {x('in')}")
+        elif name == "Concat":
+            o = sl[(cell, "out")]
+            wh = model.param(0, 32)
+            wl = model.param(1, 32)
+            xm = fresh_temp("x")
+            out.emit(f"{xm} = {x('hi')} | {x('lo')}"
+                     f"  # {cell} = Concat[{wh},{wl}]")
+            out.emit(f"vb[{o}] = ((({b('hi')} & VM{wh}) << {wl}) | "
+                     f"({b('lo')} & VM{wl})) & ~{xm}")
+            out.emit(f"vx[{o}] = {xm}")
+        elif name == "ShiftLeft":
+            o = sl[(cell, "out")]
+            by = model.param(1, 1)
+            if by >= width:
+                out.emit(f"vb[{o}] = 0  # {cell} = ShiftLeft[{width},{by}]")
+            else:
+                out.emit(f"vb[{o}] = ({b('in')} & VM{width - by}) << {by}"
+                         f"  # {cell} = ShiftLeft[{width},{by}]")
+            out.emit(f"vx[{o}] = {x('in')}")
+        elif name == "ShiftRight":
+            o = sl[(cell, "out")]
+            by = model.param(1, 1)
+            out.emit(f"vb[{o}] = ({b('in')} & ~VM{by}) >> {by}"
+                     f"  # {cell} = ShiftRight[{width},{by}]")
+            out.emit(f"vx[{o}] = {x('in')}")
+        elif name == "Const":
+            if not self._const_preloaded(cell):
+                o = sl[(cell, "out")]
+                value = model.param(1, 0) & ((1 << width) - 1)
+                out.emit(f"vb[{o}] = ctx.broadcast({value})"
+                         f"  # {cell} = Const[{width}] (early reader)")
+                out.emit(f"vx[{o}] = 0")
+        elif name == "fsm":
+            o0 = sl[(cell, "_0")]
+            out.emit(f"vb[{o0}] = ((({b('go')} + NZ) >> SH) & LSB) "
+                     f"& ~{x('go')}  # {cell} = fsm[{model.states}]")
+            out.emit(f"vx[{o0}] = {x('go')}")
+            for state, tap in enumerate(self.extra_state[cell], start=1):
+                o = sl[(cell, f"_{state}")]
+                out.emit(f"vb[{o}] = vb[{tap}]; vx[{o}] = vx[{tap}]")
+        elif name in ("Reg", "Register", "Delay", "Prev", "ContPrev",
+                      "DspMac") or name in _MULT_LATENCY:
+            port = ("prev" if name in ("Prev", "ContPrev")
+                    else "pout" if name == "DspMac" else "out")
+            o = sl[(cell, port)]
+            state = self.extra_state[cell][-1]
+            out.emit(f"vb[{o}] = vb[{state}]; vx[{o}] = vx[{state}]"
+                     f"  # {cell} = {name}[{width}] registered output")
+        else:  # pragma: no cover - registry names are closed above
+            raise KernelUnavailable(f"no packed template for {name}")
+
+    def _emit_packed_child(self, out: _Lines, node) -> None:
+        ident = self._ident(node.cell)
+        args = ", ".join(f"vb[{self.slots[key]}], vx[{self.slots[key]}]"
+                         for _, key in node.in_items)
+        targets = ", ".join(f"vb[{self.slots[key]}], vx[{self.slots[key]}]"
+                            for _, key in node.out_items)
+        if not node.out_items:
+            out.emit(f"st_{ident}({args})  # child {node.cell}")
+        else:
+            out.emit(f"{targets} = st_{ident}({args})  # child {node.cell}")
+
+    def _emit_packed_group(self, out: _Lines, group, fresh_temp) -> None:
+        d = self.slots[group.dst_key]
+        if self._preloaded(group):
+            return
+        if len(group.assigns) == 1:
+            assign = group.assigns[0]
+            if assign.src_key is None:
+                src_b = f"ctx.broadcast({assign.src_const!r})"
+                src_x = "0"
+            else:
+                src_b = f"vb[{self.slots[assign.src_key]}]"
+                src_x = f"(vx[{self.slots[assign.src_key]}] & LSB)"
+            if assign.guard_keys is None:
+                if assign.src_key is None:
+                    out.emit(f"vb[{d}] = {src_b}; vx[{d}] = 0"
+                             f"  # {group.dst} = const")
+                else:
+                    index = self.slots[assign.src_key]
+                    out.emit(f"vb[{d}] = vb[{index}]; vx[{d}] = vx[{index}]"
+                             f"  # {group.dst} = {assign.assignment.src}")
+                return
+            ac, un = fresh_temp("ac"), fresh_temp("un")
+            active_terms = " | ".join(
+                f"(((vb[{self.slots[key]}] + NZ) >> SH) & LSB)"
+                for key in assign.guard_keys)
+            unknown_terms = " | ".join(
+                f"vx[{self.slots[key]}]" for key in assign.guard_keys)
+            out.emit(f"{ac} = {active_terms}  # {group.dst} = guarded")
+            out.emit(f"{un} = ({unknown_terms}) & LSB")
+            sx, co, se, xm = (fresh_temp("sx"), fresh_temp("co"),
+                              fresh_temp("se"), fresh_temp("xm"))
+            out.emit(f"{sx} = {src_x}")
+            out.emit(f"{co} = {ac} & ~{sx}")
+            out.emit(f"{se} = {ac} | ({un} & ~{ac})")
+            if self.fresh:
+                out.emit(f"{xm} = (FULL & ~({se} * SL)) | "
+                         f"(({se} & ~{co}) * SL)")
+                out.emit(f"vb[{d}] = {src_b} & ({co} * SL)")
+            else:
+                ke = fresh_temp("ke")
+                out.emit(f"{ke} = ~({se} * SL)")
+                out.emit(f"{xm} = (vx[{d}] & {ke}) | (({se} & ~{co}) * SL)")
+                out.emit(f"vb[{d}] = (vb[{d}] & {ke}) | "
+                         f"({src_b} & ({co} * SL))")
+            out.emit(f"vx[{d}] = {xm}")
+            return
+        plan_name = f"GQ_c{self.comp_id}_{d}"
+        self.constants[plan_name] = (
+            self.name, group, d, self.fresh,
+            tuple((tuple(self.slots[key] for key in assign.guard_keys)
+                   if assign.guard_keys is not None else None,
+                   (self.slots[assign.src_key]
+                    if assign.src_key is not None else None),
+                   assign.src_const, assign)
+                  for assign in group.assigns))
+        out.emit(f"_rgp(vb, vx, {plan_name}, ctx, n)  # {group.dst}: "
+                 f"{len(group.assigns)} drivers")
+
+    def _emit_packed_tick(self, out: _Lines) -> None:
+        out.emit("def tick():")
+        out.indent += 1
+        out.emit("nonlocal n")
+        temp = [0]
+
+        def fresh_temp(prefix: str = "t") -> str:
+            temp[0] += 1
+            return f"{prefix}{temp[0]}"
+
+        sl = self.slots
+        for node in self.engine._prim_nodes:
+            model = node.model
+            cell = node.cell
+            if not _is_stdlib(model):
+                items = ", ".join(
+                    f"{port!r}: _PV(ctx.lanes, ST, vb[{sl[key]}], "
+                    f"vx[{sl[key]}])" for port, key in node.in_items)
+                out.emit(f"m_{self._ident(cell)}.tick_packed({{{items}}}, "
+                         f"ctx)  # black box {cell}")
+                continue
+            name = model.name
+            width = model.width
+
+            def b(port: str) -> str:
+                return f"vb[{sl[(cell, port)]}]"
+
+            def x(port: str) -> str:
+                return f"vx[{sl[(cell, port)]}]"
+
+            if name in ("Reg", "Register", "Prev"):
+                d = self.extra_state[cell][0]
+                tk, xm = fresh_temp("k"), fresh_temp("x")
+                out.emit(f"{tk} = ((({b('en')} + NZ) >> SH) & LSB) * SL"
+                         f"  # {cell} = {name}[{width}]")
+                out.emit(f"{xm} = {x('en')} | ({x('in')} & {tk}) | "
+                         f"(vx[{d}] & ~{tk})")
+                out.emit(f"vb[{d}] = ((({b('in')} & VM{width}) & {tk}) | "
+                         f"(vb[{d}] & ~{tk})) & ~{xm}")
+                out.emit(f"vx[{d}] = {xm}")
+            elif name in ("Delay", "ContPrev"):
+                d = self.extra_state[cell][0]
+                out.emit(f"vb[{d}] = ({b('in')} & VM{width}) & ~{x('in')}"
+                         f"  # {cell} = {name}[{width}]")
+                out.emit(f"vx[{d}] = {x('in')}")
+            elif name in _MULT_LATENCY:
+                stages = self.extra_state[cell]  # newest .. oldest
+                pb, px = fresh_temp("pb"), fresh_temp("px")
+                out.emit(f"{pb}, {px} = _mulp({b('left')}, {x('left')}, "
+                         f"{b('right')}, {x('right')}, "
+                         f"{hex((1 << width) - 1)}, LSB, LM, ST)"
+                         f"  # {cell} = {name}[{width}]")
+                for older, newer in zip(reversed(stages[1:]),
+                                        reversed(stages[:-1])):
+                    out.emit(f"vb[{older}] = vb[{newer}]; "
+                             f"vx[{older}] = vx[{newer}]")
+                out.emit(f"vb[{stages[0]}] = {pb}; vx[{stages[0]}] = {px}")
+            elif name == "DspMac":
+                d = self.extra_state[cell][0]
+                pb, px, ab = fresh_temp("pb"), fresh_temp("px"), fresh_temp("ab")
+                tk, xm = fresh_temp("k"), fresh_temp("x")
+                out.emit(f"{pb}, {px} = _mulp({b('a')}, {x('a')}, "
+                         f"{b('b')}, {x('b')}, {hex((1 << width) - 1)}, "
+                         f"LSB, LM, ST)  # {cell} = DspMac[{width}]")
+                out.emit(f"{ab} = (({pb} + {b('pin')}) & VM{width}) & ~{px}")
+                out.emit(f"{tk} = ((({b('ce')} + NZ) >> SH) & LSB) * SL")
+                out.emit(f"{xm} = {x('ce')} | ({px} & {tk}) | "
+                         f"(vx[{d}] & ~{tk})")
+                out.emit(f"vb[{d}] = (({ab} & {tk}) | (vb[{d}] & ~{tk})) "
+                         f"& ~{xm}")
+                out.emit(f"vx[{d}] = {xm}")
+            elif name == "fsm":
+                states = model.states
+                if states > 1:
+                    taps = self.extra_state[cell]  # _1 .. _{states-1}
+                    out.emit(f"# {cell} = fsm[{states}] shift")
+                    for k in range(len(taps) - 1, 0, -1):
+                        out.emit(f"vb[{taps[k]}] = vb[{taps[k - 1]}]; "
+                                 f"vx[{taps[k]}] = vx[{taps[k - 1]}]")
+                    o0 = sl[(cell, "_0")]
+                    out.emit(f"vb[{taps[0]}] = vb[{o0}]; "
+                             f"vx[{taps[0]}] = vx[{o0}]")
+        for node in self.engine._child_nodes:
+            out.emit(f"tk_{self._ident(node.cell)}()  # child {node.cell}")
+        out.emit("n += 1")
+        out.indent -= 1
+        out.emit()
+
+
+# ---------------------------------------------------------------------------
+# Whole-program generation
+# ---------------------------------------------------------------------------
+
+
+def _reachable_engines(engine) -> List:
+    """Engines of the hierarchy, one per distinct component name, children
+    before parents (so factories are defined before use)."""
+    order: List = []
+    seen: Dict[str, bool] = {}
+
+    def walk(node) -> None:
+        if node.component.name in seen:
+            return
+        seen[node.component.name] = True
+        for child in node._children.values():
+            walk(child)
+        order.append(node)
+
+    walk(engine)
+    return order
+
+
+def netlist_digest(engine) -> str:
+    """A stable digest of the netlist reachable from ``engine`` — the
+    kernel cache key: structurally identical netlists share one generated
+    program.
+
+    Beyond the printed structure, the digest covers each primitive cell's
+    *model class identity*: the inline-vs-black-box decision (and the
+    inlined semantics) depend on which class the registry produced, so a
+    ``register_primitive`` override of a stdlib name must miss the cache
+    rather than reuse a kernel generated for the old model."""
+    parts = [engine.component.name]
+    for node in _reachable_engines(engine):
+        parts.append(str(node.component))
+        for prim in node._prim_nodes:
+            model_type = type(prim.model)
+            parts.append(f"{prim.cell}:{model_type.__module__}."
+                         f"{model_type.__qualname__}")
+    return hashlib.sha256("\n\n".join(parts).encode()).hexdigest()
+
+
+class CompiledKernelProgram:
+    """One generated, ``exec``-ed kernel module for a netlist digest."""
+
+    def __init__(self, digest: str, source: str, namespace: dict,
+                 slot_map: Dict[_Key, int], output_names: List[str]) -> None:
+        self.digest = digest
+        self.source = source
+        self.namespace = namespace
+        self.slot_map = slot_map
+        self.output_names = output_names
+
+    def scalar_instance(self) -> "ScalarKernel":
+        cycle, reset, slots = self.namespace["make_top"]()
+        return ScalarKernel(cycle, reset, slots, self.slot_map)
+
+    def packed_instance(self, ctx: LaneContext) -> "PackedKernel":
+        cycle, reset = self.namespace["make_top_packed"](ctx)
+        return PackedKernel(cycle, reset)
+
+
+class ScalarKernel:
+    """A live scalar kernel: fresh state, one netlist, one digest."""
+
+    __slots__ = ("cycle", "reset", "_slots", "_slot_map")
+
+    def __init__(self, cycle, reset, slots, slot_map) -> None:
+        self.cycle = cycle
+        self.reset = reset
+        self._slots = slots
+        self._slot_map = slot_map
+
+    def peek(self, key: _Key) -> Value:
+        index = self._slot_map.get(key)
+        return X if index is None else self._slots[index]
+
+
+class PackedKernel:
+    """A live lane-packed kernel bound to one :class:`LaneContext`."""
+
+    __slots__ = ("cycle", "reset")
+
+    def __init__(self, cycle, reset) -> None:
+        self.cycle = cycle
+        self.reset = reset
+
+
+def generate_source(engine) -> Tuple[str, dict, Dict[_Key, int], List[str]]:
+    """Generate kernel source for the engine's hierarchy.  Returns the
+    source text, the injected constants, the top-level slot map, and the
+    top-level output names."""
+    engines = _reachable_engines(engine)
+    for node in engines:
+        if node._schedule is None:
+            raise KernelUnavailable(
+                f"{node.component.name}: {node.fallback_reason}")
+    comp_ids = {node.component.name: index
+                for index, node in enumerate(engines)}
+    out = _Lines()
+    out.emit("# Generated simulation kernel — do not edit; see "
+             "repro/sim/codegen.py.")
+    out.emit()
+    constants: Dict[str, object] = {}
+    compilers: List[_ComponentCompiler] = []
+    for node in engines:
+        child_ids = {child.component.name: comp_ids[child.component.name]
+                     for child in node._children.values()}
+        compiler = _ComponentCompiler(
+            node, comp_ids[node.component.name], child_ids,
+            fresh=node is engine)
+        compilers.append(compiler)
+        compiler.emit_scalar(out)
+        compiler.emit_packed(out)
+        constants[f"INIT_c{compiler.comp_id}"] = compiler.scalar_init()
+        constants.update(compiler.constants)
+    top = compilers[-1]
+    input_names = list(engine._input_names)
+    output_names = [port.name for port in engine.component.outputs]
+
+    out.emit("def make_top():")
+    out.indent += 1
+    out.emit(f"settle, tick, reset, s = make_c{top.comp_id}()")
+    out.emit("def cycle(inputs):")
+    out.indent += 1
+    out.emit("g = inputs.get")
+    args = ", ".join(f"g({name!r}, X)" for name in input_names)
+    out.emit(f"o = settle({args})")
+    pairs = ", ".join(f"{name!r}: o[{index}]"
+                      for index, name in enumerate(output_names))
+    out.emit(f"r = {{{pairs}}}")
+    out.emit("tick()")
+    out.emit("return r")
+    out.indent -= 1
+    out.emit("return cycle, reset, s")
+    out.indent -= 1
+    out.emit()
+    out.emit()
+
+    out.emit("def make_top_packed(ctx):")
+    out.indent += 1
+    out.emit(f"settle, tick, reset = make_c{top.comp_id}_packed(ctx)")
+    out.emit("AX = ctx.all_x; LN = ctx.lanes; ST = ctx.stride")
+    out.emit("def cycle(inputs):")
+    out.indent += 1
+    out.emit("g = inputs.get")
+    arg_parts = []
+    for index, name in enumerate(input_names):
+        out.emit(f"p{index} = g({name!r}, AX)")
+        arg_parts.append(f"p{index}.bits, p{index}.xmask")
+    out.emit(f"o = settle({', '.join(arg_parts)})")
+    pairs = ", ".join(
+        f"{name!r}: _PV(LN, ST, o[{2 * index}], o[{2 * index + 1}])"
+        for index, name in enumerate(output_names))
+    out.emit(f"r = {{{pairs}}}")
+    out.emit("tick()")
+    out.emit("return r")
+    out.indent -= 1
+    out.emit("return cycle, reset")
+    out.indent -= 1
+    out.emit()
+    return out.text(), constants, dict(top.slots), output_names
+
+
+#: Process-wide cache of generated programs, keyed by netlist digest.
+#: Bounded LRU: long fuzz/conformance campaigns stream thousands of
+#: distinct netlists through the compiled tier, and each cached program
+#: retains its full source text and exec'd namespace.
+_CACHE: "OrderedDict[str, CompiledKernelProgram]" = OrderedDict()
+_CACHE_LIMIT = 256
+_STATS = {"hits": 0, "misses": 0}
+
+
+def kernel_cache_stats() -> Dict[str, int]:
+    """Process-wide kernel cache counters (hits / misses)."""
+    return dict(_STATS)
+
+
+def clear_kernel_cache() -> None:
+    """Drop every cached generated program (tests and benchmarks)."""
+    _CACHE.clear()
+    _STATS["hits"] = 0
+    _STATS["misses"] = 0
+
+
+def kernel_for(engine) -> Tuple[CompiledKernelProgram, bool, float]:
+    """The generated kernel program for ``engine``'s netlist: ``(program,
+    cache_hit, build_seconds)``.  Raises :class:`KernelUnavailable` when
+    codegen cannot handle the netlist (the engine then runs the
+    interpreter)."""
+    digest = netlist_digest(engine)
+    cached = _CACHE.get(digest)
+    if cached is not None:
+        _CACHE.move_to_end(digest)
+        _STATS["hits"] += 1
+        return cached, True, 0.0
+    start = time.perf_counter()
+    source, constants, slot_map, output_names = generate_source(engine)
+    namespace = {
+        "X": X,
+        "_U": _UNDRIVEN,
+        "_rg": _resolve_slots,
+        "_rgp": _resolve_slots_packed,
+        "_mulp": _packed_products,
+        "_mk": create_primitive,
+        "_pkm": _pk_model,
+        "_PV": PackedValue,
+    }
+    namespace.update(constants)
+    try:
+        exec(compile(source, f"<kernel {digest[:12]}>", "exec"), namespace)
+    except SyntaxError as error:  # pragma: no cover - generator bug guard
+        raise KernelUnavailable(f"generated source failed to compile: "
+                                f"{error}") from error
+    program = CompiledKernelProgram(digest, source, namespace, slot_map,
+                                    output_names)
+    seconds = time.perf_counter() - start
+    _CACHE[digest] = program
+    while len(_CACHE) > _CACHE_LIMIT:
+        _CACHE.popitem(last=False)
+    _STATS["misses"] += 1
+    return program, False, seconds

@@ -43,12 +43,20 @@ and sweep-fallback paths.  Packing amortises the dominant cost of the whole
 repository (Python-interpreting the netlist) across the batch, which is what
 lets the conformance matrix and the fuzz harness drive wide stimulus loads
 at a usable throughput.
+
+``mode="compiled"`` adds the top tier: the levelized schedule is compiled
+once into a specialized straight-line Python kernel
+(:mod:`repro.sim.codegen`, cached process-wide by netlist digest) and
+``step``/``run_batch``/``run_lanes`` execute through it — with automatic
+fallback to the interpreter tiers for netlists codegen cannot handle, so
+semantics never fork (:attr:`ScheduledEngine.kernel_fallback_reason`
+records why).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..calyx.ir import Assignment, CalyxComponent, CalyxProgram, Cell, CellPort
 from ..core.errors import SimulationError
@@ -74,7 +82,10 @@ _MAX_SWEEPS = 200
 
 #: Engine selection: ``"auto"`` builds a schedule and falls back to the
 #: sweep loop only for cyclic components; ``"fixpoint"`` forces the sweep
-#: loop everywhere (the reference semantics, kept for differential testing).
+#: loop everywhere (the reference semantics, kept for differential testing);
+#: ``"compiled"`` additionally generates a specialized Python kernel from
+#: the schedule (:mod:`repro.sim.codegen`) and automatically falls back to
+#: the scheduled interpreter when codegen is unavailable for a netlist.
 SimulatorMode = str
 
 _PRIM = 0
@@ -83,6 +94,40 @@ _GROUP = 2
 
 #: A signal key: ``(cell_name_or_None, port_name)``.
 _Key = Tuple[Optional[str], str]
+
+
+class _PrimNode:
+    """A primitive cell with its port keys interned once.
+
+    ``in_items``/``out_items`` pair each port name with its prebuilt
+    ``(cell, port)`` key, so neither the scheduled pass nor the sweep
+    fallback re-allocates key tuples on every cycle.
+    """
+
+    __slots__ = ("cell", "model", "in_items", "out_keys")
+
+    def __init__(self, cell: str, model: PrimitiveModel) -> None:
+        self.cell = cell
+        self.model = model
+        self.in_items: Tuple[Tuple[str, _Key], ...] = tuple(
+            (port, (cell, port)) for port in model.inputs)
+        self.out_keys: Dict[str, _Key] = {
+            port: (cell, port) for port in model.outputs}
+
+
+class _ChildNode:
+    """A child component instance with its port keys interned once."""
+
+    __slots__ = ("cell", "engine", "in_items", "out_items")
+
+    def __init__(self, cell: str, engine: "ScheduledEngine") -> None:
+        self.cell = cell
+        self.engine = engine
+        self.in_items: Tuple[Tuple[str, _Key], ...] = tuple(
+            (port, (cell, port)) for port in engine._input_names)
+        self.out_items: Tuple[Tuple[str, _Key], ...] = tuple(
+            (port, (cell, port))
+            for port in engine.component.output_names())
 
 
 class _CompiledAssign:
@@ -123,6 +168,8 @@ class ScheduledEngine:
     def __init__(self, program: CalyxProgram,
                  component: Optional[str] = None,
                  mode: SimulatorMode = "auto") -> None:
+        if mode not in ("auto", "fixpoint", "compiled"):
+            raise SimulationError(f"unknown simulator mode {mode!r}")
         self.program = program
         self.mode = mode
         name = component if component is not None else program.entrypoint
@@ -145,6 +192,33 @@ class ScheduledEngine:
                 )
         self._input_names = tuple(self.component.input_names())
         self._input_set = frozenset(self._input_names)
+
+        # Port keys interned once per cell: every evaluation path (scheduled,
+        # sweep fallback, tick, lane-packed) reuses these item tuples instead
+        # of rebuilding ``(cell, port)`` tuples cycle after cycle.
+        self._prim_nodes: List[_PrimNode] = [
+            _PrimNode(cell, model) for cell, model in self._primitives.items()
+        ]
+        self._child_nodes: List[_ChildNode] = [
+            _ChildNode(cell, child) for cell, child in self._children.items()
+        ]
+        self._in_items_by_cell: Dict[str, Tuple[Tuple[str, _Key], ...]] = {
+            node.cell: node.in_items for node in self._prim_nodes
+        }
+
+        # Kernel-codegen state (mode="compiled"); the kernel is built lazily
+        # on the first run so construction stays cheap and children (which
+        # are only ever driven through their parent) never compile one.
+        self._compile_requested = mode == "compiled"
+        self._kernel = None
+        self._kernel_program = None
+        self._kernel_attempted = False
+        self._kernel_used = False
+        self._kernel_from_cache = False
+        self._kernel_build_seconds = 0.0
+        #: Why ``mode="compiled"`` fell back to the interpreter (``None``
+        #: while the generated kernel runs, or when codegen was not asked).
+        self.kernel_fallback_reason: Optional[str] = None
 
         # Driver grouping, computed once (the fixpoint interpreter used to
         # rebuild this dictionary on every sweep of every cycle).
@@ -205,22 +279,21 @@ class ScheduledEngine:
         defines: List[Tuple[_Key, ...]] = []
         depends: List[Tuple[_Key, ...]] = []
 
-        for cell_name, model in self._primitives.items():
+        for node in self._prim_nodes:
+            model = node.model
             comb = model.combinational_inputs
             if comb is None:
                 comb = model.inputs
-            nodes.append((_PRIM, (cell_name, model)))
-            defines.append(tuple((cell_name, port) for port in model.outputs))
-            depends.append(tuple((cell_name, port) for port in comb))
+            nodes.append((_PRIM, node))
+            defines.append(tuple(node.out_keys.values()))
+            depends.append(tuple((node.cell, port) for port in comb))
 
-        for cell_name, child in self._children.items():
+        for child_node in self._child_nodes:
             # All inputs, not just combinationally-relevant ones: the child's
             # tick reads the inputs of its last settle.
-            nodes.append((_CHILD, (cell_name, child)))
-            defines.append(tuple((cell_name, port)
-                                 for port in child.component.output_names()))
-            depends.append(tuple((cell_name, port)
-                                 for port in child.component.input_names()))
+            nodes.append((_CHILD, child_node))
+            defines.append(tuple(key for _, key in child_node.out_items))
+            depends.append(tuple(key for _, key in child_node.in_items))
 
         for group in self._groups:
             nodes.append((_GROUP, group))
@@ -290,17 +363,59 @@ class ScheduledEngine:
         self._lane_models: Dict[str, PrimitiveModel] = {}
         self._packed_values: Dict[_Key, PackedValue] = {}
         self.cycle = 0
+        if self._kernel is not None:
+            self._kernel.reset()
+            self._kernel_used = False
 
-    # -- value plumbing --------------------------------------------------------
+    # -- kernel codegen (mode="compiled") --------------------------------------
 
-    def _read(self, port: Union[CellPort, int]) -> Value:
-        if isinstance(port, int):
-            return port
-        return self._values.get((port.cell, port.port), X)
+    def _ensure_kernel(self):
+        """The generated kernel instance, building it on first use; ``None``
+        when codegen was not requested or is unavailable for this netlist
+        (the interpreter then runs, recording :attr:`kernel_fallback_reason`).
+        """
+        if not self._compile_requested or self._kernel_attempted:
+            return self._kernel
+        self._kernel_attempted = True
+        from . import codegen
+        if not self.scheduled_everywhere():
+            reasons = ", ".join(f"{name}: {reason}" for name, reason
+                                in sorted(self.fallback_reasons().items()))
+            self.kernel_fallback_reason = f"interpreter({reasons})"
+            return None
+        try:
+            program, cached, seconds = codegen.kernel_for(self)
+        except codegen.KernelUnavailable as unavailable:
+            self.kernel_fallback_reason = f"codegen({unavailable.reason})"
+            return None
+        self._kernel_program = program
+        self._kernel_from_cache = cached
+        self._kernel_build_seconds = seconds
+        self._kernel = program.scalar_instance()
+        return self._kernel
 
-    def _cell_inputs(self, cell_name: str, ports: Sequence[str]) -> Dict[str, Value]:
-        values = self._values
-        return {port: values.get((cell_name, port), X) for port in ports}
+    def uses_kernel(self) -> bool:
+        """Whether this engine executes through a generated kernel (only
+        meaningful after the first run in ``mode="compiled"``)."""
+        return self._kernel is not None
+
+    def prepare(self) -> Dict[str, object]:
+        """Eagerly finish engine construction and report how this engine
+        will execute.
+
+        In ``mode="compiled"`` this builds (or fetches from the digest
+        cache) the generated kernel that would otherwise be built lazily on
+        the first run; other modes are already fully constructed.  Returns
+        ``{"kernel": bool, "cached": bool, "seconds": float,
+        "fallback_reason": Optional[str]}`` — the public surface sessions
+        and benchmarks use instead of reaching into engine internals."""
+        self._ensure_kernel()
+        return {
+            "kernel": self._kernel is not None,
+            "cached": self._kernel_from_cache,
+            "seconds": self._kernel_build_seconds,
+            "fallback_reason": self.kernel_fallback_reason,
+        }
 
     # -- one cycle -------------------------------------------------------------
 
@@ -327,6 +442,13 @@ class ScheduledEngine:
                 f"{self.component.name}: unknown input port "
                 f"{sorted(unknown)[0]!r}"
             )
+        kernel = self._ensure_kernel()
+        if kernel is not None:
+            self._kernel_used = True
+            cycle = kernel.cycle
+            trace = [cycle(cycle_inputs) for cycle_inputs in stimuli]
+            self.cycle += len(trace)
+            return trace
         return [self._step_unchecked(cycle_inputs) for cycle_inputs in stimuli]
 
     def run_lanes(self, stimuli_batches: Sequence[Sequence[Dict[str, Value]]]
@@ -342,7 +464,9 @@ class ScheduledEngine:
         Input values are truncated to their port's declared width.  The
         engine is reset before and after the run.
         """
-        batches = [list(batch) for batch in stimuli_batches]
+        # Sequences that already are lists are used as-is (no per-batch copy).
+        batches = [batch if type(batch) is list else list(batch)
+                   for batch in stimuli_batches]
         if not batches:
             return []
         known = self._input_set
@@ -359,7 +483,21 @@ class ScheduledEngine:
         input_ports = [(port.name, port.width) for port in self.component.inputs]
         output_names = [port.name for port in self.component.outputs]
         uniform = min(lengths) == max(lengths)
-        self._enter_lanes(ctx)
+        kernel = self._ensure_kernel()
+        packed_kernel = (self._kernel_program.packed_instance(ctx)
+                         if kernel is not None else None)
+        if packed_kernel is None:
+            self._enter_lanes(ctx)
+        # Harness stimulus is dominated by repeated rows (idle X templates,
+        # constant interface pins), so packing is memoized per (port, lane
+        # values): a cycle window that re-drives the same values per lane
+        # reuses the packed bigints instead of re-packing them.  The cache
+        # is size-bounded: genuinely random stimulus would otherwise retain
+        # one key tuple + packed bigint per (port, cycle) for the whole run
+        # with a zero hit rate — once full, rows pack directly (repeating
+        # templates recur early, so the useful entries are already in).
+        pack_cache: Dict[Tuple[str, Tuple[Value, ...]], PackedValue] = {}
+        pack_cache_limit = 4096
         try:
             for cycle in range(max(lengths)):
                 if uniform:
@@ -369,10 +507,17 @@ class ScheduledEngine:
                             for batch, length in zip(batches, lengths)]
                 packed_inputs = {}
                 for name, width in input_ports:
-                    lane_values = [row.get(name, X) for row in rows]
-                    packed_inputs[name] = PackedValue.pack(
-                        lane_values, ctx, width)
-                outputs = self._step_packed(packed_inputs, ctx)
+                    lane_values = tuple(row.get(name, X) for row in rows)
+                    cached = pack_cache.get((name, lane_values))
+                    if cached is None:
+                        cached = PackedValue.pack(lane_values, ctx, width)
+                        if len(pack_cache) < pack_cache_limit:
+                            pack_cache[(name, lane_values)] = cached
+                    packed_inputs[name] = cached
+                if packed_kernel is not None:
+                    outputs = packed_kernel.cycle(packed_inputs)
+                else:
+                    outputs = self._step_packed(packed_inputs, ctx)
                 columns = [outputs[name].unpack() for name in output_names]
                 for index, (trace, length) in enumerate(zip(traces, lengths)):
                     if cycle < length:
@@ -415,6 +560,12 @@ class ScheduledEngine:
             child._enter_lanes(ctx)
 
     def _step_unchecked(self, inputs: Dict[str, Value]) -> Dict[str, Value]:
+        kernel = self._ensure_kernel()
+        if kernel is not None:
+            self._kernel_used = True
+            outputs = kernel.cycle(inputs)
+            self.cycle += 1
+            return outputs
         self._begin_cycle(inputs)
         self._settle()
         outputs = self.outputs()
@@ -424,11 +575,17 @@ class ScheduledEngine:
 
     def outputs(self) -> Dict[str, Value]:
         """Output port values as of the last settle."""
+        if self._kernel_used:
+            kernel = self._kernel
+            return {port.name: kernel.peek((None, port.name))
+                    for port in self.component.outputs}
         return {port.name: self._values.get((None, port.name), X)
                 for port in self.component.outputs}
 
     def peek(self, cell: Optional[str], port: str) -> Value:
         """Inspect any internal signal (used by waveforms and tests)."""
+        if self._kernel_used:
+            return self._kernel.peek((cell, port))
         return self._values.get((cell, port), X)
 
     # -- settle ----------------------------------------------------------------
@@ -452,24 +609,26 @@ class ScheduledEngine:
             if kind == _GROUP:
                 self._evaluate_group(payload, values)
             elif kind == _PRIM:
-                cell_name, model = payload
-                outputs = model.combinational(
-                    {port: values.get((cell_name, port), X)
-                     for port in model.inputs})
+                outputs = payload.model.combinational(
+                    {port: values.get(key, X)
+                     for port, key in payload.in_items})
+                out_keys = payload.out_keys
                 for port, value in outputs.items():
-                    values[(cell_name, port)] = value
+                    key = out_keys.get(port)
+                    values[(payload.cell, port) if key is None else key] = value
             else:
-                cell_name, child = payload
+                child = payload.engine
                 # Preserving semantics, exactly like the sweep loop's child
                 # evaluation: a child signal whose drivers are all inactive
                 # this cycle retains its previous value.
                 child._begin_cycle_preserving({
-                    name: values.get((cell_name, name), X)
-                    for name in child._input_names
+                    port: values.get(key, X)
+                    for port, key in payload.in_items
                 })
                 child._settle()
-                for name, value in child.outputs().items():
-                    values[(cell_name, name)] = value
+                child_values = child._values
+                for port, key in payload.out_items:
+                    values[key] = child_values.get((None, port), X)
 
     def _resolve_group(self, group: _DriverGroup,
                        values: Dict[_Key, Value]) -> object:
@@ -556,10 +715,14 @@ class ScheduledEngine:
     def _evaluate_primitives(self) -> bool:
         changed = False
         values = self._values
-        for cell_name, model in self._primitives.items():
-            outputs = model.combinational(self._cell_inputs(cell_name, model.inputs))
+        for node in self._prim_nodes:
+            outputs = node.model.combinational(
+                {port: values.get(key, X) for port, key in node.in_items})
+            out_keys = node.out_keys
             for port, value in outputs.items():
-                key = (cell_name, port)
+                key = out_keys.get(port)
+                if key is None:
+                    key = (node.cell, port)
                 previous = values.get(key, X)
                 if previous is not value and previous != value:
                     values[key] = value
@@ -569,15 +732,15 @@ class ScheduledEngine:
     def _evaluate_children(self) -> bool:
         changed = False
         values = self._values
-        for cell_name, child in self._children.items():
-            child_inputs = {
-                name: values.get((cell_name, name), X)
-                for name in child._input_names
-            }
-            child._begin_cycle_preserving(child_inputs)
+        for node in self._child_nodes:
+            child = node.engine
+            child._begin_cycle_preserving({
+                port: values.get(key, X) for port, key in node.in_items
+            })
             child._settle()
-            for name, value in child.outputs().items():
-                key = (cell_name, name)
+            child_values = child._values
+            for port, key in node.out_items:
+                value = child_values.get((None, port), X)
                 previous = values.get(key, X)
                 if previous is not value and previous != value:
                     values[key] = value
@@ -645,22 +808,24 @@ class ScheduledEngine:
                 if value is not None:
                     values[payload.dst_key] = value
             elif kind == _PRIM:
-                cell_name, _ = payload
-                model = self._lane_models[cell_name]
+                model = self._lane_models[payload.cell]
                 outputs = model.combinational_packed(
-                    {port: values.get((cell_name, port), all_x)
-                     for port in model.inputs}, ctx)
+                    {port: values.get(key, all_x)
+                     for port, key in payload.in_items}, ctx)
+                out_keys = payload.out_keys
                 for port, value in outputs.items():
-                    values[(cell_name, port)] = value
+                    key = out_keys.get(port)
+                    values[(payload.cell, port) if key is None else key] = value
             else:
-                cell_name, child = payload
+                child = payload.engine
                 child._begin_lane_cycle_preserving({
-                    name: values.get((cell_name, name), all_x)
-                    for name in child._input_names
+                    port: values.get(key, all_x)
+                    for port, key in payload.in_items
                 })
                 child._settle_packed(ctx)
-                for name, value in child._outputs_packed(ctx).items():
-                    values[(cell_name, name)] = value
+                child_values = child._packed_values
+                for port, key in payload.out_items:
+                    values[key] = child_values.get((None, port), all_x)
 
     def _resolve_group_packed(self, group: _DriverGroup,
                               values: Dict[_Key, PackedValue],
@@ -751,10 +916,11 @@ class ScheduledEngine:
         changed = False
         values = self._packed_values
         all_x = ctx.all_x
+        in_items_by_cell = self._in_items_by_cell
         for cell_name, model in self._lane_models.items():
             outputs = model.combinational_packed(
-                {port: values.get((cell_name, port), all_x)
-                 for port in model.inputs}, ctx)
+                {port: values.get(key, all_x)
+                 for port, key in in_items_by_cell[cell_name]}, ctx)
             for port, value in outputs.items():
                 key = (cell_name, port)
                 if values.get(key, all_x) != value:
@@ -766,14 +932,15 @@ class ScheduledEngine:
         changed = False
         values = self._packed_values
         all_x = ctx.all_x
-        for cell_name, child in self._children.items():
+        for node in self._child_nodes:
+            child = node.engine
             child._begin_lane_cycle_preserving({
-                name: values.get((cell_name, name), all_x)
-                for name in child._input_names
+                port: values.get(key, all_x) for port, key in node.in_items
             })
             child._settle_packed(ctx)
-            for name, value in child._outputs_packed(ctx).items():
-                key = (cell_name, name)
+            child_values = child._packed_values
+            for port, key in node.out_items:
+                value = child_values.get((None, port), all_x)
                 if values.get(key, all_x) != value:
                     values[key] = value
                     changed = True
@@ -794,10 +961,11 @@ class ScheduledEngine:
     def _tick_packed(self, ctx: LaneContext) -> None:
         values = self._packed_values
         all_x = ctx.all_x
+        in_items_by_cell = self._in_items_by_cell
         for cell_name, model in self._lane_models.items():
             model.tick_packed(
-                {port: values.get((cell_name, port), all_x)
-                 for port in model.inputs}, ctx)
+                {port: values.get(key, all_x)
+                 for port, key in in_items_by_cell[cell_name]}, ctx)
         for child in self._children.values():
             child._tick_packed(ctx)
             child.cycle += 1
@@ -805,8 +973,10 @@ class ScheduledEngine:
     # -- tick ------------------------------------------------------------------
 
     def _tick(self) -> None:
-        for cell_name, model in self._primitives.items():
-            model.tick(self._cell_inputs(cell_name, model.inputs))
+        values = self._values
+        for node in self._prim_nodes:
+            node.model.tick(
+                {port: values.get(key, X) for port, key in node.in_items})
         for child in self._children.values():
             child._tick()
             child.cycle += 1

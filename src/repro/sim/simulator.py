@@ -28,7 +28,12 @@ test suite.
 :class:`Simulator` is the stable public API (``step``/``peek``/``outputs``/
 ``reset``/``run_batch``); it is the scheduled engine with the historical
 name.  Pass ``mode="fixpoint"`` to force the reference sweep-loop semantics
-(used by the differential tests and the before/after benchmarks).
+(used by the differential tests and the before/after benchmarks), or
+``mode="compiled"`` to execute through a specialized Python kernel
+generated from the schedule (:mod:`repro.sim.codegen`) — the fastest tier,
+with automatic fallback to the scheduled interpreter for netlists codegen
+cannot handle (the reason is recorded in
+:attr:`~repro.sim.engine.ScheduledEngine.kernel_fallback_reason`).
 """
 
 from __future__ import annotations

@@ -54,10 +54,14 @@ def test_every_design_traces_identically(name, thunk):
 
     scheduled = Simulator(calyx, entrypoint, mode="auto")
     fixpoint = Simulator(calyx, entrypoint, mode="fixpoint")
+    compiled = Simulator(calyx, entrypoint, mode="compiled")
     assert scheduled.scheduled_everywhere(), \
         f"{name} fell back to the sweep loop"
-    assert _traces_equal(scheduled.run_batch(stimulus),
-                         fixpoint.run_batch(stimulus))
+    reference = fixpoint.run_batch(stimulus)
+    assert _traces_equal(scheduled.run_batch(stimulus), reference)
+    assert _traces_equal(compiled.run_batch(stimulus), reference)
+    assert compiled.uses_kernel(), \
+        f"{name} kernel fell back: {compiled.kernel_fallback_reason}"
 
 
 def test_hdl_style_alu_traces_identically():
@@ -81,14 +85,14 @@ def _conflicting_program() -> CalyxProgram:
     return program
 
 
-@pytest.mark.parametrize("mode", ["auto", "fixpoint"])
+@pytest.mark.parametrize("mode", ["auto", "fixpoint", "compiled"])
 def test_conflicting_drivers_raise_in_both_engines(mode):
     simulator = Simulator(_conflicting_program(), mode=mode)
     with pytest.raises(SimulationError, match="conflicting drivers"):
         simulator.step({"a": 1, "b": 2})
 
 
-@pytest.mark.parametrize("mode", ["auto", "fixpoint"])
+@pytest.mark.parametrize("mode", ["auto", "fixpoint", "compiled"])
 def test_agreeing_drivers_pass_in_both_engines(mode):
     program = _conflicting_program()
     assert Simulator(program, mode=mode).step({"a": 5, "b": 5})["o"] == 5

@@ -1,0 +1,456 @@
+"""Unit tests for the kernel codegen tier (:mod:`repro.sim.codegen`).
+
+The core property mirrors ``tests/unit/test_lanes.py``: for every primitive
+kind the registry can produce, a netlist instantiating it must behave
+identically under the scheduled interpreter and the generated kernel —
+same values, same X planes, cycle by cycle through registered state — in
+both the scalar and the lane-packed kernel variant.  On top of the
+per-primitive sweep, the driver-group folding, the conflict error path, the
+digest-keyed cache and the automatic interpreter fallback are pinned down
+directly.
+"""
+
+import random
+
+import pytest
+
+from repro.calyx.ir import (
+    Assignment,
+    CalyxComponent,
+    CalyxProgram,
+    Cell,
+    CellPort,
+    Guard,
+    PortSpec,
+)
+from repro.core.errors import SimulationError
+from repro.sim import (
+    Simulator,
+    X,
+    clear_kernel_cache,
+    create_primitive,
+    is_x,
+    kernel_cache_stats,
+    netlist_digest,
+)
+
+#: (primitive, params, {input port: width}) — the same behavioural matrix
+#: the lane-packing tests sweep, reused against the codegen tier.
+CASES = [
+    ("Add", (8,), {"left": 8, "right": 8}),
+    ("Add", (64,), {"left": 64, "right": 64}),
+    ("FlexAdd", (16,), {"left": 16, "right": 16}),
+    ("Sub", (8,), {"left": 8, "right": 8}),
+    ("Sub", (64,), {"left": 64, "right": 64}),
+    ("And", (8,), {"left": 8, "right": 8}),
+    ("Or", (8,), {"left": 8, "right": 8}),
+    ("Xor", (8,), {"left": 8, "right": 8}),
+    ("MultComb", (16,), {"left": 16, "right": 16}),
+    ("MultComb", (64,), {"left": 64, "right": 64}),
+    ("Eq", (8,), {"left": 8, "right": 8}),
+    ("Neq", (8,), {"left": 8, "right": 8}),
+    ("Lt", (8,), {"left": 8, "right": 8}),
+    ("Lt", (64,), {"left": 64, "right": 64}),
+    ("Gt", (8,), {"left": 8, "right": 8}),
+    ("Le", (8,), {"left": 8, "right": 8}),
+    ("Ge", (64,), {"left": 64, "right": 64}),
+    ("Not", (8,), {"in": 8}),
+    ("Mux", (8,), {"sel": 1, "in1": 8, "in0": 8}),
+    ("Slice", (8, 6, 2), {"in": 8}),
+    ("Concat", (4, 4), {"hi": 4, "lo": 4}),
+    ("ShiftLeft", (8, 3), {"in": 8}),
+    ("ShiftRight", (8, 3), {"in": 8}),
+    ("ShiftLeft", (8, 9), {"in": 8}),
+    ("Const", (8, 42), {}),
+    ("Mult", (16,), {"go": 1, "left": 16, "right": 16}),
+    ("FastMult", (16,), {"go": 1, "left": 16, "right": 16}),
+    ("PipelinedMult", (16,), {"go": 1, "left": 16, "right": 16}),
+    ("Reg", (8,), {"en": 1, "in": 8}),
+    ("Register", (8,), {"en": 1, "in": 8}),
+    ("Delay", (8,), {"in": 8}),
+    ("Prev", (8, 1), {"en": 1, "in": 8}),
+    ("Prev", (8, 0), {"en": 1, "in": 8}),
+    ("ContPrev", (8, 1), {"in": 8}),
+    ("DspMac", (16,), {"ce": 1, "a": 16, "b": 16, "pin": 16}),
+    ("fsm", (4,), {"go": 1}),
+]
+
+CYCLES = 12
+LANES = 5
+
+
+def _single_cell_program(name, params, widths):
+    """A one-cell netlist: every model input fed straight from a component
+    input, every model output exposed as a component output."""
+    model = create_primitive(name, params)
+    width_hint = max([model.packed_width_hint] + list(widths.values()) + [1])
+    component = CalyxComponent("top")
+    for port, width in widths.items():
+        component.inputs.append(PortSpec(f"i_{port}", width))
+    component.add_cell(Cell("u", name, tuple(params)))
+    for port in widths:
+        component.add_wire(
+            Assignment(CellPort("u", port), CellPort(None, f"i_{port}")))
+    for port in model.outputs:
+        component.outputs.append(PortSpec(f"o_{port}", width_hint))
+        component.add_wire(
+            Assignment(CellPort(None, f"o_{port}"), CellPort("u", port)))
+    program = CalyxProgram(entrypoint="top")
+    program.add(component)
+    return program
+
+
+def _random_value(rng, width, x_rate=0.3):
+    if rng.random() < x_rate:
+        return X
+    return rng.getrandbits(width)
+
+
+def _same_traces(left, right):
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        assert set(a) == set(b)
+        for port in a:
+            assert is_x(a[port]) == is_x(b[port]), (port, a[port], b[port])
+            if not is_x(a[port]):
+                assert a[port] == b[port], (port, a[port], b[port])
+
+
+def _stimulus(rng, widths, cycles):
+    return [{f"i_{port}": _random_value(rng, width)
+             for port, width in widths.items()} for _ in range(cycles)]
+
+
+@pytest.mark.parametrize("name,params,widths", CASES,
+                         ids=[f"{c[0]}{list(c[1])}" for c in CASES])
+def test_scalar_kernel_matches_interpreter(name, params, widths):
+    rng = random.Random(hash((name, params)) & 0xFFFF)
+    program = _single_cell_program(name, params, widths)
+    stimulus = _stimulus(rng, widths, CYCLES)
+    reference = Simulator(program, mode="auto").run_batch(stimulus)
+    compiled = Simulator(program, mode="compiled")
+    trace = compiled.run_batch(stimulus)
+    assert compiled.uses_kernel(), compiled.kernel_fallback_reason
+    _same_traces(reference, trace)
+
+
+@pytest.mark.parametrize("name,params,widths", CASES,
+                         ids=[f"{c[0]}{list(c[1])}" for c in CASES])
+def test_packed_kernel_matches_interpreter(name, params, widths):
+    rng = random.Random(hash((name, params, "packed")) & 0xFFFF)
+    program = _single_cell_program(name, params, widths)
+    streams = [_stimulus(rng, widths, CYCLES) for _ in range(LANES)]
+    compiled = Simulator(program, mode="compiled")
+    packed = compiled.run_lanes(streams)
+    assert compiled.uses_kernel(), compiled.kernel_fallback_reason
+    scalar = Simulator(program, mode="auto")
+    for stream, trace in zip(streams, packed):
+        scalar.reset()
+        _same_traces(scalar.run_batch(stream), trace)
+
+
+class TestDriverGroups:
+    """Folded driver groups: guard chains, multi-driven ports, conflicts."""
+
+    def _guarded_program(self):
+        component = CalyxComponent(
+            "top", inputs=[PortSpec("g", 1), PortSpec("h", 1),
+                           PortSpec("a", 8), PortSpec("b", 8)],
+            outputs=[PortSpec("o", 8)])
+        component.add_wire(Assignment(
+            CellPort(None, "o"), CellPort(None, "a"),
+            Guard((CellPort(None, "g"),))))
+        component.add_wire(Assignment(
+            CellPort(None, "o"), CellPort(None, "b"),
+            Guard((CellPort(None, "h"),))))
+        program = CalyxProgram(entrypoint="top")
+        program.add(component)
+        return program
+
+    def test_multi_driven_port_matches_interpreter(self):
+        rng = random.Random(9)
+        program = self._guarded_program()
+        stimulus = []
+        for _ in range(60):
+            g = rng.choice([0, 1, X])
+            # Keep the drivers agreeing when both guards can be active.
+            a = rng.choice([rng.getrandbits(8), X])
+            h = rng.choice([0, X]) if (g is X or g) else rng.choice([0, 1, X])
+            stimulus.append({"g": g, "h": h, "a": a,
+                             "b": a if not is_x(a) else rng.getrandbits(8)})
+        reference = Simulator(program, mode="auto").run_batch(stimulus)
+        compiled = Simulator(program, mode="compiled")
+        trace = compiled.run_batch(stimulus)
+        assert compiled.uses_kernel()
+        _same_traces(reference, trace)
+        packed = Simulator(program, mode="compiled").run_lanes(
+            [stimulus[:20], stimulus[20:40], stimulus[40:]])
+        scalar = Simulator(program, mode="auto")
+        for stream, lane_trace in zip(
+                [stimulus[:20], stimulus[20:40], stimulus[40:]], packed):
+            scalar.reset()
+            _same_traces(scalar.run_batch(stream), lane_trace)
+
+    def test_conflicting_drivers_raise_identically(self):
+        program = self._guarded_program()
+        stimulus = [{"g": 1, "h": 1, "a": 3, "b": 4}]
+        errors = {}
+        for mode in ("auto", "compiled"):
+            with pytest.raises(SimulationError) as excinfo:
+                Simulator(program, mode=mode).run_batch(stimulus)
+            errors[mode] = str(excinfo.value)
+        assert errors["auto"] == errors["compiled"]
+        assert "conflicting drivers" in errors["compiled"]
+
+    def test_packed_conflict_reports_the_lane(self):
+        program = self._guarded_program()
+        good = {"g": 1, "h": 0, "a": 3, "b": 4}
+        bad = {"g": 1, "h": 1, "a": 3, "b": 4}
+        with pytest.raises(SimulationError, match=r"lane 1"):
+            Simulator(program, mode="compiled").run_lanes(
+                [[good], [bad]])
+
+
+class TestFallbackAndCache:
+    def test_cyclic_netlist_falls_back_to_the_interpreter(self):
+        component = CalyxComponent(
+            "loopy", inputs=[PortSpec("g", 1)], outputs=[PortSpec("o", 8)])
+        component.add_wire(Assignment(CellPort(None, "o"), 5))
+        component.add_wire(Assignment(CellPort(None, "o"), 7,
+                                      Guard((CellPort(None, "o"),))))
+        program = CalyxProgram(entrypoint="loopy")
+        program.add(component)
+        compiled = Simulator(program, mode="compiled")
+        trace = compiled.run_batch([{"g": 1}, {"g": 0}])
+        assert not compiled.uses_kernel()
+        assert "self-loop" in compiled.kernel_fallback_reason
+        _same_traces(Simulator(program, mode="fixpoint").run_batch(
+            [{"g": 1}, {"g": 0}]), trace)
+
+    def test_kernel_cache_hits_by_netlist_digest(self):
+        clear_kernel_cache()
+        program = _single_cell_program("Add", (8,),
+                                       {"left": 8, "right": 8})
+        first = Simulator(program, mode="compiled")
+        first.run_batch([{"i_left": 1, "i_right": 2}])
+        after_first = kernel_cache_stats()
+        second = Simulator(program, mode="compiled")
+        second.run_batch([{"i_left": 3, "i_right": 4}])
+        after_second = kernel_cache_stats()
+        assert after_first["misses"] == 1
+        assert after_second["hits"] == after_first["hits"] + 1
+        assert after_second["misses"] == after_first["misses"]
+        assert netlist_digest(first) == netlist_digest(second)
+
+    def test_distinct_netlists_have_distinct_digests(self):
+        add = Simulator(_single_cell_program("Add", (8,),
+                                             {"left": 8, "right": 8}),
+                        mode="compiled")
+        sub = Simulator(_single_cell_program("Sub", (8,),
+                                             {"left": 8, "right": 8}),
+                        mode="compiled")
+        assert netlist_digest(add) != netlist_digest(sub)
+
+    def test_registry_override_misses_the_kernel_cache(self):
+        """Re-registering a stdlib name changes the model class, so the
+        digest must change too — a cached kernel with the old semantics
+        inlined must not be reused (semantics never fork)."""
+        from repro.sim import register_primitive
+        from repro.sim.primitives import PrimitiveModel, _FACTORIES
+
+        program = _single_cell_program("Xor", (8,),
+                                       {"left": 8, "right": 8})
+        stimulus = [{"i_left": 3, "i_right": 5}]
+        assert Simulator(program, mode="compiled").run_batch(
+            stimulus)[0]["o_out"] == 3 ^ 5
+
+        class NandXor(PrimitiveModel):
+            inputs = ("left", "right")
+            outputs = ("out",)
+
+            def combinational(self, inputs):
+                a = inputs.get("left", X)
+                b = inputs.get("right", X)
+                if is_x(a) or is_x(b):
+                    return {"out": X}
+                return {"out": ~(a & b) & 0xFF}
+
+        original = _FACTORIES["Xor"]
+        try:
+            register_primitive("Xor",
+                               lambda params: NandXor("Xor", params))
+            fixpoint = Simulator(program, mode="fixpoint").run_batch(stimulus)
+            compiled = Simulator(program, mode="compiled").run_batch(stimulus)
+            assert compiled == fixpoint
+            assert compiled[0]["o_out"] == ~(3 & 5) & 0xFF
+        finally:
+            _FACTORIES["Xor"] = original
+
+    def test_black_box_primitive_calls_back_into_its_model(self):
+        """Substrate-registered primitives without an inlinable template run
+        through their interpreter model inside the kernel."""
+        import repro.generators.reticle.dsp  # noqa: F401 — registers Tdot
+
+        rng = random.Random(3)
+        widths = {p: 8 for p in ("a0", "b0", "a1", "b1", "a2", "b2", "c")}
+        program = _single_cell_program("Tdot", (8,), widths)
+        stimulus = _stimulus(rng, widths, 10)
+        reference = Simulator(program, mode="auto").run_batch(stimulus)
+        compiled = Simulator(program, mode="compiled")
+        trace = compiled.run_batch(stimulus)
+        assert compiled.uses_kernel(), compiled.kernel_fallback_reason
+        _same_traces(reference, trace)
+        streams = [_stimulus(rng, widths, 6) for _ in range(3)]
+        packed = Simulator(program, mode="compiled").run_lanes(streams)
+        scalar = Simulator(program, mode="auto")
+        for stream, lane_trace in zip(streams, packed):
+            scalar.reset()
+            _same_traces(scalar.run_batch(stream), lane_trace)
+
+
+class TestEarlyBlackBoxReads:
+    """A black box with restricted ``combinational_inputs`` can be
+    scheduled *before* the driver of one of its inputs; the interpreter
+    then reads X (fresh) or the previous cycle's value (preserving) at
+    that point, so the kernel must not const-preload such slots."""
+
+    @classmethod
+    def setup_class(cls):
+        from repro.sim import register_primitive
+        from repro.sim.primitives import PrimitiveModel
+
+        class Echo(PrimitiveModel):
+            inputs = ("d",)
+            outputs = ("q",)
+            combinational_inputs = ()
+
+            def combinational(self, inputs):
+                return {"q": inputs.get("d", X)}
+
+        register_primitive("EchoBB", lambda params: Echo("EchoBB", params))
+
+    def _assert_compiled_matches_scheduled(self, program, stimulus):
+        # The reference here is the *scheduled* engine, deliberately not
+        # fixpoint: a model that reads an input its ``combinational_inputs``
+        # does not declare (like this Echo) breaks the levelization
+        # contract, and the sweep loop then re-evaluates it after the
+        # driver settles while the schedule reads it once, early.  The
+        # kernel compiles the scheduled tier, so that is the trace it must
+        # reproduce bit for bit.
+        reference = Simulator(program, mode="auto").run_batch(stimulus)
+        _same_traces(reference,
+                     Simulator(program, mode="compiled").run_batch(stimulus))
+        packed = Simulator(program, mode="compiled").run_lanes(
+            [stimulus, stimulus])
+        for lane_trace in packed:
+            _same_traces(reference, lane_trace)
+
+    def test_const_driven_input_read_early_in_fresh_top(self):
+        component = CalyxComponent(
+            "top", inputs=[PortSpec("g", 1)],
+            outputs=[PortSpec("o", 8), PortSpec("p", 8)])
+        component.add_cell(Cell("E", "EchoBB", (8,)))
+        component.add_cell(Cell("N", "Not", (8,)))
+        component.add_wire(Assignment(CellPort("E", "d"), 42))
+        component.add_wire(Assignment(CellPort("N", "in"),
+                                      CellPort("E", "d")))
+        component.add_wire(Assignment(CellPort(None, "o"),
+                                      CellPort("N", "out")))
+        component.add_wire(Assignment(CellPort(None, "p"),
+                                      CellPort("E", "q")))
+        program = CalyxProgram(entrypoint="top")
+        program.add(component)
+        stimulus = [{"g": 1}] * 3
+        # The Not (a declared dependent) must still see the constant...
+        trace = Simulator(program, mode="compiled").run_batch(stimulus)
+        assert trace[0]["o"] == ~42 & 0xFF
+        # ...while the early black-box read sees X, like the interpreter.
+        assert is_x(trace[0]["p"])
+        self._assert_compiled_matches_scheduled(program, stimulus)
+
+    def test_const_driven_input_in_preserving_child_sees_x_on_cycle_zero(self):
+        child = CalyxComponent(
+            "kid", inputs=[PortSpec("g", 1)], outputs=[PortSpec("q", 8)])
+        child.add_cell(Cell("E", "EchoBB", (8,)))
+        child.add_wire(Assignment(CellPort("E", "d"), 42))
+        child.add_wire(Assignment(CellPort(None, "q"), CellPort("E", "q")))
+        outer = CalyxComponent(
+            "outer", inputs=[PortSpec("g", 1)], outputs=[PortSpec("o", 8)])
+        outer.add_cell(Cell("K", "kid"))
+        outer.add_wire(Assignment(CellPort("K", "g"), CellPort(None, "g")))
+        outer.add_wire(Assignment(CellPort(None, "o"), CellPort("K", "q")))
+        program = CalyxProgram(entrypoint="outer")
+        program.add(child)
+        program.add(outer)
+        stimulus = [{"g": 1}] * 3
+        trace = Simulator(program, mode="compiled").run_batch(stimulus)
+        assert is_x(trace[0]["o"]) and trace[1]["o"] == 42
+        self._assert_compiled_matches_scheduled(program, stimulus)
+
+    def test_const_cell_read_early_is_not_preloaded(self):
+        component = CalyxComponent(
+            "top", inputs=[PortSpec("g", 1)], outputs=[PortSpec("o", 8)])
+        component.add_cell(Cell("E", "EchoBB", (8,)))
+        component.add_cell(Cell("C", "Const", (8, 99)))
+        component.add_wire(Assignment(CellPort("E", "d"),
+                                      CellPort("C", "out")))
+        component.add_wire(Assignment(CellPort(None, "o"),
+                                      CellPort("E", "q")))
+        program = CalyxProgram(entrypoint="top")
+        program.add(component)
+        self._assert_compiled_matches_scheduled(program, [{"g": 1}] * 3)
+
+
+class TestKernelEngineSurface:
+    def test_step_outputs_and_peek_ride_the_kernel(self):
+        program = _single_cell_program("Reg", (8,), {"en": 1, "in": 8})
+        compiled = Simulator(program, mode="compiled")
+        reference = Simulator(program, mode="auto")
+        for inputs in ({"i_en": 1, "i_in": 9}, {"i_en": 0, "i_in": 5}):
+            want = reference.step(dict(inputs))
+            got = compiled.step(dict(inputs))
+            assert compiled.uses_kernel()
+            assert want == got == compiled.outputs()
+            assert compiled.peek("u", "out") == reference.peek("u", "out")
+        assert compiled.cycle == reference.cycle == 2
+
+    def test_reset_returns_to_power_on_state(self):
+        program = _single_cell_program("Reg", (8,), {"en": 1, "in": 8})
+        compiled = Simulator(program, mode="compiled")
+        compiled.step({"i_en": 1, "i_in": 9})
+        assert compiled.step({"i_en": 0})["o_out"] == 9
+        compiled.reset()
+        assert compiled.cycle == 0
+        assert is_x(compiled.step({"i_en": 0})["o_out"])
+
+    def test_unknown_input_rejected_before_the_kernel_runs(self):
+        program = _single_cell_program("Add", (8,),
+                                       {"left": 8, "right": 8})
+        compiled = Simulator(program, mode="compiled")
+        with pytest.raises(SimulationError, match="unknown input"):
+            compiled.run_batch([{"nope": 1}])
+
+    def test_unknown_mode_rejected(self):
+        program = _single_cell_program("Add", (8,),
+                                       {"left": 8, "right": 8})
+        with pytest.raises(SimulationError, match="unknown simulator mode"):
+            Simulator(program, mode="jit")
+
+
+class TestSessionKernelStage:
+    def test_session_reports_kernel_stage_and_cache_hits(self):
+        from repro.core.session import CompilationSession
+        from repro.designs import addmult_program
+
+        clear_kernel_cache()
+        session = CompilationSession(addmult_program())
+        first = session.simulator("AddMult", mode="compiled")
+        assert first.uses_kernel()
+        stats = session.cache_stats()
+        assert stats["kernel"]["misses"] == 1
+        second = session.simulator("AddMult", mode="compiled")
+        assert second.uses_kernel()
+        stats = session.cache_stats()
+        assert stats["kernel"]["hits"] == 1
+        assert stats["kernel"]["misses"] == 1
+        assert "kernel" in session.stage_seconds()

@@ -162,7 +162,7 @@ class TestRunLanes:
             stimulus.append(inputs)
         return stimulus
 
-    @pytest.mark.parametrize("mode", ["auto", "fixpoint"])
+    @pytest.mark.parametrize("mode", ["auto", "fixpoint", "compiled"])
     def test_lanes_identical_to_scalar_runs(self, mode):
         program = _registered_mux_program()
         streams = [self._stream(seed) for seed in range(7)]
@@ -321,7 +321,7 @@ class TestXGuardAssignments:
         program.add(component)
         return program
 
-    @pytest.mark.parametrize("mode", ["auto", "fixpoint"])
+    @pytest.mark.parametrize("mode", ["auto", "fixpoint", "compiled"])
     def test_x_guard_with_disagreeing_driver_is_x(self, mode):
         """``o = 5; o = g ? 7`` with ``g`` unknown: the result may be either
         5 or 7, so it must read X — not silently 5."""
@@ -337,7 +337,7 @@ class TestXGuardAssignments:
         with pytest.raises(SimulationError, match="conflicting drivers"):
             simulator.step({"g": 1, "a": 0})
 
-    @pytest.mark.parametrize("mode", ["auto", "fixpoint"])
+    @pytest.mark.parametrize("mode", ["auto", "fixpoint", "compiled"])
     def test_x_guard_with_agreeing_driver_keeps_value(self, mode):
         """When the possibly-active driver carries the same value, the guard
         cannot change the outcome and the value stays definite."""
@@ -347,7 +347,7 @@ class TestXGuardAssignments:
         ])
         assert Simulator(program, mode=mode).step({})["o"] == 5
 
-    @pytest.mark.parametrize("mode", ["auto", "fixpoint"])
+    @pytest.mark.parametrize("mode", ["auto", "fixpoint", "compiled"])
     def test_x_guard_alone_is_x_not_silent_inactive(self, mode):
         program = self._program([
             Assignment(CellPort(None, "o"), CellPort(None, "a"),
@@ -389,7 +389,7 @@ class TestWideNetlistSchedule:
         assert engine.step({"a": 0})["o"] == depth
         # Determinism: rebuilt schedules are identical.
         def keys(schedule):
-            return [(kind, payload[0] if isinstance(payload, tuple)
+            return [(kind, payload.cell if hasattr(payload, "cell")
                      else str(payload.dst)) for kind, payload in schedule]
         assert keys(engine._schedule) == keys(ScheduledEngine(program)._schedule)
 
@@ -410,3 +410,63 @@ class TestAuditLatencyGuards:
         audit = audit_latency(program, spec, [{}], {"o": 42})
         assert audit.reported_hold == 1
         assert audit.actual_latency == 0
+
+
+class TestRunLanesInputHandling:
+    """Regressions for the ``run_lanes`` input path: batches arriving as
+    non-list sequences (and lists, which are no longer copied) and the
+    memoized packing of rows that repeat across the cycle window must all
+    leave the packed traces unchanged."""
+
+    def _program(self):
+        component = CalyxComponent(
+            "top", inputs=[PortSpec("en", 1), PortSpec("a", 8)],
+            outputs=[PortSpec("o", 8)])
+        component.add_cell(Cell("R", "Reg", (8,)))
+        component.add_wire(Assignment(CellPort("R", "en"),
+                                      CellPort(None, "en")))
+        component.add_wire(Assignment(CellPort("R", "in"),
+                                      CellPort(None, "a")))
+        component.add_wire(Assignment(CellPort(None, "o"),
+                                      CellPort("R", "out")))
+        program = CalyxProgram(entrypoint="top")
+        program.add(component)
+        return program
+
+    def _streams(self):
+        # Heavy row repetition (idle-template style) to drive the pack
+        # memoization, plus X rows and per-lane divergence.
+        idle = {"en": 0, "a": X}
+        return [
+            [dict(idle), {"en": 1, "a": 7}] + [dict(idle)] * 6,
+            [dict(idle)] * 4 + [{"en": 1, "a": 9}] + [dict(idle)] * 3,
+            [dict(idle)] * 8,
+        ]
+
+    @pytest.mark.parametrize("mode", ["auto", "fixpoint", "compiled"])
+    def test_generator_batches_trace_like_list_batches(self, mode):
+        program = self._program()
+        streams = self._streams()
+        as_lists = Simulator(program, mode=mode).run_lanes(streams)
+        as_tuples = Simulator(program, mode=mode).run_lanes(
+            tuple(tuple(batch) for batch in streams))
+        as_generators = Simulator(program, mode=mode).run_lanes(
+            [iter(batch) for batch in streams])
+        assert as_lists == as_tuples == as_generators
+
+    @pytest.mark.parametrize("mode", ["auto", "fixpoint", "compiled"])
+    def test_repeated_rows_trace_identically_to_scalar(self, mode):
+        program = self._program()
+        streams = self._streams()
+        packed = Simulator(program, mode=mode).run_lanes(streams)
+        scalar = Simulator(program, mode=mode)
+        for stimulus, trace in zip(streams, packed):
+            scalar.reset()
+            assert _traces_equal(trace, scalar.run_batch(stimulus))
+
+    def test_caller_batches_are_not_mutated(self):
+        program = self._program()
+        streams = self._streams()
+        snapshot = [[dict(row) for row in batch] for batch in streams]
+        Simulator(program).run_lanes(streams)
+        assert streams == snapshot
