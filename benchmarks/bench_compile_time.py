@@ -23,6 +23,7 @@ from repro.core.session import CompilationSession
 from repro.evaluation import (
     evaluation_designs,
     measure_compile_times,
+    measure_incremental_compile,
     measure_sim_throughput,
 )
 
@@ -78,6 +79,26 @@ def test_session_recompile_is_a_cache_hit():
     assert stats["lower"]["misses"] == baseline["lower"]["misses"]
 
 
+def test_incremental_edit_recompiles_only_the_dirty_component(benchmark):
+    """The incremental-edit figure: editing one leaf of a K-component chain
+    recompiles exactly that component (its clients survive via early
+    cutoff), the incremental artifacts are byte-identical to a from-scratch
+    compile of the mutated program, and the recompile beats cold."""
+    timing = benchmark.pedantic(measure_incremental_compile, args=(16,),
+                                rounds=1, iterations=1)
+    print()
+    print(f"{timing.name:20s} cold {timing.cold_seconds * 1000:7.2f}ms  "
+          f"warm {timing.warm_seconds * 1e6:8.1f}us  "
+          f"incremental {timing.incremental_seconds * 1000:7.2f}ms  "
+          f"scratch {timing.scratch_seconds * 1000:7.2f}ms  "
+          f"({timing.incremental_speedup:.1f}x vs cold)")
+    assert timing.recompiled == ["Chain0"]
+    assert timing.identical
+    if not benchmark.disabled:
+        assert timing.warm_seconds < timing.cold_seconds
+        assert timing.incremental_seconds < timing.cold_seconds
+
+
 def test_simulator_cycles_per_second(benchmark):
     """The before/after figure for the simulation engine tiers: the
     scheduled engine must be measurably (>= 2x on at least one design)
@@ -101,8 +122,9 @@ def test_simulator_cycles_per_second(benchmark):
 
 
 def main() -> int:
-    """Persist the per-design engine-tier figure as
-    ``BENCH_compile_time.json`` (the common benchmark schema)."""
+    """Persist the per-design engine-tier figure plus the incremental-edit
+    compile figure as ``BENCH_compile_time.json`` (the common benchmark
+    schema), and gate on warm / incremental-edit recompiles beating cold."""
     from common import write_bench
 
     rows = []
@@ -112,12 +134,45 @@ def main() -> int:
                              ("compiled", result.compiled_cps)):
             rows.append({"engine": engine, "config": result.name,
                          "tx_per_sec": rate})
+
+    # The incremental-edit section: compiles/sec of a 16-component chain,
+    # cold vs warm vs after an in-place one-leaf edit.  These rows carry
+    # their own baseline ("cold") so their speedups do not look for a
+    # fixpoint row that cycles/sec rows use.
+    timing = measure_incremental_compile(16)
+    for engine, seconds in (("cold", timing.cold_seconds),
+                            ("warm", timing.warm_seconds),
+                            ("incremental-edit", timing.incremental_seconds),
+                            ("scratch-edit", timing.scratch_seconds)):
+        rows.append({"engine": engine, "config": timing.name,
+                     "tx_per_sec": 1.0 / max(seconds, 1e-9),
+                     "baseline": "cold",
+                     "recompiled_components": (
+                         len(timing.recompiled)
+                         if engine == "incremental-edit"
+                         else timing.components
+                         if engine in ("cold", "scratch-edit") else 0)})
+
     # Per-design baseline: each design's speedups are relative to its own
     # fixpoint rate (a cross-design ratio would conflate design size with
     # engine speed).
-    path = write_bench("compile_time", "evaluation designs, cycles/sec",
+    path = write_bench("compile_time",
+                       "evaluation designs cycles/sec + chain16 compiles/sec",
                        rows, baseline="fixpoint")
     print(f"figure written to {path}")
+    print(f"incremental edit: recompiled {timing.recompiled} of "
+          f"{timing.components} components, "
+          f"{timing.incremental_speedup:.1f}x vs cold "
+          f"(byte-identical: {timing.identical})")
+    if not timing.identical:
+        print("FAIL: incremental artifacts differ from a scratch compile")
+        return 1
+    if timing.warm_seconds >= timing.cold_seconds:
+        print("FAIL: warm recompile did not beat cold")
+        return 1
+    if timing.incremental_seconds >= timing.cold_seconds:
+        print("FAIL: incremental-edit recompile did not beat cold")
+        return 1
     return 0
 
 

@@ -51,6 +51,10 @@ def write_bench(name: str, workload: str, rows: List[Dict],
     row's ``speedup`` is then relative to that engine's row with the same
     config — the right shape for multi-workload figures, where a
     cross-workload ratio would conflate workload size with engine speed.
+    A row may carry its own ``"baseline"`` key (same syntax) to override
+    the figure-wide reference, which lets one file mix sections with
+    different baselines (e.g. cycles/sec rows against ``fixpoint`` next to
+    compile-time rows against ``cold``).
     """
     rows = [dict(row) for row in rows]
     if not rows:
@@ -59,17 +63,18 @@ def write_bench(name: str, workload: str, rows: List[Dict],
         baseline = f"{rows[0]['engine']} {rows[0]['config']}"
 
     def base_rate_for(row: Dict) -> float:
-        if " " in baseline:
+        reference_name = row.get("baseline", baseline)
+        if " " in reference_name:
             matches = (r for r in rows
-                       if f"{r['engine']} {r['config']}" == baseline)
+                       if f"{r['engine']} {r['config']}" == reference_name)
         else:
             matches = (r for r in rows
-                       if r["engine"] == baseline
+                       if r["engine"] == reference_name
                        and r["config"] == row["config"])
         reference = next(matches, None)
         if reference is None:
             raise ValueError(f"bench {name!r}: no baseline row "
-                             f"{baseline!r} for config {row['config']!r}")
+                             f"{reference_name!r} for config {row['config']!r}")
         return float(reference["tx_per_sec"]) or 1e-12
 
     # Speedups come from the unrounded rates (rounding first would zero a

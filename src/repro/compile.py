@@ -1,0 +1,149 @@
+"""Command-line front end for the incremental compile pipeline.
+
+Examples::
+
+    # type check only
+    python -m repro.compile examples/pipeline.fil --upto check
+
+    # compile to Calyx and print the per-stage timing / cache table
+    python -m repro.compile examples/pipeline.fil --upto calyx
+
+    # emit Verilog for a specific entrypoint to a file
+    python -m repro.compile examples/pipeline.fil --upto verilog \
+        --entry Top --emit build/top.v
+
+The entrypoint defaults to the design's *root*: the unique user component
+that no other user component instantiates.  After compiling, the driver
+prints the session's per-stage timing and cache-hit table plus the
+process-wide compile-cache counters, so warm artifacts (from earlier
+compiles of content-identical components anywhere in the process) are
+visible at a glance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .core.errors import FilamentError
+from .core.queries import compile_cache_stats
+from .core.session import STAGES, CompilationSession
+
+#: ``--upto`` choices (parse is implicit: reading the file always parses).
+_UPTO = tuple(stage for stage in STAGES if stage != "parse")
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.compile",
+        description="Compile a Filament source file through the staged, "
+                    "incremental pipeline.",
+    )
+    parser.add_argument("source", metavar="FILE.fil",
+                        help="Filament source file")
+    parser.add_argument("--upto", choices=_UPTO, default="calyx",
+                        help="run the pipeline up to this stage "
+                             "(default: calyx)")
+    parser.add_argument("--entry", metavar="NAME",
+                        help="entrypoint component (default: the root of "
+                             "the design, i.e. the user component nothing "
+                             "else instantiates)")
+    parser.add_argument("--emit", metavar="PATH",
+                        help="write the final stage's artifact text here")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the artifact dump (tables still "
+                             "print)")
+    return parser
+
+
+def _pick_entrypoint(program) -> str:
+    """The design root: the unique user component not instantiated by any
+    other user component."""
+    users = program.user_components()
+    if not users:
+        raise FilamentError("source defines no user components")
+    instantiated = {
+        instantiate.component
+        for component in users
+        for instantiate in component.instantiations()
+    }
+    roots = [c.name for c in users if c.name not in instantiated]
+    if len(roots) == 1:
+        return roots[0]
+    candidates = roots or [c.name for c in users]
+    raise FilamentError(
+        f"cannot pick an entrypoint automatically (candidates: "
+        f"{', '.join(candidates)}); pass --entry"
+    )
+
+
+def _stage_table(session: CompilationSession) -> str:
+    seconds = session.stage_seconds()
+    stats = session.cache_stats()
+    lines = [f"{'stage':10s} {'seconds':>10} {'hits':>6} {'misses':>7}"]
+    for stage in STAGES:
+        if stage not in stats and stage not in seconds:
+            continue
+        bucket = stats.get(stage, {"hits": 0, "misses": 0})
+        lines.append(f"{stage:10s} {seconds.get(stage, 0.0):10.6f} "
+                     f"{bucket['hits']:6d} {bucket['misses']:7d}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    path = Path(args.source)
+    try:
+        source = path.read_text()
+    except OSError as error:
+        print(f"cannot read {path}: {error}", file=sys.stderr)
+        return 2
+
+    session = CompilationSession.from_source(source)
+    try:
+        program = session.program  # parse (records the parse timing)
+        if args.upto == "check":
+            # Type checking covers the whole program; no entrypoint needed
+            # (multi-root designs check fine without --entry).
+            entrypoint = args.entry
+            artifact = session.compile(upto="check")
+        else:
+            entrypoint = args.entry or _pick_entrypoint(program)
+            artifact = session.compile(entrypoint, upto=args.upto)
+    except FilamentError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    if args.upto == "check":
+        text = f"// {len(program.user_components())} component(s) type check"
+    else:
+        text = artifact if isinstance(artifact, str) else str(artifact)
+
+    target = entrypoint if entrypoint is not None else "<program>"
+    print(f"{path.name}: compiled {target!r} up to {args.upto}")
+    print()
+    print(_stage_table(session))
+    process = compile_cache_stats()
+    print(f"\nprocess-wide compile cache: {process['hits']} hit(s), "
+          f"{process['misses']} miss(es), {process['entries']} entr(y/ies) "
+          f"cached (limit {process['limit']})")
+    queries = session.query_stats()
+    print(f"queries: {queries['executed']} executed, "
+          f"{queries['verified']} verified, "
+          f"{queries['shared_hits']} shared hit(s)")
+
+    if args.emit:
+        out = Path(args.emit)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + ("\n" if not text.endswith("\n") else ""))
+        print(f"\nartifact written to {out}")
+    elif not args.quiet:
+        print()
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

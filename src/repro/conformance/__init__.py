@@ -48,6 +48,7 @@ from .generator import (
     build,
     generate,
     generate_spec,
+    mutate_spec,
 )
 from .shrink import divergence_categories, prune, shrink, spec_fails
 
@@ -58,6 +59,6 @@ __all__ = [
     "ConformanceResult", "default_engines", "run_conformance", "traces_equal",
     "GeneratedProgram", "GenerationError", "GeneratorConfig", "InputSpec",
     "NodeSpec", "OP_KINDS", "ProgramSpec", "build", "generate",
-    "generate_spec",
+    "generate_spec", "mutate_spec",
     "divergence_categories", "prune", "shrink", "spec_fails",
 ]

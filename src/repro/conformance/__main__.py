@@ -60,6 +60,11 @@ def _parser() -> argparse.ArgumentParser:
                         help="override the generator's max op count")
     parser.add_argument("--no-roundtrip", action="store_true",
                         help="skip the print/re-parse round-trip oracle")
+    parser.add_argument("--no-incremental", action="store_true",
+                        help="skip the incremental-recompilation oracle "
+                             "(seeded in-place mutation; incremental "
+                             "Calyx/Verilog must be byte-identical to a "
+                             "from-scratch compile)")
     parser.add_argument("--no-shrink", action="store_true",
                         help="do not shrink failing programs")
     parser.add_argument("--quiet", action="store_true",
@@ -106,6 +111,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             engines=engines,
             roundtrip=not args.no_roundtrip,
             lanes=args.lanes,
+            incremental=not args.no_incremental,
         )
         result.seed = seed
         if result.coverage is not None:
@@ -137,6 +143,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                                       transactions=args.transactions,
                                       seed=stimulus_seed,
                                       roundtrip=not args.no_roundtrip,
+                                      incremental="incremental" in categories,
                                       categories=categories)
 
                 if reproduces(generated.spec):

@@ -49,6 +49,12 @@ class CoverageRecord:
     #: :attr:`kernel_fallback` records why.
     kernel: bool = False
     kernel_fallback: Optional[str] = None
+    #: Whether the incremental-recompilation way ran (a seeded mutation was
+    #: applied and the incremental artifacts were refereed byte-for-byte
+    #: against a from-scratch compile), and which mutation family it used
+    #: (``const`` / ``op-kind`` / ``input-width``).
+    incremental: bool = False
+    incremental_mutation: Optional[str] = None
     divergences: int = 0
 
     @staticmethod
@@ -87,6 +93,8 @@ class CoverageRecord:
             "lanes": self.lanes,
             "kernel": self.kernel,
             "kernel_fallback": self.kernel_fallback,
+            "incremental": self.incremental,
+            "incremental_mutation": self.incremental_mutation,
             "divergences": self.divergences,
         }
 
@@ -175,6 +183,16 @@ class CoverageLedger:
                     histogram.get(record.kernel_fallback, 0) + 1)
         return dict(sorted(histogram.items()))
 
+    def incremental_mutation_histogram(self) -> Dict[str, int]:
+        """Which mutation families the incremental-recompilation way
+        exercised, across recorded programs."""
+        histogram: Dict[str, int] = {}
+        for record in self.records:
+            if record.incremental and record.incremental_mutation:
+                histogram[record.incremental_mutation] = (
+                    histogram.get(record.incremental_mutation, 0) + 1)
+        return dict(sorted(histogram.items()))
+
     def unexercised_ops(self) -> List[str]:
         """Op kinds the generator knows but no recorded program used."""
         used = set()
@@ -208,6 +226,11 @@ class CoverageLedger:
         lanes = sorted({record.lanes for record in self.records})
         if lanes and lanes != [1]:
             lines.append(f"  packed lanes per run: {lanes}")
+        incremental = sum(1 for r in self.records if r.incremental)
+        if incremental:
+            lines.append(
+                f"  incremental recompiles: {incremental}/{self.programs} "
+                f"(mutations: {self.incremental_mutation_histogram()})")
         missing = self.unexercised_ops()
         if missing:
             lines.append(f"  unexercised ops: {', '.join(missing)}")
@@ -230,6 +253,7 @@ class CoverageLedger:
             "fallback_reasons": self.fallback_reason_histogram(),
             "kernel_paths": self.kernel_paths(),
             "kernel_fallbacks": self.kernel_fallback_histogram(),
+            "incremental_mutations": self.incremental_mutation_histogram(),
             "records": [record.to_dict() for record in self.records],
         }
 

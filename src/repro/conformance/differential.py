@@ -39,6 +39,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..calyx.wellformed import check_program as calyx_wellformed
 from ..core.errors import FilamentError, SimulationError
 from ..core.parser import parse_component
+from ..core.queries import compile_cache_disabled
 from ..core.semantics import component_log
 from ..core.session import CompilationSession
 from ..core.stdlib import with_stdlib
@@ -49,7 +50,7 @@ from ..sim.engine import ScheduledEngine
 from ..sim.simulator import Simulator
 from ..sim.values import X, format_value, is_x
 from .coverage import CoverageRecord
-from .generator import GeneratedProgram
+from .generator import GeneratedProgram, build, mutate_spec
 
 __all__ = [
     "ConformanceResult",
@@ -169,7 +170,8 @@ def run_conformance(generated: GeneratedProgram,
                     seed: int = 0,
                     engines: Optional[Dict[str, EngineFactory]] = None,
                     roundtrip: bool = True,
-                    lanes: int = 4) -> ConformanceResult:
+                    lanes: int = 4,
+                    incremental: bool = True) -> ConformanceResult:
     """Run the full N-way differential matrix over one generated program.
 
     ``seed`` seeds the *stimulus* stream (independent of the program seed)
@@ -177,7 +179,12 @@ def run_conformance(generated: GeneratedProgram,
     ``lanes`` independently seeded streams (``seed``, ``seed + 1``, …) are
     additionally pushed through one lane-packed engine instantiation and
     each lane is checked bit-for-bit against its scalar trace; ``lanes=1``
-    disables the packed way.
+    disables the packed way.  ``incremental`` enables the incremental-
+    recompilation way: a seeded, well-typedness-preserving mutation is
+    applied to the component *in place* and the incrementally recompiled
+    Calyx/Verilog must be byte-identical to a from-scratch compile of the
+    mutated program (with the process-wide compile cache bypassed for the
+    referee, so the comparison is genuinely two-sided).
     """
     engines = dict(engines) if engines is not None else default_engines()
     spec = generated.spec
@@ -341,5 +348,54 @@ def run_conformance(generated: GeneratedProgram,
             if reported >= _MAX_REPORTED:
                 break
 
+    # 8. Incremental recompilation: mutate one component in place, recompile
+    #    through the same session, and the artifacts must be byte-identical
+    #    to a from-scratch compile of the mutated program.
+    if incremental:
+        _check_incremental(spec, seed, divergences, coverage)
+
     coverage.divergences = len(divergences)
     return result
+
+
+def _check_incremental(spec, seed: int, divergences: List[str],
+                       coverage: CoverageRecord) -> None:
+    """The incremental-recompilation differential way (step 8)."""
+    mutation = mutate_spec(spec, seed)
+    if mutation is None:
+        return
+    mutated_spec, mutation_kind = mutation
+    coverage.incremental = True
+    coverage.incremental_mutation = mutation_kind
+    try:
+        base = build(spec)
+        session = CompilationSession(base.program)
+        session.verilog(spec.name)  # prime the session's artifacts
+
+        # Splice the mutated definition into the *same* component object —
+        # an in-place edit, exactly what the fingerprint layer must catch.
+        mutated = build(mutated_spec)
+        base.component.signature = mutated.component.signature
+        base.component.body[:] = mutated.component.body
+
+        incremental_calyx = str(session.calyx(spec.name))
+        incremental_verilog = session.verilog(spec.name)
+
+        # The donor build doubles as the from-scratch referee (its own
+        # component object was never compiled or spliced into).
+        with compile_cache_disabled():
+            scratch = CompilationSession(mutated.program)
+            scratch_calyx = str(scratch.calyx(spec.name))
+            scratch_verilog = scratch.verilog(spec.name)
+    except FilamentError as error:
+        divergences.append(f"incremental: {mutation_kind} mutation failed "
+                           f"to compile: {error}")
+        return
+    if incremental_calyx != scratch_calyx:
+        divergences.append(
+            f"incremental: Calyx after a {mutation_kind} mutation differs "
+            f"from a from-scratch compile")
+    if incremental_verilog != scratch_verilog:
+        divergences.append(
+            f"incremental: Verilog after a {mutation_kind} mutation differs "
+            f"from a from-scratch compile")

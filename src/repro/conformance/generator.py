@@ -46,6 +46,7 @@ __all__ = [
     "GeneratedProgram",
     "generate",
     "generate_spec",
+    "mutate_spec",
     "build",
     "ref_width",
     "OP_KINDS",
@@ -628,3 +629,94 @@ def generate_spec(seed: int, config: Optional[GeneratorConfig] = None) -> Progra
 def generate(seed: int, config: Optional[GeneratorConfig] = None) -> GeneratedProgram:
     """Generate and build the program for ``seed``."""
     return build(generate_spec(seed, config))
+
+
+# ---------------------------------------------------------------------------
+# Seeded mutation (the incremental-recompilation differential way)
+# ---------------------------------------------------------------------------
+
+
+def mutate_spec(spec: ProgramSpec,
+                seed: int) -> Optional[Tuple[ProgramSpec, str]]:
+    """A deterministic, well-typedness-preserving edit of one component.
+
+    Returns ``(mutated_spec, kind)`` where ``kind`` names what changed, or
+    ``None`` when the spec offers no mutable site.  Three mutation families,
+    tried in a seed-dependent order:
+
+    * ``"const"`` — change the value of a constant operand (body-only edit;
+      the component's interface is untouched, so incremental recompilation
+      should reuse every client);
+    * ``"op-kind"`` — swap a combinational binary node between interchange-
+      able kinds (``add``/``sub``/``and``/``or``/``xor``; body-only edit);
+    * ``"input-width"`` — change an input port's width (an *interface*
+      edit; every dependent must recompile).
+    """
+    from dataclasses import replace
+
+    rng = random.Random(f"repro-mutate:{seed}:{spec.name}")
+    swappable = ("add", "sub", "and", "or", "xor")
+
+    def mutate_const() -> Optional[ProgramSpec]:
+        sites = []
+        for index, node in enumerate(spec.nodes):
+            for position, ref in enumerate(node.operands):
+                if ref[0] == "const":
+                    sites.append((index, position, ref))
+        if not sites:
+            return None
+        index, position, ref = rng.choice(sites)
+        _, value, width = ref
+        fresh = (value + 1 + rng.randrange(max(1, 2 ** width - 1))) \
+            % (2 ** width)
+        if fresh == value:
+            fresh = (value + 1) % (2 ** width)
+            if fresh == value:
+                return None  # 1-bit corner with nothing to flip is width 0
+        node = spec.nodes[index]
+        operands = tuple(("const", fresh, width) if pos == position else old
+                         for pos, old in enumerate(node.operands))
+        nodes = tuple(replace(n, operands=operands) if i == index else n
+                      for i, n in enumerate(spec.nodes))
+        return replace(spec, nodes=nodes)
+
+    def mutate_op_kind() -> Optional[ProgramSpec]:
+        sites = [index for index, node in enumerate(spec.nodes)
+                 if node.kind in swappable and node.share_with is None
+                 and not any(other.share_with == index
+                             for other in spec.nodes)]
+        if not sites:
+            return None
+        index = rng.choice(sites)
+        node = spec.nodes[index]
+        fresh = rng.choice([kind for kind in swappable
+                            if kind != node.kind])
+        nodes = tuple(replace(n, kind=fresh) if i == index else n
+                      for i, n in enumerate(spec.nodes))
+        return replace(spec, nodes=nodes)
+
+    def mutate_input_width() -> Optional[ProgramSpec]:
+        # Only inputs no node consumes are width-mutable: output ports
+        # derive their width from the reference, while a node's operand
+        # widths are pinned by its instantiation parameters.
+        consumed = {ref[1] for node in spec.nodes
+                    for ref in node.operands if ref[0] == "in"}
+        sites = [index for index in range(len(spec.inputs))
+                 if index not in consumed]
+        if not sites:
+            return None
+        index = rng.choice(sites)
+        port = spec.inputs[index]
+        fresh = port.width + 1 if port.width < 64 else port.width - 1
+        inputs = tuple(InputSpec(p.name, fresh, p.time) if i == index else p
+                       for i, p in enumerate(spec.inputs))
+        return replace(spec, inputs=inputs)
+
+    families = [("const", mutate_const), ("op-kind", mutate_op_kind),
+                ("input-width", mutate_input_width)]
+    rng.shuffle(families)
+    for kind, mutate in families:
+        mutated = mutate()
+        if mutated is not None and mutated != spec:
+            return mutated, kind
+    return None

@@ -166,6 +166,7 @@ def spec_fails(spec: ProgramSpec,
                transactions: int = 8,
                seed: int = 0,
                roundtrip: bool = False,
+               incremental: bool = False,
                categories: Optional[Set[str]] = None) -> bool:
     """A ready-made shrink predicate: does a conformance run over ``spec``
     diverge?  Build/compile errors count as *not failing* (the shrinker must
@@ -182,7 +183,8 @@ def spec_fails(spec: ProgramSpec,
         generated = build(spec)
         result = run_conformance(generated, transactions=transactions,
                                  seed=seed, engines=engines,
-                                 roundtrip=roundtrip)
+                                 roundtrip=roundtrip,
+                                 incremental=incremental)
     except Exception:
         return False
     if result.passed:

@@ -32,6 +32,20 @@ from .errors import (
     TypeCheckError,
 )
 from .events import Delay, Event, EventComparisonError, Interval, evt
+from .fingerprint import (
+    component_fingerprint,
+    component_self_fingerprint,
+    fingerprint_snapshot,
+    program_fingerprint,
+    signature_fingerprint,
+)
+from .queries import (
+    QueryEngine,
+    clear_compile_cache,
+    compile_cache_disabled,
+    compile_cache_stats,
+    set_compile_cache_limit,
+)
 from .session import CompilationSession, StageTiming
 from .stdlib import stdlib_program, with_stdlib
 from .typecheck import check_component, check_program
@@ -44,6 +58,10 @@ __all__ = [
     "OrderingError", "ParseError", "PhantomError", "PipeliningError",
     "TypeCheckError",
     "Delay", "Event", "EventComparisonError", "Interval", "evt",
+    "component_fingerprint", "component_self_fingerprint",
+    "fingerprint_snapshot", "program_fingerprint", "signature_fingerprint",
+    "QueryEngine", "clear_compile_cache", "compile_cache_disabled",
+    "compile_cache_stats", "set_compile_cache_limit",
     "CompilationSession", "StageTiming",
     "stdlib_program", "with_stdlib",
     "check_component", "check_program",

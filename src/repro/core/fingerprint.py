@@ -1,0 +1,129 @@
+"""Stable structural fingerprints for Filament components.
+
+The incremental query layer (:mod:`repro.core.queries`) is content-addressed:
+every compile artifact is keyed by *what the component is*, never by *which
+Python object happens to hold it*.  This module computes those keys.
+
+Fingerprints are built from the faithful surface-syntax printer
+(:mod:`repro.core.printer`), which gives them the property the rest of the
+system relies on: a fingerprint is **invariant under a print → re-parse
+round trip** (the printer is a function of AST structure and
+``parse(print(p))`` is structurally equal to ``p``), and it **changes under
+any interface or body edit** (every port, event, delay, constraint, and
+command appears in the printed text).
+
+Two granularities are exposed:
+
+* the **self fingerprint** covers one component's own definition — its
+  signature (timeline type) plus its body;
+* the **deep fingerprint** is a Merkle digest: the self fingerprint plus the
+  deep fingerprints of every component it instantiates, transitively.  Two
+  components with equal deep fingerprints compile to identical artifacts at
+  every stage, which is what makes the process-wide compile cache sound.
+
+The **signature fingerprint** covers only the printed signature.  It is the
+early-cutoff lever: a client of a component depends only on its timeline
+type (the paper's modularity claim), so a body-only edit leaves every
+client's signature dependency untouched and the query layer skips
+recompiling them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Mapping, Optional, Union
+
+from .ast import Component, Program, Signature
+from .printer import format_component, format_signature
+
+__all__ = [
+    "fingerprint_text",
+    "component_self_fingerprint",
+    "signature_fingerprint",
+    "component_fingerprint",
+    "program_fingerprint",
+    "fingerprint_snapshot",
+]
+
+
+def fingerprint_text(*parts: str) -> str:
+    """A stable hex digest of the given text parts (order-sensitive)."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x00")  # unambiguous part boundary
+    return digest.hexdigest()
+
+
+def component_self_fingerprint(component: Component) -> str:
+    """The digest of one component's own definition (interface + body),
+    independent of anything it instantiates."""
+    return fingerprint_text("component", format_component(component))
+
+
+def signature_fingerprint(signature: Union[Component, Signature]) -> str:
+    """The digest of a component's printed signature (its timeline type,
+    including extern-ness, params, events, ports and constraints)."""
+    if isinstance(signature, Component):
+        signature = signature.signature
+    return fingerprint_text("signature", format_signature(signature))
+
+
+def component_fingerprint(name: str, program: Program,
+                          _memo: Optional[Dict[str, str]] = None,
+                          _stack: Optional[frozenset] = None,
+                          self_fingerprints: Optional[Mapping[str, str]] = None
+                          ) -> str:
+    """The deep (Merkle) fingerprint of ``name`` in ``program``: its self
+    fingerprint combined with the deep fingerprints of every component it
+    instantiates, transitively.  Equal deep fingerprints mean every compile
+    stage produces identical output for the two components.
+
+    ``self_fingerprints`` optionally supplies already-computed self
+    fingerprints (e.g. a :func:`fingerprint_snapshot`) so the program is
+    not re-printed; entries must be current for the program's content."""
+    memo = _memo if _memo is not None else {}
+    if name in memo:
+        return memo[name]
+    stack = _stack or frozenset()
+    if name in stack:
+        # A recursive instantiation cycle cannot compile anyway; the marker
+        # keeps the digest well-defined without infinite recursion.
+        return fingerprint_text("cycle", name)
+    component = program.get(name)
+    if self_fingerprints is not None and name in self_fingerprints:
+        self_fingerprint = self_fingerprints[name]
+    else:
+        self_fingerprint = component_self_fingerprint(component)
+    parts = [self_fingerprint]
+    children = sorted({inst.component for inst in component.instantiations()})
+    for child in children:
+        parts.append(child)
+        parts.append(component_fingerprint(child, program, memo,
+                                           stack | {name}, self_fingerprints))
+    fingerprint = fingerprint_text("deep", *parts)
+    memo[name] = fingerprint
+    return fingerprint
+
+
+def program_fingerprint(program: Program,
+                        entrypoint: Optional[str] = None) -> str:
+    """A digest of a whole program (or of the subtree reachable from
+    ``entrypoint``), suitable as a coarse whole-program cache key."""
+    if entrypoint is not None:
+        return fingerprint_text("program", entrypoint,
+                                component_fingerprint(entrypoint, program))
+    memo: Dict[str, str] = {}
+    parts = []
+    for name in sorted(program.components):
+        parts.append(name)
+        parts.append(component_fingerprint(name, program, memo))
+    return fingerprint_text("program", *parts)
+
+
+def fingerprint_snapshot(program: Program) -> Dict[str, str]:
+    """Every component's *self* fingerprint, keyed by name.  This is the
+    query layer's notion of the program's inputs: comparing two snapshots
+    yields exactly the set of edited / added / removed components."""
+    return {name: component_self_fingerprint(component)
+            for name, component in program.components.items()}

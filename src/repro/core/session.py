@@ -1,21 +1,27 @@
-"""Compilation sessions: compile once, reuse everywhere.
+"""Compilation sessions: compile once, reuse everywhere — incrementally.
 
 Every entry point of the repository used to re-run the full pipeline
 (parse → type check → lower → Calyx → Verilog) from scratch, even when the
 evaluation drives the *same* design through several experiments.
-:class:`CompilationSession` is a pipeline object that owns the staged
-artifacts of one program and memoizes them:
+:class:`CompilationSession` is the façade over that pipeline.  Since the
+incremental refactor it is a thin wrapper around the demand-driven,
+content-addressed query layer (:mod:`repro.core.queries`):
 
-* the **checked program** is computed once per session (recompiling any
-  entrypoint is a cache hit — no re-typecheck);
-* **lowered** and **Calyx** components are memoized *per component*, so two
-  entrypoints sharing a sub-component (or one entrypoint compiled twice)
-  lower each component exactly once;
-* **Verilog** text is memoized per entrypoint.
-
-Each stage execution is timed; :attr:`CompilationSession.timings` is the
-raw event list and :meth:`stage_seconds`/:meth:`cache_stats` aggregate it —
-this is what the compile-time benchmark reports as the per-stage breakdown.
+* the pipeline runs as **per-component queries** with recorded dependency
+  edges — two entrypoints sharing a sub-component compile it exactly once,
+  and a program that was compiled anywhere else in the process is served
+  from the digest-keyed **process-wide compile cache**;
+* **mutation is survived, not punished**: every public stage entry re-
+  fingerprints the program (content, not ``id()``), so editing one
+  component in place recompiles only that component and its transitive
+  dependents — everything else is verified from cache.  Early cutoff means
+  a body-only edit of a leaf does not even recompile its clients (they
+  depend only on its signature, the paper's modularity claim);
+* each stage call is timed; :attr:`CompilationSession.timings` is the raw
+  event list and :meth:`stage_seconds`/:meth:`cache_stats` aggregate it —
+  this is what the compile-time benchmark reports as the per-stage
+  breakdown.  :meth:`query_stats` exposes the engine's query counters and
+  :attr:`engine` the engine itself (execution log, recompile footprint).
 
 The one-call helpers (:func:`repro.core.lower.compile_program`,
 :func:`repro.harness.harness_for`) remain available as thin wrappers that
@@ -32,7 +38,8 @@ from typing import Dict, List, Optional, Tuple
 
 from .ast import Program
 from .errors import FilamentError
-from .typecheck import CheckedProgram, check_program
+from .queries import QueryEngine
+from .typecheck import CheckedProgram
 
 __all__ = ["CompilationSession", "StageTiming", "STAGES"]
 
@@ -51,7 +58,7 @@ class StageTiming:
 
 
 class CompilationSession:
-    """A memoizing compilation pipeline for one Filament program."""
+    """A memoizing, incremental compilation pipeline for one program."""
 
     def __init__(self, program: Optional[Program] = None, *,
                  source: Optional[str] = None,
@@ -63,15 +70,12 @@ class CompilationSession:
             )
         self._program = program
         self._source = source
-        self._checked = checked
-        self._snapshot = self._component_snapshot(program)
-        self._low_components: Dict[str, object] = {}
-        self._low_programs: Dict[str, object] = {}
-        self._calyx_components: Dict[str, object] = {}
-        self._calyx_programs: Dict[str, object] = {}
-        self._verilog: Dict[str, str] = {}
+        self._engine: Optional[QueryEngine] = None
+        self._pending_checked = checked
         #: Every stage execution and cache hit, in order.
         self.timings: List[StageTiming] = []
+        if program is not None:
+            self._ensure_engine()
 
     # -- constructors ----------------------------------------------------------
 
@@ -81,15 +85,6 @@ class CompilationSession:
         standard library is merged in, as every entry point expects)."""
         return cls(source=source)
 
-    @staticmethod
-    def _component_snapshot(program: Optional[Program]) -> Optional[Dict[str, int]]:
-        """A shallow fingerprint of the program's component set, used to
-        invalidate shared sessions when components are added or replaced."""
-        if program is None:
-            return None
-        return {name: id(component)
-                for name, component in program.components.items()}
-
     @classmethod
     def for_program(cls, program: Program) -> "CompilationSession":
         """The shared session for ``program``: repeated calls with the same
@@ -98,17 +93,44 @@ class CompilationSession:
         stored on the program object itself, so its lifetime — and the
         lifetime of every cached artifact — is exactly the program's.
 
-        Adding or replacing a component after a compile invalidates the
-        shared session (a fresh one is built), so the one-call wrappers keep
-        their historical recompile-from-scratch semantics under mutation.
-        In-place mutation *inside* a component is not detected; use an
-        explicit session (or a fresh program) for that."""
+        The session snapshots components by **content fingerprint** (not
+        ``id()``, which a GC'd-and-reallocated component can alias), and it
+        survives mutation: adding, replacing or editing a component in
+        place recompiles only that component and its transitive dependents
+        on the next compile, with everything else served from cache."""
         session = getattr(program, "_compilation_session", None)
-        if (session is None or session._program is not program
-                or session._snapshot != cls._component_snapshot(program)):
+        if session is None or session._program is not program:
             session = cls(program)
             program._compilation_session = session
         return session
+
+    # -- engine plumbing -------------------------------------------------------
+
+    def _ensure_engine(self) -> QueryEngine:
+        if self._engine is None:
+            self._engine = QueryEngine(self.program)
+        if self._pending_checked is not None:
+            self._engine.seed_checks(self._pending_checked)
+            self._pending_checked = None
+        return self._engine
+
+    def _sync(self) -> QueryEngine:
+        """Refresh the engine's content fingerprints so queries observe any
+        in-place mutation made since the last public stage call."""
+        engine = self._ensure_engine()
+        engine.refresh()
+        return engine
+
+    @property
+    def engine(self) -> QueryEngine:
+        """The underlying query engine (execution log, recompile footprint,
+        query counters)."""
+        return self._ensure_engine()
+
+    def refresh(self) -> bool:
+        """Re-fingerprint the program now; True when anything changed.
+        (Public stage methods do this automatically.)"""
+        return self._ensure_engine().refresh()
 
     # -- instrumentation -------------------------------------------------------
 
@@ -126,12 +148,19 @@ class CompilationSession:
         return totals
 
     def cache_stats(self) -> Dict[str, Dict[str, int]]:
-        """Per-stage ``{"hits": n, "misses": m}`` counters."""
+        """Per-stage ``{"hits": n, "misses": m}`` counters.  A "miss" means
+        the session stage ran queries (even when the process-wide compile
+        cache supplied the artifacts; those show up in
+        :func:`repro.core.queries.compile_cache_stats` instead)."""
         stats: Dict[str, Dict[str, int]] = {}
         for timing in self.timings:
             bucket = stats.setdefault(timing.stage, {"hits": 0, "misses": 0})
             bucket["hits" if timing.cached else "misses"] += 1
         return stats
+
+    def query_stats(self) -> dict:
+        """The engine's query counters (executed / verified / shared hits)."""
+        return self._ensure_engine().stats.to_dict()
 
     # -- stages ----------------------------------------------------------------
 
@@ -144,101 +173,82 @@ class CompilationSession:
             from .stdlib import with_stdlib
             start = time.perf_counter()
             self._program = with_stdlib(parse_program(self._source))
-            self._snapshot = self._component_snapshot(self._program)
             self._record("parse", "<source>", time.perf_counter() - start)
         return self._program
 
-    def check(self) -> CheckedProgram:
-        """Type check the whole program (memoized: one check per session)."""
-        if self._checked is not None:
-            self._record("check", "<program>", 0.0, cached=True)
-            return self._checked
-        program = self.program
+    def _staged_query(self, stage: str, target: str, record_stage: str,
+                      record_target: str,
+                      counted: Tuple[str, ...]):
+        """Run one engine query, recording a session timing whose ``cached``
+        flag reflects whether any query of the counted stages executed."""
+        engine = self._ensure_engine()
+        mark = engine.log_mark()
         start = time.perf_counter()
-        self._checked = check_program(program)
-        self._record("check", "<program>", time.perf_counter() - start)
-        return self._checked
+        value = engine.query(stage, target)
+        seconds = time.perf_counter() - start
+        executed = engine.executed_since(mark, counted)
+        self._record(record_stage, record_target, seconds,
+                     cached=not executed)
+        return value
 
-    def _reachable_user_components(self, entrypoint: str) -> List[str]:
-        """``entrypoint`` plus every non-extern component it transitively
-        instantiates, in a deterministic order."""
-        program = self.program
-        seen: List[str] = []
-        queue = [entrypoint]
-        while queue:
-            name = queue.pop()
-            if name in seen:
-                continue
-            component = program.get(name)
-            if component.is_extern:
-                continue
-            seen.append(name)
-            for instantiate in component.instantiations():
-                target = program.get(instantiate.component)
-                if not target.is_extern and target.name not in seen:
-                    queue.append(target.name)
-        return seen
+    def check(self) -> CheckedProgram:
+        """Type check the whole program (incremental: only components whose
+        content — or whose instantiated signatures — changed re-check)."""
+        self._sync()
+        return self._check_inner()
+
+    def _check_inner(self) -> CheckedProgram:
+        return self._staged_query("link_check", "<program>",
+                                  "check", "<program>", ("check",))
 
     def lower(self, entrypoint: str):
         """Lower ``entrypoint`` (and its transitive user components) to Low
         Filament.  Components are memoized individually, so entrypoints
         sharing sub-components lower each of them once."""
-        from .lower.low_filament import LowProgram
-        from .lower.lowering import lower_component
+        self._sync()
+        return self._lower_inner(entrypoint)
 
-        if entrypoint in self._low_programs:
+    def _lower_inner(self, entrypoint: str):
+        engine = self._ensure_engine()
+        if engine.is_clean("link_lower", entrypoint):
             self._record("lower", entrypoint, 0.0, cached=True)
-            return self._low_programs[entrypoint]
-        checked = self.check()
-        program = self.program
-        start = time.perf_counter()
-        lowered = LowProgram(entrypoint=entrypoint)
-        for name in self._reachable_user_components(entrypoint):
-            low = self._low_components.get(name)
-            if low is None:
-                low = lower_component(checked.get(name), program)
-                self._low_components[name] = low
-            lowered.add(low)
-        self._low_programs[entrypoint] = lowered
-        self._record("lower", entrypoint, time.perf_counter() - start)
-        return lowered
+            return engine.query("link_lower", entrypoint)
+        self._check_inner()
+        return self._staged_query("link_lower", entrypoint,
+                                  "lower", entrypoint,
+                                  ("lower", "link_lower"))
 
     def calyx(self, entrypoint: str):
         """Translate ``entrypoint`` to a Calyx program (per-component
-        memoization, as for :meth:`lower`)."""
-        from ..calyx.ir import CalyxProgram
-        from .lower.calyx_backend import compile_component
+        queries, served from cache wherever content is unchanged)."""
+        self._sync()
+        return self._calyx_inner(entrypoint)
 
-        if entrypoint in self._calyx_programs:
+    def _calyx_inner(self, entrypoint: str):
+        engine = self._ensure_engine()
+        if engine.is_clean("link_calyx", entrypoint):
             self._record("calyx", entrypoint, 0.0, cached=True)
-            return self._calyx_programs[entrypoint]
-        lowered = self.lower(entrypoint)
-        program = self.program
-        start = time.perf_counter()
-        calyx = CalyxProgram(entrypoint=entrypoint)
-        for name, low in lowered.components.items():
-            compiled = self._calyx_components.get(name)
-            if compiled is None:
-                compiled = compile_component(low, program)
-                self._calyx_components[name] = compiled
-            calyx.add(compiled)
-        self._calyx_programs[entrypoint] = calyx
-        self._record("calyx", entrypoint, time.perf_counter() - start)
-        return calyx
+            return engine.query("link_calyx", entrypoint)
+        self._lower_inner(entrypoint)
+        return self._staged_query("link_calyx", entrypoint,
+                                  "calyx", entrypoint,
+                                  ("calyx", "link_calyx"))
 
     def verilog(self, entrypoint: str) -> str:
-        """Emit Verilog text for ``entrypoint`` (memoized per entrypoint)."""
-        from .lower.verilog_backend import emit_verilog
+        """Emit Verilog text for ``entrypoint`` (per-component module
+        emission; only dirty modules re-emit)."""
+        self._sync()
+        return self._verilog_inner(entrypoint)
 
-        if entrypoint in self._verilog:
+    def _verilog_inner(self, entrypoint: str) -> str:
+        engine = self._ensure_engine()
+        if engine.is_clean("verilog", entrypoint):
             self._record("verilog", entrypoint, 0.0, cached=True)
-            return self._verilog[entrypoint]
-        calyx = self.calyx(entrypoint)
-        start = time.perf_counter()
-        text = emit_verilog(calyx)
-        self._verilog[entrypoint] = text
-        self._record("verilog", entrypoint, time.perf_counter() - start)
-        return text
+            return engine.query("verilog", entrypoint)
+        self._calyx_inner(entrypoint)
+        return self._staged_query("verilog", entrypoint,
+                                  "verilog", entrypoint,
+                                  ("vcomp", "verilog"))
 
     # -- the one-call API ------------------------------------------------------
 

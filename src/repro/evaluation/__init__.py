@@ -2,9 +2,13 @@
 
 from .compile_time import (
     CompileTiming,
+    IncrementalTiming,
     SimThroughput,
+    chain_program,
+    edit_chain_leaf,
     evaluation_designs,
     measure_compile_times,
+    measure_incremental_compile,
     measure_sim_throughput,
 )
 from .figures import (
@@ -20,8 +24,10 @@ from .table1 import PAPER_TABLE1, Table1Row, audit_design, format_table1, table1
 from .table2 import PAPER_TABLE2, Table2Row, format_table2, table2, validate_designs
 
 __all__ = [
-    "CompileTiming", "SimThroughput", "evaluation_designs",
-    "measure_compile_times", "measure_sim_throughput",
+    "CompileTiming", "IncrementalTiming", "SimThroughput",
+    "chain_program", "edit_chain_leaf", "evaluation_designs",
+    "measure_compile_times", "measure_incremental_compile",
+    "measure_sim_throughput",
     "ConstraintCase", "DividerPoint", "figure1_waveforms",
     "figure2_divider_tradeoffs", "figure4_pipelined_waveform",
     "figure5_constraint_catalogue", "figure6_compilation_flow",

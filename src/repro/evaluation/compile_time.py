@@ -16,12 +16,16 @@ benchmarks print).
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..core.ast import Program
+from ..core.ast import ConstantPort, Invoke, Program
+from ..core.builder import ComponentBuilder, const
+from ..core.queries import compile_cache_disabled
 from ..core.session import CompilationSession
+from ..core.stdlib import with_stdlib
 from ..designs import (
     addmult_program,
     alu_program,
@@ -34,9 +38,13 @@ from ..designs import (
 
 __all__ = [
     "CompileTiming",
+    "IncrementalTiming",
     "SimThroughput",
+    "chain_program",
+    "edit_chain_leaf",
     "evaluation_designs",
     "measure_compile_times",
+    "measure_incremental_compile",
     "measure_sim_throughput",
 ]
 
@@ -160,3 +168,142 @@ def measure_sim_throughput(transactions: int = 24,
                                      scheduled_cps=rates["auto"],
                                      compiled_cps=rates["compiled"]))
     return results
+
+
+# ---------------------------------------------------------------------------
+# Incremental compilation ("edit one leaf of a K-component design")
+# ---------------------------------------------------------------------------
+
+#: Each measurement builds a content-unique chain (the salt lands in a leaf
+#: constant) so "cold" really is cold in a warm process-wide compile cache.
+_CHAIN_SALTS = itertools.count(1)
+
+
+@dataclass
+class IncrementalTiming:
+    """The incremental-edit figure for one K-component chain design: cold
+    compile, warm recompile, and a recompile after an in-place edit of the
+    leaf component — plus a from-scratch compile of the *mutated* program
+    (with the process-wide cache bypassed) as the byte-equality referee."""
+
+    name: str
+    components: int
+    cold_seconds: float
+    warm_seconds: float
+    incremental_seconds: float
+    scratch_seconds: float
+    recompiled: List[str] = field(default_factory=list)
+    identical: bool = False
+
+    @property
+    def incremental_speedup(self) -> float:
+        """Incremental recompile vs the cold compile of the whole design."""
+        return self.cold_seconds / max(self.incremental_seconds, 1e-9)
+
+    @property
+    def scratch_speedup(self) -> float:
+        """Incremental recompile vs a from-scratch compile of the edit."""
+        return self.scratch_seconds / max(self.incremental_seconds, 1e-9)
+
+
+def chain_program(depth: int, width: int = 16,
+                  salt: int = 0) -> Tuple[Program, str]:
+    """A ``depth``-component chain design: ``Chain0`` (the leaf) computes
+    ``(a + b) ^ salt`` and every ``Chain{i}`` adds ``b`` to ``Chain{i-1}``'s
+    result, all combinational at ``G``.  Returns the program and the
+    entrypoint name (the top of the chain)."""
+    if depth < 1:
+        raise ValueError("chain_program needs depth >= 1")
+    components = []
+    for index in range(depth):
+        build = ComponentBuilder(f"Chain{index}")
+        G = build.event("G", delay=1, interface="go")
+        a = build.input("a", width, G, G + 1)
+        b = build.input("b", width, G, G + 1)
+        out = build.output("out", width, G, G + 1)
+        if index == 0:
+            adder = build.instantiate("A", "Add", [width])
+            mixer = build.instantiate("X", "Xor", [width])
+            summed = build.invoke("s0", adder, [G], [a, b])
+            mixed = build.invoke("x0", mixer, [G],
+                                 [summed["out"], const(salt, width)])
+            build.connect(out, mixed["out"])
+        else:
+            inner = build.instantiate("P", f"Chain{index - 1}")
+            partial = build.invoke("p0", inner, [G], [a, b])
+            adder = build.instantiate("A", "Add", [width])
+            summed = build.invoke("s0", adder, [G], [partial["out"], b])
+            build.connect(out, summed["out"])
+        components.append(build.build())
+    return with_stdlib(components=components), f"Chain{depth - 1}"
+
+
+def edit_chain_leaf(program: Program, value: int) -> None:
+    """In-place body edit of the chain's leaf: change the constant fed to
+    its mixer.  The leaf's interface is untouched, so its clients stay
+    valid by early cutoff."""
+    leaf = program.get("Chain0")
+    for index, command in enumerate(leaf.body):
+        if isinstance(command, Invoke) and any(
+                isinstance(arg, ConstantPort) for arg in command.args):
+            args = tuple(
+                ConstantPort(value, arg.width)
+                if isinstance(arg, ConstantPort) else arg
+                for arg in command.args)
+            leaf.body[index] = Invoke(command.name, command.instance,
+                                      command.events, args)
+            return
+    raise ValueError("chain leaf has no constant-carrying invocation")
+
+
+def measure_incremental_compile(depth: int = 16,
+                                width: int = 16) -> IncrementalTiming:
+    """The incremental-edit benchmark: cold-compile a ``depth``-component
+    chain to Verilog, recompile warm, edit one leaf in place and recompile
+    incrementally, then referee against a from-scratch compile of the
+    mutated program (process-wide cache bypassed)."""
+    salt = next(_CHAIN_SALTS)
+    # The edited constant lives at the top of the width's value range, far
+    # from the small counter-assigned salts — were it ``salt + 1``, run N's
+    # mutated program would be content-identical to run N+1's fresh chain
+    # and warm the "cold" compile through the process-wide cache.
+    edited_value = (1 << width) - 1 - salt
+    program, entrypoint = chain_program(depth, width, salt=salt)
+    session = CompilationSession(program)
+
+    start = time.perf_counter()
+    session.verilog(entrypoint)
+    cold = time.perf_counter() - start
+
+    start = time.perf_counter()
+    session.verilog(entrypoint)
+    warm = time.perf_counter() - start
+
+    edit_chain_leaf(program, edited_value)
+    start = time.perf_counter()
+    incremental_verilog = session.verilog(entrypoint)
+    incremental = time.perf_counter() - start
+    recompiled = session.engine.recompiled_components()
+    incremental_calyx = str(session.calyx(entrypoint))
+
+    scratch_program, _ = chain_program(depth, width, salt=salt)
+    edit_chain_leaf(scratch_program, edited_value)
+    with compile_cache_disabled():
+        scratch_session = CompilationSession(scratch_program)
+        start = time.perf_counter()
+        scratch_verilog = scratch_session.verilog(entrypoint)
+        scratch = time.perf_counter() - start
+        scratch_calyx = str(scratch_session.calyx(entrypoint))
+
+    identical = (incremental_verilog == scratch_verilog
+                 and incremental_calyx == scratch_calyx)
+    return IncrementalTiming(
+        name=f"chain{depth}",
+        components=depth,
+        cold_seconds=cold,
+        warm_seconds=warm,
+        incremental_seconds=incremental,
+        scratch_seconds=scratch,
+        recompiled=recompiled,
+        identical=identical,
+    )

@@ -236,7 +236,11 @@ def harness_for(program: Program, component: str,
     it in a harness driven by its own timeline type.  Compilation routes
     through ``session`` when given, or the program's shared
     :class:`~repro.core.session.CompilationSession` otherwise, so repeated
-    harnesses over one program hit the staged caches.  ``mode`` selects the
+    harnesses over one program hit the staged caches — and, since the
+    session is incremental, editing a component between harnesses recompiles
+    only that component and its transitive dependents (everything else,
+    including content-identical programs compiled elsewhere in the process,
+    is served from the digest-keyed compile cache).  ``mode`` selects the
     engine tier (compiled kernel by default, with automatic interpreter
     fallback)."""
     if calyx is None:

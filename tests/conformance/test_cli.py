@@ -21,6 +21,24 @@ def test_seed_run_writes_a_ledger(tmp_path, capsys):
     assert "all programs agree" in out
 
 
+def test_no_incremental_flag_skips_the_way(tmp_path, capsys):
+    ledger = tmp_path / "ledger.json"
+    assert main(["--seeds", "3", "--transactions", "4", "--quiet",
+                 "--no-incremental", "--ledger", str(ledger)]) == 0
+    data = json.loads(ledger.read_text())
+    assert data["incremental_mutations"] == {}
+    assert all(not record["incremental"] for record in data["records"])
+
+
+def test_incremental_way_lands_in_the_ledger(tmp_path, capsys):
+    ledger = tmp_path / "ledger.json"
+    assert main(["--seeds", "4", "--transactions", "4", "--quiet",
+                 "--ledger", str(ledger)]) == 0
+    data = json.loads(ledger.read_text())
+    assert sum(data["incremental_mutations"].values()) >= 1
+    assert "incremental recompiles" in capsys.readouterr().out
+
+
 def test_replay_of_committed_corpus(capsys):
     assert main(["--replay", str(CORPUS_DIR), "--quiet",
                  "--transactions", "4"]) == 0

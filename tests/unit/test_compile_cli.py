@@ -1,0 +1,71 @@
+"""The ``python -m repro.compile`` command-line driver."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.compile import main
+
+EXAMPLE = Path(__file__).resolve().parent.parent.parent / "examples" / "pipeline.fil"
+
+
+@pytest.mark.parametrize("upto", ["check", "lower", "calyx", "verilog"])
+def test_compiles_the_example_up_to_every_stage(capsys, upto):
+    assert main([str(EXAMPLE), "--upto", upto, "--quiet"]) == 0
+    out = capsys.readouterr().out
+    target = "'<program>'" if upto == "check" else "'Top'"
+    assert f"compiled {target} up to {upto}" in out
+    assert "stage" in out and "hits" in out and "misses" in out
+    assert "process-wide compile cache" in out
+    assert "queries:" in out
+
+
+def test_emit_writes_the_artifact(tmp_path, capsys):
+    target = tmp_path / "build" / "top.v"
+    assert main([str(EXAMPLE), "--upto", "verilog",
+                 "--emit", str(target)]) == 0
+    text = target.read_text()
+    assert "module Top" in text
+    assert "module MacStep" in text
+
+
+def test_explicit_entry_overrides_the_root(capsys):
+    assert main([str(EXAMPLE), "--upto", "calyx", "--entry", "MacStep",
+                 "--quiet"]) == 0
+    assert "compiled 'MacStep'" in capsys.readouterr().out
+
+
+def test_unknown_entry_is_a_clean_error(tmp_path, capsys):
+    assert main([str(EXAMPLE), "--entry", "Nope", "--quiet"]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_missing_file_is_a_clean_error(tmp_path, capsys):
+    assert main([str(tmp_path / "absent.fil")]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+_TWO_ROOTS = """
+comp A<G: 1>(@interface[G] go: 1, @[G, G+1] a: 8) -> (@[G, G+1] out: 8) {
+  out = a;
+}
+
+comp B<G: 1>(@interface[G] go: 1, @[G, G+1] a: 8) -> (@[G, G+1] out: 8) {
+  out = a;
+}
+"""
+
+
+def test_ambiguous_root_requires_entry(tmp_path, capsys):
+    source = tmp_path / "two_roots.fil"
+    source.write_text(_TWO_ROOTS)
+    assert main([str(source), "--quiet"]) == 1
+    err = capsys.readouterr().err
+    assert "--entry" in err and "A" in err and "B" in err
+
+
+def test_check_needs_no_entrypoint_even_with_two_roots(tmp_path, capsys):
+    source = tmp_path / "two_roots.fil"
+    source.write_text(_TWO_ROOTS)
+    assert main([str(source), "--upto", "check", "--quiet"]) == 0
+    assert "compiled '<program>' up to check" in capsys.readouterr().out

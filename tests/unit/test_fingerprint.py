@@ -1,0 +1,130 @@
+"""Fingerprint stability and sensitivity (:mod:`repro.core.fingerprint`).
+
+The content-addressed compile cache is only sound if fingerprints are
+*stable* — unchanged across a print → re-parse round trip of the printer's
+output, for every design and corpus entry — and *sensitive* — changed by
+any interface or body edit.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.conformance.corpus import load_entries, replay_entry
+from repro.core.ast import Connect, ConstantPort, PortDef, PortRef
+from repro.core.events import Interval, evt
+from repro.core.fingerprint import (
+    component_fingerprint,
+    component_self_fingerprint,
+    fingerprint_snapshot,
+    program_fingerprint,
+    signature_fingerprint,
+)
+from repro.core.parser import parse_program
+from repro.core.printer import format_program
+from repro.core.stdlib import with_stdlib
+from repro.evaluation import evaluation_designs
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+
+
+def _roundtrip(program):
+    """Print the whole program and re-parse it (no stdlib re-merge: the
+    printed text already contains every extern signature)."""
+    return parse_program(format_program(program))
+
+
+class TestStability:
+    @pytest.mark.parametrize(
+        "name,thunk", evaluation_designs(),
+        ids=[name for name, _ in evaluation_designs()])
+    def test_designs_stable_across_print_reparse(self, name, thunk):
+        program, entrypoint = thunk()
+        reparsed = _roundtrip(program)
+        assert fingerprint_snapshot(program) == fingerprint_snapshot(reparsed)
+        assert component_fingerprint(entrypoint, program) == \
+            component_fingerprint(entrypoint, reparsed)
+        assert program_fingerprint(program) == program_fingerprint(reparsed)
+
+    @pytest.mark.parametrize(
+        "path", sorted(CORPUS_DIR.glob("*.json")),
+        ids=[p.stem for p in sorted(CORPUS_DIR.glob("*.json"))])
+    def test_corpus_entries_stable_across_print_reparse(self, path):
+        entries = dict(load_entries(CORPUS_DIR))
+        generated = replay_entry(entries[path])
+        program = generated.program
+        reparsed = _roundtrip(program)
+        name = generated.spec.name
+        assert component_self_fingerprint(program.get(name)) == \
+            component_self_fingerprint(reparsed.get(name))
+        assert component_fingerprint(name, program) == \
+            component_fingerprint(name, reparsed)
+
+    def test_fingerprint_is_object_independent(self):
+        """Two independently built, content-identical programs fingerprint
+        identically (the process-wide cache key)."""
+        from repro.designs import conv2d_base_program
+        a, b = conv2d_base_program(), conv2d_base_program()
+        assert fingerprint_snapshot(a) == fingerprint_snapshot(b)
+        assert component_fingerprint("Conv2d", a) == \
+            component_fingerprint("Conv2d", b)
+
+
+SOURCE = """
+comp Leaf<G: 1>(
+  @interface[G] go: 1,
+  @[G, G+1] a: 8
+) -> (@[G, G+1] out: 8) {
+  out = 8'd1;
+}
+
+comp Top<G: 1>(
+  @interface[G] go: 1,
+  @[G, G+1] a: 8
+) -> (@[G, G+1] out: 8) {
+  L := new Leaf;
+  l0 := L<G>(a);
+  out = l0.out;
+}
+"""
+
+
+class TestSensitivity:
+    def _program(self):
+        return with_stdlib(parse_program(SOURCE))
+
+    def test_body_edit_changes_self_and_deep_fingerprint(self):
+        program = self._program()
+        leaf = program.get("Leaf")
+        before_self = component_self_fingerprint(leaf)
+        before_sig = signature_fingerprint(leaf)
+        before_deep = component_fingerprint("Leaf", program)
+        leaf.body[0] = Connect(PortRef("out"), ConstantPort(2, 8))
+        assert component_self_fingerprint(leaf) != before_self
+        assert component_fingerprint("Leaf", program) != before_deep
+        # A body edit never moves the signature fingerprint.
+        assert signature_fingerprint(leaf) == before_sig
+
+    def test_interface_edit_changes_signature_fingerprint(self):
+        from dataclasses import replace
+        program = self._program()
+        leaf = program.get("Leaf")
+        before_self = component_self_fingerprint(leaf)
+        before_sig = signature_fingerprint(leaf)
+        interval = Interval(evt("G"), evt("G") + 1)
+        widened = replace(
+            leaf.signature,
+            outputs=(PortDef("out", 8, interval), PortDef("extra", 1, interval)),
+        )
+        leaf.signature = widened
+        assert signature_fingerprint(leaf) != before_sig
+        assert component_self_fingerprint(leaf) != before_self
+
+    def test_leaf_edit_changes_parents_deep_but_not_self_fingerprint(self):
+        program = self._program()
+        top_self = component_self_fingerprint(program.get("Top"))
+        top_deep = component_fingerprint("Top", program)
+        leaf = program.get("Leaf")
+        leaf.body[0] = Connect(PortRef("out"), ConstantPort(3, 8))
+        assert component_self_fingerprint(program.get("Top")) == top_self
+        assert component_fingerprint("Top", program) != top_deep

@@ -1,0 +1,268 @@
+"""Unit tests for the incremental query layer (:mod:`repro.core.queries`)."""
+
+import pytest
+
+from repro.core import CompilationSession, FilamentError
+from repro.core.ast import Connect, ConstantPort, PortDef, PortRef
+from repro.core.events import Interval, evt
+from repro.core.parser import parse_program
+from repro.core.queries import (
+    clear_compile_cache,
+    compile_cache_disabled,
+    compile_cache_stats,
+    set_compile_cache_limit,
+)
+from repro.core.stdlib import with_stdlib
+from repro.evaluation import chain_program, edit_chain_leaf
+
+SOURCE = """
+comp Leaf<G: 1>(
+  @interface[G] go: 1,
+  @[G, G+1] a: 8
+) -> (@[G, G+1] out: 8) {
+  out = 8'd1;
+}
+
+comp Mid<G: 1>(
+  @interface[G] go: 1,
+  @[G, G+1] a: 8
+) -> (@[G, G+1] out: 8) {
+  L := new Leaf;
+  l0 := L<G>(a);
+  out = l0.out;
+}
+
+comp Top<G: 1>(
+  @interface[G] go: 1,
+  @[G, G+1] a: 8
+) -> (@[G, G+1] out: 8) {
+  M := new Mid;
+  m0 := M<G>(a);
+  out = m0.out;
+}
+
+comp Bystander<G: 1>(
+  @interface[G] go: 1,
+  @[G, G+1] a: 8
+) -> (@[G, G+1] out: 8) {
+  out = a;
+}
+"""
+
+
+def _program():
+    return with_stdlib(parse_program(SOURCE))
+
+
+def _edit_leaf_body(program, value):
+    program.get("Leaf").body[0] = Connect(PortRef("out"),
+                                          ConstantPort(value, 8))
+
+
+class TestInvalidation:
+    def test_body_edit_recompiles_only_the_leaf(self):
+        """The acceptance criterion: a leaf body edit re-runs the leaf's
+        queries and *nothing else* — Mid and Top depend only on Leaf's
+        signature, which early cutoff proves unchanged."""
+        program = _program()
+        session = CompilationSession(program)
+        session.verilog("Top")
+        _edit_leaf_body(program, 2)
+        session.verilog("Top")
+        assert session.engine.recompiled_components() == ["Leaf"]
+
+    def test_interface_edit_recompiles_transitive_dependents(self):
+        from dataclasses import replace
+        program = _program()
+        session = CompilationSession(program)
+        session.verilog("Top")
+        session.calyx("Bystander")
+        leaf = program.get("Leaf")
+        interval = Interval(evt("G"), evt("G") + 1)
+        leaf.signature = replace(
+            leaf.signature,
+            outputs=(PortDef("out", 8, interval),
+                     PortDef("extra", 8, interval)),
+        )
+        leaf.body.append(Connect(PortRef("extra"), ConstantPort(5, 8)))
+        session.verilog("Top")
+        session.calyx("Bystander")
+        # Leaf and its direct client recompile.  Top survives by early
+        # cutoff — Mid re-checked against the new signature, but Mid's own
+        # interface and lowered output are unchanged (the new output port
+        # is unused), so nothing above it re-runs.  The bystander is never
+        # touched at all.
+        assert session.engine.recompiled_components() == ["Leaf", "Mid"]
+
+    def test_unchanged_recompile_executes_nothing(self):
+        program = _program()
+        session = CompilationSession(program)
+        session.verilog("Top")
+        mark = session.engine.log_mark()
+        session.verilog("Top")
+        assert session.engine.executed_since(mark) == []
+
+    def test_incremental_artifacts_match_scratch_byte_for_byte(self):
+        program, entrypoint = chain_program(6, salt=1000001)
+        session = CompilationSession(program)
+        session.verilog(entrypoint)
+        edit_chain_leaf(program, 77)
+        incremental_calyx = str(session.calyx(entrypoint))
+        incremental_verilog = session.verilog(entrypoint)
+
+        scratch_program, _ = chain_program(6, salt=1000001)
+        edit_chain_leaf(scratch_program, 77)
+        with compile_cache_disabled():
+            scratch = CompilationSession(scratch_program)
+            assert str(scratch.calyx(entrypoint)) == incremental_calyx
+            assert scratch.verilog(entrypoint) == incremental_verilog
+
+    def test_removing_a_component_fails_like_a_scratch_compile(self):
+        program = _program()
+        session = CompilationSession(program)
+        session.calyx("Top")
+        del program.components["Leaf"]
+        with pytest.raises(FilamentError):
+            session.calyx("Top")
+
+
+class TestProcessWideCache:
+    def test_content_identical_sessions_share_artifacts(self):
+        clear_compile_cache()
+        first = CompilationSession(_program())
+        a = first.calyx("Top")
+        before = compile_cache_stats()
+        second = CompilationSession(_program())
+        b = second.calyx("Top")
+        after = compile_cache_stats()
+        assert after["hits"] > before["hits"]
+        # The per-component Calyx artifacts are literally shared.
+        assert b.get("Leaf") is a.get("Leaf")
+        assert b.get("Top") is a.get("Top")
+
+    def test_disabled_context_bypasses_reads_and_writes(self):
+        clear_compile_cache()
+        with compile_cache_disabled():
+            CompilationSession(_program()).calyx("Top")
+            stats = compile_cache_stats()
+            assert stats["entries"] == 0 and stats["misses"] == 0
+
+    def test_cache_is_a_bounded_lru(self):
+        clear_compile_cache()
+        set_compile_cache_limit(2)
+        try:
+            CompilationSession(_program()).calyx("Top")
+            stats = compile_cache_stats()
+            assert stats["entries"] <= 2
+            assert stats["evicted"] > 0
+        finally:
+            set_compile_cache_limit(1024)
+            clear_compile_cache()
+
+    def test_in_place_mutation_cannot_poison_old_cache_entries(self):
+        """A cached checked artifact references the AST component it was
+        computed from; mutating that object in place must not leak the new
+        content to a content-identical-to-old program (shared artifacts are
+        rebound to each consumer's own component on hit)."""
+        clear_compile_cache()
+        program = _program()
+        session = CompilationSession(program)
+        session.calyx("Top")
+        # Mutate the leaf in place: the old-key check artifact's embedded
+        # component now carries the *new* body.
+        _edit_leaf_body(program, 9)
+        session.calyx("Top")
+        # A fresh program whose leaf still has the ORIGINAL body must not
+        # observe the mutated artifact.
+        fresh = _program()  # original source: leaf drives 8'd1
+        calyx = CompilationSession(fresh).calyx("Top")
+        assert "1" in str(calyx.get("Leaf"))
+        assert "9" not in str(calyx.get("Leaf"))
+
+    def test_foreign_mutation_cannot_reach_a_sharing_session(self):
+        """Sharing order reversed: B takes a shared check hit *before* A
+        mutates.  B's memoized artifact must be bound to B's own component,
+        so A's later in-place edit neither changes B's output nor poisons
+        the process-wide cache under B's pristine fingerprint."""
+        clear_compile_cache()
+        program_a = _program()
+        session_a = CompilationSession(program_a)
+        session_a.check()  # seeds the process-wide check artifacts
+        program_b = _program()
+        session_b = CompilationSession(program_b)
+        session_b.check()  # shared hit: must rebind to B's components
+        _edit_leaf_body(program_a, 9)  # A mutates AFTER B's hit
+        verilog_b = session_b.verilog("Top")
+        assert "8'd1" in verilog_b or "'d1" in verilog_b
+        assert "9" not in verilog_b.split("module Leaf", 1)[1].split(
+            "endmodule", 1)[0]
+        # A third, completely fresh session over the original source must
+        # also see the original constant (the cache was not poisoned).
+        fresh = CompilationSession(_program()).verilog("Top")
+        assert fresh == verilog_b
+
+
+class TestSeededChecks:
+    def test_stale_seed_is_rejected_when_child_signatures_changed(self):
+        """A CheckedProgram seeded into a session is only trusted while the
+        session's program yields the same check digest — self content AND
+        instantiated signatures.  A byte-identical component checked
+        against a *different* child interface must re-typecheck (and fail
+        here, since the program is genuinely ill-typed)."""
+        from repro.core import check_program
+        from repro.core.errors import FilamentError as CheckError
+        from repro.core.printer import format_program
+
+        clear_compile_cache()
+        program_1 = _program()
+        checked_1 = check_program(program_1)
+        # Same Mid/Top text, but Leaf's interface changed incompatibly:
+        # its output is now available a cycle later than Mid reads it.
+        program_2 = with_stdlib(parse_program(SOURCE.replace(
+            "-> (@[G, G+1] out: 8) {\n  out = 8'd1;",
+            "-> (@[G+1, G+2] out: 8) {\n  R := new Reg[8];\n"
+            "  r0 := R<G>(a);\n  out = r0.out;").replace(
+            "comp Leaf<G: 1>", "comp Leaf<G: 2>")))
+        session = CompilationSession(program_2, checked=checked_1)
+        with pytest.raises(CheckError):
+            session.calyx("Top")
+        # And the poisoned artifact was never published: a fresh session
+        # over the same content also rejects it.
+        with pytest.raises(CheckError):
+            CompilationSession(with_stdlib(parse_program(
+                format_program(program_2, include_externs=False)))
+            ).calyx("Top")
+
+    def test_valid_seed_skips_retypechecking(self):
+        program = _program()
+        from repro.core import check_program
+        checked = check_program(program)
+        with compile_cache_disabled():
+            session = CompilationSession(program, checked=checked)
+            calyx = session.calyx("Top")
+        assert calyx.entrypoint == "Top"
+
+
+class TestSessionFacade:
+    def test_query_stats_and_engine_are_exposed(self):
+        session = CompilationSession(_program())
+        session.calyx("Top")
+        stats = session.query_stats()
+        assert stats["executed"] > 0
+        assert stats["revision"] == session.engine.revision
+
+    def test_for_program_is_keyed_by_content_not_id(self):
+        """The historical bug: ``id()`` snapshots can alias after GC
+        reallocation.  Content fingerprints cannot: the same session keeps
+        serving the same program object, revalidating by content."""
+        program = _program()
+        first = CompilationSession.for_program(program)
+        assert CompilationSession.for_program(program) is first
+        top = first.calyx("Top")
+        # Replace a component with a content-identical copy (new objects,
+        # same fingerprints): nothing recompiles.
+        donor = _program()
+        program.components["Mid"] = donor.get("Mid")
+        mark = first.engine.log_mark()
+        assert CompilationSession.for_program(program).calyx("Top") is top
+        assert first.engine.executed_since(mark) == []

@@ -95,17 +95,80 @@ class TestMemoization:
         assert compile_program(program, "Conv2d") is \
             compile_program(program, "Conv2d")
 
-    def test_mutating_the_program_invalidates_the_shared_session(self):
-        """The one-call wrappers keep their recompile-from-scratch semantics
-        when components are added or replaced after a compile."""
+    def test_adding_components_keeps_unrelated_artifacts_cached(self):
+        """The shared session survives mutation: adding components compiles
+        the new entrypoint fine (no 'was not checked') while the untouched
+        entrypoint's artifacts are served from cache, identity-stable."""
         program = conv2d_base_program()
-        stale = compile_program(program, "Conv2d")
+        before = compile_program(program, "Conv2d")
         donor = divider_program("pipelined")
         program.components["PipeDiv"] = donor.get("PipeDiv")
         program.components["Nxt"] = donor.get("Nxt")
         fresh = compile_program(program, "PipeDiv")  # no 'was not checked'
         assert fresh.entrypoint == "PipeDiv"
-        assert compile_program(program, "Conv2d") is not stale
+        assert compile_program(program, "Conv2d") is before
+
+    def test_in_place_mutation_recompiles_through_for_program(self):
+        """Editing a component *in place* (content fingerprint, not ``id()``
+        snapshots, so a GC'd-and-reallocated component can never alias a
+        stale entry) is observed by the shared session and recompiled."""
+        from repro.core.ast import Connect, ConstantPort, PortRef
+        from repro.core.parser import parse_program
+        from repro.core.stdlib import with_stdlib
+
+        program = with_stdlib(parse_program("""
+        comp main<G: 1>(
+          @interface[G] go: 1,
+          @[G, G+1] a: 32
+        ) -> (@[G, G+1] out: 32) {
+          out = 32'd7;
+        }
+        """))
+        before = compile_program(program, "main")
+        assert "7" in str(before.get("main"))
+        component = program.get("main")
+        component.body[0] = Connect(PortRef("out"), ConstantPort(9, 32))
+        after = compile_program(program, "main")
+        assert after is not before
+        assert "9" in str(after.get("main"))
+        # The recompile really re-ran the dirty component's queries.
+        session = CompilationSession.for_program(program)
+        assert "main" in session.engine.recompiled_components()
+
+    def test_editing_one_leaf_recompiles_only_its_dependents(self):
+        """Body-editing a leaf of a multi-component design recompiles only
+        the leaf (its clients depend on its *signature* alone — the paper's
+        modularity claim — so early cutoff re-verifies them from cache)."""
+        from repro.core.ast import Connect, ConstantPort, PortRef
+        from repro.core.parser import parse_program
+        from repro.core.stdlib import with_stdlib
+
+        program = with_stdlib(parse_program("""
+        comp Leaf<G: 1>(
+          @interface[G] go: 1,
+          @[G, G+1] a: 8
+        ) -> (@[G, G+1] out: 8) {
+          out = 8'd1;
+        }
+
+        comp Top<G: 1>(
+          @interface[G] go: 1,
+          @[G, G+1] a: 8
+        ) -> (@[G, G+1] out: 8) {
+          L := new Leaf;
+          l0 := L<G>(a);
+          out = l0.out;
+        }
+        """))
+        session = CompilationSession.for_program(program)
+        top_before = session.calyx("Top").get("Top")
+        leaf = program.get("Leaf")
+        leaf.body[-1] = Connect(PortRef("out"), ConstantPort(2, 8))
+        after = session.calyx("Top")
+        # Only the leaf re-ran heavy queries; Top was served via cutoff.
+        assert session.engine.recompiled_components() == ["Leaf"]
+        assert after.get("Top") is top_before
+        assert "2" in str(after.get("Leaf"))
 
 
 class TestInstrumentation:
