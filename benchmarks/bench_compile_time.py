@@ -156,9 +156,12 @@ def main() -> int:
     # Per-design baseline: each design's speedups are relative to its own
     # fixpoint rate (a cross-design ratio would conflate design size with
     # engine speed).
+    from datetime import datetime, timezone
     path = write_bench("compile_time",
                        "evaluation designs cycles/sec + chain16 compiles/sec",
-                       rows, baseline="fixpoint")
+                       rows, baseline="fixpoint",
+                       timestamp=datetime.now(timezone.utc).isoformat(
+                           timespec="seconds"))
     print(f"figure written to {path}")
     print(f"incremental edit: recompiled {timing.recompiled} of "
           f"{timing.components} components, "

@@ -137,13 +137,15 @@ def main(argv=None) -> int:
     for lanes in LANE_POINTS:
         print(f"  lanes={lanes:3d}: {figure['lanes'][str(lanes)]:>10.1f} tx/s")
     print(f"  speedup 64 vs 1: {figure['speedup_64_vs_1']}x")
+    from datetime import datetime, timezone
     bench = write_bench(
         "lane_throughput", f"{DESIGN} fuzz_against_golden (scheduled)",
         [{"engine": "scheduled",
           "config": "scalar" if lanes == 1 else f"lanes={lanes}",
           "tx_per_sec": figure["lanes"][str(lanes)], "lanes": lanes}
          for lanes in LANE_POINTS],
-        baseline="scheduled scalar")
+        baseline="scheduled scalar",
+        timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"))
     print(f"figure written to {bench}")
     if args.out:
         Path(args.out).write_text(json.dumps(figure, indent=2) + "\n")

@@ -14,22 +14,28 @@ the perf trajectory of the repository is machine-readable across PRs:
     {"engine": "compiled",  "config": "scalar", "tx_per_sec": 1234.5,
      "speedup": 10.0}
   ],
-  "baseline": "scheduled scalar"
+  "baseline": "scheduled scalar",
+  "host": {"python": "3.11.7", "platform": "Linux-...-x86_64",
+           "cpu_count": 8, "timestamp": "2026-08-07T12:00:00+00:00"}
 }
 ```
 
-``speedup`` is always relative to the named baseline row.  CI jobs upload
-these files as artifacts; gates read the freshly written file rather than
-re-measuring.
+``speedup`` is always relative to the named baseline row.  ``host``
+records where the numbers were taken (throughput figures are meaningless
+without it); the timestamp is caller-passed so figure content stays a pure
+function of the measurement.  CI jobs upload these files as artifacts;
+gates read the freshly written file rather than re-measuring.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import platform
 from pathlib import Path
 from typing import Dict, List, Optional
 
-__all__ = ["bench_path", "write_bench"]
+__all__ = ["bench_path", "host_metadata", "write_bench"]
 
 #: Figures land at the repository root (next to README.md).
 _REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -40,8 +46,21 @@ def bench_path(name: str) -> Path:
     return _REPO_ROOT / f"BENCH_{name}.json"
 
 
+def host_metadata(timestamp: Optional[str] = None) -> Dict:
+    """The ``host`` block of a benchmark figure: interpreter, platform and
+    CPU count, plus a caller-supplied ISO timestamp (``None`` when the
+    caller has no meaningful run time to record, e.g. under pytest)."""
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "timestamp": timestamp,
+    }
+
+
 def write_bench(name: str, workload: str, rows: List[Dict],
-                baseline: Optional[str] = None) -> Path:
+                baseline: Optional[str] = None,
+                timestamp: Optional[str] = None) -> Path:
     """Write one benchmark figure in the common schema and return its path.
 
     ``rows`` are dicts with at least ``engine``, ``config`` and
@@ -54,7 +73,8 @@ def write_bench(name: str, workload: str, rows: List[Dict],
     A row may carry its own ``"baseline"`` key (same syntax) to override
     the figure-wide reference, which lets one file mix sections with
     different baselines (e.g. cycles/sec rows against ``fixpoint`` next to
-    compile-time rows against ``cold``).
+    compile-time rows against ``cold``).  ``timestamp`` (an ISO string) is
+    recorded verbatim in the ``host`` block.
     """
     rows = [dict(row) for row in rows]
     if not rows:
@@ -90,6 +110,7 @@ def write_bench(name: str, workload: str, rows: List[Dict],
         "workload": workload,
         "rows": rows,
         "baseline": baseline,
+        "host": host_metadata(timestamp),
     }
     path = bench_path(name)
     path.write_text(json.dumps(figure, indent=2) + "\n")

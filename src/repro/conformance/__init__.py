@@ -5,8 +5,9 @@ The paper validates designs by fuzzing against golden models (Appendix B.1);
 this package generalises that from hand-written designs to a *generator* of
 random, well-typed Filament programs, each executed through every oracle in
 the repository — the type checker, the log semantics, Calyx well-formedness,
-a print/re-parse round-trip, the scheduled and fixpoint simulation engines,
-and an exact Python golden model — under identical random stimulus.
+a print/re-parse round-trip, the four simulation engine tiers (native C,
+compiled Python kernel, scheduled interpreter, fixpoint reference), and an
+exact Python golden model — under identical random stimulus.
 
 Quick use::
 

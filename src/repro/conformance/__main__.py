@@ -45,9 +45,10 @@ def _parser() -> argparse.ArgumentParser:
                              "engine and checked against scalar traces "
                              "(default 4; 1 disables the packed way)")
     parser.add_argument("--engine", action="append", dest="engines",
-                        choices=["scheduled", "fixpoint", "compiled"],
+                        choices=["scheduled", "fixpoint", "compiled",
+                                 "native"],
                         help="engines to include in the differential matrix "
-                             "(repeatable; default: all three)")
+                             "(repeatable; default: all four)")
     parser.add_argument("--ledger", metavar="PATH",
                         help="write the coverage ledger JSON here")
     parser.add_argument("--replay", metavar="DIR",

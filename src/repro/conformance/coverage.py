@@ -49,6 +49,12 @@ class CoverageRecord:
     #: :attr:`kernel_fallback` records why.
     kernel: bool = False
     kernel_fallback: Optional[str] = None
+    #: Whether the ``native`` engine executed through a compiled C kernel
+    #: (:mod:`repro.sim.native`); when it fell back down the tier chain,
+    #: :attr:`native_fallback` records why (ineligible netlist, >64-bit
+    #: values, no host C compiler, ...).
+    native: bool = False
+    native_fallback: Optional[str] = None
     #: Whether the incremental-recompilation way ran (a seeded mutation was
     #: applied and the incremental artifacts were refereed byte-for-byte
     #: against a from-scratch compile), and which mutation family it used
@@ -93,6 +99,8 @@ class CoverageRecord:
             "lanes": self.lanes,
             "kernel": self.kernel,
             "kernel_fallback": self.kernel_fallback,
+            "native": self.native,
+            "native_fallback": self.native_fallback,
             "incremental": self.incremental,
             "incremental_mutation": self.incremental_mutation,
             "divergences": self.divergences,
@@ -183,6 +191,28 @@ class CoverageLedger:
                     histogram.get(record.kernel_fallback, 0) + 1)
         return dict(sorted(histogram.items()))
 
+    def native_paths(self) -> Dict[str, int]:
+        """How many programs the native engine ran through a compiled C
+        kernel vs. fell back down the tier chain; runs whose matrix did not
+        include the native engine are counted separately."""
+        native = fallback = 0
+        for record in self.records:
+            if record.native:
+                native += 1
+            elif record.native_fallback:
+                fallback += 1
+        return {"native": native, "fallback": fallback,
+                "not-attempted": len(self.records) - native - fallback}
+
+    def native_fallback_histogram(self) -> Dict[str, int]:
+        """Why the native engine fell back, across recorded programs."""
+        histogram: Dict[str, int] = {}
+        for record in self.records:
+            if record.native_fallback:
+                histogram[record.native_fallback] = (
+                    histogram.get(record.native_fallback, 0) + 1)
+        return dict(sorted(histogram.items()))
+
     def incremental_mutation_histogram(self) -> Dict[str, int]:
         """Which mutation families the incremental-recompilation way
         exercised, across recorded programs."""
@@ -223,6 +253,13 @@ class CoverageLedger:
             kernel_reasons = self.kernel_fallback_histogram()
             if kernel_reasons:
                 lines.append(f"  kernel fallbacks: {kernel_reasons}")
+        natives = self.native_paths()
+        if natives["native"] or natives["fallback"]:
+            lines.append(f"  native paths: {natives['native']} C kernel, "
+                         f"{natives['fallback']} fallback")
+            native_reasons = self.native_fallback_histogram()
+            if native_reasons:
+                lines.append(f"  native fallbacks: {native_reasons}")
         lanes = sorted({record.lanes for record in self.records})
         if lanes and lanes != [1]:
             lines.append(f"  packed lanes per run: {lanes}")
@@ -253,6 +290,8 @@ class CoverageLedger:
             "fallback_reasons": self.fallback_reason_histogram(),
             "kernel_paths": self.kernel_paths(),
             "kernel_fallbacks": self.kernel_fallback_histogram(),
+            "native_paths": self.native_paths(),
+            "native_fallbacks": self.native_fallback_histogram(),
             "incremental_mutations": self.incremental_mutation_histogram(),
             "records": [record.to_dict() for record in self.records],
         }

@@ -14,10 +14,13 @@ under identical random stimulus, and all answers must agree:
    :mod:`repro.core.printer` must re-parse to a structurally identical AST,
    and the re-parsed program must produce the *same execution trace*;
 5. **engines** — the scheduled engine (``mode="auto"``), the reference
-   fixpoint engine (``mode="fixpoint"``) and the generated-kernel engine
-   (``mode="compiled"``, :mod:`repro.sim.codegen`) must produce
-   cycle-identical traces, including X propagation (the harness drives X
-   outside every availability window);
+   fixpoint engine (``mode="fixpoint"``), the generated-kernel engine
+   (``mode="compiled"``, :mod:`repro.sim.codegen`) and the native C engine
+   (``mode="native"``, :mod:`repro.sim.native`; its tier chain falls back
+   to the compiled kernel with a recorded reason when the netlist is
+   ineligible or the host has no C compiler) must produce cycle-identical
+   traces, including X propagation (the harness drives X outside every
+   availability window);
 6. **lane-packed vs scalar** — ``lanes`` independently seeded stimulus
    streams run through one lane-packed pass
    (:meth:`~repro.sim.engine.ScheduledEngine.run_lanes`) of a single engine
@@ -68,14 +71,19 @@ _MAX_REPORTED = 5
 
 
 def default_engines() -> Dict[str, EngineFactory]:
-    """The standard three-engine matrix: the levelized scheduled engine,
-    the reference sweep-loop (fixpoint) engine, and the generated-kernel
-    (compiled) engine — every generated program must trace identically
-    across all of them."""
+    """The standard four-engine matrix: the levelized scheduled engine,
+    the reference sweep-loop (fixpoint) engine, the generated-kernel
+    (compiled) engine, and the native C engine — every generated program
+    must trace identically across all of them.  The native engine is
+    always included: on hosts without a C compiler (or for ineligible
+    netlists) it transparently rides the rest of the tier chain, which is
+    itself part of the contract under test, and the coverage ledger
+    records which path actually ran."""
     return {
         "scheduled": lambda calyx, entry: Simulator(calyx, entry, mode="auto"),
         "fixpoint": lambda calyx, entry: Simulator(calyx, entry, mode="fixpoint"),
         "compiled": lambda calyx, entry: Simulator(calyx, entry, mode="compiled"),
+        "native": lambda calyx, entry: Simulator(calyx, entry, mode="native"),
     }
 
 
@@ -290,6 +298,10 @@ def run_conformance(generated: GeneratedProgram,
     if isinstance(compiled_engine, ScheduledEngine):
         coverage.kernel = compiled_engine.uses_kernel()
         coverage.kernel_fallback = compiled_engine.kernel_fallback_reason
+    native_engine = built_engines.get("native")
+    if isinstance(native_engine, ScheduledEngine):
+        coverage.native = native_engine.uses_native()
+        coverage.native_fallback = native_engine.native_fallback_reason
 
     # 6. Lane-packed execution must be bit-identical to scalar runs: the
     #    original stimulus plus ``lanes - 1`` freshly seeded streams go

@@ -31,6 +31,7 @@ Verilog artifacts even though they never met; ``compile_cache_stats`` /
 
 from __future__ import annotations
 
+import os
 import time
 from collections import OrderedDict
 from contextlib import contextmanager
@@ -51,6 +52,7 @@ __all__ = [
     "QueryStats",
     "compile_cache_stats",
     "clear_compile_cache",
+    "compile_cache_limit",
     "set_compile_cache_limit",
     "compile_cache_disabled",
 ]
@@ -72,9 +74,29 @@ COMPONENT_STAGES: Tuple[str, ...] = ("sig", "check", "lower", "calyx", "vcomp")
 # ---------------------------------------------------------------------------
 
 _ARTIFACTS: "OrderedDict[Tuple[str, str], Tuple[object, str]]" = OrderedDict()
-_ARTIFACT_LIMIT = 1024
+#: Explicit programmatic override; ``None`` defers to the environment.
+_ARTIFACT_LIMIT: Optional[int] = None
+_ARTIFACT_LIMIT_DEFAULT = 1024
 _ARTIFACT_STATS = {"hits": 0, "misses": 0, "evicted": 0}
 _CACHE_DISABLED = 0
+
+
+def compile_cache_limit() -> int:
+    """Effective compile-cache bound: an explicit
+    :func:`set_compile_cache_limit` override wins, then the
+    ``REPRO_COMPILE_CACHE`` environment variable, then the default
+    (1024)."""
+    if _ARTIFACT_LIMIT is not None:
+        return _ARTIFACT_LIMIT
+    raw = os.environ.get("REPRO_COMPILE_CACHE")
+    if raw is not None:
+        try:
+            parsed = int(raw)
+        except ValueError:
+            return _ARTIFACT_LIMIT_DEFAULT
+        if parsed >= 0:
+            return parsed
+    return _ARTIFACT_LIMIT_DEFAULT
 
 
 def compile_cache_stats() -> Dict[str, int]:
@@ -85,7 +107,7 @@ def compile_cache_stats() -> Dict[str, int]:
         "misses": _ARTIFACT_STATS["misses"],
         "evicted": _ARTIFACT_STATS["evicted"],
         "entries": len(_ARTIFACTS),
-        "limit": _ARTIFACT_LIMIT,
+        "limit": compile_cache_limit(),
     }
 
 
@@ -97,13 +119,16 @@ def clear_compile_cache() -> None:
     _ARTIFACT_STATS["evicted"] = 0
 
 
-def set_compile_cache_limit(limit: int) -> None:
-    """Resize the bounded process-wide cache (evicting LRU entries)."""
+def set_compile_cache_limit(limit: Optional[int]) -> None:
+    """Pin the bounded process-wide cache's size, evicting LRU entries to
+    fit (``None`` returns control to ``REPRO_COMPILE_CACHE``/the
+    default)."""
     global _ARTIFACT_LIMIT
-    if limit < 0:
+    if limit is not None and limit < 0:
         raise ValueError("compile cache limit must be non-negative")
     _ARTIFACT_LIMIT = limit
-    while len(_ARTIFACTS) > _ARTIFACT_LIMIT:
+    bound = compile_cache_limit()
+    while len(_ARTIFACTS) > bound:
         _ARTIFACTS.popitem(last=False)
         _ARTIFACT_STATS["evicted"] += 1
 
@@ -136,10 +161,11 @@ def _artifact_put(stage: str, fingerprint: str, value: object,
     if _CACHE_DISABLED:
         return
     _ARTIFACT_STATS["misses"] += 1
-    if _ARTIFACT_LIMIT <= 0:
+    bound = compile_cache_limit()
+    if bound <= 0:
         return
     _ARTIFACTS[(stage, fingerprint)] = (value, digest)
-    while len(_ARTIFACTS) > _ARTIFACT_LIMIT:
+    while len(_ARTIFACTS) > bound:
         _ARTIFACTS.popitem(last=False)
         _ARTIFACT_STATS["evicted"] += 1
 

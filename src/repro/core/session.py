@@ -285,11 +285,18 @@ class CompilationSession:
         and the build is recorded as a ``"kernel"`` stage timing —
         structurally identical netlists hit the process-wide kernel cache
         (keyed by netlist digest), so a warm recompile shows up as a cache
-        hit exactly like the check/lower/calyx stages do."""
+        hit exactly like the check/lower/calyx stages do.  With
+        ``mode="native"`` the C kernel build is recorded the same way as a
+        ``"native"`` stage timing (in-memory and on-disk cache hits both
+        count as cached); when the native tier falls back, the Python
+        kernel it fell back to is recorded instead."""
         from ..sim.simulator import Simulator
         simulator = Simulator(self.calyx(entrypoint), entrypoint, mode=mode)
-        if mode == "compiled":
+        if mode in ("compiled", "native"):
             info = simulator.prepare()
+            if mode == "native" and info["native"]:
+                self._record("native", entrypoint, info["native_seconds"],
+                             cached=info["native_cached"])
             if info["kernel"]:
                 self._record("kernel", entrypoint, info["seconds"],
                              cached=info["cached"])

@@ -42,6 +42,7 @@ hits next to its other stage timings.
 from __future__ import annotations
 
 import hashlib
+import os
 import time
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -56,6 +57,8 @@ __all__ = [
     "kernel_for",
     "netlist_digest",
     "kernel_cache_stats",
+    "kernel_cache_limit",
+    "set_kernel_cache_limit",
     "clear_kernel_cache",
 ]
 
@@ -1361,8 +1364,40 @@ def generate_source(engine) -> Tuple[str, dict, Dict[_Key, int], List[str]]:
 #: distinct netlists through the compiled tier, and each cached program
 #: retains its full source text and exec'd namespace.
 _CACHE: "OrderedDict[str, CompiledKernelProgram]" = OrderedDict()
-_CACHE_LIMIT = 256
+#: Explicit programmatic override; ``None`` defers to the environment.
+_CACHE_LIMIT: Optional[int] = None
+_CACHE_LIMIT_DEFAULT = 256
 _STATS = {"hits": 0, "misses": 0}
+
+
+def kernel_cache_limit() -> int:
+    """Effective kernel LRU bound: an explicit
+    :func:`set_kernel_cache_limit` override wins, then the
+    ``REPRO_KERNEL_CACHE`` environment variable, then the default (256).
+    The native tier's program LRU shares this knob."""
+    if _CACHE_LIMIT is not None:
+        return _CACHE_LIMIT
+    raw = os.environ.get("REPRO_KERNEL_CACHE")
+    if raw is not None:
+        try:
+            parsed = int(raw)
+        except ValueError:
+            return _CACHE_LIMIT_DEFAULT
+        if parsed >= 0:
+            return parsed
+    return _CACHE_LIMIT_DEFAULT
+
+
+def set_kernel_cache_limit(limit: Optional[int]) -> None:
+    """Pin the kernel LRU bound (``None`` returns control to
+    ``REPRO_KERNEL_CACHE``/the default), evicting LRU entries to fit."""
+    global _CACHE_LIMIT
+    if limit is not None and limit < 0:
+        raise ValueError("kernel cache limit must be non-negative")
+    _CACHE_LIMIT = limit
+    bound = kernel_cache_limit()
+    while len(_CACHE) > bound:
+        _CACHE.popitem(last=False)
 
 
 def kernel_cache_stats() -> Dict[str, int]:
@@ -1410,7 +1445,7 @@ def kernel_for(engine) -> Tuple[CompiledKernelProgram, bool, float]:
                                     output_names)
     seconds = time.perf_counter() - start
     _CACHE[digest] = program
-    while len(_CACHE) > _CACHE_LIMIT:
+    while len(_CACHE) > kernel_cache_limit():
         _CACHE.popitem(last=False)
     _STATS["misses"] += 1
     return program, False, seconds

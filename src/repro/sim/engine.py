@@ -44,13 +44,24 @@ repository (Python-interpreting the netlist) across the batch, which is what
 lets the conformance matrix and the fuzz harness drive wide stimulus loads
 at a usable throughput.
 
-``mode="compiled"`` adds the top tier: the levelized schedule is compiled
+``mode="compiled"`` adds the next tier: the levelized schedule is compiled
 once into a specialized straight-line Python kernel
 (:mod:`repro.sim.codegen`, cached process-wide by netlist digest) and
 ``step``/``run_batch``/``run_lanes`` execute through it — with automatic
 fallback to the interpreter tiers for netlists codegen cannot handle, so
 semantics never fork (:attr:`ScheduledEngine.kernel_fallback_reason`
 records why).
+
+``mode="native"`` adds the top tier: the same schedule is emitted as C
+(:mod:`repro.sim.native`), compiled with the host C compiler and driven
+through :mod:`ctypes`.  The chain is native → compiled → scheduled →
+fixpoint: a netlist the C tier cannot represent (black boxes, >64-bit
+values) or a host without a compiler falls back to the compiled-Python
+kernel with the reason recorded in
+:attr:`ScheduledEngine.native_fallback_reason`.  Scalar batches
+(``run_batch``/``step``, plus the columnar :meth:`ScheduledEngine.run_columns`
+fast path) run natively; ``run_lanes`` rides the compiled-Python packed
+kernel.
 """
 
 from __future__ import annotations
@@ -85,7 +96,10 @@ _MAX_SWEEPS = 200
 #: loop everywhere (the reference semantics, kept for differential testing);
 #: ``"compiled"`` additionally generates a specialized Python kernel from
 #: the schedule (:mod:`repro.sim.codegen`) and automatically falls back to
-#: the scheduled interpreter when codegen is unavailable for a netlist.
+#: the scheduled interpreter when codegen is unavailable for a netlist;
+#: ``"native"`` sits one tier above ``"compiled"``: the schedule is emitted
+#: as C (:mod:`repro.sim.native`) with automatic fallback down the same
+#: chain.
 SimulatorMode = str
 
 _PRIM = 0
@@ -168,7 +182,7 @@ class ScheduledEngine:
     def __init__(self, program: CalyxProgram,
                  component: Optional[str] = None,
                  mode: SimulatorMode = "auto") -> None:
-        if mode not in ("auto", "fixpoint", "compiled"):
+        if mode not in ("auto", "fixpoint", "compiled", "native"):
             raise SimulationError(f"unknown simulator mode {mode!r}")
         self.program = program
         self.mode = mode
@@ -206,10 +220,12 @@ class ScheduledEngine:
             node.cell: node.in_items for node in self._prim_nodes
         }
 
-        # Kernel-codegen state (mode="compiled"); the kernel is built lazily
-        # on the first run so construction stays cheap and children (which
-        # are only ever driven through their parent) never compile one.
-        self._compile_requested = mode == "compiled"
+        # Kernel-codegen state (mode="compiled"/"native"); the kernel is
+        # built lazily on the first run so construction stays cheap and
+        # children (which are only ever driven through their parent) never
+        # compile one.  mode="native" also enables this tier: it is the
+        # first fallback below the C kernel.
+        self._compile_requested = mode in ("compiled", "native")
         self._kernel = None
         self._kernel_program = None
         self._kernel_attempted = False
@@ -219,6 +235,21 @@ class ScheduledEngine:
         #: Why ``mode="compiled"`` fell back to the interpreter (``None``
         #: while the generated kernel runs, or when codegen was not asked).
         self.kernel_fallback_reason: Optional[str] = None
+
+        # Native-tier state (mode="native"): the C kernel sits above the
+        # compiled-Python kernel in the fallback chain
+        # native → compiled → scheduled → fixpoint.
+        self._native_requested = mode == "native"
+        self._native = None
+        self._native_program = None
+        self._native_attempted = False
+        self._native_used = False
+        self._native_from_cache = False
+        self._native_build_seconds = 0.0
+        #: Why ``mode="native"`` fell back to the compiled-Python tier (or
+        #: further): ``native(...)`` for C-tier ineligibility/compiler
+        #: problems, ``interpreter(...)`` when even the schedule is out.
+        self.native_fallback_reason: Optional[str] = None
 
         # Driver grouping, computed once (the fixpoint interpreter used to
         # rebuild this dictionary on every sweep of every cycle).
@@ -366,6 +397,9 @@ class ScheduledEngine:
         if self._kernel is not None:
             self._kernel.reset()
             self._kernel_used = False
+        if self._native is not None:
+            self._native.reset()
+            self._native_used = False
 
     # -- kernel codegen (mode="compiled") --------------------------------------
 
@@ -399,22 +433,91 @@ class ScheduledEngine:
         meaningful after the first run in ``mode="compiled"``)."""
         return self._kernel is not None
 
+    # -- native C tier (mode="native") -----------------------------------------
+
+    def _ensure_native(self):
+        """The native (C) kernel instance, building it on first use;
+        ``None`` when the native tier was not requested or is unavailable
+        for this netlist/host (the compiled-Python tier then runs,
+        recording :attr:`native_fallback_reason`)."""
+        if not self._native_requested or self._native_attempted:
+            return self._native
+        self._native_attempted = True
+        if not self.scheduled_everywhere():
+            reasons = ", ".join(f"{name}: {reason}" for name, reason
+                                in sorted(self.fallback_reasons().items()))
+            self.native_fallback_reason = f"interpreter({reasons})"
+            return None
+        from . import native
+        try:
+            program, cached, seconds = native.native_for(self)
+        except native.NativeUnavailable as unavailable:
+            self.native_fallback_reason = f"native({unavailable.reason})"
+            return None
+        self._native_program = program
+        self._native_from_cache = cached
+        self._native_build_seconds = seconds
+        self._native = program.instance()
+        return self._native
+
+    def uses_native(self) -> bool:
+        """Whether this engine executes through a native C kernel (only
+        meaningful after the first run in ``mode="native"``)."""
+        return self._native is not None
+
+    def native_active(self) -> bool:
+        """Whether scalar batches will run on the native C kernel (builds
+        it if needed).  False outside ``mode="native"`` or after a
+        fallback."""
+        return (self._ensure_native() is not None
+                if self._native_requested else False)
+
+    def run_columns(self, cycles: int, columns) -> Optional[Dict[str, object]]:
+        """Columnar batch execution on the native tier: ``columns`` maps
+        input port name → ``(values, xflags)`` sequences of length
+        ``cycles`` (missing ports idle at X); returns per-output-port
+        ``(values, xflags)`` columns, or ``None`` when the native tier is
+        not running (callers then fall back to :meth:`run_batch`)."""
+        native = self._ensure_native() if self._native_requested else None
+        if native is None:
+            return None
+        unknown = set(columns) - self._input_set
+        if unknown:
+            raise SimulationError(
+                f"{self.component.name}: unknown input port "
+                f"{sorted(unknown)[0]!r}"
+            )
+        self._native_used = True
+        out = native.run_columns(cycles, columns)
+        self.cycle += cycles
+        return out
+
     def prepare(self) -> Dict[str, object]:
         """Eagerly finish engine construction and report how this engine
         will execute.
 
         In ``mode="compiled"`` this builds (or fetches from the digest
         cache) the generated kernel that would otherwise be built lazily on
-        the first run; other modes are already fully constructed.  Returns
-        ``{"kernel": bool, "cached": bool, "seconds": float,
-        "fallback_reason": Optional[str]}`` — the public surface sessions
-        and benchmarks use instead of reaching into engine internals."""
-        self._ensure_kernel()
+        the first run; ``mode="native"`` first tries the C tier and only
+        builds the Python kernel when the C tier fell back; other modes are
+        already fully constructed.  Returns ``{"kernel": bool, "cached":
+        bool, "seconds": float, "fallback_reason": Optional[str], "native":
+        bool, "native_cached": bool, "native_seconds": float,
+        "native_fallback_reason": Optional[str]}`` — the public surface
+        sessions and benchmarks use instead of reaching into engine
+        internals."""
+        native = self._ensure_native() if self._native_requested else None
+        if native is None:
+            self._ensure_kernel()
         return {
             "kernel": self._kernel is not None,
             "cached": self._kernel_from_cache,
             "seconds": self._kernel_build_seconds,
             "fallback_reason": self.kernel_fallback_reason,
+            "native": self._native is not None,
+            "native_cached": self._native_from_cache,
+            "native_seconds": self._native_build_seconds,
+            "native_fallback_reason": self.native_fallback_reason,
         }
 
     # -- one cycle -------------------------------------------------------------
@@ -442,6 +545,13 @@ class ScheduledEngine:
                 f"{self.component.name}: unknown input port "
                 f"{sorted(unknown)[0]!r}"
             )
+        if self._native_requested:
+            native = self._ensure_native()
+            if native is not None:
+                self._native_used = True
+                trace = native.run_batch(stimuli)
+                self.cycle += len(trace)
+                return trace
         kernel = self._ensure_kernel()
         if kernel is not None:
             self._kernel_used = True
@@ -560,6 +670,13 @@ class ScheduledEngine:
             child._enter_lanes(ctx)
 
     def _step_unchecked(self, inputs: Dict[str, Value]) -> Dict[str, Value]:
+        if self._native_requested:
+            native = self._ensure_native()
+            if native is not None:
+                self._native_used = True
+                outputs = native.cycle(inputs)
+                self.cycle += 1
+                return outputs
         kernel = self._ensure_kernel()
         if kernel is not None:
             self._kernel_used = True
@@ -575,6 +692,10 @@ class ScheduledEngine:
 
     def outputs(self) -> Dict[str, Value]:
         """Output port values as of the last settle."""
+        if self._native_used:
+            native = self._native
+            return {port.name: native.peek((None, port.name))
+                    for port in self.component.outputs}
         if self._kernel_used:
             kernel = self._kernel
             return {port.name: kernel.peek((None, port.name))
@@ -584,6 +705,8 @@ class ScheduledEngine:
 
     def peek(self, cell: Optional[str], port: str) -> Value:
         """Inspect any internal signal (used by waveforms and tests)."""
+        if self._native_used:
+            return self._native.peek((cell, port))
         if self._kernel_used:
             return self._kernel.peek((cell, port))
         return self._values.get((cell, port), X)

@@ -1,0 +1,1019 @@
+"""Native execution tier: C kernel emission below the Python kernels.
+
+:mod:`repro.sim.codegen` compiles a levelized netlist into straight-line
+Python; this module walks the **same** schedule and emits the same kernel as
+C instead — signals become ``uint64_t`` value slots with a parallel
+``uint8_t`` X-plane, stdlib primitive semantics become the same mask
+expressions the scalar Python templates inline, driver groups become
+if/else chains with exact conflict detection, and sequential state lives in
+one flat struct per component with ``settle``/``tick``/``reset`` entry
+points.  The generated translation unit is compiled once per netlist digest
+with the host C compiler (``cc``/``gcc``/``clang``; override with
+``REPRO_CC``), loaded through :mod:`ctypes`, and cached twice:
+
+* an on-disk cache of ``.c``/``.so`` pairs keyed by the same netlist digest
+  the Python kernel LRU uses (``REPRO_NATIVE_CACHE_DIR`` overrides the
+  location), so a recompile across processes is a file load, and
+* a process-wide bounded LRU of loaded programs next to the kernel LRU
+  (sharing its ``REPRO_KERNEL_CACHE`` size knob).
+
+The tier is **scalar only** and deliberately conservative: netlists with
+black-box/substrate primitives, any value wider than 64 bits (the
+``uint64_t`` spill path is deferred — see ISSUE 6), constants that do not
+fit in 64 bits, or no host C compiler raise :class:`NativeUnavailable` and
+the engine falls back to the compiled-Python tier exactly as compiled falls
+back to scheduled: the chain is native → compiled → scheduled → fixpoint
+and semantics never fork.  Lane-packed runs under ``mode="native"`` ride
+the compiled-Python packed kernel unchanged.
+
+Exactness notes (all widths ≤ 64):
+
+* ``a + b``, ``a - b`` and ``a * b`` on ``uint64_t`` wrap modulo 2**64,
+  which equals Python's ``(a ± b) & mask`` / ``(a * b) & mask`` for any
+  mask of ≤ 64 bits;
+* X canonicalisation: whenever a slot's X flag is set its value word is 0,
+  so value equality checks inside driver groups match the interpreter's
+  ``Value`` comparisons;
+* conflicting drivers abort the C batch mid-settle and report the group;
+  the Python wrapper re-reads the captured guard/source slots and replays
+  :func:`repro.sim.codegen._resolve_slots` to raise the **identical**
+  :class:`~repro.core.errors.SimulationError` message;
+* input values are truncated to their port's declared width at the C
+  boundary (the same contract ``run_lanes`` documents).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import shutil
+import subprocess
+import tempfile
+import time
+from array import array
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import SimulationError
+from .values import Value, X
+from . import codegen
+from .codegen import (
+    _MULT_LATENCY,
+    _SCALAR_BINARY,
+    _ComponentCompiler,
+    _is_stdlib,
+    _reachable_engines,
+    _resolve_slots,
+    netlist_digest,
+)
+
+__all__ = [
+    "NativeUnavailable",
+    "NativeKernelProgram",
+    "NativeKernel",
+    "native_for",
+    "find_compiler",
+    "compiler_available",
+    "native_cache_stats",
+    "clear_native_cache",
+]
+
+#: Bump when the generated C ABI changes (invalidates the on-disk cache).
+_ABI = 1
+
+#: Maximum ``.so`` artifacts kept in the on-disk cache (oldest pruned).
+_DISK_LIMIT = 256
+
+_M64 = (1 << 64) - 1
+
+#: A signal key, as everywhere else: ``(cell_name_or_None, port_name)``.
+_Key = Tuple[Optional[str], str]
+
+
+class NativeUnavailable(Exception):
+    """The native tier cannot handle this netlist (or this host); the
+    caller falls back to the compiled-Python kernel tier."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+# ---------------------------------------------------------------------------
+# Host compiler detection
+# ---------------------------------------------------------------------------
+
+_COMPILER_CACHE: List[Optional[str]] = []
+
+
+def find_compiler() -> Optional[str]:
+    """Path of the host C compiler, or ``None``.  ``REPRO_CC`` overrides
+    the ``cc``/``gcc``/``clang`` probe; the result is memoised."""
+    if _COMPILER_CACHE:
+        return _COMPILER_CACHE[0]
+    override = os.environ.get("REPRO_CC")
+    candidates = [override] if override else ["cc", "gcc", "clang"]
+    found = None
+    for candidate in candidates:
+        if candidate:
+            found = shutil.which(candidate)
+            if found:
+                break
+    _COMPILER_CACHE.append(found)
+    return found
+
+
+def compiler_available() -> bool:
+    """Whether the native tier can build kernels on this host."""
+    return find_compiler() is not None
+
+
+def _cache_dir() -> Path:
+    """The on-disk ``.c``/``.so`` cache directory (created on demand)."""
+    override = os.environ.get("REPRO_NATIVE_CACHE_DIR")
+    if override:
+        directory = Path(override)
+    else:
+        directory = Path(tempfile.gettempdir()) / "repro-native-cache"
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory
+
+
+def _prune_disk_cache(directory: Path) -> None:
+    artifacts = sorted(directory.glob("native_*.so"),
+                       key=lambda path: path.stat().st_mtime)
+    for stale in artifacts[:-_DISK_LIMIT] if len(artifacts) > _DISK_LIMIT else []:
+        for path in (stale, stale.with_suffix(".c")):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+
+# ---------------------------------------------------------------------------
+# C source emission
+# ---------------------------------------------------------------------------
+
+
+def _hex(value: int) -> str:
+    return f"0x{value:x}ULL"
+
+
+class _PlanRegistry:
+    """Multi-driver group plans shared across the whole translation unit:
+    each gets a global id, the Python-side resolution tuple (for exact
+    error replay) and the list of slot indices the C code captures at the
+    moment of a conflict."""
+
+    def __init__(self) -> None:
+        self.plans: List[tuple] = []
+        self.captures: List[List[int]] = []
+
+    def add(self, plan: tuple, capture: List[int]) -> int:
+        self.plans.append(plan)
+        self.captures.append(capture)
+        return len(self.plans) - 1
+
+    @property
+    def max_capture(self) -> int:
+        return max([len(c) for c in self.captures] + [1])
+
+
+class _CEmitter:
+    """Emits one component's struct, ``reset``/``settle``/``tick`` C
+    functions from the shared :class:`_ComponentCompiler` slot analysis."""
+
+    def __init__(self, compiler: _ComponentCompiler,
+                 plans: _PlanRegistry) -> None:
+        self.c = compiler
+        self.plans = plans
+        self.cid = compiler.comp_id
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _mask(self, width: int, where: str) -> int:
+        if width > 64:
+            raise NativeUnavailable(f"{where}: width {width} > 64 "
+                                    f"(uint64 spill path deferred)")
+        return (1 << width) - 1
+
+    def _const(self, value, where: str) -> int:
+        if value is X:
+            raise NativeUnavailable(f"{where}: X constant")
+        if not isinstance(value, int) or value < 0 or value > _M64:
+            raise NativeUnavailable(f"{where}: constant {value!r} does not "
+                                    f"fit in uint64")
+        return value
+
+    def _v(self, slot: int) -> str:
+        return f"st->v[{slot}]"
+
+    def _x(self, slot: int) -> str:
+        return f"st->x[{slot}]"
+
+    # -- struct ----------------------------------------------------------------
+
+    def emit_struct(self, out: codegen._Lines) -> None:
+        out.emit(f"typedef struct S{self.cid} {{"
+                 f"  /* component {self.c.name!r} */")
+        out.emit(f"    uint64_t v[{len(self.c.slots)}];")
+        out.emit(f"    uint8_t x[{len(self.c.slots)}];")
+        for node in self.c.engine._child_nodes:
+            child_id = self.c.child_ids[node.engine.component.name]
+            out.emit(f"    struct S{child_id} c_{self.c._ident(node.cell)};"
+                     f"  /* child {node.cell} */")
+        out.emit(f"}} S{self.cid};")
+        out.emit()
+
+    # -- reset -----------------------------------------------------------------
+
+    def emit_reset(self, out: codegen._Lines) -> None:
+        c = self.c
+        out.emit(f"static void reset_c{self.cid}(S{self.cid}* st) {{")
+        out.indent += 1
+        out.emit("memset(st->v, 0, sizeof(st->v));")
+        out.emit("memset(st->x, 1, sizeof(st->x));")
+        for index, value in sorted(c.init.items()):
+            if value is X:
+                continue
+            literal = self._const(value, f"{c.name}: init slot {index}")
+            out.emit(f"st->v[{index}] = {_hex(literal)}; st->x[{index}] = 0;")
+        for node in c.engine._child_nodes:
+            child_id = c.child_ids[node.engine.component.name]
+            out.emit(f"reset_c{child_id}(&st->c_{c._ident(node.cell)});")
+        out.indent -= 1
+        out.emit("}")
+        out.emit()
+
+    # -- settle ----------------------------------------------------------------
+
+    def emit_settle(self, out: codegen._Lines) -> None:
+        c = self.c
+        out.emit(f"static int settle_c{self.cid}(S{self.cid}* st) {{")
+        out.indent += 1
+        from .engine import _GROUP, _PRIM
+        for kind, payload in c.engine._schedule:
+            if kind == _PRIM:
+                self._emit_prim(out, payload)
+            elif kind == _GROUP:
+                self._emit_group(out, payload)
+            else:
+                self._emit_child(out, payload)
+        out.emit("return 0;")
+        out.indent -= 1
+        out.emit("}")
+        out.emit()
+
+    def _emit_prim(self, out: codegen._Lines, node) -> None:
+        model = node.model
+        cell = node.cell
+        if not _is_stdlib(model):  # pragma: no cover - eligibility pre-check
+            raise NativeUnavailable(f"black-box primitive {cell!r}")
+        name = model.name
+        width = model.width
+        sl = self.c.slots
+        where = f"{self.c.name}.{cell} = {name}"
+
+        def v(port: str) -> str:
+            return self._v(sl[(cell, port)])
+
+        def x(port: str) -> str:
+            return self._x(sl[(cell, port)])
+
+        if name in _SCALAR_BINARY:
+            mask = self._mask(width, where)
+            out_width = getattr(model, "_output_width", None)
+            o = sl[(cell, "out")]
+            out.emit(f"{{ /* {cell} = {name}[{width}] */")
+            out.indent += 1
+            out.emit(f"uint8_t xx = {x('left')} | {x('right')};")
+            if out_width is not None:
+                cmp_ops = {"Eq": "==", "Neq": "!=", "Lt": "<", "Gt": ">",
+                           "Le": "<=", "Ge": ">="}
+                expr = (f"({v('left')} {cmp_ops[name]} {v('right')} "
+                        f"? 1u : 0u)")
+            else:
+                c_ops = {"Add": "+", "FlexAdd": "+", "Sub": "-", "And": "&",
+                         "Or": "|", "Xor": "^", "MultComb": "*"}
+                expr = (f"(({v('left')} {c_ops[name]} {v('right')}) "
+                        f"& {_hex(mask)})")
+            out.emit(f"{self._x(o)} = xx; "
+                     f"{self._v(o)} = xx ? 0 : {expr};")
+            out.indent -= 1
+            out.emit("}")
+        elif name == "Not":
+            mask = self._mask(width, where)
+            o = sl[(cell, "out")]
+            out.emit(f"{self._x(o)} = {x('in')}; "
+                     f"{self._v(o)} = {x('in')} ? 0 : "
+                     f"((~{v('in')}) & {_hex(mask)});"
+                     f"  /* {cell} = Not[{width}] */")
+        elif name == "Mux":
+            mask = self._mask(width, where)
+            o = sl[(cell, "out")]
+            out.emit(f"{{ /* {cell} = Mux[{width}] */")
+            out.indent += 1
+            out.emit(f"if ({x('sel')}) {{ {self._x(o)} = 1; "
+                     f"{self._v(o)} = 0; }}")
+            for arm, port in (("else if (%s)" % v("sel"), "in1"),
+                              ("else", "in0")):
+                out.emit(f"{arm} {{ {self._x(o)} = {x(port)}; "
+                         f"{self._v(o)} = {x(port)} ? 0 : "
+                         f"({v(port)} & {_hex(mask)}); }}")
+            out.indent -= 1
+            out.emit("}")
+        elif name == "Slice":
+            self._mask(width, where)
+            hi = model.param(1, width - 1)
+            lo = model.param(2, 0)
+            slice_mask = self._mask(hi - lo + 1, where)
+            o = sl[(cell, "out")]
+            out.emit(f"{self._x(o)} = {x('in')}; "
+                     f"{self._v(o)} = {x('in')} ? 0 : "
+                     f"(({v('in')} >> {lo}) & {_hex(slice_mask)});"
+                     f"  /* {cell} = Slice[{width},{hi},{lo}] */")
+        elif name == "Concat":
+            wh = model.param(0, 32)
+            wl = model.param(1, 32)
+            if wh + wl > 64:
+                raise NativeUnavailable(f"{where}: width {wh + wl} > 64 "
+                                        f"(uint64 spill path deferred)")
+            o = sl[(cell, "out")]
+            out.emit(f"{{ /* {cell} = Concat[{wh},{wl}] */")
+            out.indent += 1
+            out.emit(f"uint8_t xx = {x('hi')} | {x('lo')};")
+            out.emit(f"{self._x(o)} = xx; {self._v(o)} = xx ? 0 : "
+                     f"((({v('hi')} & {_hex((1 << wh) - 1)}) << {wl}) | "
+                     f"({v('lo')} & {_hex((1 << wl) - 1)}));")
+            out.indent -= 1
+            out.emit("}")
+        elif name in ("ShiftLeft", "ShiftRight"):
+            mask = self._mask(width, where)
+            by = model.param(1, 1)
+            o = sl[(cell, "out")]
+            if by >= 64:
+                # Python: (v << by) & mask or (v >> by) & mask is 0 when the
+                # shift clears every masked bit; a ≥64 shift is UB in C.
+                expr = "0"
+            elif name == "ShiftLeft":
+                expr = f"(({v('in')} << {by}) & {_hex(mask)})"
+            else:
+                expr = f"(({v('in')} >> {by}) & {_hex(mask)})"
+            out.emit(f"{self._x(o)} = {x('in')}; "
+                     f"{self._v(o)} = {x('in')} ? 0 : {expr};"
+                     f"  /* {cell} = {name}[{width},{by}] */")
+        elif name == "Const":
+            if not self.c._const_preloaded(cell):
+                value = self._const(
+                    model.param(1, 0) & self._mask(width, where), where)
+                o = sl[(cell, "out")]
+                out.emit(f"{self._v(o)} = {_hex(value)}; {self._x(o)} = 0;"
+                         f"  /* {cell} = Const[{width}] (early reader) */")
+        elif name == "fsm":
+            o0 = sl[(cell, "_0")]
+            out.emit(f"{self._x(o0)} = {x('go')}; "
+                     f"{self._v(o0)} = {x('go')} ? 0 : "
+                     f"({v('go')} != 0 ? 1u : 0u);"
+                     f"  /* {cell} = fsm[{model.states}] */")
+            for state, tap in enumerate(self.c.extra_state[cell], start=1):
+                o = sl[(cell, f"_{state}")]
+                out.emit(f"{self._v(o)} = {self._v(tap)}; "
+                         f"{self._x(o)} = {self._x(tap)};")
+        elif name in ("Reg", "Register", "Delay", "Prev", "ContPrev",
+                      "DspMac") or name in _MULT_LATENCY:
+            self._mask(width, where)
+            port = ("prev" if name in ("Prev", "ContPrev")
+                    else "pout" if name == "DspMac" else "out")
+            state = self.c.extra_state[cell][-1]
+            o = sl[(cell, port)]
+            out.emit(f"{self._v(o)} = {self._v(state)}; "
+                     f"{self._x(o)} = {self._x(state)};"
+                     f"  /* {cell} = {name}[{width}] registered output */")
+        else:  # pragma: no cover - registry names are closed above
+            raise NativeUnavailable(f"no C template for {name}")
+
+    def _emit_child(self, out: codegen._Lines, node) -> None:
+        c = self.c
+        ident = c._ident(node.cell)
+        child = f"st->c_{ident}"
+        child_compiler_slots = node.engine  # slots live on the child emitter
+        # Child slot indices come from the child's own compiler; the parent
+        # only knows them through the shared slot-map convention: inputs are
+        # interned first, in ``_input_names`` order, outputs right after —
+        # exactly ``_ComponentCompiler._collect_slots``.
+        out.emit(f"/* child {node.cell} */")
+        for offset, (_, key) in enumerate(node.in_items):
+            out.emit(f"{child}.v[{offset}] = {self._v(c.slots[key])}; "
+                     f"{child}.x[{offset}] = {self._x(c.slots[key])};")
+        child_id = c.child_ids[node.engine.component.name]
+        out.emit(f"{{ int rc = settle_c{child_id}(&{child}); "
+                 f"if (rc) return rc; }}")
+        base = len(node.in_items)
+        for offset, (_, key) in enumerate(node.out_items):
+            out.emit(f"{self._v(c.slots[key])} = {child}.v[{base + offset}]; "
+                     f"{self._x(c.slots[key])} = {child}.x[{base + offset}];")
+
+    def _src(self, assign, where: str) -> Tuple[str, str]:
+        """C (value, xflag) expressions for an assignment's source."""
+        if assign.src_key is None:
+            return _hex(self._const(assign.src_const, where)), "0"
+        slot = self.c.slots[assign.src_key]
+        return self._v(slot), self._x(slot)
+
+    def _emit_group(self, out: codegen._Lines, group) -> None:
+        c = self.c
+        d = c.slots[group.dst_key]
+        where = f"{c.name}: group {group.dst}"
+        if c._preloaded(group):
+            return
+        if len(group.assigns) == 1:
+            assign = group.assigns[0]
+            sv, sx = self._src(assign, where)
+            if assign.guard_keys is None:
+                out.emit(f"{self._v(d)} = {sv}; {self._x(d)} = {sx};"
+                         f"  /* {group.dst} = {assign.assignment.src} */")
+                return
+            out.emit(f"{{ /* {group.dst} = guarded */")
+            out.indent += 1
+            out.emit("int act = 0, unk = 0;")
+            for key in assign.guard_keys:
+                g = c.slots[key]
+                out.emit(f"if ({self._x(g)}) unk = 1; "
+                         f"else if ({self._v(g)}) act = 1;")
+            out.emit(f"if (act) {{ {self._v(d)} = {sx} ? 0 : {sv}; "
+                     f"{self._x(d)} = {sx}; }}")
+            if c.fresh:
+                out.emit(f"else {{ {self._v(d)} = 0; {self._x(d)} = 1; }}")
+            else:
+                out.emit(f"else if (unk) {{ {self._v(d)} = 0; "
+                         f"{self._x(d)} = 1; }}")
+            out.emit("(void)unk;" if c.fresh else "")
+            out.indent -= 1
+            out.emit("}")
+            return
+        # Multi-driven port: replicate _resolve_slots exactly, capturing the
+        # referenced slots for Python-side error replay on conflict.
+        plan = (c.name, group,
+                tuple((tuple(c.slots[key] for key in assign.guard_keys)
+                       if assign.guard_keys is not None else None,
+                       (c.slots[assign.src_key]
+                        if assign.src_key is not None else None),
+                       assign.src_const, assign)
+                      for assign in group.assigns))
+        capture: List[int] = []
+        for assign in group.assigns:
+            for key in assign.guard_keys or ():
+                capture.append(c.slots[key])
+            if assign.src_key is not None:
+                capture.append(c.slots[assign.src_key])
+            if assign.src_key is None:
+                self._const(assign.src_const, where)
+        pid = self.plans.add(plan, capture)
+        K = len(group.assigns)
+        out.emit(f"{{ /* {group.dst}: {K} drivers (plan {pid}) */")
+        out.indent += 1
+        out.emit("int any_act = 0, has_c = 0, conflict = 0, nmaybe = 0;")
+        out.emit(f"uint64_t cval = 0; uint64_t mv[{K}]; uint8_t mx[{K}];")
+        for assign in group.assigns:
+            sv, sx = self._src(assign, where)
+            out.emit("{")
+            out.indent += 1
+            if assign.guard_keys is None:
+                out.emit("int act = 1, poss = 0;")
+            else:
+                out.emit("int act = 0, unk = 0, poss;")
+                for key in assign.guard_keys:
+                    g = c.slots[key]
+                    out.emit(f"if ({self._x(g)}) unk = 1; "
+                             f"else if ({self._v(g)}) act = 1;")
+                out.emit("poss = !act && unk;")
+            out.emit("if (act || poss) {")
+            out.indent += 1
+            out.emit(f"uint64_t sv = {sv}; uint8_t sx = {sx};")
+            out.emit("if (act) {")
+            out.indent += 1
+            out.emit("any_act = 1;")
+            out.emit("if (!sx) {")
+            out.emit("    if (has_c && sv != cval) conflict = 1;")
+            out.emit("    if (!has_c) { has_c = 1; cval = sv; }")
+            out.emit("}")
+            out.indent -= 1
+            out.emit("} else { mv[nmaybe] = sx ? 0 : sv; "
+                     "mx[nmaybe] = sx; nmaybe++; }")
+            out.indent -= 1
+            out.emit("}")
+            out.indent -= 1
+            out.emit("}")
+        out.emit("if (conflict) {")
+        out.indent += 1
+        out.emit(f"g_err_plan = {pid}; g_err_count = {len(capture)};")
+        for position, slot in enumerate(capture):
+            out.emit(f"g_err_v[{position}] = {self._v(slot)}; "
+                     f"g_err_x[{position}] = {self._x(slot)};")
+        out.emit(f"return {pid + 1};")
+        out.indent -= 1
+        out.emit("}")
+        out.emit("if (!any_act && !nmaybe) {")
+        if c.fresh:
+            out.emit(f"    {self._v(d)} = 0; {self._x(d)} = 1;")
+        else:
+            out.emit("    /* undriven: keep previous value */")
+        out.emit("} else {")
+        out.indent += 1
+        out.emit("int rx = !has_c;")
+        out.emit("if (nmaybe) {")
+        out.emit("    int ok = has_c;")
+        out.emit("    for (int i = 0; i < nmaybe; i++) "
+                 "if (mx[i] || mv[i] != cval) ok = 0;")
+        out.emit("    if (!ok) rx = 1;")
+        out.emit("}")
+        out.emit(f"{self._x(d)} = (uint8_t)rx; "
+                 f"{self._v(d)} = rx ? 0 : cval;")
+        out.indent -= 1
+        out.emit("}")
+        out.indent -= 1
+        out.emit("}")
+
+    # -- tick ------------------------------------------------------------------
+
+    def emit_tick(self, out: codegen._Lines) -> None:
+        c = self.c
+        out.emit(f"static void tick_c{self.cid}(S{self.cid}* st) {{")
+        out.indent += 1
+        sl = c.slots
+        for node in c.engine._prim_nodes:
+            model = node.model
+            cell = node.cell
+            name = model.name
+            width = model.width
+            where = f"{c.name}.{cell} = {name}"
+
+            def v(port: str) -> str:
+                return self._v(sl[(cell, port)])
+
+            def x(port: str) -> str:
+                return self._x(sl[(cell, port)])
+
+            if name in ("Reg", "Register", "Prev"):
+                mask = self._mask(width, where)
+                d = c.extra_state[cell][0]
+                out.emit(f"{{ /* {cell} = {name}[{width}] */")
+                out.indent += 1
+                out.emit(f"if ({x('en')}) {{ {self._x(d)} = 1; "
+                         f"{self._v(d)} = 0; }}")
+                out.emit(f"else if ({v('en')}) {{ "
+                         f"{self._x(d)} = {x('in')}; "
+                         f"{self._v(d)} = {x('in')} ? 0 : "
+                         f"({v('in')} & {_hex(mask)}); }}")
+                out.indent -= 1
+                out.emit("}")
+            elif name in ("Delay", "ContPrev"):
+                mask = self._mask(width, where)
+                d = c.extra_state[cell][0]
+                out.emit(f"{self._x(d)} = {x('in')}; "
+                         f"{self._v(d)} = {x('in')} ? 0 : "
+                         f"({v('in')} & {_hex(mask)});"
+                         f"  /* {cell} = {name}[{width}] */")
+            elif name in _MULT_LATENCY:
+                mask = self._mask(width, where)
+                stages = c.extra_state[cell]  # newest .. oldest
+                out.emit(f"{{ /* {cell} = {name}[{width}] */")
+                out.indent += 1
+                out.emit(f"uint8_t px = {x('left')} | {x('right')};")
+                out.emit(f"uint64_t pv = px ? 0 : "
+                         f"(({v('left')} * {v('right')}) & {_hex(mask)});")
+                for older, newer in zip(reversed(stages[1:]),
+                                        reversed(stages[:-1])):
+                    out.emit(f"{self._v(older)} = {self._v(newer)}; "
+                             f"{self._x(older)} = {self._x(newer)};")
+                out.emit(f"{self._v(stages[0])} = pv; "
+                         f"{self._x(stages[0])} = px;")
+                out.indent -= 1
+                out.emit("}")
+            elif name == "DspMac":
+                mask = self._mask(width, where)
+                d = c.extra_state[cell][0]
+                out.emit(f"{{ /* {cell} = DspMac[{width}] */")
+                out.indent += 1
+                out.emit(f"if ({x('ce')}) {{ {self._x(d)} = 1; "
+                         f"{self._v(d)} = 0; }}")
+                out.emit(f"else if ({v('ce')}) {{")
+                out.indent += 1
+                out.emit(f"if ({x('a')} || {x('b')}) {{ "
+                         f"{self._x(d)} = 1; {self._v(d)} = 0; }}")
+                out.emit(f"else {{ uint64_t acc = {x('pin')} ? 0 : "
+                         f"{v('pin')};")
+                out.emit(f"    {self._v(d)} = ({v('a')} * {v('b')} + acc) "
+                         f"& {_hex(mask)}; {self._x(d)} = 0; }}")
+                out.indent -= 1
+                out.emit("}")
+                out.indent -= 1
+                out.emit("}")
+            elif name == "fsm":
+                if model.states > 1:
+                    taps = c.extra_state[cell]  # _1 .. _{states-1}
+                    out.emit(f"/* {cell} = fsm[{model.states}] shift */")
+                    for k in range(len(taps) - 1, 0, -1):
+                        out.emit(f"{self._v(taps[k])} = "
+                                 f"{self._v(taps[k - 1])}; "
+                                 f"{self._x(taps[k])} = "
+                                 f"{self._x(taps[k - 1])};")
+                    o0 = sl[(cell, "_0")]
+                    out.emit(f"{self._v(taps[0])} = {self._v(o0)}; "
+                             f"{self._x(taps[0])} = {self._x(o0)};")
+        for node in c.engine._child_nodes:
+            child_id = c.child_ids[node.engine.component.name]
+            out.emit(f"tick_c{child_id}(&st->c_{c._ident(node.cell)});"
+                     f"  /* child {node.cell} */")
+        out.indent -= 1
+        out.emit("}")
+        out.emit()
+
+
+def generate_c_source(engine) -> Tuple[str, Dict[_Key, int], List[str],
+                                       List[Tuple[str, int]], _PlanRegistry]:
+    """Generate the C translation unit for ``engine``'s hierarchy.
+
+    Returns ``(source, top_slot_map, output_names, input_ports, plans)``;
+    raises :class:`NativeUnavailable` for any netlist the uint64 tier
+    cannot represent exactly."""
+    engines = _reachable_engines(engine)
+    for node in engines:
+        if node._schedule is None:
+            raise NativeUnavailable(
+                f"{node.component.name}: {node.fallback_reason}")
+        for prim in node._prim_nodes:
+            if not _is_stdlib(prim.model):
+                raise NativeUnavailable(
+                    f"black-box primitive {prim.cell!r} in "
+                    f"{node.component.name}")
+    for port in list(engine.component.inputs) + list(engine.component.outputs):
+        if port.width > 64:
+            raise NativeUnavailable(
+                f"{engine.component.name}: port {port.name} is "
+                f"{port.width} bits wide (uint64 spill path deferred)")
+    comp_ids = {node.component.name: index
+                for index, node in enumerate(engines)}
+    plans = _PlanRegistry()
+    structs = codegen._Lines()
+    bodies = codegen._Lines()
+    top_compiler: Optional[_ComponentCompiler] = None
+    for node in engines:
+        child_ids = {child.component.name: comp_ids[child.component.name]
+                     for child in node._children.values()}
+        compiler = _ComponentCompiler(
+            node, comp_ids[node.component.name], child_ids,
+            fresh=node is engine)
+        emitter = _CEmitter(compiler, plans)
+        emitter.emit_struct(structs)
+        emitter.emit_reset(bodies)
+        emitter.emit_settle(bodies)
+        emitter.emit_tick(bodies)
+        if node is engine:
+            top_compiler = compiler
+    assert top_compiler is not None
+    top = top_compiler
+    tid = top.comp_id
+
+    input_ports = []
+    widths = {port.name: port.width for port in engine.component.inputs}
+    for name in engine._input_names:
+        input_ports.append((name, widths.get(name, 64)))
+    output_names = [port.name for port in engine.component.outputs]
+
+    entry = codegen._Lines()
+    entry.emit(f"int64_t k_state_bytes(void) {{ "
+               f"return (int64_t)sizeof(S{tid}); }}")
+    entry.emit()
+    entry.emit(f"void k_reset(void* p) {{ reset_c{tid}((S{tid}*)p); }}")
+    entry.emit()
+    entry.emit("int64_t k_err_plan(void) { return g_err_plan; }")
+    entry.emit()
+    entry.emit("void k_err_read(uint64_t* v, uint8_t* x) {")
+    entry.emit("    for (int i = 0; i < g_err_count; i++) "
+               "{ v[i] = g_err_v[i]; x[i] = g_err_x[i]; }")
+    entry.emit("}")
+    entry.emit()
+    entry.emit("void k_peek(void* p, int64_t slot, uint64_t* v, "
+               "uint8_t* x) {")
+    entry.emit(f"    S{tid}* st = (S{tid}*)p; "
+               f"*v = st->v[slot]; *x = st->x[slot];")
+    entry.emit("}")
+    entry.emit()
+    entry.emit("int64_t k_run(void* p, int64_t ncy, const uint64_t* iv, "
+               "const uint8_t* ix, uint64_t* ov, uint8_t* ox) {")
+    entry.indent += 1
+    entry.emit(f"S{tid}* st = (S{tid}*)p;")
+    entry.emit("for (int64_t i = 0; i < ncy; i++) {")
+    entry.indent += 1
+    for j, (name, width) in enumerate(input_ports):
+        slot = top.slots[(None, name)]
+        mask = (1 << width) - 1
+        entry.emit(f"st->x[{slot}] = ix[{j} * ncy + i]; "
+                   f"st->v[{slot}] = ix[{j} * ncy + i] ? 0 : "
+                   f"(iv[{j} * ncy + i] & {_hex(mask)});"
+                   f"  /* input {name} */")
+    entry.emit(f"if (settle_c{tid}(st)) return i;")
+    for j, name in enumerate(output_names):
+        slot = top.slots[(None, name)]
+        entry.emit(f"ov[{j} * ncy + i] = st->v[{slot}]; "
+                   f"ox[{j} * ncy + i] = st->x[{slot}];"
+                   f"  /* output {name} */")
+    entry.emit(f"tick_c{tid}(st);")
+    entry.indent -= 1
+    entry.emit("}")
+    entry.emit("return -1;")
+    entry.indent -= 1
+    entry.emit("}")
+
+    header = "\n".join([
+        "/* Generated native simulation kernel — do not edit;",
+        "   see repro/sim/native.py. */",
+        "#include <stdint.h>",
+        "#include <string.h>",
+        "",
+        "static int64_t g_err_plan = -1;",
+        "static int g_err_count = 0;",
+        f"static uint64_t g_err_v[{plans.max_capture}];",
+        f"static uint8_t g_err_x[{plans.max_capture}];",
+        "",
+    ])
+    source = "\n".join([header, structs.text(), "", bodies.text(), "",
+                        entry.text(), ""])
+    return source, dict(top.slots), output_names, input_ports, plans
+
+
+# ---------------------------------------------------------------------------
+# Build + load
+# ---------------------------------------------------------------------------
+
+
+class NativeKernelProgram:
+    """One compiled-and-loaded shared object for a netlist digest."""
+
+    def __init__(self, digest: str, lib, source_path: Path,
+                 slot_map: Dict[_Key, int], output_names: List[str],
+                 input_ports: List[Tuple[str, int]],
+                 plans: _PlanRegistry, disk_hit: bool) -> None:
+        self.digest = digest
+        self.lib = lib
+        self.source_path = source_path
+        self.slot_map = slot_map
+        self.output_names = output_names
+        self.input_ports = input_ports
+        self.plans = plans
+        self.disk_hit = disk_hit
+        self.state_bytes = int(lib.k_state_bytes())
+
+    def instance(self) -> "NativeKernel":
+        return NativeKernel(self)
+
+
+def _declare(lib) -> None:
+    u64p = ctypes.POINTER(ctypes.c_uint64)
+    u8p = ctypes.POINTER(ctypes.c_uint8)
+    lib.k_state_bytes.restype = ctypes.c_int64
+    lib.k_state_bytes.argtypes = []
+    lib.k_reset.restype = None
+    lib.k_reset.argtypes = [ctypes.c_void_p]
+    lib.k_err_plan.restype = ctypes.c_int64
+    lib.k_err_plan.argtypes = []
+    lib.k_err_read.restype = None
+    lib.k_err_read.argtypes = [u64p, u8p]
+    lib.k_peek.restype = None
+    lib.k_peek.argtypes = [ctypes.c_void_p, ctypes.c_int64, u64p, u8p]
+    lib.k_run.restype = ctypes.c_int64
+    lib.k_run.argtypes = [ctypes.c_void_p, ctypes.c_int64, u64p, u8p,
+                          u64p, u8p]
+
+
+class NativeKernel:
+    """A live native kernel instance: its own C state buffer, one netlist.
+
+    Exposes the same surface the engine needs from a scalar kernel
+    (``cycle``/``reset``/``peek``) plus the columnar batch entry points the
+    harness fast path uses (``run_batch``/``run_columns``)."""
+
+    __slots__ = ("_program", "_lib", "_state", "_ptr", "_n")
+
+    def __init__(self, program: NativeKernelProgram) -> None:
+        self._program = program
+        self._lib = program.lib
+        self._state = ctypes.create_string_buffer(program.state_bytes)
+        self._ptr = ctypes.cast(self._state, ctypes.c_void_p)
+        self._lib.k_reset(self._ptr)
+        self._n = 0
+
+    def reset(self) -> None:
+        self._lib.k_reset(self._ptr)
+        self._n = 0
+
+    def peek(self, key: _Key) -> Value:
+        index = self._program.slot_map.get(key)
+        if index is None:
+            return X
+        v = ctypes.c_uint64()
+        x = ctypes.c_uint8()
+        self._lib.k_peek(self._ptr, index, ctypes.byref(v), ctypes.byref(x))
+        return X if x.value else v.value
+
+    # -- running ---------------------------------------------------------------
+
+    def cycle(self, inputs: Dict[str, Value]) -> Dict[str, Value]:
+        return self.run_batch([inputs])[0]
+
+    def run_batch(self, stimuli: Sequence[Dict[str, Value]]
+                  ) -> List[Dict[str, Value]]:
+        """Dict-in, dict-out batch execution (trace-identical to the
+        compiled-Python kernel's ``run_batch`` path)."""
+        n = len(stimuli)
+        columns: Dict[str, Tuple[List[int], bytearray]] = {}
+        for name, _width in self._program.input_ports:
+            values: List[int] = []
+            xflags = bytearray(n)
+            append = values.append
+            for i, row in enumerate(stimuli):
+                value = row.get(name, X)
+                if value is X:
+                    xflags[i] = 1
+                    append(0)
+                else:
+                    append(value)
+            columns[name] = (values, xflags)
+        ov, ox = self._run(n, columns)
+        names = self._program.output_names
+        cols = []
+        base = 0
+        for name in names:
+            cols.append((name, ov[base:base + n], ox[base:base + n]))
+            base += n
+        trace: List[Dict[str, Value]] = []
+        for i in range(n):
+            trace.append({name: (X if xfl[i] else vals[i])
+                          for name, vals, xfl in cols})
+        return trace
+
+    def run_columns(self, cycles: int,
+                    columns: Dict[str, Tuple[Sequence[int], Sequence[int]]]
+                    ) -> Dict[str, Tuple[Sequence[int], Sequence[int]]]:
+        """Columnar batch execution: per-input-port ``(values, xflags)``
+        columns of length ``cycles`` in, per-output-port columns out.  One
+        C call for the whole batch — the harness fast path.  The returned
+        columns are zero-copy views (``memoryview``/``bytes``) supporting
+        indexing and strided slicing."""
+        ov, ox = self._run(cycles, columns)
+        out: Dict[str, Tuple[Sequence[int], Sequence[int]]] = {}
+        base = 0
+        for name in self._program.output_names:
+            out[name] = (ov[base:base + cycles], ox[base:base + cycles])
+            base += cycles
+        return out
+
+    def _run(self, n: int, columns):
+        """Marshal ``columns`` port-major into flat buffers, run the whole
+        batch in one C call, and return ``(values, xflags)`` memoryviews
+        over the output buffers."""
+        ports = self._program.input_ports
+        ni = len(ports)
+        no = len(self._program.output_names)
+        ivbuf = array("Q")
+        ixbuf = bytearray()
+        zeros = None
+        for name, _width in ports:
+            column = columns.get(name)
+            if column is None:
+                if zeros is None:
+                    zeros = array("Q", bytes(8 * n))
+                ivbuf += zeros
+                ixbuf += b"\x01" * n
+            else:
+                values, xflags = column
+                try:
+                    if isinstance(values, array):
+                        ivbuf += values
+                    else:
+                        ivbuf.extend(values)
+                except OverflowError:
+                    # Out-of-range stimulus: truncate to 64 bits (the port
+                    # mask in C truncates further, matching ``run_lanes``'s
+                    # documented input-truncation contract).
+                    ivbuf.extend([value & _M64 for value in values])
+                ixbuf += (xflags if isinstance(xflags, (bytes, bytearray))
+                          else bytes(xflags))
+        iv = ((ctypes.c_uint64 * (n * ni)).from_buffer(ivbuf)
+              if ni and n else (ctypes.c_uint64 * 0)())
+        ix = ((ctypes.c_uint8 * (n * ni)).from_buffer(ixbuf)
+              if ni and n else (ctypes.c_uint8 * 0)())
+        ovbuf = bytearray(8 * n * no)
+        oxbuf = bytearray(n * no)
+        ov = ((ctypes.c_uint64 * (n * no)).from_buffer(ovbuf)
+              if no and n else (ctypes.c_uint64 * 0)())
+        ox = ((ctypes.c_uint8 * (n * no)).from_buffer(oxbuf)
+              if no and n else (ctypes.c_uint8 * 0)())
+        rc = self._lib.k_run(self._ptr, n, iv, ix, ov, ox)
+        del iv, ix, ov, ox  # release from_buffer views before reuse
+        if rc >= 0:
+            self._raise_conflict(self._n + rc)
+        self._n += n
+        return memoryview(ovbuf).cast("Q"), bytes(oxbuf)
+
+    def _raise_conflict(self, cycle: int) -> None:
+        """Replay the failing group resolution in Python to raise the exact
+        interpreter/compiled-tier ``SimulationError`` message."""
+        pid = int(self._lib.k_err_plan())
+        plan = self._program.plans.plans[pid]
+        capture = self._program.plans.captures[pid]
+        count = max(len(capture), 1)
+        v = (ctypes.c_uint64 * count)()
+        x = (ctypes.c_uint8 * count)()
+        self._lib.k_err_read(v, x)
+        slots = {index: (X if x[i] else v[i])
+                 for i, index in enumerate(capture)}
+        _resolve_slots(slots, plan, cycle)
+        raise SimulationError(  # pragma: no cover - replay always raises
+            f"{plan[0]}: conflicting drivers for {plan[1].dst} in "
+            f"cycle {cycle}")
+
+
+# ---------------------------------------------------------------------------
+# Digest-keyed caches
+# ---------------------------------------------------------------------------
+
+_CACHE: "OrderedDict[str, NativeKernelProgram]" = OrderedDict()
+_STATS = {"hits": 0, "misses": 0, "disk_hits": 0}
+
+
+def native_cache_stats() -> Dict[str, int]:
+    """Process-wide native program cache counters."""
+    return dict(_STATS)
+
+
+def clear_native_cache() -> None:
+    """Drop every loaded native program (tests and benchmarks).  The
+    on-disk ``.so`` cache is left alone — it is the point."""
+    _CACHE.clear()
+    _STATS["hits"] = 0
+    _STATS["misses"] = 0
+    _STATS["disk_hits"] = 0
+
+
+def _compile_so(source: str, c_path: Path, so_path: Path,
+                compiler: str) -> None:
+    c_path.write_text(source)
+    tmp = so_path.with_name(f"{so_path.stem}.{os.getpid()}.tmp.so")
+    command = [compiler, "-O2", "-shared", "-fPIC", "-o", str(tmp),
+               str(c_path)]
+    try:
+        proc = subprocess.run(command, capture_output=True, text=True,
+                              timeout=120)
+    except (OSError, subprocess.TimeoutExpired) as error:
+        raise NativeUnavailable(f"C compiler failed to run: {error}")
+    if proc.returncode != 0:
+        detail = (proc.stderr or proc.stdout or "").strip()
+        raise NativeUnavailable(
+            f"C compilation failed: {detail[:300]}")
+    os.replace(tmp, so_path)
+
+
+def native_for(engine) -> Tuple[NativeKernelProgram, bool, float]:
+    """The native kernel program for ``engine``'s netlist: ``(program,
+    cached, build_seconds)``.  ``cached`` is true for both in-memory LRU
+    hits and on-disk ``.so`` hits.  Raises :class:`NativeUnavailable` when
+    the netlist is native-ineligible or no C compiler is available."""
+    digest = netlist_digest(engine)
+    cached = _CACHE.get(digest)
+    if cached is not None:
+        _CACHE.move_to_end(digest)
+        _STATS["hits"] += 1
+        return cached, True, 0.0
+    compiler = find_compiler()
+    if compiler is None:
+        raise NativeUnavailable("no C compiler (cc/gcc/clang) on PATH")
+    start = time.perf_counter()
+    source, slot_map, output_names, input_ports, plans = \
+        generate_c_source(engine)
+    directory = _cache_dir()
+    stem = f"native_{_ABI}_{digest[:32]}"
+    c_path = directory / f"{stem}.c"
+    so_path = directory / f"{stem}.so"
+    disk_hit = so_path.exists()
+    if not disk_hit:
+        _compile_so(source, c_path, so_path, compiler)
+        _prune_disk_cache(directory)
+    try:
+        lib = ctypes.CDLL(str(so_path))
+    except OSError as error:
+        raise NativeUnavailable(f"failed to load native kernel: {error}")
+    _declare(lib)
+    program = NativeKernelProgram(digest, lib, so_path, slot_map,
+                                 output_names, input_ports, plans, disk_hit)
+    seconds = time.perf_counter() - start
+    _CACHE[digest] = program
+    limit = codegen.kernel_cache_limit()
+    while len(_CACHE) > limit:
+        _CACHE.popitem(last=False)
+    _STATS["misses"] += 1
+    if disk_hit:
+        _STATS["disk_hits"] += 1
+    return program, disk_hit, seconds

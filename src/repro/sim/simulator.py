@@ -28,12 +28,20 @@ test suite.
 :class:`Simulator` is the stable public API (``step``/``peek``/``outputs``/
 ``reset``/``run_batch``); it is the scheduled engine with the historical
 name.  Pass ``mode="fixpoint"`` to force the reference sweep-loop semantics
-(used by the differential tests and the before/after benchmarks), or
+(used by the differential tests and the before/after benchmarks),
 ``mode="compiled"`` to execute through a specialized Python kernel
-generated from the schedule (:mod:`repro.sim.codegen`) — the fastest tier,
-with automatic fallback to the scheduled interpreter for netlists codegen
-cannot handle (the reason is recorded in
-:attr:`~repro.sim.engine.ScheduledEngine.kernel_fallback_reason`).
+generated from the schedule (:mod:`repro.sim.codegen`), with automatic
+fallback to the scheduled interpreter for netlists codegen cannot handle
+(the reason is recorded in
+:attr:`~repro.sim.engine.ScheduledEngine.kernel_fallback_reason`), or
+``mode="native"`` to execute through a C kernel compiled from the same
+schedule (:mod:`repro.sim.native`) — the fastest tier.  The full chain is
+native → compiled → scheduled → fixpoint and semantics never fork: each
+tier falls back to the next with a recorded reason
+(:attr:`~repro.sim.engine.ScheduledEngine.native_fallback_reason`) when a
+netlist is ineligible — black-box primitives, values wider than 64 bits —
+or the host has no C compiler.  Lane-packed runs (``run_lanes``) under
+``mode="native"`` ride the compiled-Python packed kernel.
 """
 
 from __future__ import annotations

@@ -72,21 +72,33 @@ def test_corpus_compiled_lanes_bit_identical(path, entry):
             f"{path.name}: compiled lane {lane} diverged from scalar"
 
 
-def test_corpus_three_engine_matrix_and_kernel_coverage():
-    """The full differential matrix (scheduled, fixpoint, compiled) over a
-    corpus entry records the kernel path in the coverage ledger."""
+def test_corpus_four_engine_matrix_and_kernel_coverage():
+    """The full differential matrix (scheduled, fixpoint, compiled, native)
+    over a corpus entry records the kernel and native paths in the
+    coverage ledger."""
+    from repro.sim import compiler_available
+
     entries = load_entries(CORPUS_DIR)
     generated = replay_entry(entries[0][1])
     result = run_conformance(generated, transactions=4, seed=1, lanes=2)
     assert result.passed, str(result)
-    assert set(default_engines()) == {"scheduled", "fixpoint", "compiled"}
+    assert set(default_engines()) == {"scheduled", "fixpoint", "compiled",
+                                      "native"}
     assert "compiled" in result.engines
+    assert "native" in result.engines
     assert result.coverage.kernel
     assert result.coverage.kernel_fallback is None
     ledger = CoverageLedger([result.coverage])
     assert ledger.kernel_paths() == {"kernel": 1, "interpreter": 0,
                                      "not-attempted": 0}
     assert "kernel paths" in ledger.summary()
+    if compiler_available():
+        assert result.coverage.native, result.coverage.native_fallback
+        assert ledger.native_paths() == {"native": 1, "fallback": 0,
+                                         "not-attempted": 0}
+        assert "native paths" in ledger.summary()
+    else:
+        assert result.coverage.native_fallback is not None
 
 
 def _self_loop_program():

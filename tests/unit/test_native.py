@@ -1,0 +1,195 @@
+"""Unit tests for the native C execution tier (:mod:`repro.sim.native`).
+
+The per-primitive behavioural sweep lives in ``test_width_boundaries.py``
+(which runs every boundary width through all four tiers); this module pins
+down the tier's *plumbing*: conflict-error parity, every fallback reason
+(black-box primitive, over-wide value, missing compiler), the digest-keyed
+in-memory + on-disk cache, and the ``REPRO_KERNEL_CACHE`` /
+``REPRO_COMPILE_CACHE`` environment knobs that size the caches.
+"""
+
+import random
+
+import pytest
+
+from repro.calyx.ir import (
+    Assignment,
+    CalyxComponent,
+    CalyxProgram,
+    CellPort,
+    Guard,
+    PortSpec,
+)
+from repro.core.errors import SimulationError
+from repro.sim import Simulator, clear_native_cache, compiler_available
+from repro.sim import native as native_module
+from repro.sim.codegen import kernel_cache_limit, set_kernel_cache_limit
+
+from test_codegen import _same_traces, _single_cell_program, _stimulus
+
+needs_cc = pytest.mark.skipif(not compiler_available(),
+                              reason="no C compiler on host")
+
+
+def _guarded_program():
+    """Two guarded drivers onto one output — the conflict-error testbed."""
+    component = CalyxComponent(
+        "top", inputs=[PortSpec("g", 1), PortSpec("h", 1),
+                       PortSpec("a", 8), PortSpec("b", 8)],
+        outputs=[PortSpec("o", 8)])
+    component.add_wire(Assignment(
+        CellPort(None, "o"), CellPort(None, "a"),
+        Guard((CellPort(None, "g"),))))
+    component.add_wire(Assignment(
+        CellPort(None, "o"), CellPort(None, "b"),
+        Guard((CellPort(None, "h"),))))
+    program = CalyxProgram(entrypoint="top")
+    program.add(component)
+    return program
+
+
+class TestConflictParity:
+    CONFLICT = [
+        {"g": 1, "h": 0, "a": 3, "b": 4},
+        {"g": 1, "h": 1, "a": 3, "b": 4},
+    ]
+
+    def _message(self, mode):
+        simulator = Simulator(_guarded_program(), mode=mode)
+        with pytest.raises(SimulationError) as info:
+            simulator.run_batch(self.CONFLICT)
+        return simulator, str(info.value)
+
+    @needs_cc
+    def test_conflict_message_is_byte_identical_across_tiers(self):
+        native, message = self._message("native")
+        assert native.uses_native(), native.native_fallback_reason
+        assert "cycle 1" in message
+        for mode in ("auto", "fixpoint", "compiled"):
+            assert self._message(mode)[1] == message, mode
+
+    @needs_cc
+    def test_agreeing_drivers_do_not_conflict(self):
+        stimulus = [{"g": 1, "h": 1, "a": 9, "b": 9},
+                    {"g": 0, "h": 1, "a": 1, "b": 7}]
+        reference = Simulator(_guarded_program(),
+                              mode="fixpoint").run_batch(stimulus)
+        native = Simulator(_guarded_program(), mode="native")
+        _same_traces(reference, native.run_batch(stimulus))
+        assert native.uses_native(), native.native_fallback_reason
+
+
+class TestFallbackReasons:
+    def test_black_box_primitive_falls_back_with_reason(self):
+        import repro.generators.reticle.dsp  # noqa: F401 — registers Tdot
+
+        rng = random.Random(11)
+        widths = {p: 8 for p in ("a0", "b0", "a1", "b1", "a2", "b2", "c")}
+        program = _single_cell_program("Tdot", (8,), widths)
+        stimulus = _stimulus(rng, widths, 8)
+        reference = Simulator(program, mode="auto").run_batch(stimulus)
+        native = Simulator(program, mode="native")
+        _same_traces(reference, native.run_batch(stimulus))
+        assert not native.uses_native()
+        assert "black-box" in native.native_fallback_reason
+        # The chain degrades one tier, not two: the compiled-Python kernel
+        # (which *can* call back into black-box models) still runs.
+        assert native.uses_kernel(), native.kernel_fallback_reason
+
+    def test_missing_compiler_falls_back_with_reason(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CC", "/nonexistent/cc-for-test")
+        monkeypatch.setattr(native_module, "_COMPILER_CACHE", [])
+        program = _single_cell_program("Add", (8,),
+                                       {"left": 8, "right": 8})
+        stimulus = [{"i_left": 1, "i_right": 2}]
+        native = Simulator(program, mode="native")
+        trace = native.run_batch(stimulus)
+        assert not native.uses_native()
+        assert "compiler" in native.native_fallback_reason
+        _same_traces(Simulator(program, mode="auto").run_batch(stimulus),
+                     trace)
+
+
+@needs_cc
+class TestNativeCache:
+    def test_memory_then_disk_hits_by_netlist_digest(self, tmp_path,
+                                                     monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_CACHE_DIR", str(tmp_path))
+        clear_native_cache()
+        program = _single_cell_program("Sub", (16,),
+                                       {"left": 16, "right": 16})
+        stimulus = [{"i_left": 5, "i_right": 3}]
+
+        first = Simulator(program, mode="native")
+        first.run_batch(stimulus)
+        assert first.uses_native(), first.native_fallback_reason
+        stats = native_module.native_cache_stats()
+        assert stats["misses"] == 1 and stats["disk_hits"] == 0
+
+        second = Simulator(program, mode="native")
+        second.run_batch(stimulus)
+        stats = native_module.native_cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+        # Dropping the in-memory LRU leaves the .so on disk: the next
+        # build reloads it instead of re-running the C compiler.
+        clear_native_cache()
+        third = Simulator(program, mode="native")
+        third.run_batch(stimulus)
+        assert third.uses_native(), third.native_fallback_reason
+        stats = native_module.native_cache_stats()
+        assert stats["disk_hits"] == 1
+
+
+class TestCacheLimitKnobs:
+    def test_kernel_cache_env_var_sets_the_limit(self, monkeypatch):
+        set_kernel_cache_limit(None)
+        monkeypatch.setenv("REPRO_KERNEL_CACHE", "7")
+        assert kernel_cache_limit() == 7
+
+    def test_kernel_cache_setter_overrides_the_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_CACHE", "7")
+        set_kernel_cache_limit(3)
+        try:
+            assert kernel_cache_limit() == 3
+        finally:
+            set_kernel_cache_limit(None)
+
+    def test_kernel_cache_env_var_garbage_falls_back_to_default(
+            self, monkeypatch):
+        set_kernel_cache_limit(None)
+        monkeypatch.setenv("REPRO_KERNEL_CACHE", "not-a-number")
+        assert kernel_cache_limit() == 256
+
+    def test_kernel_cache_limit_is_enforced(self, monkeypatch):
+        from repro.sim.codegen import _CACHE, clear_kernel_cache
+
+        monkeypatch.setenv("REPRO_KERNEL_CACHE", "1")
+        set_kernel_cache_limit(None)
+        clear_kernel_cache()
+        try:
+            for name in ("Add", "Sub", "Xor"):
+                program = _single_cell_program(name, (8,),
+                                               {"left": 8, "right": 8})
+                Simulator(program, mode="compiled").run_batch(
+                    [{"i_left": 1, "i_right": 2}])
+                assert len(_CACHE) <= 1
+        finally:
+            clear_kernel_cache()
+
+    def test_compile_cache_env_var_sets_the_limit(self, monkeypatch):
+        from repro.core.queries import (
+            compile_cache_limit,
+            set_compile_cache_limit,
+        )
+
+        set_compile_cache_limit(None)
+        monkeypatch.setenv("REPRO_COMPILE_CACHE", "11")
+        try:
+            assert compile_cache_limit() == 11
+            monkeypatch.setenv("REPRO_COMPILE_CACHE", "garbage")
+            assert compile_cache_limit() == 1024
+            set_compile_cache_limit(5)
+            assert compile_cache_limit() == 5
+        finally:
+            set_compile_cache_limit(None)

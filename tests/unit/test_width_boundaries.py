@@ -1,0 +1,139 @@
+"""Width-boundary sweep across all four engine tiers.
+
+The native C tier stores every value in one ``uint64_t`` slot, so the
+interesting widths are the ones bracketing that representation: 62 and 63
+(headroom), 64 (exactly full, where C wrap-around must coincide with the
+Python bigint semantics) and 65 (one past — the netlist must *fall back*
+to the compiled-Python tier with a recorded reason, never compute wrong
+values).  For every primitive in the sweep and every boundary width the
+randomized trace — values and X planes — must be identical under the
+fixpoint reference, the scheduled interpreter, the compiled Python kernel
+and the native C kernel (scalar), and under the lane-packed kernel
+(packed).
+"""
+
+import random
+
+import pytest
+
+from repro.sim import Simulator, X, compiler_available, is_x
+
+from test_codegen import _single_cell_program, _stimulus  # noqa: F401
+
+WIDTHS = (62, 63, 64, 65)
+CYCLES = 16
+LANES = 3
+
+
+def _cases(width):
+    """(primitive, params, input widths) instantiated at one boundary
+    width; ``Concat``'s boundary is the *sum* of its halves and ``Slice``
+    keeps all but the low bit."""
+    return [
+        ("Add", (width,), {"left": width, "right": width}),
+        ("Sub", (width,), {"left": width, "right": width}),
+        ("And", (width,), {"left": width, "right": width}),
+        ("Or", (width,), {"left": width, "right": width}),
+        ("Xor", (width,), {"left": width, "right": width}),
+        ("MultComb", (width,), {"left": width, "right": width}),
+        ("Eq", (width,), {"left": width, "right": width}),
+        ("Neq", (width,), {"left": width, "right": width}),
+        ("Lt", (width,), {"left": width, "right": width}),
+        ("Gt", (width,), {"left": width, "right": width}),
+        ("Le", (width,), {"left": width, "right": width}),
+        ("Ge", (width,), {"left": width, "right": width}),
+        ("Not", (width,), {"in": width}),
+        ("Mux", (width,), {"sel": 1, "in1": width, "in0": width}),
+        ("ShiftLeft", (width, 3), {"in": width}),
+        ("ShiftRight", (width, width - 1), {"in": width}),
+        ("Slice", (width, width - 1, 1), {"in": width}),
+        ("Concat", (width - 32, 32), {"hi": width - 32, "lo": 32}),
+        ("Reg", (width,), {"en": 1, "in": width}),
+        ("Delay", (width,), {"in": width}),
+        ("Prev", (width, 1), {"en": 1, "in": width}),
+    ]
+
+
+def _assert_same(reference, trace, context):
+    assert len(reference) == len(trace), context
+    for cycle, (a, b) in enumerate(zip(reference, trace)):
+        assert set(a) == set(b), (context, cycle)
+        for port in a:
+            assert is_x(a[port]) == is_x(b[port]), \
+                (context, cycle, port, a[port], b[port])
+            if not is_x(a[port]):
+                assert a[port] == b[port], \
+                    (context, cycle, port, a[port], b[port])
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_scalar_tiers_agree_at_width_boundary(width):
+    for name, params, widths in _cases(width):
+        rng = random.Random(hash((name, params, width)) & 0xFFFF)
+        program = _single_cell_program(name, params, widths)
+        stimulus = _stimulus(rng, widths, CYCLES)
+        context = f"{name}{list(params)}@{width}"
+
+        reference = Simulator(program, mode="fixpoint").run_batch(stimulus)
+        scheduled = Simulator(program, mode="auto")
+        _assert_same(reference, scheduled.run_batch(stimulus),
+                     context + " scheduled")
+        compiled = Simulator(program, mode="compiled")
+        _assert_same(reference, compiled.run_batch(stimulus),
+                     context + " compiled")
+        assert compiled.uses_kernel(), \
+            (context, compiled.kernel_fallback_reason)
+
+        native = Simulator(program, mode="native")
+        _assert_same(reference, native.run_batch(stimulus),
+                     context + " native")
+        if width > 64:
+            # One bit past the slot: the tier must refuse, record why, and
+            # the fallback trace above must still be bit-exact.
+            assert not native.uses_native(), context
+            reason = native.native_fallback_reason
+            assert reason is not None and f"{width} bits wide" in reason, \
+                (context, reason)
+        elif compiler_available():
+            assert native.uses_native(), \
+                (context, native.native_fallback_reason)
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_packed_kernel_agrees_at_width_boundary(width):
+    for name, params, widths in _cases(width):
+        rng = random.Random(hash((name, params, width, "packed")) & 0xFFFF)
+        program = _single_cell_program(name, params, widths)
+        streams = [_stimulus(rng, widths, CYCLES) for _ in range(LANES)]
+        context = f"{name}{list(params)}@{width} packed"
+
+        compiled = Simulator(program, mode="compiled")
+        packed = compiled.run_lanes(streams)
+        assert compiled.uses_kernel(), \
+            (context, compiled.kernel_fallback_reason)
+        scalar = Simulator(program, mode="auto")
+        for lane, stream in enumerate(streams):
+            scalar.reset()
+            _assert_same(scalar.run_batch(stream), packed[lane],
+                         f"{context} lane {lane}")
+
+
+def test_full_width_values_cross_the_native_boundary_exactly():
+    """Directed 64-bit corners: all-ones operands through add/sub/mult wrap
+    in C exactly as the Python bigint semantics say they must."""
+    top = (1 << 64) - 1
+    for name in ("Add", "Sub", "MultComb"):
+        program = _single_cell_program(name, (64,),
+                                       {"left": 64, "right": 64})
+        stimulus = [
+            {"i_left": top, "i_right": top},
+            {"i_left": top, "i_right": 1},
+            {"i_left": 1 << 63, "i_right": 1 << 63},
+            {"i_left": top, "i_right": X},
+            {"i_left": 0, "i_right": top},
+        ]
+        reference = Simulator(program, mode="fixpoint").run_batch(stimulus)
+        native = Simulator(program, mode="native")
+        _assert_same(reference, native.run_batch(stimulus), name)
+        if compiler_available():
+            assert native.uses_native(), native.native_fallback_reason
