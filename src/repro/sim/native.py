@@ -80,7 +80,7 @@ __all__ = [
 ]
 
 #: Bump when the generated C ABI changes (invalidates the on-disk cache).
-_ABI = 1
+_ABI = 2
 
 #: Maximum ``.so`` artifacts kept in the on-disk cache (oldest pruned).
 _DISK_LIMIT = 256
@@ -104,15 +104,17 @@ class NativeUnavailable(Exception):
 # Host compiler detection
 # ---------------------------------------------------------------------------
 
-_COMPILER_CACHE: List[Optional[str]] = []
+_COMPILER_CACHE: Dict[Optional[str], Optional[str]] = {}
 
 
 def find_compiler() -> Optional[str]:
     """Path of the host C compiler, or ``None``.  ``REPRO_CC`` overrides
-    the ``cc``/``gcc``/``clang`` probe; the result is memoised."""
-    if _COMPILER_CACHE:
-        return _COMPILER_CACHE[0]
+    the ``cc``/``gcc``/``clang`` probe; the result is memoised per
+    ``REPRO_CC`` value (so changing it re-probes) and reset by
+    :func:`clear_native_cache`."""
     override = os.environ.get("REPRO_CC")
+    if override in _COMPILER_CACHE:
+        return _COMPILER_CACHE[override]
     candidates = [override] if override else ["cc", "gcc", "clang"]
     found = None
     for candidate in candidates:
@@ -120,7 +122,7 @@ def find_compiler() -> Optional[str]:
             found = shutil.which(candidate)
             if found:
                 break
-    _COMPILER_CACHE.append(found)
+    _COMPILER_CACHE[override] = found
     return found
 
 
@@ -130,14 +132,42 @@ def compiler_available() -> bool:
 
 
 def _cache_dir() -> Path:
-    """The on-disk ``.c``/``.so`` cache directory (created on demand)."""
+    """The on-disk ``.c``/``.so`` cache directory (created on demand).
+
+    Cached artifacts are loaded with ``ctypes.CDLL`` and keyed by a
+    predictable digest, so the default directory must not be spoofable by
+    other local users: it lives under the shared temp dir but embeds the
+    uid, is created ``0o700``, and is rejected (→ fallback to the Python
+    tier) if it exists with the wrong owner or loose permissions.  An
+    explicit ``REPRO_NATIVE_CACHE_DIR`` is trusted as given."""
     override = os.environ.get("REPRO_NATIVE_CACHE_DIR")
     if override:
         directory = Path(override)
-    else:
-        directory = Path(tempfile.gettempdir()) / "repro-native-cache"
-    directory.mkdir(parents=True, exist_ok=True)
+        directory.mkdir(parents=True, exist_ok=True)
+        return directory
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    directory = Path(tempfile.gettempdir()) / f"repro-native-cache-{uid}"
+    directory.mkdir(mode=0o700, parents=True, exist_ok=True)
+    if hasattr(os, "getuid"):
+        st = directory.stat()
+        if st.st_uid != uid or (st.st_mode & 0o077):
+            raise NativeUnavailable(
+                f"native cache dir {directory} is not private to uid {uid} "
+                f"(owner {st.st_uid}, mode {st.st_mode & 0o777:o}); remove "
+                f"it or set REPRO_NATIVE_CACHE_DIR")
     return directory
+
+
+def _trusted_artifact(so_path: Path) -> bool:
+    """Whether a cached ``.so`` is safe to ``CDLL``: ours, and not
+    writable by anyone else.  Untrusted artifacts are rebuilt in place."""
+    if not hasattr(os, "getuid"):
+        return True
+    try:
+        st = so_path.stat()
+    except OSError:
+        return False
+    return st.st_uid == os.getuid() and not (st.st_mode & 0o022)
 
 
 def _prune_disk_cache(directory: Path) -> None:
@@ -250,8 +280,14 @@ class _CEmitter:
 
     def emit_settle(self, out: codegen._Lines) -> None:
         c = self.c
-        out.emit(f"static int settle_c{self.cid}(S{self.cid}* st) {{")
+        # Conflict capture goes through caller-provided buffers (not C
+        # globals): k_run threads them down so every NativeKernel instance
+        # owns its own capture state and instances of one program can run
+        # on different threads concurrently (ctypes drops the GIL).
+        out.emit(f"static int settle_c{self.cid}(S{self.cid}* st, "
+                 f"int64_t* eplan, uint64_t* ev, uint8_t* ex) {{")
         out.indent += 1
+        out.emit("(void)eplan; (void)ev; (void)ex;")
         from .engine import _GROUP, _PRIM
         for kind, payload in c.engine._schedule:
             if kind == _PRIM:
@@ -340,12 +376,20 @@ class _CEmitter:
                 raise NativeUnavailable(f"{where}: width {wh + wl} > 64 "
                                         f"(uint64 spill path deferred)")
             o = sl[(cell, "out")]
+            if wh == 0 or wl >= 64:
+                # The hi field is empty (or shifted fully out): emitting
+                # "<< 64" on uint64_t would be UB in C, and (1<<0)-1 masks
+                # hi to zero anyway — the result is just the lo field.
+                hi_term = None
+            else:
+                hi_term = (f"(({v('hi')} & {_hex((1 << wh) - 1)}) "
+                           f"<< {wl})")
+            lo_term = f"({v('lo')} & {_hex((1 << wl) - 1)})"
+            expr = f"({hi_term} | {lo_term})" if hi_term else lo_term
             out.emit(f"{{ /* {cell} = Concat[{wh},{wl}] */")
             out.indent += 1
             out.emit(f"uint8_t xx = {x('hi')} | {x('lo')};")
-            out.emit(f"{self._x(o)} = xx; {self._v(o)} = xx ? 0 : "
-                     f"((({v('hi')} & {_hex((1 << wh) - 1)}) << {wl}) | "
-                     f"({v('lo')} & {_hex((1 << wl) - 1)}));")
+            out.emit(f"{self._x(o)} = xx; {self._v(o)} = xx ? 0 : {expr};")
             out.indent -= 1
             out.emit("}")
         elif name in ("ShiftLeft", "ShiftRight"):
@@ -407,7 +451,7 @@ class _CEmitter:
             out.emit(f"{child}.v[{offset}] = {self._v(c.slots[key])}; "
                      f"{child}.x[{offset}] = {self._x(c.slots[key])};")
         child_id = c.child_ids[node.engine.component.name]
-        out.emit(f"{{ int rc = settle_c{child_id}(&{child}); "
+        out.emit(f"{{ int rc = settle_c{child_id}(&{child}, eplan, ev, ex); "
                  f"if (rc) return rc; }}")
         base = len(node.in_items)
         for offset, (_, key) in enumerate(node.out_items):
@@ -507,10 +551,10 @@ class _CEmitter:
             out.emit("}")
         out.emit("if (conflict) {")
         out.indent += 1
-        out.emit(f"g_err_plan = {pid}; g_err_count = {len(capture)};")
+        out.emit(f"eplan[0] = {pid};")
         for position, slot in enumerate(capture):
-            out.emit(f"g_err_v[{position}] = {self._v(slot)}; "
-                     f"g_err_x[{position}] = {self._x(slot)};")
+            out.emit(f"ev[{position}] = {self._v(slot)}; "
+                     f"ex[{position}] = {self._x(slot)};")
         out.emit(f"return {pid + 1};")
         out.indent -= 1
         out.emit("}")
@@ -688,13 +732,6 @@ def generate_c_source(engine) -> Tuple[str, Dict[_Key, int], List[str],
     entry.emit()
     entry.emit(f"void k_reset(void* p) {{ reset_c{tid}((S{tid}*)p); }}")
     entry.emit()
-    entry.emit("int64_t k_err_plan(void) { return g_err_plan; }")
-    entry.emit()
-    entry.emit("void k_err_read(uint64_t* v, uint8_t* x) {")
-    entry.emit("    for (int i = 0; i < g_err_count; i++) "
-               "{ v[i] = g_err_v[i]; x[i] = g_err_x[i]; }")
-    entry.emit("}")
-    entry.emit()
     entry.emit("void k_peek(void* p, int64_t slot, uint64_t* v, "
                "uint8_t* x) {")
     entry.emit(f"    S{tid}* st = (S{tid}*)p; "
@@ -702,7 +739,8 @@ def generate_c_source(engine) -> Tuple[str, Dict[_Key, int], List[str],
     entry.emit("}")
     entry.emit()
     entry.emit("int64_t k_run(void* p, int64_t ncy, const uint64_t* iv, "
-               "const uint8_t* ix, uint64_t* ov, uint8_t* ox) {")
+               "const uint8_t* ix, uint64_t* ov, uint8_t* ox, "
+               "int64_t* eplan, uint64_t* ev, uint8_t* ex) {")
     entry.indent += 1
     entry.emit(f"S{tid}* st = (S{tid}*)p;")
     entry.emit("for (int64_t i = 0; i < ncy; i++) {")
@@ -714,7 +752,7 @@ def generate_c_source(engine) -> Tuple[str, Dict[_Key, int], List[str],
                    f"st->v[{slot}] = ix[{j} * ncy + i] ? 0 : "
                    f"(iv[{j} * ncy + i] & {_hex(mask)});"
                    f"  /* input {name} */")
-    entry.emit(f"if (settle_c{tid}(st)) return i;")
+    entry.emit(f"if (settle_c{tid}(st, eplan, ev, ex)) return i;")
     for j, name in enumerate(output_names):
         slot = top.slots[(None, name)]
         entry.emit(f"ov[{j} * ncy + i] = st->v[{slot}]; "
@@ -732,11 +770,6 @@ def generate_c_source(engine) -> Tuple[str, Dict[_Key, int], List[str],
         "   see repro/sim/native.py. */",
         "#include <stdint.h>",
         "#include <string.h>",
-        "",
-        "static int64_t g_err_plan = -1;",
-        "static int g_err_count = 0;",
-        f"static uint64_t g_err_v[{plans.max_capture}];",
-        f"static uint8_t g_err_x[{plans.max_capture}];",
         "",
     ])
     source = "\n".join([header, structs.text(), "", bodies.text(), "",
@@ -773,19 +806,16 @@ class NativeKernelProgram:
 def _declare(lib) -> None:
     u64p = ctypes.POINTER(ctypes.c_uint64)
     u8p = ctypes.POINTER(ctypes.c_uint8)
+    i64p = ctypes.POINTER(ctypes.c_int64)
     lib.k_state_bytes.restype = ctypes.c_int64
     lib.k_state_bytes.argtypes = []
     lib.k_reset.restype = None
     lib.k_reset.argtypes = [ctypes.c_void_p]
-    lib.k_err_plan.restype = ctypes.c_int64
-    lib.k_err_plan.argtypes = []
-    lib.k_err_read.restype = None
-    lib.k_err_read.argtypes = [u64p, u8p]
     lib.k_peek.restype = None
     lib.k_peek.argtypes = [ctypes.c_void_p, ctypes.c_int64, u64p, u8p]
     lib.k_run.restype = ctypes.c_int64
     lib.k_run.argtypes = [ctypes.c_void_p, ctypes.c_int64, u64p, u8p,
-                          u64p, u8p]
+                          u64p, u8p, i64p, u64p, u8p]
 
 
 class NativeKernel:
@@ -795,13 +825,21 @@ class NativeKernel:
     (``cycle``/``reset``/``peek``) plus the columnar batch entry points the
     harness fast path uses (``run_batch``/``run_columns``)."""
 
-    __slots__ = ("_program", "_lib", "_state", "_ptr", "_n")
+    __slots__ = ("_program", "_lib", "_state", "_ptr", "_n",
+                 "_err_plan", "_err_v", "_err_x")
 
     def __init__(self, program: NativeKernelProgram) -> None:
         self._program = program
         self._lib = program.lib
         self._state = ctypes.create_string_buffer(program.state_bytes)
         self._ptr = ctypes.cast(self._state, ctypes.c_void_p)
+        # Per-instance conflict-capture buffers, passed into every k_run
+        # call: no shared mutable state lives in the shared object, so
+        # instances of one program are safe to run on separate threads.
+        capacity = program.plans.max_capture
+        self._err_plan = (ctypes.c_int64 * 1)(-1)
+        self._err_v = (ctypes.c_uint64 * capacity)()
+        self._err_x = (ctypes.c_uint8 * capacity)()
         self._lib.k_reset(self._ptr)
         self._n = 0
 
@@ -889,6 +927,7 @@ class NativeKernel:
                 ixbuf += b"\x01" * n
             else:
                 values, xflags = column
+                base = len(ivbuf)
                 try:
                     if isinstance(values, array):
                         ivbuf += values
@@ -897,7 +936,11 @@ class NativeKernel:
                 except OverflowError:
                     # Out-of-range stimulus: truncate to 64 bits (the port
                     # mask in C truncates further, matching ``run_lanes``'s
-                    # documented input-truncation contract).
+                    # documented input-truncation contract).  ``extend``
+                    # appends element-by-element, so the in-range prefix it
+                    # already copied must be dropped before re-extending or
+                    # the column misaligns.
+                    del ivbuf[base:]
                     ivbuf.extend([value & _M64 for value in values])
                 ixbuf += (xflags if isinstance(xflags, (bytes, bytearray))
                           else bytes(xflags))
@@ -911,7 +954,8 @@ class NativeKernel:
               if no and n else (ctypes.c_uint64 * 0)())
         ox = ((ctypes.c_uint8 * (n * no)).from_buffer(oxbuf)
               if no and n else (ctypes.c_uint8 * 0)())
-        rc = self._lib.k_run(self._ptr, n, iv, ix, ov, ox)
+        rc = self._lib.k_run(self._ptr, n, iv, ix, ov, ox,
+                             self._err_plan, self._err_v, self._err_x)
         del iv, ix, ov, ox  # release from_buffer views before reuse
         if rc >= 0:
             self._raise_conflict(self._n + rc)
@@ -921,14 +965,10 @@ class NativeKernel:
     def _raise_conflict(self, cycle: int) -> None:
         """Replay the failing group resolution in Python to raise the exact
         interpreter/compiled-tier ``SimulationError`` message."""
-        pid = int(self._lib.k_err_plan())
+        pid = int(self._err_plan[0])
         plan = self._program.plans.plans[pid]
         capture = self._program.plans.captures[pid]
-        count = max(len(capture), 1)
-        v = (ctypes.c_uint64 * count)()
-        x = (ctypes.c_uint8 * count)()
-        self._lib.k_err_read(v, x)
-        slots = {index: (X if x[i] else v[i])
+        slots = {index: (X if self._err_x[i] else self._err_v[i])
                  for i, index in enumerate(capture)}
         _resolve_slots(slots, plan, cycle)
         raise SimulationError(  # pragma: no cover - replay always raises
@@ -950,9 +990,11 @@ def native_cache_stats() -> Dict[str, int]:
 
 
 def clear_native_cache() -> None:
-    """Drop every loaded native program (tests and benchmarks).  The
-    on-disk ``.so`` cache is left alone — it is the point."""
+    """Drop every loaded native program (tests and benchmarks) and the
+    compiler-probe memo, so a changed ``REPRO_CC``/``PATH`` is re-probed.
+    The on-disk ``.so`` cache is left alone — it is the point."""
     _CACHE.clear()
+    _COMPILER_CACHE.clear()
     _STATS["hits"] = 0
     _STATS["misses"] = 0
     _STATS["disk_hits"] = 0
@@ -997,7 +1039,7 @@ def native_for(engine) -> Tuple[NativeKernelProgram, bool, float]:
     stem = f"native_{_ABI}_{digest[:32]}"
     c_path = directory / f"{stem}.c"
     so_path = directory / f"{stem}.so"
-    disk_hit = so_path.exists()
+    disk_hit = so_path.exists() and _trusted_artifact(so_path)
     if not disk_hit:
         _compile_so(source, c_path, so_path, compiler)
         _prune_disk_cache(directory)

@@ -8,6 +8,7 @@ in-memory + on-disk cache, and the ``REPRO_KERNEL_CACHE`` /
 ``REPRO_COMPILE_CACHE`` environment knobs that size the caches.
 """
 
+import os
 import random
 
 import pytest
@@ -98,7 +99,7 @@ class TestFallbackReasons:
 
     def test_missing_compiler_falls_back_with_reason(self, monkeypatch):
         monkeypatch.setenv("REPRO_CC", "/nonexistent/cc-for-test")
-        monkeypatch.setattr(native_module, "_COMPILER_CACHE", [])
+        monkeypatch.setattr(native_module, "_COMPILER_CACHE", {})
         program = _single_cell_program("Add", (8,),
                                        {"left": 8, "right": 8})
         stimulus = [{"i_left": 1, "i_right": 2}]
@@ -139,6 +140,63 @@ class TestNativeCache:
         assert third.uses_native(), third.native_fallback_reason
         stats = native_module.native_cache_stats()
         assert stats["disk_hits"] == 1
+
+
+class TestReviewRegressions:
+    @needs_cc
+    def test_out_of_range_stimulus_mid_column_stays_aligned(self):
+        """``array.extend`` appends element-by-element before raising, so
+        an out-of-range value mid-column must roll back the in-range
+        prefix — otherwise the extra entries shift that port's tail and
+        every later port's column, silently corrupting the batch."""
+        program = _single_cell_program("Add", (8,),
+                                       {"left": 8, "right": 8})
+        stimulus = [
+            {"i_left": 5, "i_right": 1},
+            {"i_left": 2 ** 70 + 3, "i_right": 2},  # raises OverflowError
+            {"i_left": -1, "i_right": 4},           # negative does too
+            {"i_left": 7, "i_right": 8},
+        ]
+        native = Simulator(program, mode="native")
+        trace = native.run_batch(stimulus)
+        assert native.uses_native(), native.native_fallback_reason
+        _same_traces(Simulator(program, mode="auto").run_batch(stimulus),
+                     trace)
+
+    @needs_cc
+    @pytest.mark.parametrize("wh,wl", [(0, 8), (0, 64), (8, 0)])
+    def test_concat_degenerate_field_widths(self, wh, wl):
+        """``wh == 0`` (and its ``wl == 64`` extreme) must not emit
+        ``<< 64`` on ``uint64_t`` — that is UB in C."""
+        widths = {"hi": max(wh, 1), "lo": max(wl, 1)}
+        program = _single_cell_program("Concat", (wh, wl), widths)
+        rng = random.Random(wh * 100 + wl)
+        stimulus = _stimulus(rng, widths, 16)
+        native = Simulator(program, mode="native")
+        trace = native.run_batch(stimulus)
+        assert native.uses_native(), native.native_fallback_reason
+        _same_traces(Simulator(program, mode="auto").run_batch(stimulus),
+                     trace)
+
+    def test_compiler_probe_reprobes_when_repro_cc_changes(
+            self, monkeypatch):
+        monkeypatch.setattr(native_module, "_COMPILER_CACHE", {})
+        monkeypatch.setenv("REPRO_CC", "/nonexistent/cc-for-test")
+        assert native_module.find_compiler() is None
+        monkeypatch.setenv("REPRO_CC", "cc-b-for-test")
+        monkeypatch.setattr(
+            native_module.shutil, "which",
+            lambda name: "/fake/cc-b" if name == "cc-b-for-test" else None)
+        assert native_module.find_compiler() == "/fake/cc-b"
+        clear_native_cache()
+        assert native_module._COMPILER_CACHE == {}
+
+    @pytest.mark.skipif(not hasattr(os, "getuid"), reason="posix only")
+    def test_default_cache_dir_is_per_user_and_private(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NATIVE_CACHE_DIR", raising=False)
+        directory = native_module._cache_dir()
+        assert str(os.getuid()) in directory.name
+        assert directory.stat().st_mode & 0o077 == 0
 
 
 class TestCacheLimitKnobs:
