@@ -8,6 +8,28 @@ editable installs cannot build (no ``wheel`` available).
 import sys
 from pathlib import Path
 
+import pytest
+
 _SRC = Path(__file__).resolve().parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "deep: slow multi-process / large-seed fuzz tests, skipped by "
+        "default; run with `-m deep` (or select them with any explicit -m "
+        "expression)")
+
+
+def pytest_collection_modifyitems(config, items):
+    # Tier-1 runs (`pytest -q`) skip deep tests; any explicit -m expression
+    # (e.g. `-m deep` in the CI deep-fuzz job) takes full control instead.
+    if config.getoption("-m"):
+        return
+    skip_deep = pytest.mark.skip(
+        reason="deep fuzz test (run with -m deep)")
+    for item in items:
+        if "deep" in item.keywords:
+            item.add_marker(skip_deep)

@@ -31,7 +31,13 @@ from .corpus import (
     replay_entry,
     write_entry,
 )
-from .coverage import CoverageLedger, CoverageRecord
+from .coverage import (
+    CoverageLedger,
+    CoverageRecord,
+    cell_universe,
+    cells_of_record,
+    width_bucket,
+)
 from .differential import (
     ConformanceResult,
     default_engines,
@@ -45,21 +51,36 @@ from .generator import (
     InputSpec,
     NodeSpec,
     OP_KINDS,
+    REGIMES,
     ProgramSpec,
     build,
     generate,
     generate_spec,
     mutate_spec,
+    output_input_cones,
+)
+from .parallel import (
+    RoundResult,
+    ShardFailure,
+    ShardRun,
+    distill_corpus,
+    run_rounds,
+    run_shards,
 )
 from .shrink import divergence_categories, prune, shrink, spec_fails
+from .steering import SteeringPlan, plan_from_ledger, steer_config
 
 __all__ = [
     "CorpusError", "corpus_entry", "load_entries", "replay_entry",
     "write_entry",
-    "CoverageLedger", "CoverageRecord",
+    "CoverageLedger", "CoverageRecord", "cell_universe", "cells_of_record",
+    "width_bucket",
     "ConformanceResult", "default_engines", "run_conformance", "traces_equal",
     "GeneratedProgram", "GenerationError", "GeneratorConfig", "InputSpec",
-    "NodeSpec", "OP_KINDS", "ProgramSpec", "build", "generate",
-    "generate_spec", "mutate_spec",
+    "NodeSpec", "OP_KINDS", "REGIMES", "ProgramSpec", "build", "generate",
+    "generate_spec", "mutate_spec", "output_input_cones",
+    "RoundResult", "ShardFailure", "ShardRun", "distill_corpus",
+    "run_rounds", "run_shards",
     "divergence_categories", "prune", "shrink", "spec_fails",
+    "SteeringPlan", "plan_from_ledger", "steer_config",
 ]

@@ -11,21 +11,29 @@ Examples::
     # mint new corpus entries from a seed range
     python -m repro.conformance --seeds 10 --write-corpus tests/corpus
 
-Exit status is non-zero when any program diverges.  Failures are shrunk to
-minimal reproducers unless ``--no-shrink`` is given.
+    # coverage-guided, sharded fuzzing: blind round, re-steer, steered round
+    python -m repro.conformance --seeds 200 --jobs 4 --rounds 2 \\
+        --require-progress --ledger merged-ledger.json
+
+Exit status is non-zero when any program diverges.  Failures print a
+one-line repro command and are shrunk to minimal reproducers unless
+``--no-shrink`` is given.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from pathlib import Path
+from typing import List, Optional, Set
 
 from .corpus import corpus_entry, load_entries, replay_entry, write_entry
-from .coverage import CoverageLedger
+from .coverage import CoverageLedger, cell_universe, cells_of_record
 from .differential import default_engines, run_conformance
 from .generator import GeneratorConfig, build, generate
+from .parallel import distill_corpus, run_rounds
 from .shrink import divergence_categories, shrink, spec_fails
+from .steering import SteeringPlan, plan_from_ledger, steer_config
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -45,18 +53,47 @@ def _parser() -> argparse.ArgumentParser:
                              "engine and checked against scalar traces "
                              "(default 4; 1 disables the packed way)")
     parser.add_argument("--engine", action="append", dest="engines",
-                        choices=["scheduled", "fixpoint", "compiled",
-                                 "native"],
+                        metavar="NAME",
                         help="engines to include in the differential matrix "
                              "(repeatable; default: all four)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="shard the seed range over N worker processes "
+                             "with a deterministic merged ledger (default 1)")
+    parser.add_argument("--rounds", type=int, default=1,
+                        help="steering rounds: round 1 samples blind, each "
+                             "later round is re-steered from the merged "
+                             "coverage of all earlier rounds (default 1)")
+    parser.add_argument("--plan", metavar="PATH",
+                        help="steer generation with this saved SteeringPlan "
+                             "JSON (what failure repro commands reference)")
+    parser.add_argument("--save-plan", metavar="PATH",
+                        help="derive a steering plan from the final merged "
+                             "ledger and save it here")
+    parser.add_argument("--x-stimulus", type=float, default=None,
+                        metavar="P",
+                        help="drop each stimulus port from each transaction "
+                             "with probability P, driving X inside "
+                             "availability windows (default: the plan's "
+                             "x_probability, else 0)")
+    parser.add_argument("--require-progress", action="store_true",
+                        help="with --rounds >= 2: fail unless steering "
+                             "strictly grew cell coverage over the blind "
+                             "round, and never lost a covered cell")
     parser.add_argument("--ledger", metavar="PATH",
-                        help="write the coverage ledger JSON here")
+                        help="write the (merged) coverage ledger JSON here")
     parser.add_argument("--replay", metavar="DIR",
                         help="replay the corpus entries in DIR instead of "
                              "generating from seeds")
     parser.add_argument("--write-corpus", metavar="DIR",
-                        help="persist every generated program as a corpus "
-                             "entry in DIR")
+                        help="persist generated programs as corpus entries "
+                             "in DIR (with --distill: only coverage-adding "
+                             "ones)")
+    parser.add_argument("--distill", action="store_true",
+                        help="with --write-corpus: keep only programs that "
+                             "add at least one new coverage cell, bounded "
+                             "by --corpus-limit")
+    parser.add_argument("--corpus-limit", type=int, default=25,
+                        help="maximum distilled corpus entries (default 25)")
     parser.add_argument("--max-ops", type=int, default=None,
                         help="override the generator's max op count")
     parser.add_argument("--no-roundtrip", action="store_true",
@@ -73,21 +110,139 @@ def _parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _finish(ledger: CoverageLedger, failures: int,
+            args: argparse.Namespace,
+            config: GeneratorConfig) -> int:
+    print()
+    print(ledger.summary())
+    if args.ledger:
+        path = ledger.save(args.ledger)
+        print(f"coverage ledger written to {path}")
+    if args.save_plan:
+        plan = plan_from_ledger(ledger, config)
+        path = plan.save(args.save_plan)
+        print(f"steering plan {plan.digest()} written to {path}")
+    if failures:
+        print(f"{failures} program(s) diverged")
+        return 1
+    print("all programs agree across every oracle")
+    return 0
+
+
+def _run_parallel(args: argparse.Namespace, config: GeneratorConfig,
+                  engine_names: List[str],
+                  initial_plan: Optional[SteeringPlan]) -> int:
+    plan_dir = Path(args.save_plan).parent if args.save_plan else Path(".")
+    rounds = run_rounds(
+        start=args.start,
+        total=args.seeds,
+        rounds=args.rounds,
+        jobs=args.jobs,
+        config=config,
+        engine_names=engine_names,
+        transactions=args.transactions,
+        lanes=args.lanes,
+        roundtrip=not args.no_roundtrip,
+        incremental=not args.no_incremental,
+        plan_dir=plan_dir,
+        initial_plan=initial_plan,
+    )
+
+    merged = CoverageLedger()
+    failures = 0
+    for round_result in rounds:
+        label = (f"round {round_result.index + 1}/{len(rounds)}: seeds "
+                 f"{round_result.seeds[0]}..{round_result.seeds[-1]} "
+                 f"({round_result.run.jobs} job(s))")
+        if round_result.plan is not None:
+            label += f", plan {round_result.plan.digest()}"
+        print(label)
+        merged = merged.merge(round_result.run.ledger)
+        for failure in round_result.run.failures:
+            failures += 1
+            print(f"  seed {failure.seed}: DIVERGED")
+            print("    " + "\n    ".join(failure.divergences))
+            if failure.repro:
+                print(f"    repro: {failure.repro}")
+        if not args.quiet:
+            covered = len(merged.covered_cells() & cell_universe())
+            print(f"  merged cell coverage: {covered}/{len(cell_universe())}")
+
+    if args.require_progress and len(rounds) >= 2:
+        blind = set()
+        for record in rounds[0].run.records:
+            blind |= cells_of_record(record)
+        final = merged.covered_cells()
+        lost = sorted(blind - final)
+        if lost:
+            print(f"PROGRESS CHECK FAILED: {len(lost)} previously covered "
+                  f"cell(s) left uncovered, e.g. {lost[:3]}")
+            failures += 1
+        elif not (final - blind):
+            print("PROGRESS CHECK FAILED: steering added no coverage cell "
+                  "over the blind round")
+            failures += 1
+        else:
+            print(f"progress: steering added "
+                  f"{len(final - blind)} cell(s) over the blind round")
+
+    if args.write_corpus:
+        written = distill_corpus(rounds, args.write_corpus,
+                                 limit=args.corpus_limit)
+        print(f"distilled corpus: {len(written)} coverage-adding entr(y/ies) "
+              f"written to {args.write_corpus}")
+
+    return _finish(merged, failures, args, config)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    args = _parser().parse_args(argv)
+    parser = _parser()
+    args = parser.parse_args(argv)
     config = GeneratorConfig()
     if args.max_ops is not None:
         overridden = config.to_dict()
         overridden["max_ops"] = args.max_ops
         config = GeneratorConfig.from_dict(overridden)
 
-    engines = default_engines()
+    available = default_engines()
+    if args.engines:
+        unknown = sorted(set(args.engines) - set(available))
+        if unknown:
+            parser.error(f"unknown engine(s): {', '.join(unknown)} "
+                         f"(available: {', '.join(sorted(available))})")
+    if args.require_progress and args.rounds < 2:
+        parser.error("--require-progress needs --rounds >= 2")
+    if args.distill and not args.write_corpus:
+        parser.error("--distill needs --write-corpus")
+
+    plan: Optional[SteeringPlan] = None
+    plan_digest: Optional[str] = None
+    base_config = config
+    if args.plan:
+        plan = SteeringPlan.load(args.plan)
+        plan_digest = plan.digest()
+        config = steer_config(config, plan)
+    x_probability = args.x_stimulus if args.x_stimulus is not None else (
+        plan.x_probability if plan is not None else 0.0)
+
+    if not args.replay and (args.jobs > 1 or args.rounds > 1):
+        engine_names = sorted(args.engines) if args.engines \
+            else sorted(available)
+        print(f"running seeds {args.start}..{args.start + args.seeds - 1} "
+              f"({args.jobs} job(s), {args.rounds} round(s))")
+        # run_rounds re-applies the plan itself, so hand it the unsteered
+        # config plus the plan (round 0 steered, later rounds re-derived).
+        return _run_parallel(args, base_config, engine_names, plan)
+
+    engines = dict(available)
     if args.engines:
         engines = {name: factory for name, factory in engines.items()
                    if name in set(args.engines)}
 
     ledger = CoverageLedger()
     failures = 0
+    distilled_cells: Set[tuple] = set()
+    distilled_written = 0
 
     if args.replay:
         entries = load_entries(args.replay)
@@ -113,6 +268,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             roundtrip=not args.no_roundtrip,
             lanes=args.lanes,
             incremental=not args.no_incremental,
+            x_probability=x_probability,
+            plan_digest=plan_digest,
         )
         result.seed = seed
         if result.coverage is not None:
@@ -131,6 +288,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             failures += 1
             print(f"  {label}: DIVERGED")
             print("    " + "\n    ".join(result.divergences[:10]))
+            command = result.repro_command()
+            if command:
+                print(f"    repro: {command}")
             if not args.no_shrink:
                 # The predicate must reproduce *this* failure: same stimulus
                 # seed, transaction count and round-trip setting, and the
@@ -145,7 +305,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                                       seed=stimulus_seed,
                                       roundtrip=not args.no_roundtrip,
                                       incremental="incremental" in categories,
-                                      categories=categories)
+                                      categories=categories,
+                                      lanes=args.lanes,
+                                      x_probability=x_probability)
 
                 if reproduces(generated.spec):
                     minimal = shrink(generated.spec, reproduces)
@@ -159,22 +321,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                           "predicate; no reproducer printed)")
 
         if args.write_corpus and seed is not None:
-            path = write_entry(args.write_corpus,
-                               corpus_entry(generated, seed=seed,
-                                            config=config))
-            if not args.quiet:
-                print(f"    corpus entry written: {path}")
+            keep = True
+            if args.distill:
+                cells = cells_of_record(result.coverage)
+                keep = (result.passed
+                        and bool(cells - distilled_cells)
+                        and distilled_written < args.corpus_limit)
+                if keep:
+                    distilled_cells |= cells
+            if keep:
+                path = write_entry(args.write_corpus,
+                                   corpus_entry(generated, seed=seed,
+                                                config=config))
+                distilled_written += 1
+                if not args.quiet:
+                    print(f"    corpus entry written: {path}")
 
-    print()
-    print(ledger.summary())
-    if args.ledger:
-        path = ledger.save(args.ledger)
-        print(f"coverage ledger written to {path}")
-    if failures:
-        print(f"{failures} program(s) diverged")
-        return 1
-    print("all programs agree across every oracle")
-    return 0
+    return _finish(ledger, failures, args, config)
 
 
 if __name__ == "__main__":

@@ -13,13 +13,76 @@ keeps the seed corpus honest.
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Set, Tuple, Union
 
-from .generator import OP_KINDS, GeneratedProgram
+from .generator import OP_KINDS, GeneratedProgram, ProgramSpec
 
-__all__ = ["CoverageRecord", "CoverageLedger"]
+__all__ = ["CoverageRecord", "CoverageLedger", "WIDTH_BUCKETS",
+           "width_bucket", "cell_universe", "cells_of_record"]
+
+
+# ---------------------------------------------------------------------------
+# Coverage cells: op x width-bucket x engine-path
+# ---------------------------------------------------------------------------
+
+#: (label, lo, hi) — inclusive bit-width ranges the cell report bins over.
+WIDTH_BUCKETS: Tuple[Tuple[str, int, int], ...] = (
+    ("1", 1, 1),
+    ("2-8", 2, 8),
+    ("9-16", 9, 16),
+    ("17-32", 17, 32),
+    ("33-64", 33, 64),
+    ("65+", 65, 1 << 30),
+)
+
+#: Engine code paths a program can prove an op on.  ``scheduled`` means the
+#: levelized interpreter ran it, ``kernel`` the generated Python kernel,
+#: ``native`` the compiled C kernel.
+_PATH_DIMS: Tuple[str, ...] = ("scheduled", "kernel", "native")
+
+_COMPARE_KINDS = frozenset(("eq", "neq", "lt", "gt", "le", "ge"))
+
+
+def width_bucket(width: int) -> str:
+    """The bucket label for a bit width."""
+    for label, lo, hi in WIDTH_BUCKETS:
+        if lo <= width <= hi:
+            return label
+    return "65+"
+
+
+def cell_universe() -> Set[Tuple[str, str, str, str]]:
+    """Every reachable ``("op", kind, bucket, path)`` cell.
+
+    Compares always produce width 1; ``tdot`` is pinned to width 8 and is a
+    black-box primitive the native tier can never lower, so its native cells
+    are unreachable by construction and excluded."""
+    cells: Set[Tuple[str, str, str, str]] = set()
+    for op in OP_KINDS:
+        if op in _COMPARE_KINDS:
+            buckets: Tuple[str, ...] = ("1",)
+        elif op == "tdot":
+            buckets = ("2-8",)
+        else:
+            buckets = ("1", "2-8", "9-16", "17-32", "33-64")
+        for bucket in buckets:
+            for path in _PATH_DIMS:
+                if op == "tdot" and path == "native":
+                    continue
+                cells.add(("op", op, bucket, path))
+    return cells
+
+
+_QUOTED = re.compile(r"'[^']*'|\"[^\"]*\"")
+
+
+def _reason_bin(reason: str) -> str:
+    """A stable bucket for a free-text fallback reason: quoted names are
+    elided so per-program strings collapse into one cell."""
+    return _QUOTED.sub("*", reason).strip()
 
 
 @dataclass
@@ -62,6 +125,15 @@ class CoverageRecord:
     incremental: bool = False
     incremental_mutation: Optional[str] = None
     divergences: int = 0
+    #: Generation regime that produced the program (``dataflow`` /
+    #: ``hierarchy`` / ``fsm`` / ``blackbox``).
+    regime: str = "dataflow"
+    #: op kind -> sorted widths it appeared at (feeds the cell report).
+    op_widths: Dict[str, List[int]] = field(default_factory=dict)
+    #: How many stimulus transactions deliberately dropped (X-ed) ports.
+    x_transactions: int = 0
+    #: Digest of the steering plan that biased this seed (None = blind).
+    plan_digest: Optional[str] = None
 
     @staticmethod
     def from_program(generated: GeneratedProgram,
@@ -70,19 +142,34 @@ class CoverageRecord:
         engine-path and stimulus fields)."""
         spec = generated.spec
         ops: Dict[str, int] = {}
-        for node in spec.nodes:
-            ops[node.kind] = ops.get(node.kind, 0) + 1
-        widths = sorted({port.width for port in spec.inputs}
-                        | {node.width for node in spec.nodes})
+        op_widths: Dict[str, Set[int]] = {}
+        widths: Set[int] = set()
+        shared = 0
+
+        def visit(s: ProgramSpec) -> None:
+            nonlocal shared
+            widths.update(port.width for port in s.inputs)
+            for node in s.nodes:
+                ops[node.kind] = ops.get(node.kind, 0) + 1
+                op_widths.setdefault(node.kind, set()).add(node.width)
+                widths.add(node.width)
+                if node.share_with is not None:
+                    shared += 1
+            for child in s.children:
+                visit(child)
+
+        visit(spec)
         return CoverageRecord(
             name=spec.name,
             seed=seed,
             ii=spec.ii,
             statements=generated.statements(),
             ops=ops,
-            widths=widths,
-            shared_instances=sum(1 for node in spec.nodes
-                                 if node.share_with is not None),
+            widths=sorted(widths),
+            shared_instances=shared,
+            regime=spec.regime,
+            op_widths={kind: sorted(ws) for kind, ws in
+                       sorted(op_widths.items())},
         )
 
     def to_dict(self) -> dict:
@@ -104,11 +191,67 @@ class CoverageRecord:
             "incremental": self.incremental,
             "incremental_mutation": self.incremental_mutation,
             "divergences": self.divergences,
+            "regime": self.regime,
+            "op_widths": {kind: list(ws)
+                          for kind, ws in self.op_widths.items()},
+            "x_transactions": self.x_transactions,
+            "plan_digest": self.plan_digest,
         }
 
     @staticmethod
     def from_dict(data: dict) -> "CoverageRecord":
         return CoverageRecord(**data)
+
+
+def _record_paths(record: CoverageRecord) -> Set[str]:
+    paths = {"scheduled" if record.scheduled else "sweep"}
+    if record.kernel:
+        paths.add("kernel")
+    if record.native:
+        paths.add("native")
+    return paths
+
+
+def _x_bin(record: CoverageRecord) -> str:
+    if record.x_transactions <= 0:
+        return "none"
+    if record.transactions and record.x_transactions * 3 <= record.transactions:
+        return "some"
+    return "heavy"
+
+
+def cells_of_record(record: CoverageRecord) -> Set[tuple]:
+    """Every coverage cell one record proves.
+
+    The primary cells are ``("op", kind, width-bucket, engine-path)``; the
+    rest are auxiliary single-dimension cells (regime, II, sharing, lanes,
+    X-stimulus bin, incremental-mutation kind, fallback-reason bins) that
+    the steering loop also tries to fill."""
+    cells: Set[tuple] = set()
+    op_widths = record.op_widths or {
+        kind: list(record.widths) for kind in record.ops}
+    paths = _record_paths(record)
+    for kind, widths in op_widths.items():
+        for width in widths:
+            bucket = width_bucket(width)
+            for path in paths:
+                cells.add(("op", kind, bucket, path))
+    cells.add(("regime", record.regime))
+    cells.add(("ii", record.ii))
+    cells.add(("x", _x_bin(record)))
+    if record.lanes > 1:
+        cells.add(("lanes", "packed"))
+    if record.shared_instances:
+        cells.add(("sharing", "shared"))
+    if record.incremental and record.incremental_mutation:
+        cells.add(("mutation", record.incremental_mutation))
+    for reason in record.fallback_reasons.values():
+        cells.add(("sweep-fallback", _reason_bin(reason)))
+    if record.kernel_fallback:
+        cells.add(("kernel-fallback", _reason_bin(record.kernel_fallback)))
+    if record.native_fallback:
+        cells.add(("native-fallback", _reason_bin(record.native_fallback)))
+    return cells
 
 
 class CoverageLedger:
@@ -230,6 +373,19 @@ class CoverageLedger:
             used.update(record.ops)
         return sorted(set(OP_KINDS) - used)
 
+    def covered_cells(self) -> Set[tuple]:
+        """The union of every record's coverage cells
+        (see :func:`cells_of_record`)."""
+        cells: Set[tuple] = set()
+        for record in self.records:
+            cells |= cells_of_record(record)
+        return cells
+
+    def uncovered_cells(self) -> List[Tuple[str, str, str, str]]:
+        """Reachable ``("op", kind, bucket, path)`` cells no recorded
+        program has proven — what this seed matrix *missed*."""
+        return sorted(cell_universe() - self.covered_cells())
+
     def summary(self) -> str:
         paths = self.engine_paths()
         lines = [
@@ -271,6 +427,21 @@ class CoverageLedger:
         missing = self.unexercised_ops()
         if missing:
             lines.append(f"  unexercised ops: {', '.join(missing)}")
+        universe = cell_universe()
+        covered = self.covered_cells() & universe
+        uncovered = self.uncovered_cells()
+        lines.append(f"  cell coverage: {len(covered)}/{len(universe)} "
+                     f"op x width-bucket x engine-path cells")
+        if uncovered:
+            sample = ", ".join("/".join(cell[1:]) for cell in uncovered[:6])
+            suffix = ", ..." if len(uncovered) > 6 else ""
+            lines.append(f"  uncovered cells ({len(uncovered)}): "
+                         f"{sample}{suffix}")
+        regimes: Dict[str, int] = {}
+        for record in self.records:
+            regimes[record.regime] = regimes.get(record.regime, 0) + 1
+        if set(regimes) != {"dataflow"}:
+            lines.append(f"  regimes: {dict(sorted(regimes.items()))}")
         shared = sum(record.shared_instances for record in self.records)
         lines.append(f"  shared invocations: {shared}, X stimulus: "
                      f"{sum(1 for r in self.records if r.stimulus_has_x)}"
@@ -293,6 +464,12 @@ class CoverageLedger:
             "native_paths": self.native_paths(),
             "native_fallbacks": self.native_fallback_histogram(),
             "incremental_mutations": self.incremental_mutation_histogram(),
+            "cell_coverage": {
+                "covered": len(self.covered_cells() & cell_universe()),
+                "universe": len(cell_universe()),
+                "uncovered": ["/".join(cell[1:])
+                              for cell in self.uncovered_cells()],
+            },
             "records": [record.to_dict() for record in self.records],
         }
 

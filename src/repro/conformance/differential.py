@@ -36,8 +36,9 @@ verifies that a deliberately broken engine *is* caught and shrunk.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from ..calyx.wellformed import check_program as calyx_wellformed
 from ..core.errors import FilamentError, SimulationError
@@ -53,7 +54,12 @@ from ..sim.engine import ScheduledEngine
 from ..sim.simulator import Simulator
 from ..sim.values import X, format_value, is_x
 from .coverage import CoverageRecord
-from .generator import GeneratedProgram, build, mutate_spec
+from .generator import (
+    GeneratedProgram,
+    build,
+    mutate_spec,
+    output_input_cones,
+)
 
 __all__ = [
     "ConformanceResult",
@@ -87,6 +93,10 @@ def default_engines() -> Dict[str, EngineFactory]:
     }
 
 
+#: The engine set repro commands may omit (it is the CLI default).
+_DEFAULT_ENGINE_NAMES = ("compiled", "fixpoint", "native", "scheduled")
+
+
 @dataclass
 class ConformanceResult:
     """The verdict of one N-way differential run."""
@@ -98,10 +108,44 @@ class ConformanceResult:
     engines: List[str] = field(default_factory=list)
     divergences: List[str] = field(default_factory=list)
     coverage: Optional[CoverageRecord] = None
+    #: The engines requested for the matrix (without the synthetic
+    #: ``reparsed``/``packed`` entries appended during the run) — what a
+    #: repro command must pass back via ``--engine``.
+    matrix_engines: List[str] = field(default_factory=list)
+    lanes: int = 1
+    roundtrip: bool = True
+    incremental: bool = True
+    x_probability: float = 0.0
+    plan_digest: Optional[str] = None
 
     @property
     def passed(self) -> bool:
         return not self.divergences
+
+    def repro_command(self) -> Optional[str]:
+        """A one-line CLI invocation that reruns exactly this matrix cell.
+
+        ``None`` when the program seed is unknown (corpus replays repro via
+        ``--replay``).  The steering-plan digest rides along as
+        ``--plan plan-<digest>.json`` — the file the steered run saved."""
+        if self.seed is None:
+            return None
+        parts = ["python", "-m", "repro.conformance",
+                 "--start", str(self.seed), "--seeds", "1",
+                 "--transactions", str(self.transactions),
+                 "--lanes", str(self.lanes)]
+        if tuple(sorted(self.matrix_engines)) != _DEFAULT_ENGINE_NAMES:
+            for engine in sorted(self.matrix_engines):
+                parts += ["--engine", engine]
+        if not self.roundtrip:
+            parts.append("--no-roundtrip")
+        if not self.incremental:
+            parts.append("--no-incremental")
+        if self.x_probability:
+            parts += ["--x-stimulus", repr(self.x_probability)]
+        if self.plan_digest:
+            parts += ["--plan", f"plan-{self.plan_digest}.json"]
+        return " ".join(parts)
 
     def __str__(self) -> str:
         status = "OK" if self.passed else "DIVERGE"
@@ -111,6 +155,10 @@ class ConformanceResult:
         lines.extend(self.divergences[:20])
         if len(self.divergences) > 20:
             lines.append(f"... and {len(self.divergences) - 20} more")
+        if not self.passed:
+            command = self.repro_command()
+            if command:
+                lines.append(f"repro: {command}")
         return "\n".join(lines)
 
 
@@ -173,13 +221,34 @@ def _fallback_components(engine: object) -> List[str]:
     return sorted(set(names))
 
 
+def _apply_x_drops(stream: List[dict], x_probability: float,
+                   tag: object) -> List[Set[str]]:
+    """X-rich stimulus: seeded per-transaction port drops.
+
+    A dropped port is simply absent from the transaction, so the harness
+    leaves it X *inside* its availability window — strictly richer than the
+    baseline X outside every window.  Returns the per-transaction dropped
+    sets (the golden check skips outputs whose input cone touches one)."""
+    rng = random.Random(f"repro-x:{tag}")
+    dropped: List[Set[str]] = []
+    for transaction in stream:
+        drop = {name for name in sorted(transaction)
+                if rng.random() < x_probability}
+        for name in drop:
+            del transaction[name]
+        dropped.append(drop)
+    return dropped
+
+
 def run_conformance(generated: GeneratedProgram,
                     transactions: int = 12,
                     seed: int = 0,
                     engines: Optional[Dict[str, EngineFactory]] = None,
                     roundtrip: bool = True,
                     lanes: int = 4,
-                    incremental: bool = True) -> ConformanceResult:
+                    incremental: bool = True,
+                    x_probability: float = 0.0,
+                    plan_digest: Optional[str] = None) -> ConformanceResult:
     """Run the full N-way differential matrix over one generated program.
 
     ``seed`` seeds the *stimulus* stream (independent of the program seed)
@@ -192,16 +261,25 @@ def run_conformance(generated: GeneratedProgram,
     applied to the component *in place* and the incrementally recompiled
     Calyx/Verilog must be byte-identical to a from-scratch compile of the
     mutated program (with the process-wide compile cache bypassed for the
-    referee, so the comparison is genuinely two-sided).
+    referee, so the comparison is genuinely two-sided).  ``x_probability``
+    drops each stimulus port from each transaction with that (seeded)
+    probability, driving X *inside* availability windows; the golden check
+    conservatively skips outputs whose input cone touches a dropped port,
+    while every engine-vs-engine way still applies.  ``plan_digest``
+    (informational) records which steering plan chose this seed.
     """
     engines = dict(engines) if engines is not None else default_engines()
     spec = generated.spec
     result = ConformanceResult(
         name=spec.name, seed=None, transactions=transactions,
         stimulus_seed=seed, engines=sorted(engines),
+        matrix_engines=sorted(engines), lanes=lanes, roundtrip=roundtrip,
+        incremental=incremental, x_probability=x_probability,
+        plan_digest=plan_digest,
     )
     coverage = CoverageRecord.from_program(generated)
     coverage.transactions = transactions
+    coverage.plan_digest = plan_digest
     result.coverage = coverage
     divergences = result.divergences
 
@@ -248,7 +326,10 @@ def run_conformance(generated: GeneratedProgram,
                     "roundtrip: re-parsed component differs structurally "
                     "from the original")
             else:
-                reparsed_program = with_stdlib(components=[reparsed])
+                # Hierarchy children / black-box signatures must ride along
+                # or the re-parsed top has nothing to instantiate.
+                reparsed_program = with_stdlib(
+                    components=[*generated.support, reparsed])
                 reparsed_calyx = CompilationSession(
                     reparsed_program).calyx(spec.name)
         except FilamentError as error:
@@ -257,6 +338,10 @@ def run_conformance(generated: GeneratedProgram,
     # 5. Identical traces from every engine under identical stimulus.
     harness = harness_for(generated.program, spec.name, calyx=calyx)
     stream = random_transactions(harness, transactions, seed=seed)
+    dropped: List[Set[str]] = [set() for _ in stream]
+    if x_probability > 0:
+        dropped = _apply_x_drops(stream, x_probability, seed)
+        coverage.x_transactions = sum(1 for drop in dropped if drop)
     stimulus, starts = harness._schedule(stream)
     coverage.stimulus_has_x = any(
         any(is_x(value) for value in cycle.values()) for cycle in stimulus)
@@ -314,6 +399,8 @@ def run_conformance(generated: GeneratedProgram,
         for lane in range(1, lanes):
             extra = random_transactions(harness, transactions,
                                         seed=seed + lane)
+            if x_probability > 0:
+                _apply_x_drops(extra, x_probability, f"{seed}+{lane}")
             streams.append(harness._schedule(extra)[0])
         packed_engine = Simulator(calyx, spec.name, mode="auto")
         try:
@@ -334,14 +421,20 @@ def run_conformance(generated: GeneratedProgram,
                                 f"packed[{lane}]", packed_traces[lane],
                                 divergences)
 
-    # 7. Captured outputs must match the exact golden model.
+    # 7. Captured outputs must match the exact golden model.  Outputs whose
+    #    input cone touches an X-dropped port have no defined golden value
+    #    and are skipped (the engine-vs-engine ways above still cover them).
     if reference_name is not None:
         reference = traces[reference_name]
         output_ports = harness.spec.outputs
+        cones = output_input_cones(spec) if any(dropped) else {}
         reported = 0
         for index, (start, transaction) in enumerate(zip(starts, stream)):
             expected = generated.golden(transaction)
             for port in output_ports:
+                if dropped[index] and (
+                        cones.get(port.name, frozenset()) & dropped[index]):
+                    continue
                 capture = start + port.start
                 got = reference[capture].get(port.name, X) \
                     if capture < len(reference) else X

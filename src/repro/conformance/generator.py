@@ -49,7 +49,9 @@ __all__ = [
     "mutate_spec",
     "build",
     "ref_width",
+    "output_input_cones",
     "OP_KINDS",
+    "REGIMES",
 ]
 
 #: A reference to a value: ``("in", i)`` (the i-th input), ``("op", j)``
@@ -91,16 +93,23 @@ class NodeSpec:
 
 @dataclass(frozen=True)
 class ProgramSpec:
-    """A whole generated component as plain, JSON-able data."""
+    """A whole generated component as plain, JSON-able data.
+
+    ``children`` are sub-component specs that ``"call"`` nodes instantiate
+    (multi-component hierarchies); ``regime`` names the generation strategy
+    that produced the spec (``"dataflow"``, ``"hierarchy"``, ``"fsm"``, or
+    ``"blackbox"``) so coverage can bin by program shape."""
 
     name: str
     ii: int
     inputs: Tuple[InputSpec, ...]
     nodes: Tuple[NodeSpec, ...]
     outputs: Tuple[Ref, ...]
+    children: Tuple["ProgramSpec", ...] = ()
+    regime: str = "dataflow"
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "name": self.name,
             "ii": self.ii,
             "inputs": [[p.name, p.width, p.time] for p in self.inputs],
@@ -116,6 +125,11 @@ class ProgramSpec:
             ],
             "outputs": [list(ref) for ref in self.outputs],
         }
+        if self.children:
+            data["children"] = [child.to_dict() for child in self.children]
+        if self.regime != "dataflow":
+            data["regime"] = self.regime
+        return data
 
     @staticmethod
     def from_dict(data: dict) -> "ProgramSpec":
@@ -134,6 +148,9 @@ class ProgramSpec:
                 for n in data["nodes"]
             ),
             outputs=tuple(tuple(ref) for ref in data["outputs"]),
+            children=tuple(ProgramSpec.from_dict(child)
+                           for child in data.get("children", [])),
+            regime=data.get("regime", "dataflow"),
         )
 
 
@@ -156,10 +173,26 @@ _SEQUENTIAL = {
 }
 _UNARY = {"not": "Not", "shl": "ShiftLeft", "shr": "ShiftRight"}
 
+#: Black-box substrate primitive: the Reticle-style Tdot DSP slice.  It is a
+#: *registered* primitive (no stdlib body), so the native tier cannot lower it
+#: and the compiled tier must call back into its Python model — exactly the
+#: fallback territory the fuzzer wants to exercise.
+_TDOT_WIDTH = 8
+_TDOT_LATENCY = 5
+#: Per-operand arrival offsets relative to the invocation event G.
+_OPERAND_OFFSETS: Dict[str, Tuple[int, ...]] = {
+    "tdot": (0, 0, 1, 1, 2, 2, 2),
+}
+
+#: Names of the generation regimes (see :class:`ProgramSpec.regime`).
+REGIMES: Tuple[str, ...] = ("dataflow", "hierarchy", "fsm", "blackbox")
+
 #: Every op kind the generator can emit (the coverage ledger's universe).
+#: ``call`` (sub-component invocation) and ``tdot`` (black-box substrate
+#: primitive) only appear under the hierarchy/blackbox regimes.
 OP_KINDS: Tuple[str, ...] = tuple(
     sorted(list(_BINARY) + list(_COMPARE) + list(_SEQUENTIAL) + list(_UNARY)
-           + ["mux", "slice", "concat"])
+           + ["mux", "slice", "concat", "call", "tdot"])
 )
 
 
@@ -172,15 +205,26 @@ def _component_of(kind: str) -> str:
         return _SEQUENTIAL[kind][0]
     if kind in _UNARY:
         return _UNARY[kind]
-    return {"mux": "Mux", "slice": "Slice", "concat": "Concat"}[kind]
+    return {"mux": "Mux", "slice": "Slice", "concat": "Concat",
+            "tdot": "Tdot"}[kind]
 
 
 def _latency_of(kind: str) -> int:
+    if kind == "tdot":
+        return _TDOT_LATENCY
     return _SEQUENTIAL[kind][1] if kind in _SEQUENTIAL else 0
 
 
 def _callee_delay(kind: str) -> int:
     return _SEQUENTIAL[kind][2] if kind in _SEQUENTIAL else 1
+
+
+def _output_port(kind: str) -> str:
+    if kind == "tdot":
+        return "y"
+    if kind == "call":
+        return "o0"
+    return "out"
 
 
 # ---------------------------------------------------------------------------
@@ -197,16 +241,24 @@ class _Analysis:
         self.invoke_time: List[int] = []
         self.out_time: List[int] = []
         for index, node in enumerate(spec.nodes):
+            offsets = _OPERAND_OFFSETS.get(node.kind, ())
             times = [self._ref_time(ref) for ref in node.operands]
-            known = [t for t in times if t is not None]
+            known = [t - (offsets[i] if i < len(offsets) else 0)
+                     for i, t in enumerate(times) if t is not None]
             if known and any(t != known[0] for t in known):
                 raise GenerationError(
                     f"{spec.name}: node {index} ({node.kind}) mixes operand "
-                    f"times {sorted(set(known))}"
+                    f"start times {sorted(set(known))}"
                 )
             start = known[0] if known else 0
             self.invoke_time.append(start)
-            self.out_time.append(start + _latency_of(node.kind))
+            self.out_time.append(start + self._node_latency(node))
+
+    def _node_latency(self, node: NodeSpec) -> int:
+        if node.kind == "call":
+            child = self.spec.children[node.params[0]]
+            return _Analysis(child).ref_time(child.outputs[0])
+        return _latency_of(node.kind)
 
     def _ref_time(self, ref: Ref) -> Optional[int]:
         tag = ref[0]
@@ -253,21 +305,26 @@ def _build_component(spec: ProgramSpec) -> Component:
         if tag == "in":
             return input_handles[spec.inputs[ref[1]].name]
         if tag == "op":
-            return handles[ref[1]]["out"]
+            return handles[ref[1]][_output_port(spec.nodes[ref[1]].kind)]
         return ConstantPort(ref[1], ref[2])
 
     handles = []
     instances: Dict[int, object] = {}
     for index, node in enumerate(spec.nodes):
-        component_name = _component_of(node.kind)
+        if node.kind == "call":
+            component_name = spec.children[node.params[0]].name
+        else:
+            component_name = _component_of(node.kind)
         share = node.share_with
         if (share is not None and share in instances
                 and spec.nodes[share].kind == node.kind
                 and spec.nodes[share].params == node.params):
             instance = instances[share]
         else:
+            # "call" params name the child spec, not instantiation params.
+            inst_params = () if node.kind == "call" else node.params
             instance = builder.instantiate(f"i{index}", component_name,
-                                           node.params)
+                                           inst_params)
             instances[index] = instance
         arguments = [as_source(ref) for ref in node.operands]
         handles.append(builder.invoke(
@@ -317,8 +374,11 @@ def evaluate(spec: ProgramSpec, transaction: Dict[str, int]) -> Dict[str, int]:
     def value_of(ref: Ref) -> int:
         tag = ref[0]
         if tag == "in":
+            # Dropped (X-stimulus) ports default to 0; the harness only
+            # checks outputs whose input cone avoids them, so the value
+            # never reaches a checked output (see output_input_cones).
             port = spec.inputs[ref[1]]
-            return _mask(transaction[port.name], port.width)
+            return _mask(transaction.get(port.name, 0), port.width)
         if tag == "op":
             return values[ref[1]]
         return _mask(ref[1], ref[2])
@@ -347,11 +407,48 @@ def evaluate(spec: ProgramSpec, transaction: Dict[str, int]) -> Dict[str, int]:
             result = _mask(operands[0] << node.params[1], node.width)
         elif kind == "shr":
             result = _mask(operands[0] >> node.params[1], node.width)
+        elif kind == "call":
+            child = spec.children[node.params[0]]
+            child_txn = {port.name: value
+                         for port, value in zip(child.inputs, operands)}
+            result = evaluate(child, child_txn)["o0"]
+        elif kind == "tdot":
+            a0, b0, a1, b1, a2, b2, c = operands
+            result = _mask(a0 * b0 + a1 * b1 + a2 * b2 + c, _TDOT_WIDTH)
         else:
             raise GenerationError(f"unknown op kind {kind!r}")
         values.append(result)
 
     return {f"o{position}": value_of(ref)
+            for position, ref in enumerate(spec.outputs)}
+
+
+def output_input_cones(spec: ProgramSpec) -> Dict[str, frozenset]:
+    """Map each output port name to the set of input port names it
+    (transitively) depends on.
+
+    Conservative over-approximation: mux select cones count even when the
+    selected arm would mask them.  The X-rich stimulus harness uses this to
+    skip golden checks on outputs whose cone touches a dropped (X) input."""
+    memo: Dict[int, frozenset] = {}
+
+    def node_cone(index: int) -> frozenset:
+        if index not in memo:
+            cone: set = set()
+            for ref in spec.nodes[index].operands:
+                cone |= ref_cone(ref)
+            memo[index] = frozenset(cone)
+        return memo[index]
+
+    def ref_cone(ref: Ref) -> frozenset:
+        tag = ref[0]
+        if tag == "in":
+            return frozenset((spec.inputs[ref[1]].name,))
+        if tag == "op":
+            return node_cone(ref[1])
+        return frozenset()
+
+    return {f"o{position}": ref_cone(ref)
             for position, ref in enumerate(spec.outputs)}
 
 
@@ -363,11 +460,13 @@ def evaluate(spec: ProgramSpec, transaction: Dict[str, int]) -> Dict[str, int]:
 @dataclass
 class GeneratedProgram:
     """A built spec: the component, its program (stdlib merged), and the
-    golden model."""
+    golden model.  ``support`` holds the non-stdlib components the top
+    component depends on (hierarchy children, black-box signatures)."""
 
     spec: ProgramSpec
     component: Component
     program: Program
+    support: Tuple[Component, ...] = ()
 
     @property
     def entrypoint(self) -> str:
@@ -389,10 +488,27 @@ class GeneratedProgram:
         return format_component(self.component)
 
 
+def _uses_tdot(spec: ProgramSpec) -> bool:
+    return (any(node.kind == "tdot" for node in spec.nodes)
+            or any(_uses_tdot(child) for child in spec.children))
+
+
+def support_components(spec: ProgramSpec) -> List[Component]:
+    """The non-stdlib components ``spec`` needs: one per child, plus the
+    Tdot black-box signature when any node invokes it."""
+    components = [_build_component(child) for child in spec.children]
+    if _uses_tdot(spec):
+        from ..generators.reticle.dsp import tdot_signature
+        components.append(tdot_signature())
+    return components
+
+
 def build(spec: ProgramSpec) -> GeneratedProgram:
     """Materialise a spec into a component + program + golden model."""
     component = _build_component(spec)
-    return GeneratedProgram(spec, component, with_stdlib(components=[component]))
+    support = tuple(support_components(spec))
+    program = with_stdlib(components=[*support, component])
+    return GeneratedProgram(spec, component, program, support)
 
 
 # ---------------------------------------------------------------------------
@@ -400,9 +516,22 @@ def build(spec: ProgramSpec) -> GeneratedProgram:
 # ---------------------------------------------------------------------------
 
 
+def _frozen_weights(weights: Optional[Dict]) -> Optional[Tuple]:
+    if weights is None:
+        return None
+    return tuple(sorted(weights.items()))
+
+
 @dataclass(frozen=True)
 class GeneratorConfig:
-    """Knobs of the random program generator (all defaults CI-friendly)."""
+    """Knobs of the random program generator (all defaults CI-friendly).
+
+    The three ``*_weights`` fields are the steering hooks
+    (:mod:`repro.conformance.steering`).  They are stored as sorted
+    ``((key, weight), ...)`` tuples so the config stays hashable; ``None``
+    (the default) means *uniform sampling through the exact pre-steering
+    code path* — the RNG stream, and therefore every historical seed and
+    corpus digest, is unchanged unless a plan explicitly sets weights."""
 
     min_inputs: int = 1
     max_inputs: int = 4
@@ -416,9 +545,17 @@ class GeneratorConfig:
     share_probability: float = 0.35
     const_probability: float = 0.2
     ii_choices: Tuple[int, ...] = (1, 1, 2, 3)
+    #: op kind -> relative weight (unknown kinds fall back to weight 1.0)
+    op_weights: Optional[Tuple[Tuple[str, float], ...]] = None
+    #: input/operand width -> relative weight
+    width_weights: Optional[Tuple[Tuple[int, float], ...]] = None
+    #: regime name -> relative weight (None: always "dataflow")
+    regime_weights: Optional[Tuple[Tuple[str, float], ...]] = None
+    #: probability a stimulus transaction drops (X-es) each data port
+    x_probability: float = 0.0
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "min_inputs": self.min_inputs, "max_inputs": self.max_inputs,
             "min_ops": self.min_ops, "max_ops": self.max_ops,
             "max_outputs": self.max_outputs, "widths": list(self.widths),
@@ -429,6 +566,15 @@ class GeneratorConfig:
             "const_probability": self.const_probability,
             "ii_choices": list(self.ii_choices),
         }
+        if self.op_weights is not None:
+            data["op_weights"] = {k: w for k, w in self.op_weights}
+        if self.width_weights is not None:
+            data["width_weights"] = {str(k): w for k, w in self.width_weights}
+        if self.regime_weights is not None:
+            data["regime_weights"] = {k: w for k, w in self.regime_weights}
+        if self.x_probability:
+            data["x_probability"] = self.x_probability
+        return data
 
     @staticmethod
     def from_dict(data: dict) -> "GeneratorConfig":
@@ -436,6 +582,14 @@ class GeneratorConfig:
         for key in ("widths", "ii_choices"):
             if key in data:
                 data[key] = tuple(data[key])
+        if data.get("op_weights") is not None:
+            data["op_weights"] = _frozen_weights(dict(data["op_weights"]))
+        if data.get("width_weights") is not None:
+            data["width_weights"] = _frozen_weights(
+                {int(k): w for k, w in dict(data["width_weights"]).items()})
+        if data.get("regime_weights") is not None:
+            data["regime_weights"] = _frozen_weights(
+                dict(data["regime_weights"]))
         return GeneratorConfig(**data)
 
 
@@ -449,13 +603,14 @@ class _Value:
 
 
 class _SpecGenerator:
-    def __init__(self, seed: int, config: GeneratorConfig) -> None:
+    def __init__(self, seed, config: GeneratorConfig) -> None:
         self.seed = seed
         self.config = config
         self.rng = random.Random(f"repro-conformance:{seed}")
         self.ii = self.rng.choice(config.ii_choices)
         self.inputs: List[InputSpec] = []
         self.nodes: List[NodeSpec] = []
+        self.children: List[ProgramSpec] = []
         #: instance-owner node -> list of (start, end) claims on it
         self.claims: Dict[int, List[Tuple[int, int]]] = {}
 
@@ -464,29 +619,65 @@ class _SpecGenerator:
     def _const(self, width: int) -> _Value:
         return _Value(("const", self.rng.getrandbits(width), width), width, 0)
 
+    def _pick_width(self) -> int:
+        """A width draw; with ``width_weights`` set, biased, otherwise the
+        exact historical ``rng.choice`` call (stream compatibility)."""
+        if self.config.width_weights is None:
+            return self.rng.choice(self.config.widths)
+        table = dict(self.config.width_weights)
+        weights = [max(table.get(w, 1.0), 0.0) for w in self.config.widths]
+        if not any(weights):
+            return self.rng.choice(self.config.widths)
+        return self.rng.choices(self.config.widths, weights)[0]
+
+    def _pick_kind(self, kinds: Sequence[str]) -> str:
+        """An op-kind draw over ``kinds``; weighted iff ``op_weights``."""
+        if self.config.op_weights is None:
+            return self.rng.choice(list(kinds))
+        table = dict(self.config.op_weights)
+        weights = [max(table.get(kind, 1.0), 0.0) for kind in kinds]
+        if not any(weights):
+            return self.rng.choice(list(kinds))
+        return self.rng.choices(list(kinds), weights)[0]
+
+    def _pick_regime(self) -> str:
+        weights = self.config.regime_weights
+        if weights is None:
+            return "dataflow"
+        table = dict(weights)
+        names = [r for r in REGIMES if table.get(r, 0.0) > 0]
+        if not names:
+            return "dataflow"
+        return self.rng.choices(names, [table[r] for r in names])[0]
+
     def _add_node(self, kind: str, operands: Sequence[_Value], width: int,
-                  params: Tuple[int, ...]) -> _Value:
-        time = max([v.time for v in operands if v.ref[0] != "const"],
-                   default=0)
-        share = self._try_share(kind, params, time)
+                  params: Tuple[int, ...], latency: Optional[int] = None,
+                  delay: Optional[int] = None,
+                  offsets: Optional[Tuple[int, ...]] = None) -> _Value:
+        offsets = offsets or (0,) * len(operands)
+        time = max([v.time - off for v, off in zip(operands, offsets)
+                    if v.ref[0] != "const"], default=0)
+        if latency is None:
+            latency = _latency_of(kind)
+        if delay is None:
+            delay = _callee_delay(kind)
+        share = self._try_share(kind, params, time, delay)
         index = len(self.nodes)
         self.nodes.append(NodeSpec(kind, tuple(v.ref for v in operands),
                                    width, params, share))
         if share is None:
-            delay = _callee_delay(kind)
             self.claims[index] = [(time, time + delay)]
         else:
-            self.claims[share].append((time, time + _callee_delay(kind)))
-        return _Value(("op", index), width, time + _latency_of(kind))
+            self.claims[share].append((time, time + delay))
+        return _Value(("op", index), width, time + latency)
 
     def _try_share(self, kind: str, params: Tuple[int, ...],
-                   time: int) -> Optional[int]:
+                   time: int, delay: int) -> Optional[int]:
         """Reuse an existing instance when the Section 4.4 rule allows it:
         same component/params, disjoint claims, span within the II."""
         if (not self.config.allow_sharing or self.ii <= 1
                 or self.rng.random() >= self.config.share_probability):
             return None
-        delay = _callee_delay(kind)
         new_claim = (time, time + delay)
         candidates = []
         for owner, claims in self.claims.items():
@@ -525,30 +716,42 @@ class _SpecGenerator:
     # -- main ---------------------------------------------------------------
 
     def generate(self) -> ProgramSpec:
-        rng = self.rng
-        config = self.config
+        regime = self._pick_regime()
+        if regime == "hierarchy":
+            outputs = self._generate_hierarchy()
+        elif regime == "fsm":
+            outputs = self._generate_fsm()
+        elif regime == "blackbox":
+            outputs = self._generate_blackbox()
+        else:
+            outputs = self._generate_dataflow()
+        return ProgramSpec(
+            name=f"Gen{self.seed}",
+            ii=self.ii,
+            inputs=tuple(self.inputs),
+            nodes=tuple(self.nodes),
+            outputs=tuple(outputs[:self.config.max_outputs]),
+            children=tuple(self.children),
+            regime=regime,
+        )
+
+    def _gen_inputs(self, low: int, high: int,
+                    forced_widths: Tuple[int, ...] = ()) -> List[_Value]:
+        rng, config = self.rng, self.config
         names = string.ascii_lowercase
-        for index in range(rng.randint(config.min_inputs, config.max_inputs)):
-            time = 0 if index == 0 else rng.randrange(config.max_input_stagger + 1)
-            self.inputs.append(InputSpec(names[index], rng.choice(config.widths),
-                                         time))
-        pool: List[_Value] = [
-            _Value(("in", index), port.width, port.time)
-            for index, port in enumerate(self.inputs)
-        ]
+        for index in range(rng.randint(low, high)):
+            time = 0 if index == 0 else rng.randrange(
+                config.max_input_stagger + 1)
+            if index < len(forced_widths):
+                width = forced_widths[index]
+            else:
+                width = self._pick_width()
+            self.inputs.append(InputSpec(names[index], width, time))
+        return [_Value(("in", index), port.width, port.time)
+                for index, port in enumerate(self.inputs)]
 
-        kinds = (list(_BINARY) + list(_COMPARE) + ["mux", "slice", "concat",
-                                                   "not", "shl", "shr"])
-        if config.allow_sequential:
-            kinds += list(_SEQUENTIAL)
-        for _ in range(rng.randint(config.min_ops, config.max_ops)):
-            kind = rng.choice(kinds)
-            if kind == "mult" and self.ii < _callee_delay("mult"):
-                kind = "fastmult"
-            value = self._emit(kind, pool)
-            if value is not None:
-                pool.append(value)
-
+    def _select_outputs(self, pool: List[_Value]) -> List[Ref]:
+        rng, config = self.rng, self.config
         ops = [v for v in pool if v.ref[0] == "op"]
         outputs: List[Ref] = []
         if ops:
@@ -561,14 +764,160 @@ class _SpecGenerator:
                     outputs.append(value.ref)
         else:  # degenerate seed: wire an input straight through
             outputs.append(pool[0].ref)
+        return outputs
 
-        return ProgramSpec(
-            name=f"Gen{self.seed}",
-            ii=self.ii,
-            inputs=tuple(self.inputs),
-            nodes=tuple(self.nodes),
-            outputs=tuple(outputs[:config.max_outputs]),
-        )
+    def _generate_dataflow(self) -> List[Ref]:
+        rng, config = self.rng, self.config
+        names = string.ascii_lowercase
+        for index in range(rng.randint(config.min_inputs, config.max_inputs)):
+            time = 0 if index == 0 else rng.randrange(config.max_input_stagger + 1)
+            self.inputs.append(InputSpec(names[index], self._pick_width(),
+                                         time))
+        pool: List[_Value] = [
+            _Value(("in", index), port.width, port.time)
+            for index, port in enumerate(self.inputs)
+        ]
+
+        kinds = (list(_BINARY) + list(_COMPARE) + ["mux", "slice", "concat",
+                                                   "not", "shl", "shr"])
+        if config.allow_sequential:
+            kinds += list(_SEQUENTIAL)
+        for _ in range(rng.randint(config.min_ops, config.max_ops)):
+            kind = self._pick_kind(kinds)
+            if kind == "mult" and self.ii < _callee_delay("mult"):
+                kind = "fastmult"
+            value = self._emit(kind, pool)
+            if value is not None:
+                pool.append(value)
+
+        return self._select_outputs(pool)
+
+    def _generate_hierarchy(self) -> List[Ref]:
+        """Multi-component hierarchy: 1-2 generated child components, the
+        parent mixing ``call`` nodes (some sharing one child instance under
+        the Section 4.4 rule — the II is forced > 1 to make that legal)
+        with ordinary dataflow ops."""
+        from dataclasses import replace
+        rng, config = self.rng, self.config
+        self.ii = rng.choice((2, 2, 3))
+        child_config = replace(
+            config, min_inputs=1, max_inputs=3, min_ops=1, max_ops=5,
+            max_outputs=1, max_input_stagger=0, allow_sharing=False,
+            allow_sequential=False, ii_choices=(1,), regime_weights=None)
+        for index in range(rng.randint(1, 2)):
+            sub = _SpecGenerator(f"{self.seed}c{index}", child_config)
+            child_outputs = sub._generate_dataflow()
+            self.children.append(ProgramSpec(
+                name=f"Gen{self.seed}c{index}",
+                ii=sub.ii,
+                inputs=tuple(sub.inputs),
+                nodes=tuple(sub.nodes),
+                outputs=tuple(child_outputs[:1]),
+            ))
+
+        pool = self._gen_inputs(2, config.max_inputs)
+        kinds = (list(_BINARY) + list(_COMPARE)
+                 + ["mux", "not", "reg", "delay"] + ["call"] * 3)
+        calls = 0
+        for _ in range(rng.randint(max(3, config.min_ops), config.max_ops)):
+            kind = self._pick_kind(kinds)
+            if kind == "call":
+                value = self._emit_call(rng.randrange(len(self.children)),
+                                        pool)
+                calls += 1
+            else:
+                value = self._emit(kind, pool)
+            if value is not None:
+                pool.append(value)
+        if not calls:
+            pool.append(self._emit_call(0, pool))
+        return self._select_outputs(pool)
+
+    def _generate_fsm(self) -> List[Ref]:
+        """FSM-style control: a registered state value threaded through
+        compare -> step -> mux -> reg stages, with the stage conditions and
+        state snapshots exposed in the pool."""
+        rng, config = self.rng, self.config
+        pool = self._gen_inputs(2, min(3, config.max_inputs))
+        state_width = rng.choice((2, 4, 8))
+        state: _Value = self._const(state_width)
+        compare_kinds = tuple(_COMPARE)
+        step_kinds = ("add", "sub", "xor", "or", "and")
+        for _ in range(rng.randint(2, 5)):
+            data = self._pick(pool)
+            cond_operands = self._align([data, self._const(data.width)])
+            cond = self._add_node(rng.choice(compare_kinds), cond_operands,
+                                  1, (data.width,))
+            step = self._add_node(rng.choice(step_kinds),
+                                  [state, self._const(state_width)],
+                                  state_width, (state_width,))
+            sel, taken, kept = self._align([cond, step, state])
+            state = self._add_node("mux", [sel, taken, kept], state_width,
+                                   (state_width,))
+            state = self._add_node("reg", [state], state_width,
+                                   (state_width,))
+            pool.append(cond)
+            pool.append(state)
+        return self._select_outputs(pool)
+
+    def _generate_blackbox(self) -> List[Ref]:
+        """Black-box substrate primitives: at least one Tdot DSP slice
+        (a registered primitive with no stdlib body and staggered operand
+        arrival times) mixed into ordinary dataflow."""
+        rng, config = self.rng, self.config
+        pool = self._gen_inputs(2, min(4, config.max_inputs),
+                                forced_widths=(_TDOT_WIDTH, _TDOT_WIDTH))
+        kinds = (list(_BINARY)
+                 + ["mux", "not", "reg", "delay", "slice"] + ["tdot"] * 2)
+        tdots = 0
+        for _ in range(rng.randint(max(3, config.min_ops), config.max_ops)):
+            kind = self._pick_kind(kinds)
+            if kind == "tdot":
+                value = self._emit_tdot(pool)
+                tdots += 1
+            else:
+                value = self._emit(kind, pool)
+            if value is not None:
+                pool.append(value)
+        if not tdots:
+            pool.append(self._emit_tdot(pool))
+        return self._select_outputs(pool)
+
+    def _emit_call(self, child_index: int, pool: List[_Value]) -> _Value:
+        rng, config = self.rng, self.config
+        child = self.children[child_index]
+        operands = []
+        for port in child.inputs:
+            value = self._pick(pool, width=port.width)
+            if value is None or rng.random() < config.const_probability:
+                value = self._const(port.width)
+            operands.append(value)
+        operands = self._align(operands)
+        analysis = _Analysis(child)
+        latency = analysis.ref_time(child.outputs[0])
+        width = analysis.ref_width(child.outputs[0])
+        return self._add_node("call", operands, width, (child_index,),
+                              latency=latency, delay=child.ii)
+
+    def _emit_tdot(self, pool: List[_Value]) -> _Value:
+        rng, config = self.rng, self.config
+        offsets = _OPERAND_OFFSETS["tdot"]
+        raw = []
+        for _ in offsets:
+            value = self._pick(pool, width=_TDOT_WIDTH)
+            if value is None or rng.random() < config.const_probability:
+                value = self._const(_TDOT_WIDTH)
+            raw.append(value)
+        # Clamped at 0: an early operand (e.g. a time-0 value on an offset-2
+        # port) must never pull the invocation before the transaction's
+        # start event — the instance would sample cycles that do not exist.
+        start = max([v.time - off for v, off in zip(raw, offsets)
+                     if v.ref[0] != "const"] + [0])
+        operands = [v if v.ref[0] == "const" else self._retime(v, start + off)
+                    for v, off in zip(raw, offsets)]
+        return self._add_node("tdot", operands, _TDOT_WIDTH, (_TDOT_WIDTH,),
+                              latency=_TDOT_LATENCY, delay=1,
+                              offsets=offsets)
 
     def _emit(self, kind: str, pool: List[_Value]) -> Optional[_Value]:
         rng = self.rng

@@ -1,0 +1,258 @@
+"""Sharded, round-based conformance fuzzing.
+
+Scale-out for the differential matrix: seed ranges split across a
+``multiprocessing`` pool (:func:`run_shards`), per-worker ledgers merged
+back deterministically, and a round loop (:func:`run_rounds`) that re-steers
+generation between rounds from the merged coverage
+(:mod:`repro.conformance.steering`) — run, merge, re-steer, run.
+
+Determinism contract: the merged ledger of ``run_shards(seeds, jobs=N)`` is
+*content-identical* for every ``N``, including ``N=1`` — records are
+serialized in the worker either way and re-sorted by seed after the merge,
+so a parallel CI run and a serial local repro produce byte-equal ledger
+JSON.  Workers receive only plain dicts (config, engine *names*) and return
+only plain dicts, which keeps the pool happy under both ``fork`` and
+``spawn`` start methods.
+
+:func:`distill_corpus` is the bounded corpus keeper: walking the rounds in
+order, a seed is persisted only when its record proves at least one coverage
+cell no earlier kept seed proved.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Set, Union
+
+from .corpus import corpus_entry, write_entry
+from .coverage import CoverageLedger, CoverageRecord, cells_of_record
+from .differential import default_engines, run_conformance
+from .generator import GeneratorConfig, generate
+from .steering import SteeringPlan, plan_from_ledger, steer_config
+
+__all__ = ["ShardFailure", "ShardRun", "RoundResult", "run_shards",
+           "run_rounds", "distill_corpus"]
+
+
+@dataclass
+class ShardFailure:
+    """One diverging seed, as reported across the process boundary."""
+
+    seed: int
+    name: str
+    divergences: List[str]
+    repro: Optional[str] = None
+
+
+@dataclass
+class ShardRun:
+    """The merged outcome of one sharded sweep over a seed range."""
+
+    records: List[CoverageRecord] = field(default_factory=list)
+    failures: List[ShardFailure] = field(default_factory=list)
+    jobs: int = 1
+
+    @property
+    def ledger(self) -> CoverageLedger:
+        return CoverageLedger(list(self.records))
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+
+def _run_seeds(payload: dict) -> dict:
+    """Pool worker: run one shard of seeds through the full matrix.
+
+    Also the ``jobs=1`` code path — serial runs route through the same
+    serialization so ledger content cannot depend on the job count."""
+    config = GeneratorConfig.from_dict(payload["config"])
+    names = set(payload["engine_names"])
+    engines = {name: factory for name, factory in default_engines().items()
+               if name in names}
+    records: List[dict] = []
+    failures: List[dict] = []
+    for seed in payload["seeds"]:
+        generated = generate(seed, config)
+        result = run_conformance(
+            generated,
+            transactions=payload["transactions"],
+            seed=seed,
+            engines=engines,
+            roundtrip=payload["roundtrip"],
+            lanes=payload["lanes"],
+            incremental=payload["incremental"],
+            x_probability=payload["x_probability"],
+            plan_digest=payload["plan_digest"],
+        )
+        result.seed = seed
+        if result.coverage is not None:
+            result.coverage.seed = seed
+            records.append(result.coverage.to_dict())
+        if not result.passed:
+            failures.append({
+                "seed": seed,
+                "name": result.name,
+                "divergences": result.divergences[:10],
+                "repro": result.repro_command(),
+            })
+    return {"records": records, "failures": failures}
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def run_shards(seeds: Sequence[int],
+               jobs: int = 1,
+               config: Optional[GeneratorConfig] = None,
+               engine_names: Optional[Sequence[str]] = None,
+               transactions: int = 12,
+               lanes: int = 4,
+               roundtrip: bool = True,
+               incremental: bool = True,
+               x_probability: float = 0.0,
+               plan_digest: Optional[str] = None) -> ShardRun:
+    """Split ``seeds`` over ``jobs`` workers and merge the results.
+
+    Seeds are dealt round-robin (``seeds[i::jobs]``) so long-running seeds
+    spread across workers; merged records and failures are re-sorted by
+    seed, making the output independent of shard interleaving."""
+    config = config or GeneratorConfig()
+    seeds = list(seeds)
+    engine_names = sorted(engine_names if engine_names is not None
+                          else default_engines())
+    payloads = []
+    for index in range(max(1, jobs)):
+        shard = seeds[index::max(1, jobs)]
+        if not shard:
+            continue
+        payloads.append({
+            "seeds": shard,
+            "config": config.to_dict(),
+            "engine_names": engine_names,
+            "transactions": transactions,
+            "lanes": lanes,
+            "roundtrip": roundtrip,
+            "incremental": incremental,
+            "x_probability": x_probability,
+            "plan_digest": plan_digest,
+        })
+
+    if len(payloads) <= 1:
+        outcomes = [_run_seeds(payload) for payload in payloads]
+    else:
+        with _pool_context().Pool(processes=len(payloads)) as pool:
+            outcomes = pool.map(_run_seeds, payloads)
+
+    records = [CoverageRecord.from_dict(record)
+               for outcome in outcomes for record in outcome["records"]]
+    records.sort(key=lambda record: (record.seed is None, record.seed))
+    failures = [ShardFailure(**failure)
+                for outcome in outcomes for failure in outcome["failures"]]
+    failures.sort(key=lambda failure: failure.seed)
+    return ShardRun(records=records, failures=failures,
+                    jobs=len(payloads) or 1)
+
+
+@dataclass
+class RoundResult:
+    """One steering round: the plan that biased it (None for the blind
+    round), the config actually used, and the sharded run outcome."""
+
+    index: int
+    seeds: List[int]
+    config: GeneratorConfig
+    run: ShardRun
+    plan: Optional[SteeringPlan] = None
+    plan_path: Optional[Path] = None
+
+
+def run_rounds(start: int,
+               total: int,
+               rounds: int = 2,
+               jobs: int = 1,
+               config: Optional[GeneratorConfig] = None,
+               engine_names: Optional[Sequence[str]] = None,
+               transactions: int = 12,
+               lanes: int = 4,
+               roundtrip: bool = True,
+               incremental: bool = True,
+               plan_dir: Optional[Union[str, Path]] = None,
+               boost: float = 4.0,
+               initial_plan: Optional[SteeringPlan] = None) -> List[RoundResult]:
+    """Round-based steered fuzzing: run a shard sweep, merge its ledger,
+    derive a :class:`SteeringPlan` from everything covered so far, and run
+    the next sweep under it.
+
+    The seed budget ``[start, start + total)`` is split evenly across
+    ``rounds``; round 0 runs blind (or under ``initial_plan`` when given),
+    every later round is steered by the merged coverage of all earlier
+    rounds.  Plans are saved to ``plan_dir`` as ``plan-<digest>.json`` —
+    the exact file name failure repro commands reference."""
+    base_config = config or GeneratorConfig()
+    merged = CoverageLedger()
+    results: List[RoundResult] = []
+    next_seed = start
+    for index in range(max(1, rounds)):
+        size = total // max(1, rounds) + (
+            1 if index < total % max(1, rounds) else 0)
+        if size <= 0:
+            continue
+        seeds = list(range(next_seed, next_seed + size))
+        next_seed += size
+
+        plan: Optional[SteeringPlan] = initial_plan if index == 0 else None
+        if index > 0:
+            plan = plan_from_ledger(merged, base_config, boost=boost)
+        plan_path: Optional[Path] = None
+        if plan is not None:
+            round_config = steer_config(base_config, plan)
+            digest = plan.digest()
+            if plan_dir is not None:
+                plan_path = plan.save(Path(plan_dir) / f"plan-{digest}.json")
+        else:
+            round_config, digest = base_config, None
+
+        run = run_shards(
+            seeds, jobs=jobs, config=round_config,
+            engine_names=engine_names, transactions=transactions,
+            lanes=lanes, roundtrip=roundtrip, incremental=incremental,
+            x_probability=round_config.x_probability, plan_digest=digest)
+        merged = merged.merge(run.ledger)
+        results.append(RoundResult(index=index, seeds=seeds,
+                                   config=round_config, run=run,
+                                   plan=plan, plan_path=plan_path))
+    return results
+
+
+def distill_corpus(rounds: Sequence[RoundResult],
+                   directory: Union[str, Path],
+                   limit: int = 25) -> List[Path]:
+    """Keep only coverage-adding programs, bounded.
+
+    Walks every round's records in order and persists a corpus entry for a
+    seed exactly when its record proves a coverage cell no already-kept seed
+    proved; stops at ``limit`` entries.  Diverging seeds are never kept
+    (failures belong in shrunk regression tests, not the green corpus)."""
+    directory = Path(directory)
+    seen: Set[tuple] = set()
+    written: List[Path] = []
+    for round_result in rounds:
+        for record in round_result.run.records:
+            cells = cells_of_record(record)
+            if record.divergences or not (cells - seen):
+                continue
+            if len(written) >= limit:
+                return written
+            seen |= cells
+            generated = generate(record.seed, round_result.config)
+            written.append(write_entry(
+                directory,
+                corpus_entry(generated, seed=record.seed,
+                             config=round_result.config)))
+    return written

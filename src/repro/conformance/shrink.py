@@ -80,6 +80,10 @@ def prune(spec: ProgramSpec) -> ProgramSpec:
         inputs=tuple(spec.inputs[old] for old in sorted(live_inputs)),
         nodes=tuple(nodes),
         outputs=tuple(remap(ref) for ref in spec.outputs),
+        # Children stay even when the last call to one dies: "call" params
+        # index into this tuple, so remapping it is never worth the risk.
+        children=spec.children,
+        regime=spec.regime,
     )
 
 
@@ -167,7 +171,9 @@ def spec_fails(spec: ProgramSpec,
                seed: int = 0,
                roundtrip: bool = False,
                incremental: bool = False,
-               categories: Optional[Set[str]] = None) -> bool:
+               categories: Optional[Set[str]] = None,
+               lanes: int = 4,
+               x_probability: float = 0.0) -> bool:
     """A ready-made shrink predicate: does a conformance run over ``spec``
     diverge?  Build/compile errors count as *not failing* (the shrinker must
     never wander off the well-typed subspace).
@@ -184,7 +190,9 @@ def spec_fails(spec: ProgramSpec,
         result = run_conformance(generated, transactions=transactions,
                                  seed=seed, engines=engines,
                                  roundtrip=roundtrip,
-                                 incremental=incremental)
+                                 incremental=incremental,
+                                 lanes=lanes,
+                                 x_probability=x_probability)
     except Exception:
         return False
     if result.passed:

@@ -1,0 +1,168 @@
+"""Coverage-guided steering of the conformance generator.
+
+The feedback loop of the fuzzer: a :class:`~repro.conformance.coverage.CoverageLedger`
+says which op x width-bucket x engine-path cells, regimes, X-stimulus bins
+and mutation kinds a seed matrix has *not* proven yet; :func:`plan_from_ledger`
+turns that into a :class:`SteeringPlan` — explicit sampling weights — and
+:func:`steer_config` applies the plan to a
+:class:`~repro.conformance.generator.GeneratorConfig`.
+
+Plans are plain data: serializable (``save``/``load``), digest-addressed
+(:meth:`SteeringPlan.digest`), and deterministic given the same ledger, so a
+steered run is reproducible from ``--seed`` plus the plan file its repro
+command names.  A ``None`` weight table means "leave that dimension on the
+historical uniform path" — steering never silently changes what an old seed
+generates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .coverage import CoverageLedger, cell_universe, width_bucket
+from .generator import (
+    OP_KINDS,
+    REGIMES,
+    GeneratorConfig,
+    _frozen_weights,
+)
+
+__all__ = ["SteeringPlan", "plan_from_ledger", "steer_config"]
+
+#: Regimes that introduce each otherwise-unreachable op kind.
+_REGIME_OPS = {"hierarchy": ("call",), "blackbox": ("tdot",)}
+
+
+@dataclass
+class SteeringPlan:
+    """Explicit, serializable sampling weights derived from a ledger.
+
+    ``boost`` records the multiplier the plan was built with;
+    ``source_programs`` how many records informed it.  All weight tables are
+    relative (1.0 = the uniform baseline weight)."""
+
+    op_weights: Dict[str, float] = field(default_factory=dict)
+    width_weights: Dict[int, float] = field(default_factory=dict)
+    regime_weights: Dict[str, float] = field(default_factory=dict)
+    x_probability: float = 0.0
+    boost: float = 4.0
+    source_programs: int = 0
+    version: int = 1
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "boost": self.boost,
+            "source_programs": self.source_programs,
+            "op_weights": {k: round(v, 6)
+                           for k, v in sorted(self.op_weights.items())},
+            "width_weights": {str(k): round(v, 6)
+                              for k, v in sorted(self.width_weights.items())},
+            "regime_weights": {k: round(v, 6)
+                               for k, v in sorted(self.regime_weights.items())},
+            "x_probability": round(self.x_probability, 6),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "SteeringPlan":
+        return SteeringPlan(
+            op_weights=dict(data.get("op_weights", {})),
+            width_weights={int(k): v
+                           for k, v in data.get("width_weights", {}).items()},
+            regime_weights=dict(data.get("regime_weights", {})),
+            x_probability=data.get("x_probability", 0.0),
+            boost=data.get("boost", 4.0),
+            source_programs=data.get("source_programs", 0),
+            version=data.get("version", 1),
+        )
+
+    def digest(self) -> str:
+        """A short content digest naming this plan in repro commands."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:12]
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        return path
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "SteeringPlan":
+        return SteeringPlan.from_dict(json.loads(Path(path).read_text()))
+
+
+def plan_from_ledger(ledger: CoverageLedger,
+                     config: Optional[GeneratorConfig] = None,
+                     boost: float = 4.0) -> SteeringPlan:
+    """Weights biased toward what ``ledger`` has not covered.
+
+    Per op kind and per width bucket the weight is
+    ``1 + boost * uncovered_fraction`` of its reachable cells, so fully
+    covered dimensions keep the uniform baseline and untouched ones get
+    ``1 + boost``.  Regimes owning an uncovered op (``call`` -> hierarchy,
+    ``tdot`` -> blackbox) and uncovered auxiliary bins (X stimulus) are
+    boosted the same way."""
+    config = config or GeneratorConfig()
+    universe = cell_universe()
+    covered = ledger.covered_cells()
+    uncovered = universe - covered
+
+    def fraction(cells_total: List[tuple], cells_missing: List[tuple]) -> float:
+        return len(cells_missing) / len(cells_total) if cells_total else 0.0
+
+    op_weights: Dict[str, float] = {}
+    for op in OP_KINDS:
+        total = [c for c in universe if c[1] == op]
+        missing = [c for c in uncovered if c[1] == op]
+        op_weights[op] = 1.0 + boost * fraction(total, missing)
+
+    width_weights: Dict[int, float] = {}
+    for width in config.widths:
+        bucket = width_bucket(width)
+        total = [c for c in universe if c[2] == bucket]
+        missing = [c for c in uncovered if c[2] == bucket]
+        width_weights[width] = 1.0 + boost * fraction(total, missing)
+
+    covered_regimes = {cell[1] for cell in covered if cell[0] == "regime"}
+    regime_weights: Dict[str, float] = {}
+    for regime in REGIMES:
+        weight = 1.0 if regime in covered_regimes else 1.0 + boost
+        for op in _REGIME_OPS.get(regime, ()):
+            # An uncovered regime-exclusive op pulls its regime up even when
+            # the regime itself was visited before.
+            weight = max(weight, op_weights[op])
+        regime_weights[regime] = weight
+
+    covered_x = {cell[1] for cell in covered if cell[0] == "x"}
+    x_probability = 0.0
+    if "heavy" not in covered_x:
+        x_probability = 0.25
+    elif "some" not in covered_x:
+        x_probability = 0.1
+
+    return SteeringPlan(
+        op_weights=op_weights,
+        width_weights=width_weights,
+        regime_weights=regime_weights,
+        x_probability=x_probability,
+        boost=boost,
+        source_programs=ledger.programs,
+    )
+
+
+def steer_config(config: GeneratorConfig, plan: SteeringPlan) -> GeneratorConfig:
+    """``config`` with the plan's weights applied (the generator falls back
+    to the exact historical uniform path for any table the plan leaves
+    empty)."""
+    return replace(
+        config,
+        op_weights=_frozen_weights(plan.op_weights or None),
+        width_weights=_frozen_weights(plan.width_weights or None),
+        regime_weights=_frozen_weights(plan.regime_weights or None),
+        x_probability=plan.x_probability,
+    )

@@ -689,9 +689,11 @@ def generate_c_source(engine) -> Tuple[str, Dict[_Key, int], List[str],
                 f"{node.component.name}: {node.fallback_reason}")
         for prim in node._prim_nodes:
             if not _is_stdlib(prim.model):
+                # The primitive *type* rides along unquoted so coverage can
+                # bin all fallbacks of one black box into a single cell.
                 raise NativeUnavailable(
-                    f"black-box primitive {prim.cell!r} in "
-                    f"{node.component.name}")
+                    f"black-box primitive {prim.model.name}: {prim.cell!r} "
+                    f"in {node.component.name}")
     for port in list(engine.component.inputs) + list(engine.component.outputs):
         if port.width > 64:
             raise NativeUnavailable(

@@ -1,10 +1,18 @@
 """The ``python -m repro.conformance`` driver: seed runs, corpus replay,
-corpus minting, and ledger output."""
+corpus minting, ledger output, sharded/steered runs, and the promise that
+every printed repro command actually reproduces its failure."""
 
 import json
+import shlex
 from pathlib import Path
 
+import pytest
+
+import repro.conformance.__main__ as cli
+from repro.conformance import ConformanceResult
 from repro.conformance.__main__ import main
+from repro.conformance.differential import default_engines
+from repro.sim.values import is_x
 
 CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
 
@@ -60,3 +68,109 @@ def test_max_ops_override(tmp_path, capsys):
     assert main(["--seeds", "2", "--transactions", "4",
                  "--max-ops", "3"]) == 0
     assert "ok" in capsys.readouterr().out
+
+
+def test_unknown_engine_is_rejected_with_the_available_set(capsys):
+    with pytest.raises(SystemExit):
+        main(["--seeds", "1", "--engine", "quantum"])
+    err = capsys.readouterr().err
+    assert "unknown engine(s): quantum" in err
+    assert "scheduled" in err
+
+
+def test_parallel_steered_run_end_to_end(tmp_path, capsys):
+    """The full coverage-guided flow: blind round, re-steer, steered round,
+    progress check, merged ledger, saved plan, distilled corpus."""
+    ledger = tmp_path / "ledger.json"
+    plan = tmp_path / "plan.json"
+    corpus = tmp_path / "corpus"
+    assert main(["--seeds", "6", "--jobs", "2", "--rounds", "2",
+                 "--require-progress", "--transactions", "4",
+                 "--lanes", "1", "--engine", "scheduled",
+                 "--engine", "fixpoint", "--no-roundtrip",
+                 "--no-incremental", "--ledger", str(ledger),
+                 "--save-plan", str(plan), "--write-corpus", str(corpus),
+                 "--distill", "--corpus-limit", "4", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "round 1/2" in out and "round 2/2" in out
+    assert "progress: steering added" in out
+    assert "distilled corpus:" in out
+
+    data = json.loads(ledger.read_text())
+    assert data["programs"] == 6
+    assert data["cell_coverage"]["covered"] > 0
+    # Round 2's plan file sits next to --save-plan, digest-addressed.
+    saved = json.loads(plan.read_text())
+    assert saved["version"] == 1 and saved["op_weights"]
+    assert list(tmp_path.glob("plan-*.json"))
+    assert 0 < len(list(corpus.glob("*.json"))) <= 4
+    # The distilled corpus replays clean.
+    assert main(["--replay", str(corpus), "--quiet",
+                 "--transactions", "4"]) == 0
+
+
+def test_require_progress_needs_rounds(capsys):
+    with pytest.raises(SystemExit):
+        main(["--seeds", "2", "--require-progress"])
+    assert "--rounds" in capsys.readouterr().err
+
+
+def test_repro_command_encodes_the_exact_matrix_cell():
+    result = ConformanceResult(
+        name="Gen7", seed=7, transactions=5, stimulus_seed=7,
+        matrix_engines=["scheduled", "fixpoint"], lanes=2,
+        roundtrip=False, incremental=False, x_probability=0.25,
+        plan_digest="deadbeef0123")
+    assert result.repro_command() == (
+        "python -m repro.conformance --start 7 --seeds 1 --transactions 5 "
+        "--lanes 2 --engine fixpoint --engine scheduled --no-roundtrip "
+        "--no-incremental --x-stimulus 0.25 --plan plan-deadbeef0123.json")
+    # Default matrix -> no --engine flags; corpus replays have no seed.
+    default = ConformanceResult(
+        name="Gen7", seed=7, transactions=12, stimulus_seed=7,
+        matrix_engines=["compiled", "fixpoint", "native", "scheduled"],
+        lanes=4)
+    assert "--engine" not in default.repro_command()
+    assert ConformanceResult(
+        name="Gen7", seed=None, transactions=12,
+        stimulus_seed=0).repro_command() is None
+
+
+def _lying_engines():
+    """A matrix with one engine that flips the low bit of every defined
+    trace value — every seed must diverge."""
+    base = default_engines()
+
+    def lying_factory(calyx, entry):
+        inner = base["scheduled"](calyx, entry)
+
+        class Lying:
+            def run_batch(self, stimulus):
+                return [{port: (value if is_x(value) else value ^ 1)
+                         for port, value in cycle.items()}
+                        for cycle in inner.run_batch(stimulus)]
+
+        return Lying()
+
+    return {"fixpoint": base["fixpoint"], "lying": lying_factory}
+
+
+def test_printed_repro_command_actually_reproduces(monkeypatch, capsys):
+    """Satellite guarantee: the one-liner printed with a differential
+    failure re-runs exactly that failing matrix cell."""
+    monkeypatch.setattr(cli, "default_engines", _lying_engines)
+    assert main(["--start", "3", "--seeds", "1", "--transactions", "4",
+                 "--lanes", "1", "--no-roundtrip", "--no-incremental",
+                 "--no-shrink", "--quiet"]) == 1
+    out = capsys.readouterr().out
+    repro_lines = [line for line in out.splitlines() if "repro:" in line]
+    assert repro_lines, out
+    command = shlex.split(repro_lines[0].split("repro:", 1)[1])
+    assert command[:3] == ["python", "-m", "repro.conformance"]
+
+    # Re-run the printed arguments through the same entry point: the
+    # failure must come back, at the same seed and engine matrix.
+    rerun = command[3:] + ["--no-shrink", "--quiet"]
+    assert "--start 3" in " ".join(rerun)
+    assert main(rerun) == 1
+    assert "DIVERGED" in capsys.readouterr().out

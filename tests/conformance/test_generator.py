@@ -34,11 +34,63 @@ def test_generated_programs_are_well_typed(seed):
 
 def test_op_universe_is_reachable():
     """Across a modest seed range every op kind the generator knows shows
-    up at least once (keeps the catalogue and the generator in sync)."""
+    up at least once (keeps the catalogue and the generator in sync).
+    ``call`` and ``tdot`` are regime-gated: blind dataflow sampling never
+    emits them, so they are proven by the regime tests below instead."""
     used = set()
     for seed in range(80):
         used.update(node.kind for node in generate_spec(seed).nodes)
-    assert used == set(OP_KINDS)
+    assert used == set(OP_KINDS) - {"call", "tdot"}
+
+
+@pytest.mark.parametrize("regime,op", [("hierarchy", "call"),
+                                       ("blackbox", "tdot")])
+def test_regime_exclusive_ops_are_reachable(regime, op):
+    config = GeneratorConfig(regime_weights=((regime, 1.0),))
+    for seed in range(3):
+        spec = generate_spec(seed, config)
+        assert spec.regime == regime
+        assert any(node.kind == op for node in spec.nodes)
+        check_program(build(spec).program)
+
+
+def test_tdot_invocations_never_precede_the_start_event():
+    """Regression: an early operand feeding a late-arrival Tdot port (e.g.
+    a time-0 value on the offset-2 ``c`` port) must not pull the invocation
+    to G-1 — every engine would sample cycles that do not exist and the
+    output would be X forever."""
+    from repro.conformance.generator import _Analysis
+    config = GeneratorConfig(regime_weights=(("blackbox", 1.0),))
+    for seed in range(30):  # seeds 6 and 29 hit the original bug
+        analysis = _Analysis(generate_spec(seed, config))
+        assert all(time >= 0 for time in analysis.invoke_time), seed
+
+
+def test_fsm_regime_builds_well_typed_control_chains():
+    config = GeneratorConfig(regime_weights=(("fsm", 1.0),))
+    for seed in range(3):
+        spec = generate_spec(seed, config)
+        assert spec.regime == "fsm"
+        kinds = {node.kind for node in spec.nodes}
+        assert "mux" in kinds and "reg" in kinds
+        check_program(build(spec).program)
+
+
+def test_hierarchy_children_round_trip_through_dict():
+    config = GeneratorConfig(regime_weights=(("hierarchy", 1.0),))
+    spec = generate_spec(0, config)
+    assert spec.children, "hierarchy regime must emit child components"
+    assert ProgramSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_steered_config_round_trips_through_dict():
+    config = GeneratorConfig(
+        op_weights=(("add", 5.0), ("mux", 1.0)),
+        width_weights=((8, 2.0), (16, 1.0)),
+        regime_weights=(("blackbox", 3.0),),
+        x_probability=0.25,
+    )
+    assert GeneratorConfig.from_dict(config.to_dict()) == config
 
 
 def test_spec_round_trips_through_dict():
