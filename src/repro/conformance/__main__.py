@@ -30,6 +30,7 @@ from typing import List, Optional, Set
 from .corpus import corpus_entry, load_entries, replay_entry, write_entry
 from .coverage import CoverageLedger, cell_universe, cells_of_record
 from .differential import default_engines, run_conformance
+from .frontends import frontend_conformance_sweep
 from .generator import GeneratorConfig, build, generate
 from .parallel import distill_corpus, run_rounds
 from .shrink import divergence_categories, shrink, spec_fails
@@ -103,6 +104,20 @@ def _parser() -> argparse.ArgumentParser:
                              "(seeded in-place mutation; incremental "
                              "Calyx/Verilog must be byte-identical to a "
                              "from-scratch compile)")
+    parser.add_argument("--no-reimport", action="store_true",
+                        help="skip the Verilog-loop oracle (emitted Verilog "
+                             "re-imported to a netlist whose trace must be "
+                             "byte-identical to the engine matrix)")
+    parser.add_argument("--frontends", nargs="?", const="all",
+                        metavar="FRONTEND",
+                        help="also run the frontend conformance way over "
+                             "the generator designs (aetherling, pipelinec, "
+                             "reticle; default: all of them): reported-spec "
+                             "audit, golden model, warm-cache and Verilog-"
+                             "loop checks across the engine matrix")
+    parser.add_argument("--frontends-full", action="store_true",
+                        help="with --frontends: sweep every Aetherling "
+                             "design point instead of the representatives")
     parser.add_argument("--no-shrink", action="store_true",
                         help="do not shrink failing programs")
     parser.add_argument("--quiet", action="store_true",
@@ -129,9 +144,39 @@ def _finish(ledger: CoverageLedger, failures: int,
     return 0
 
 
+def _run_frontends(args: argparse.Namespace, engines) -> tuple:
+    """The frontend conformance way over the generator designs; returns the
+    coverage records plus the failure count."""
+    frontend = None if args.frontends == "all" else args.frontends
+    results = frontend_conformance_sweep(
+        frontend, full=args.frontends_full,
+        transactions=args.transactions, engines=engines,
+        reimport=not args.no_reimport)
+    print(f"frontend conformance: {len(results)} generator design(s)"
+          + ("" if frontend is None else f" ({frontend})"))
+    records = []
+    failures = 0
+    for result in results:
+        if result.coverage is not None:
+            records.append(result.coverage)
+        label = f"{result.coverage.frontend}/{result.name}"
+        if result.passed:
+            if not args.quiet:
+                loop = ("verilog loop closed"
+                        if result.coverage.verilog_reimport
+                        else "verilog loop skipped")
+                print(f"  {label}: ok ({loop})")
+        else:
+            failures += 1
+            print(f"  {label}: DIVERGED")
+            print("    " + "\n    ".join(result.divergences[:10]))
+    return records, failures
+
+
 def _run_parallel(args: argparse.Namespace, config: GeneratorConfig,
                   engine_names: List[str],
-                  initial_plan: Optional[SteeringPlan]) -> int:
+                  initial_plan: Optional[SteeringPlan],
+                  frontend_records=(), frontend_failures: int = 0) -> int:
     plan_dir = Path(args.save_plan).parent if args.save_plan else Path(".")
     rounds = run_rounds(
         start=args.start,
@@ -144,12 +189,13 @@ def _run_parallel(args: argparse.Namespace, config: GeneratorConfig,
         lanes=args.lanes,
         roundtrip=not args.no_roundtrip,
         incremental=not args.no_incremental,
+        reimport=not args.no_reimport,
         plan_dir=plan_dir,
         initial_plan=initial_plan,
     )
 
     merged = CoverageLedger()
-    failures = 0
+    failures = frontend_failures
     for round_result in rounds:
         label = (f"round {round_result.index + 1}/{len(rounds)}: seeds "
                  f"{round_result.seeds[0]}..{round_result.seeds[-1]} "
@@ -192,6 +238,9 @@ def _run_parallel(args: argparse.Namespace, config: GeneratorConfig,
         print(f"distilled corpus: {len(written)} coverage-adding entr(y/ies) "
               f"written to {args.write_corpus}")
 
+    # Frontend records join the ledger only after the progress check, which
+    # must compare steered vs. blind *fuzz* coverage alone.
+    merged = CoverageLedger(list(frontend_records)).merge(merged)
     return _finish(merged, failures, args, config)
 
 
@@ -214,6 +263,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--require-progress needs --rounds >= 2")
     if args.distill and not args.write_corpus:
         parser.error("--distill needs --write-corpus")
+    if args.frontends_full and not args.frontends:
+        parser.error("--frontends-full needs --frontends")
+    if args.frontends and args.frontends not in (
+            "all", "aetherling", "pipelinec", "reticle"):
+        parser.error(f"unknown frontend {args.frontends!r} (expected "
+                     f"aetherling, pipelinec, reticle, or no value for all)")
 
     plan: Optional[SteeringPlan] = None
     plan_digest: Optional[str] = None
@@ -225,6 +280,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     x_probability = args.x_stimulus if args.x_stimulus is not None else (
         plan.x_probability if plan is not None else 0.0)
 
+    engines = dict(available)
+    if args.engines:
+        engines = {name: factory for name, factory in engines.items()
+                   if name in set(args.engines)}
+
+    frontend_records: List = []
+    frontend_failures = 0
+    if args.frontends:
+        frontend_records, frontend_failures = _run_frontends(args, engines)
+
     if not args.replay and (args.jobs > 1 or args.rounds > 1):
         engine_names = sorted(args.engines) if args.engines \
             else sorted(available)
@@ -232,15 +297,11 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"({args.jobs} job(s), {args.rounds} round(s))")
         # run_rounds re-applies the plan itself, so hand it the unsteered
         # config plus the plan (round 0 steered, later rounds re-derived).
-        return _run_parallel(args, base_config, engine_names, plan)
+        return _run_parallel(args, base_config, engine_names, plan,
+                             frontend_records, frontend_failures)
 
-    engines = dict(available)
-    if args.engines:
-        engines = {name: factory for name, factory in engines.items()
-                   if name in set(args.engines)}
-
-    ledger = CoverageLedger()
-    failures = 0
+    ledger = CoverageLedger(frontend_records)
+    failures = frontend_failures
     distilled_cells: Set[tuple] = set()
     distilled_written = 0
 
@@ -268,6 +329,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             roundtrip=not args.no_roundtrip,
             lanes=args.lanes,
             incremental=not args.no_incremental,
+            reimport=not args.no_reimport,
             x_probability=x_probability,
             plan_digest=plan_digest,
         )
@@ -305,6 +367,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                                       seed=stimulus_seed,
                                       roundtrip=not args.no_roundtrip,
                                       incremental="incremental" in categories,
+                                      reimport="verilog-reimport" in categories,
                                       categories=categories,
                                       lanes=args.lanes,
                                       x_probability=x_probability)

@@ -134,6 +134,14 @@ class CoverageRecord:
     x_transactions: int = 0
     #: Digest of the steering plan that biased this seed (None = blind).
     plan_digest: Optional[str] = None
+    #: Which frontend produced the design (``None`` for generated fuzz
+    #: programs; ``filament`` / ``aetherling`` / ``pipelinec`` / ``reticle``
+    #: for designs routed through :mod:`repro.core.frontend`).
+    frontend: Optional[str] = None
+    #: Whether the Verilog-loop way ran and closed cleanly (emit ->
+    #: re-import -> byte-identical trace); ``None`` when the way was
+    #: skipped, ``False`` when it ran and diverged.
+    verilog_reimport: Optional[bool] = None
 
     @staticmethod
     def from_program(generated: GeneratedProgram,
@@ -196,6 +204,8 @@ class CoverageRecord:
                           for kind, ws in self.op_widths.items()},
             "x_transactions": self.x_transactions,
             "plan_digest": self.plan_digest,
+            "frontend": self.frontend,
+            "verilog_reimport": self.verilog_reimport,
         }
 
     @staticmethod
@@ -356,6 +366,28 @@ class CoverageLedger:
                     histogram.get(record.native_fallback, 0) + 1)
         return dict(sorted(histogram.items()))
 
+    def verilog_reimport_paths(self) -> Dict[str, int]:
+        """How many runs closed the Verilog loop (emit -> re-import ->
+        byte-identical trace) vs. diverged vs. skipped the way."""
+        closed = diverged = 0
+        for record in self.records:
+            if record.verilog_reimport is True:
+                closed += 1
+            elif record.verilog_reimport is False:
+                diverged += 1
+        return {"closed": closed, "diverged": diverged,
+                "skipped": len(self.records) - closed - diverged}
+
+    def frontend_histogram(self) -> Dict[str, int]:
+        """Which frontends the recorded designs entered through (generated
+        fuzz programs carry no frontend and are excluded)."""
+        histogram: Dict[str, int] = {}
+        for record in self.records:
+            if record.frontend:
+                histogram[record.frontend] = (
+                    histogram.get(record.frontend, 0) + 1)
+        return dict(sorted(histogram.items()))
+
     def incremental_mutation_histogram(self) -> Dict[str, int]:
         """Which mutation families the incremental-recompilation way
         exercised, across recorded programs."""
@@ -424,6 +456,14 @@ class CoverageLedger:
             lines.append(
                 f"  incremental recompiles: {incremental}/{self.programs} "
                 f"(mutations: {self.incremental_mutation_histogram()})")
+        reimports = self.verilog_reimport_paths()
+        if reimports["closed"] or reimports["diverged"]:
+            lines.append(f"  verilog loop: {reimports['closed']} closed, "
+                         f"{reimports['diverged']} diverged, "
+                         f"{reimports['skipped']} skipped")
+        frontends = self.frontend_histogram()
+        if frontends:
+            lines.append(f"  frontends: {frontends}")
         missing = self.unexercised_ops()
         if missing:
             lines.append(f"  unexercised ops: {', '.join(missing)}")
@@ -464,6 +504,8 @@ class CoverageLedger:
             "native_paths": self.native_paths(),
             "native_fallbacks": self.native_fallback_histogram(),
             "incremental_mutations": self.incremental_mutation_histogram(),
+            "verilog_reimport": self.verilog_reimport_paths(),
+            "frontends": self.frontend_histogram(),
             "cell_coverage": {
                 "covered": len(self.covered_cells() & cell_universe()),
                 "universe": len(cell_universe()),

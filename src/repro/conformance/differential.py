@@ -27,7 +27,12 @@ under identical random stimulus, and all answers must agree:
    instantiation, and every lane's trace must be bit-identical (values and
    X planes) to a scalar run of that stream;
 7. **golden model** — every captured transaction output must equal the
-   generator's exact Python evaluation of the dataflow spec.
+   generator's exact Python evaluation of the dataflow spec;
+8. **incremental recompilation** — an in-place mutation recompiled through
+   the session must be byte-identical to a from-scratch compile;
+9. **Verilog re-import** (:mod:`repro.core.lower.verilog_frontend`) — the
+   emitted Verilog parsed back into a netlist must trace identically
+   (values, X planes, conflict errors byte-for-byte) to the engine matrix.
 
 Custom engines can be injected through the ``engines`` parameter (a mapping
 from name to ``factory(calyx, entrypoint)``), which is how the test suite
@@ -42,6 +47,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from ..calyx.wellformed import check_program as calyx_wellformed
 from ..core.errors import FilamentError, SimulationError
+from ..core.lower.verilog_frontend import roundtrip_divergences
 from ..core.parser import parse_component
 from ..core.queries import compile_cache_disabled
 from ..core.semantics import component_log
@@ -115,6 +121,7 @@ class ConformanceResult:
     lanes: int = 1
     roundtrip: bool = True
     incremental: bool = True
+    reimport: bool = True
     x_probability: float = 0.0
     plan_digest: Optional[str] = None
 
@@ -141,6 +148,8 @@ class ConformanceResult:
             parts.append("--no-roundtrip")
         if not self.incremental:
             parts.append("--no-incremental")
+        if not self.reimport:
+            parts.append("--no-reimport")
         if self.x_probability:
             parts += ["--x-stimulus", repr(self.x_probability)]
         if self.plan_digest:
@@ -247,6 +256,7 @@ def run_conformance(generated: GeneratedProgram,
                     roundtrip: bool = True,
                     lanes: int = 4,
                     incremental: bool = True,
+                    reimport: bool = True,
                     x_probability: float = 0.0,
                     plan_digest: Optional[str] = None) -> ConformanceResult:
     """Run the full N-way differential matrix over one generated program.
@@ -265,7 +275,10 @@ def run_conformance(generated: GeneratedProgram,
     drops each stimulus port from each transaction with that (seeded)
     probability, driving X *inside* availability windows; the golden check
     conservatively skips outputs whose input cone touches a dropped port,
-    while every engine-vs-engine way still applies.  ``plan_digest``
+    while every engine-vs-engine way still applies.  ``reimport`` enables
+    the Verilog-loop way: the emitted Verilog is parsed back into a netlist
+    (:mod:`repro.core.lower.verilog_frontend`) whose trace must be
+    byte-identical to the engine matrix's reference trace.  ``plan_digest``
     (informational) records which steering plan chose this seed.
     """
     engines = dict(engines) if engines is not None else default_engines()
@@ -274,7 +287,8 @@ def run_conformance(generated: GeneratedProgram,
         name=spec.name, seed=None, transactions=transactions,
         stimulus_seed=seed, engines=sorted(engines),
         matrix_engines=sorted(engines), lanes=lanes, roundtrip=roundtrip,
-        incremental=incremental, x_probability=x_probability,
+        incremental=incremental, reimport=reimport,
+        x_probability=x_probability,
         plan_digest=plan_digest,
     )
     coverage = CoverageRecord.from_program(generated)
@@ -458,6 +472,17 @@ def run_conformance(generated: GeneratedProgram,
     #    to a from-scratch compile of the mutated program.
     if incremental:
         _check_incremental(spec, seed, divergences, coverage)
+
+    # 9. The Verilog loop: emit -> re-import -> the re-imported netlist's
+    #    trace (values, X planes, conflict errors byte-for-byte) must be
+    #    identical to the engine matrix's reference trace.
+    if reimport and reference_name is not None:
+        problems = roundtrip_divergences(calyx, spec.name, stimulus,
+                                         reference=traces[reference_name])
+        coverage.verilog_reimport = not problems
+        if not problems:
+            result.engines = result.engines + ["reimported"]
+        divergences.extend(problems)
 
     coverage.divergences = len(divergences)
     return result

@@ -84,6 +84,7 @@ def _run_seeds(payload: dict) -> dict:
             roundtrip=payload["roundtrip"],
             lanes=payload["lanes"],
             incremental=payload["incremental"],
+            reimport=payload["reimport"],
             x_probability=payload["x_probability"],
             plan_digest=payload["plan_digest"],
         )
@@ -115,6 +116,7 @@ def run_shards(seeds: Sequence[int],
                lanes: int = 4,
                roundtrip: bool = True,
                incremental: bool = True,
+               reimport: bool = True,
                x_probability: float = 0.0,
                plan_digest: Optional[str] = None) -> ShardRun:
     """Split ``seeds`` over ``jobs`` workers and merge the results.
@@ -139,6 +141,7 @@ def run_shards(seeds: Sequence[int],
             "lanes": lanes,
             "roundtrip": roundtrip,
             "incremental": incremental,
+            "reimport": reimport,
             "x_probability": x_probability,
             "plan_digest": plan_digest,
         })
@@ -182,6 +185,7 @@ def run_rounds(start: int,
                lanes: int = 4,
                roundtrip: bool = True,
                incremental: bool = True,
+               reimport: bool = True,
                plan_dir: Optional[Union[str, Path]] = None,
                boost: float = 4.0,
                initial_plan: Optional[SteeringPlan] = None) -> List[RoundResult]:
@@ -222,6 +226,7 @@ def run_rounds(start: int,
             seeds, jobs=jobs, config=round_config,
             engine_names=engine_names, transactions=transactions,
             lanes=lanes, roundtrip=roundtrip, incremental=incremental,
+            reimport=reimport,
             x_probability=round_config.x_probability, plan_digest=digest)
         merged = merged.merge(run.ledger)
         results.append(RoundResult(index=index, seeds=seeds,

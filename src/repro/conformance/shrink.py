@@ -160,8 +160,9 @@ def shrink(spec: ProgramSpec,
 
 def divergence_categories(divergences: Iterable[str]) -> Set[str]:
     """The failure classes present in a divergence list: ``typecheck``,
-    ``semantics``, ``calyx-wellformed``, ``roundtrip``, ``engine`` or
-    ``golden`` (the first word of each message's prefix)."""
+    ``semantics``, ``calyx-wellformed``, ``roundtrip``, ``engine``,
+    ``golden`` or ``verilog-reimport`` (the first word of each message's
+    prefix)."""
     return {line.split(":", 1)[0].split()[0] for line in divergences}
 
 
@@ -171,6 +172,7 @@ def spec_fails(spec: ProgramSpec,
                seed: int = 0,
                roundtrip: bool = False,
                incremental: bool = False,
+               reimport: bool = False,
                categories: Optional[Set[str]] = None,
                lanes: int = 4,
                x_probability: float = 0.0) -> bool:
@@ -191,6 +193,7 @@ def spec_fails(spec: ProgramSpec,
                                  seed=seed, engines=engines,
                                  roundtrip=roundtrip,
                                  incremental=incremental,
+                                 reimport=reimport,
                                  lanes=lanes,
                                  x_probability=x_probability)
     except Exception:

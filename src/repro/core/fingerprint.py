@@ -26,6 +26,15 @@ early-cutoff lever: a client of a component depends only on its timeline
 type (the paper's modularity claim), so a body-only edit leaves every
 client's signature dependency untouched and the query layer skips
 recompiling them.
+
+Generator frontends (:mod:`repro.core.frontend`) enter the pipeline at the
+Calyx stage, so they need content keys over Calyx IR rather than Filament
+ASTs.  :func:`calyx_component_fingerprint` and :func:`calyx_fingerprint`
+digest the IR's deterministic printer (``str(component)``), giving them the
+same invariant the Filament digests get from the surface printer: stable
+across regeneration, changed by any cell, wire, guard or port edit.  Extern
+signatures imported by those frontends are digested with the existing
+:func:`signature_fingerprint` (the printer-backed timeline-type digest).
 """
 
 from __future__ import annotations
@@ -43,6 +52,8 @@ __all__ = [
     "component_fingerprint",
     "program_fingerprint",
     "fingerprint_snapshot",
+    "calyx_component_fingerprint",
+    "calyx_fingerprint",
 ]
 
 
@@ -119,6 +130,29 @@ def program_fingerprint(program: Program,
         parts.append(name)
         parts.append(component_fingerprint(name, program, memo))
     return fingerprint_text("program", *parts)
+
+
+def calyx_component_fingerprint(component) -> str:
+    """The digest of one Calyx component, built from the IR's deterministic
+    printer.  Invariant under regeneration (two structurally equal
+    components print identically) and sensitive to every port, cell
+    parameter, wire, guard and source."""
+    return fingerprint_text("calyx-component", str(component))
+
+
+def calyx_fingerprint(program, entrypoint: Optional[str] = None) -> str:
+    """A stable content digest of a whole :class:`CalyxProgram`.
+
+    This is the compile-cache key for designs that enter the pipeline at
+    the ``calyx`` stage (generator frontends): equal digests mean the
+    netlists are structurally identical, so every downstream artifact
+    (Verilog text, simulation kernels) can be shared.  Component order in
+    the ``components`` dict does not matter; the entrypoint does."""
+    parts = [entrypoint or program.entrypoint or ""]
+    for name in sorted(program.components):
+        parts.append(name)
+        parts.append(calyx_component_fingerprint(program.components[name]))
+    return fingerprint_text("calyx-program", *parts)
 
 
 def fingerprint_snapshot(program: Program) -> Dict[str, str]:

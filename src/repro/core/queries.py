@@ -55,6 +55,7 @@ __all__ = [
     "compile_cache_limit",
     "set_compile_cache_limit",
     "compile_cache_disabled",
+    "shared_artifact",
 ]
 
 #: Pseudo-stage for dependencies on a component's own definition.
@@ -168,6 +169,25 @@ def _artifact_put(stage: str, fingerprint: str, value: object,
     while len(_ARTIFACTS) > bound:
         _ARTIFACTS.popitem(last=False)
         _ARTIFACT_STATS["evicted"] += 1
+
+
+def shared_artifact(stage: str, fingerprint: str, compute,
+                    digest: Optional[str] = None):
+    """Read-through access to the process-wide compile cache for artifacts
+    produced *outside* the query graph (the calyx-entry sessions of
+    :mod:`repro.core.frontend`).  Returns ``(value, cached)``: on a hit the
+    cached value and ``True``; on a miss ``compute()``'s result, stored
+    under ``(stage, fingerprint)``, and ``False``.  Honors the same LRU
+    bound, statistics and :func:`compile_cache_disabled` guard as the
+    query-layer artifacts."""
+    entry = _artifact_get(stage, fingerprint)
+    if entry is not None:
+        _ARTIFACT_STATS["hits"] += 1
+        return entry[0], True
+    value = compute()
+    _artifact_put(stage, fingerprint, value,
+                  digest if digest is not None else fingerprint)
+    return value, False
 
 
 # ---------------------------------------------------------------------------

@@ -28,6 +28,18 @@ The one-call helpers (:func:`repro.core.lower.compile_program`,
 route through a session; :meth:`CompilationSession.for_program` hands out a
 shared per-``Program`` session so those wrappers benefit from the caches
 when called repeatedly on the same program object.
+
+Since the frontend unification, a session can also be built **from a Calyx
+program** (:meth:`CompilationSession.from_calyx`): generator frontends
+(Aetherling, PipelineC, Reticle — see :mod:`repro.core.frontend`) have no
+Filament AST, so their designs enter the pipeline at the ``calyx`` stage
+keyed by a stable content fingerprint
+(:func:`repro.core.fingerprint.calyx_fingerprint`).  The ``calyx`` and
+``verilog`` stages of such a session consult the same process-wide compile
+cache as query-layer artifacts, so a warm recompile of an unchanged
+generator design is a recorded cache hit, and in-place mutation of the
+netlist is survived by re-fingerprinting on every public stage call —
+exactly the contract Filament-backed sessions have.
 """
 
 from __future__ import annotations
@@ -38,7 +50,7 @@ from typing import Dict, List, Optional, Tuple
 
 from .ast import Program
 from .errors import FilamentError
-from .queries import QueryEngine
+from .queries import QueryEngine, shared_artifact
 from .typecheck import CheckedProgram
 
 __all__ = ["CompilationSession", "StageTiming", "STAGES"]
@@ -62,16 +74,23 @@ class CompilationSession:
 
     def __init__(self, program: Optional[Program] = None, *,
                  source: Optional[str] = None,
-                 checked: Optional[CheckedProgram] = None) -> None:
-        if (program is None) == (source is None):
+                 checked: Optional[CheckedProgram] = None,
+                 calyx=None, frontend: Optional[str] = None) -> None:
+        if sum(x is not None for x in (program, source, calyx)) != 1:
             raise FilamentError(
-                "CompilationSession needs exactly one of a Program or source "
-                "text"
+                "CompilationSession needs exactly one of a Program, source "
+                "text, or a Calyx program"
             )
         self._program = program
         self._source = source
         self._engine: Optional[QueryEngine] = None
         self._pending_checked = checked
+        self._calyx_entry = calyx
+        self._calyx_fingerprint: Optional[str] = None
+        #: Which frontend produced this design ("filament" for native
+        #: sessions; "aetherling"/"pipelinec"/"reticle"/"calyx" for
+        #: calyx-entry sessions).
+        self.frontend = frontend or ("filament" if calyx is None else "calyx")
         #: Every stage execution and cache hit, in order.
         self.timings: List[StageTiming] = []
         if program is not None:
@@ -84,6 +103,15 @@ class CompilationSession:
         """A session whose first stage parses Filament source text (the
         standard library is merged in, as every entry point expects)."""
         return cls(source=source)
+
+    @classmethod
+    def from_calyx(cls, calyx, *,
+                   frontend: str = "calyx") -> "CompilationSession":
+        """A session for a design that enters the pipeline at the ``calyx``
+        stage (generator frontends).  The parse/check/lower stages do not
+        exist for it; ``calyx``/``verilog``/``simulator`` work as usual,
+        keyed by the netlist's content fingerprint."""
+        return cls(calyx=calyx, frontend=frontend)
 
     @classmethod
     def for_program(cls, program: Program) -> "CompilationSession":
@@ -106,7 +134,16 @@ class CompilationSession:
 
     # -- engine plumbing -------------------------------------------------------
 
+    def _no_filament(self, stage: str) -> FilamentError:
+        return FilamentError(
+            f"the {self.frontend} frontend enters the pipeline at the "
+            f"calyx stage; the {stage!r} stage does not exist for this "
+            f"session"
+        )
+
     def _ensure_engine(self) -> QueryEngine:
+        if self._calyx_entry is not None:
+            raise self._no_filament("query")
         if self._engine is None:
             self._engine = QueryEngine(self.program)
         if self._pending_checked is not None:
@@ -130,6 +167,13 @@ class CompilationSession:
     def refresh(self) -> bool:
         """Re-fingerprint the program now; True when anything changed.
         (Public stage methods do this automatically.)"""
+        if self._calyx_entry is not None:
+            from .fingerprint import calyx_fingerprint
+            fingerprint = calyx_fingerprint(self._calyx_entry)
+            changed = (self._calyx_fingerprint is not None
+                       and fingerprint != self._calyx_fingerprint)
+            self._calyx_fingerprint = fingerprint
+            return changed
         return self._ensure_engine().refresh()
 
     # -- instrumentation -------------------------------------------------------
@@ -159,7 +203,11 @@ class CompilationSession:
         return stats
 
     def query_stats(self) -> dict:
-        """The engine's query counters (executed / verified / shared hits)."""
+        """The engine's query counters (executed / verified / shared hits).
+        Calyx-entry sessions run no queries; their counters are zero."""
+        if self._calyx_entry is not None:
+            from .queries import QueryStats
+            return QueryStats().to_dict()
         return self._ensure_engine().stats.to_dict()
 
     # -- stages ----------------------------------------------------------------
@@ -168,6 +216,8 @@ class CompilationSession:
     def program(self) -> Program:
         """The parsed program (running the parse stage on first access when
         the session was built from source text)."""
+        if self._calyx_entry is not None:
+            raise self._no_filament("parse")
         if self._program is None:
             from .parser import parse_program
             from .stdlib import with_stdlib
@@ -194,6 +244,8 @@ class CompilationSession:
     def check(self) -> CheckedProgram:
         """Type check the whole program (incremental: only components whose
         content — or whose instantiated signatures — changed re-check)."""
+        if self._calyx_entry is not None:
+            raise self._no_filament("check")
         self._sync()
         return self._check_inner()
 
@@ -205,6 +257,8 @@ class CompilationSession:
         """Lower ``entrypoint`` (and its transitive user components) to Low
         Filament.  Components are memoized individually, so entrypoints
         sharing sub-components lower each of them once."""
+        if self._calyx_entry is not None:
+            raise self._no_filament("lower")
         self._sync()
         return self._lower_inner(entrypoint)
 
@@ -218,9 +272,38 @@ class CompilationSession:
                                   "lower", entrypoint,
                                   ("lower", "link_lower"))
 
+    def _calyx_target(self, entrypoint: Optional[str]) -> str:
+        target = entrypoint or self._calyx_entry.entrypoint
+        if target is None:
+            raise FilamentError(
+                "calyx-entry session needs an entrypoint (the Calyx "
+                "program declares none)")
+        if target not in self._calyx_entry.components:
+            raise FilamentError(
+                f"entrypoint {target!r} is not a component of this Calyx "
+                f"program (components: "
+                f"{', '.join(sorted(self._calyx_entry.components))})")
+        return target
+
+    def _calyx_stage(self, entrypoint: Optional[str]):
+        """The ``calyx`` stage of a calyx-entry session: re-fingerprint the
+        netlist (mutation is survived, like Filament sessions) and consult
+        the process-wide compile cache — a warm recompile of an unchanged
+        generator design records a cache hit."""
+        target = self._calyx_target(entrypoint)
+        start = time.perf_counter()
+        self.refresh()
+        _, cached = shared_artifact("calyx", self._calyx_fingerprint,
+                                    lambda: self._calyx_entry)
+        self._record("calyx", target, time.perf_counter() - start,
+                     cached=cached)
+        return self._calyx_entry
+
     def calyx(self, entrypoint: str):
         """Translate ``entrypoint`` to a Calyx program (per-component
         queries, served from cache wherever content is unchanged)."""
+        if self._calyx_entry is not None:
+            return self._calyx_stage(entrypoint)
         self._sync()
         return self._calyx_inner(entrypoint)
 
@@ -237,6 +320,19 @@ class CompilationSession:
     def verilog(self, entrypoint: str) -> str:
         """Emit Verilog text for ``entrypoint`` (per-component module
         emission; only dirty modules re-emit)."""
+        if self._calyx_entry is not None:
+            target = self._calyx_target(entrypoint)
+            self._calyx_stage(entrypoint)
+            from .fingerprint import fingerprint_text
+            from .lower.verilog_backend import emit_verilog
+            start = time.perf_counter()
+            text, cached = shared_artifact(
+                "verilog", self._calyx_fingerprint,
+                lambda: emit_verilog(self._calyx_entry),
+                digest=fingerprint_text("verilog", self._calyx_fingerprint))
+            self._record("verilog", target, time.perf_counter() - start,
+                         cached=cached)
+            return text
         self._sync()
         return self._verilog_inner(entrypoint)
 
@@ -263,6 +359,8 @@ class CompilationSession:
                 f"unknown pipeline stage {upto!r}; expected one of "
                 f"{', '.join(STAGES)}"
             )
+        if self._calyx_entry is not None and upto not in ("calyx", "verilog"):
+            raise self._no_filament(upto)
         if upto == "parse":
             return self.program
         if upto == "check":
@@ -304,7 +402,15 @@ class CompilationSession:
 
     def harness(self, entrypoint: str):
         """A cycle-accurate harness for ``entrypoint`` driven by its own
-        timeline type (compiling it on first use)."""
+        timeline type (compiling it on first use).  Calyx-entry sessions
+        carry no timeline types; build a harness from the frontend bundle's
+        reported :class:`~repro.harness.spec.InterfaceSpec` instead
+        (:meth:`repro.core.frontend.SourceBundle.harness`)."""
+        if self._calyx_entry is not None:
+            raise FilamentError(
+                f"the {self.frontend} frontend has no timeline types to "
+                f"derive a harness from; use the source bundle's reported "
+                f"interface spec (repro.core.frontend)")
         from ..harness.driver import harness_for
         return harness_for(self.program, entrypoint,
                            calyx=self.calyx(entrypoint))

@@ -69,3 +69,64 @@ def test_check_needs_no_entrypoint_even_with_two_roots(tmp_path, capsys):
     source.write_text(_TWO_ROOTS)
     assert main([str(source), "--upto", "check", "--quiet"]) == 0
     assert "compiled '<program>' up to check" in capsys.readouterr().out
+
+
+class TestGeneratorFrontends:
+    """``--frontend {aetherling,pipelinec,reticle}``: generator designs
+    compile through the same session machinery and print the same tables."""
+
+    def test_aetherling_designation_compiles_to_verilog(self, capsys):
+        assert main(["--frontend", "aetherling", "conv2d@1/3",
+                     "--upto", "verilog", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "compiled 'aetherling_conv2d_d3' up to verilog" in out
+        assert "bundle fingerprint" in out
+        assert "frontend" in out  # the generator stage has its own row
+        assert "process-wide compile cache" in out
+
+    def test_default_designs_per_frontend(self, capsys):
+        assert main(["--frontend", "pipelinec", "--quiet"]) == 0
+        assert "compiled 'FpAdd'" in capsys.readouterr().out
+        assert main(["--frontend", "reticle", "--quiet"]) == 0
+        assert "compiled 'reticle_tdot'" in capsys.readouterr().out
+
+    def test_upto_check_is_a_filament_only_stage(self, capsys):
+        assert main(["--frontend", "reticle", "--upto", "check",
+                     "--quiet"]) == 1
+        assert "enters the pipeline at the calyx stage" in \
+            capsys.readouterr().err
+
+    def test_emit_writes_the_generator_verilog(self, tmp_path, capsys):
+        target = tmp_path / "dot9.v"
+        assert main(["--frontend", "reticle", "dot9", "--upto", "verilog",
+                     "--emit", str(target)]) == 0
+        assert "module reticle_dot9" in target.read_text()
+
+    def test_warm_recompile_prints_cache_hits_not_blanks(self, capsys):
+        # The whole point of the stats table on a warm run: every pipeline
+        # stage is a cache hit, zero seconds — the rows must still print.
+        assert main(["--frontend", "reticle", "tdot", "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["--frontend", "reticle", "tdot", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        calyx_row = next(line for line in out.splitlines()
+                         if line.startswith("calyx"))
+        assert calyx_row.split()[-2:] == ["1", "0"]  # 1 hit, 0 misses
+
+    def test_missing_filament_source_is_a_parse_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--upto", "calyx"])
+
+
+def test_all_cache_hit_sessions_note_it_in_the_table():
+    from repro.compile import _stage_table
+    from repro.core.frontend import ReticleSource
+    from repro.core.session import CompilationSession
+
+    bundle = ReticleSource("tdot").bundle()
+    bundle.session().verilog(bundle.name)  # prime the process-wide cache
+    warm = CompilationSession.from_calyx(bundle.calyx, frontend="reticle")
+    warm.verilog(bundle.name)
+    table = _stage_table(warm)
+    assert "every stage served from the compile cache" in table
+    assert any(line.startswith("verilog") for line in table.splitlines())

@@ -180,3 +180,52 @@ def test_summary_reports_cell_coverage_and_uncovered_sample():
     assert "regimes:" in summary
     # The sample is op/bucket/path triples.
     assert "/" in summary.split("uncovered cells", 1)[1]
+
+
+class TestFrontendAndVerilogLoopFields:
+    """The PR-8 ledger fields: which frontend a design entered through and
+    whether the Verilog loop closed."""
+
+    def _records(self):
+        closed = _full_record(1)
+        closed.frontend = "aetherling"
+        closed.verilog_reimport = True
+        diverged = _full_record(2)
+        diverged.frontend = "reticle"
+        diverged.verilog_reimport = False
+        skipped = _full_record(3)  # plain fuzz record, way disabled
+        return [closed, diverged, skipped]
+
+    def test_fields_round_trip_through_dict(self):
+        record = self._records()[0]
+        rebuilt = CoverageRecord.from_dict(record.to_dict())
+        assert rebuilt.frontend == "aetherling"
+        assert rebuilt.verilog_reimport is True
+
+    def test_legacy_dicts_default_the_new_fields(self):
+        legacy = _full_record().to_dict()
+        del legacy["frontend"]
+        del legacy["verilog_reimport"]
+        record = CoverageRecord.from_dict(legacy)
+        assert record.frontend is None
+        assert record.verilog_reimport is None
+
+    def test_ledger_aggregates_the_loop_and_frontend_views(self):
+        ledger = CoverageLedger(self._records())
+        assert ledger.verilog_reimport_paths() == {
+            "closed": 1, "diverged": 1, "skipped": 1}
+        assert ledger.frontend_histogram() == {
+            "aetherling": 1, "reticle": 1}
+        data = ledger.to_dict()
+        assert data["verilog_reimport"]["closed"] == 1
+        assert data["frontends"] == {"aetherling": 1, "reticle": 1}
+
+    def test_summary_reports_the_loop_and_frontends(self):
+        summary = CoverageLedger(self._records()).summary()
+        assert "verilog loop: 1 closed, 1 diverged, 1 skipped" in summary
+        assert "frontends: {'aetherling': 1, 'reticle': 1}" in summary
+
+    def test_summary_omits_the_loop_line_when_never_run(self):
+        summary = CoverageLedger([_full_record()]).summary()
+        assert "verilog loop" not in summary
+        assert "frontends:" not in summary
