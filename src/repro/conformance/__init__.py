@@ -44,6 +44,12 @@ from .differential import (
     run_conformance,
     traces_equal,
 )
+from .faults import (
+    DEFAULT_RATES,
+    FaultConformanceResult,
+    run_fault_conformance,
+    run_fault_schedule,
+)
 from .generator import (
     GeneratedProgram,
     GenerationError,
@@ -61,6 +67,7 @@ from .generator import (
 )
 from .parallel import (
     RoundResult,
+    ShardCrash,
     ShardFailure,
     ShardRun,
     distill_corpus,
@@ -76,10 +83,12 @@ __all__ = [
     "CoverageLedger", "CoverageRecord", "cell_universe", "cells_of_record",
     "width_bucket",
     "ConformanceResult", "default_engines", "run_conformance", "traces_equal",
+    "DEFAULT_RATES", "FaultConformanceResult", "run_fault_conformance",
+    "run_fault_schedule",
     "GeneratedProgram", "GenerationError", "GeneratorConfig", "InputSpec",
     "NodeSpec", "OP_KINDS", "REGIMES", "ProgramSpec", "build", "generate",
     "generate_spec", "mutate_spec", "output_input_cones",
-    "RoundResult", "ShardFailure", "ShardRun", "distill_corpus",
+    "RoundResult", "ShardCrash", "ShardFailure", "ShardRun", "distill_corpus",
     "run_rounds", "run_shards",
     "divergence_categories", "prune", "shrink", "spec_fails",
     "SteeringPlan", "plan_from_ledger", "steer_config",

@@ -30,6 +30,7 @@ from typing import List, Optional, Set
 from .corpus import corpus_entry, load_entries, replay_entry, write_entry
 from .coverage import CoverageLedger, cell_universe, cells_of_record
 from .differential import default_engines, run_conformance
+from .faults import run_fault_schedule
 from .frontends import frontend_conformance_sweep
 from .generator import GeneratorConfig, build, generate
 from .parallel import distill_corpus, run_rounds
@@ -60,6 +61,22 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--jobs", type=int, default=1,
                         help="shard the seed range over N worker processes "
                              "with a deterministic merged ledger (default 1)")
+    parser.add_argument("--shard-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="with --jobs > 1: kill a worker shard that "
+                             "exceeds this wall clock, salvage its partial "
+                             "ledger and retry its unfinished seeds "
+                             "(default: no timeout)")
+    parser.add_argument("--faults", type=int, default=None, metavar="N",
+                        help="run the fault-injection persistence way over "
+                             "N seeds instead of the differential matrix: "
+                             "each seed compiles and simulates fault-free, "
+                             "then cold and warm against a fresh artifact "
+                             "store under a randomized fault schedule, and "
+                             "all three must match byte-for-byte")
+    parser.add_argument("--fault-seed", type=int, default=None,
+                        help="with --faults: pin the fault schedule seed "
+                             "(default: each seed uses itself)")
     parser.add_argument("--rounds", type=int, default=1,
                         help="steering rounds: round 1 samples blind, each "
                              "later round is re-steered from the merged "
@@ -173,6 +190,38 @@ def _run_frontends(args: argparse.Namespace, engines) -> tuple:
     return records, failures
 
 
+def _run_faults(args: argparse.Namespace, config: GeneratorConfig) -> int:
+    """The fault-injection persistence way (``--faults N``)."""
+    print(f"fault-injection conformance: seeds {args.start}.."
+          f"{args.start + args.faults - 1}"
+          + (f", fault schedule {args.fault_seed}"
+             if args.fault_seed is not None else ""))
+    results = run_fault_schedule(
+        start=args.start, count=args.faults,
+        transactions=args.transactions, config=config,
+        fault_seed=args.fault_seed)
+    ledger = CoverageLedger()
+    failures = 0
+    for result in results:
+        if result.coverage is not None:
+            ledger.add(result.coverage)
+        absorbed = sum(count for reason, count in result.degradations.items()
+                       if not reason.startswith("injected:"))
+        injected = sum(count for reason, count in result.degradations.items()
+                       if reason.startswith("injected:"))
+        if result.passed:
+            if not args.quiet:
+                print(f"  seed {result.seed}: ok ({injected} fault(s) "
+                      f"injected, {absorbed} degradation(s) absorbed, "
+                      f"artifacts byte-identical)")
+        else:
+            failures += 1
+            print(f"  seed {result.seed}: DIVERGED under faults")
+            print("    " + "\n    ".join(result.divergences[:10]))
+            print(f"    repro: {result.repro_command()}")
+    return _finish(ledger, failures, args, config)
+
+
 def _run_parallel(args: argparse.Namespace, config: GeneratorConfig,
                   engine_names: List[str],
                   initial_plan: Optional[SteeringPlan],
@@ -192,6 +241,7 @@ def _run_parallel(args: argparse.Namespace, config: GeneratorConfig,
         reimport=not args.no_reimport,
         plan_dir=plan_dir,
         initial_plan=initial_plan,
+        shard_timeout=args.shard_timeout,
     )
 
     merged = CoverageLedger()
@@ -204,10 +254,19 @@ def _run_parallel(args: argparse.Namespace, config: GeneratorConfig,
             label += f", plan {round_result.plan.digest()}"
         print(label)
         merged = merged.merge(round_result.run.ledger)
+        for crash in round_result.run.crashes:
+            status = "requeued" if crash.requeued else "nothing to requeue"
+            print(f"  worker crash (attempt {crash.attempt}): {crash.reason}; "
+                  f"{crash.salvaged} seed(s) salvaged, "
+                  f"{len(crash.seeds)} unfinished ({status})")
         for failure in round_result.run.failures:
             failures += 1
-            print(f"  seed {failure.seed}: DIVERGED")
-            print("    " + "\n    ".join(failure.divergences))
+            if failure.kind in ("crash", "timeout"):
+                print(f"  seed {failure.seed}: WORKER {failure.kind.upper()}"
+                      f" ({failure.reason})")
+            else:
+                print(f"  seed {failure.seed}: DIVERGED")
+                print("    " + "\n    ".join(failure.divergences))
             if failure.repro:
                 print(f"    repro: {failure.repro}")
         if not args.quiet:
@@ -269,6 +328,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             "all", "aetherling", "pipelinec", "reticle"):
         parser.error(f"unknown frontend {args.frontends!r} (expected "
                      f"aetherling, pipelinec, reticle, or no value for all)")
+    if args.fault_seed is not None and args.faults is None:
+        parser.error("--fault-seed needs --faults")
+    if args.faults is not None:
+        if args.faults < 1:
+            parser.error("--faults needs N >= 1")
+        return _run_faults(args, config)
 
     plan: Optional[SteeringPlan] = None
     plan_digest: Optional[str] = None

@@ -142,6 +142,12 @@ class CoverageRecord:
     #: re-import -> byte-identical trace); ``None`` when the way was
     #: skipped, ``False`` when it ran and diverged.
     verilog_reimport: Optional[bool] = None
+    #: Fault-injection schedule seed for the ``faults`` way (``None`` when
+    #: the seed ran without injected faults).
+    fault_seed: Optional[int] = None
+    #: Degradation reason -> count observed while faults were armed (store
+    #: write failures, quarantines, lock skips, injected cc hangs, ...).
+    fault_degradations: Dict[str, int] = field(default_factory=dict)
 
     @staticmethod
     def from_program(generated: GeneratedProgram,
@@ -206,6 +212,8 @@ class CoverageRecord:
             "plan_digest": self.plan_digest,
             "frontend": self.frontend,
             "verilog_reimport": self.verilog_reimport,
+            "fault_seed": self.fault_seed,
+            "fault_degradations": dict(self.fault_degradations),
         }
 
     @staticmethod
@@ -388,6 +396,21 @@ class CoverageLedger:
                     histogram.get(record.frontend, 0) + 1)
         return dict(sorted(histogram.items()))
 
+    def fault_degradation_histogram(self) -> Dict[str, int]:
+        """Degradation reason -> count across fault-injected runs: every
+        time the store (or a process boundary) absorbed an injected fault
+        by degrading instead of corrupting."""
+        histogram: Dict[str, int] = {}
+        for record in self.records:
+            for reason, count in record.fault_degradations.items():
+                histogram[reason] = histogram.get(reason, 0) + count
+        return dict(sorted(histogram.items()))
+
+    def fault_runs(self) -> int:
+        """How many recorded runs executed under an armed fault plan."""
+        return sum(1 for record in self.records
+                   if record.fault_seed is not None)
+
     def incremental_mutation_histogram(self) -> Dict[str, int]:
         """Which mutation families the incremental-recompilation way
         exercised, across recorded programs."""
@@ -464,6 +487,11 @@ class CoverageLedger:
         frontends = self.frontend_histogram()
         if frontends:
             lines.append(f"  frontends: {frontends}")
+        fault_runs = self.fault_runs()
+        if fault_runs:
+            lines.append(f"  fault-injected runs: {fault_runs}/"
+                         f"{self.programs} (degradations: "
+                         f"{self.fault_degradation_histogram()})")
         missing = self.unexercised_ops()
         if missing:
             lines.append(f"  unexercised ops: {', '.join(missing)}")
@@ -506,6 +534,8 @@ class CoverageLedger:
             "incremental_mutations": self.incremental_mutation_histogram(),
             "verilog_reimport": self.verilog_reimport_paths(),
             "frontends": self.frontend_histogram(),
+            "fault_runs": self.fault_runs(),
+            "fault_degradations": self.fault_degradation_histogram(),
             "cell_coverage": {
                 "covered": len(self.covered_cells() & cell_universe()),
                 "universe": len(cell_universe()),

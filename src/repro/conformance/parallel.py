@@ -1,49 +1,93 @@
-"""Sharded, round-based conformance fuzzing.
+"""Sharded, round-based, crash-tolerant conformance fuzzing.
 
-Scale-out for the differential matrix: seed ranges split across a
-``multiprocessing`` pool (:func:`run_shards`), per-worker ledgers merged
-back deterministically, and a round loop (:func:`run_rounds`) that re-steers
+Scale-out for the differential matrix: seed ranges split across worker
+*processes* (:func:`run_shards`), per-worker ledgers merged back
+deterministically, and a round loop (:func:`run_rounds`) that re-steers
 generation between rounds from the merged coverage
 (:mod:`repro.conformance.steering`) — run, merge, re-steer, run.
 
 Determinism contract: the merged ledger of ``run_shards(seeds, jobs=N)`` is
 *content-identical* for every ``N``, including ``N=1`` — records are
-serialized in the worker either way and re-sorted by seed after the merge,
-so a parallel CI run and a serial local repro produce byte-equal ledger
-JSON.  Workers receive only plain dicts (config, engine *names*) and return
-only plain dicts, which keeps the pool happy under both ``fork`` and
-``spawn`` start methods.
+serialized at the seed boundary either way and re-sorted by seed after the
+merge, so a parallel CI run and a serial local repro produce byte-equal
+ledger JSON.  Workers receive only plain dicts (config, engine *names*)
+and emit only plain dicts, which keeps both ``fork`` and ``spawn`` start
+methods happy.
+
+Crash tolerance: each shard is its own ``multiprocessing.Process`` whose
+sole result channel is a JSON-lines spill file appended after *every*
+seed.  A worker that segfaults, is OOM-killed or wedges past the per-shard
+timeout loses nothing already spilled: the parent salvages the partial
+ledger, requeues the unfinished seeds (split in half on the first retry),
+and if a seed keeps killing its worker it is narrowed down and recorded as
+a :class:`ShardFailure` with the signal/timeout reason and a printable
+repro command — one segfaulting seed no longer loses a deep-fuzz run.
+Process-boundary fault injection (:class:`repro.core.faults.FaultPlan`
+``kill_seeds``/``hang_seeds``) rides the same machinery, which is how the
+pool's salvage logic is itself tested.
 
 :func:`distill_corpus` is the bounded corpus keeper: walking the rounds in
-order, a seed is persisted only when its record proves at least one coverage
-cell no earlier kept seed proved.
+order, a seed is persisted only when its record proves at least one
+coverage cell no earlier kept seed proved.
 """
 
 from __future__ import annotations
 
+import json
 import multiprocessing
+import os
+import shutil
+import signal as _signal
+import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Sequence, Set, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from ..core.faults import FaultPlan, inject
 from .corpus import corpus_entry, write_entry
 from .coverage import CoverageLedger, CoverageRecord, cells_of_record
-from .differential import default_engines, run_conformance
+from .differential import (
+    _DEFAULT_ENGINE_NAMES,
+    default_engines,
+    run_conformance,
+)
 from .generator import GeneratorConfig, generate
 from .steering import SteeringPlan, plan_from_ledger, steer_config
 
-__all__ = ["ShardFailure", "ShardRun", "RoundResult", "run_shards",
-           "run_rounds", "distill_corpus"]
+__all__ = ["ShardFailure", "ShardCrash", "ShardRun", "RoundResult",
+           "run_shards", "run_rounds", "distill_corpus"]
 
 
 @dataclass
 class ShardFailure:
-    """One diverging seed, as reported across the process boundary."""
+    """One failing seed, as reported across the process boundary: a
+    divergence, or a seed whose worker kept crashing / timing out."""
 
     seed: int
     name: str
     divergences: List[str]
     repro: Optional[str] = None
+    #: ``divergence`` (the matrix disagreed), ``crash`` (the worker died
+    #: on this seed even after retry) or ``timeout``.
+    kind: str = "divergence"
+    #: The signal / exit-code / timeout description for crash kinds.
+    reason: Optional[str] = None
+    #: The seed range that was still unfinished when the worker died.
+    seeds: Optional[List[int]] = None
+
+
+@dataclass
+class ShardCrash:
+    """One worker death the pool absorbed: which seeds were unfinished,
+    why the worker died, how many results were salvaged from its spill
+    file, and whether the unfinished seeds were requeued."""
+
+    seeds: List[int]
+    reason: str
+    attempt: int
+    salvaged: int
+    requeued: bool
 
 
 @dataclass
@@ -53,6 +97,9 @@ class ShardRun:
     records: List[CoverageRecord] = field(default_factory=list)
     failures: List[ShardFailure] = field(default_factory=list)
     jobs: int = 1
+    #: Worker deaths absorbed by salvage + retry (informational: a crash
+    #: that was retried successfully leaves no failure, only this trace).
+    crashes: List[ShardCrash] = field(default_factory=list)
 
     @property
     def ledger(self) -> CoverageLedger:
@@ -63,49 +110,253 @@ class ShardRun:
         return not self.failures
 
 
-def _run_seeds(payload: dict) -> dict:
-    """Pool worker: run one shard of seeds through the full matrix.
+def _run_one_seed(seed: int, config: GeneratorConfig, engines: dict,
+                  payload: dict) -> Tuple[Optional[dict], Optional[dict]]:
+    """One seed through the full matrix; returns plain-dict (record,
+    failure) — the single serialization point for serial and sharded
+    runs alike."""
+    generated = generate(seed, config)
+    result = run_conformance(
+        generated,
+        transactions=payload["transactions"],
+        seed=seed,
+        engines=engines,
+        roundtrip=payload["roundtrip"],
+        lanes=payload["lanes"],
+        incremental=payload["incremental"],
+        reimport=payload["reimport"],
+        x_probability=payload["x_probability"],
+        plan_digest=payload["plan_digest"],
+    )
+    result.seed = seed
+    record = None
+    if result.coverage is not None:
+        result.coverage.seed = seed
+        record = result.coverage.to_dict()
+    failure = None
+    if not result.passed:
+        failure = {
+            "seed": seed,
+            "name": result.name,
+            "divergences": result.divergences[:10],
+            "repro": result.repro_command(),
+        }
+    return record, failure
 
-    Also the ``jobs=1`` code path — serial runs route through the same
-    serialization so ledger content cannot depend on the job count."""
-    config = GeneratorConfig.from_dict(payload["config"])
+
+def _payload_engines(payload: dict) -> dict:
     names = set(payload["engine_names"])
-    engines = {name: factory for name, factory in default_engines().items()
-               if name in names}
+    return {name: factory for name, factory in default_engines().items()
+            if name in names}
+
+
+def _run_seeds(payload: dict) -> dict:
+    """Run one shard of seeds in-process (the ``jobs=1`` code path —
+    serial runs route through the same serialization so ledger content
+    cannot depend on the job count)."""
+    config = GeneratorConfig.from_dict(payload["config"])
+    engines = _payload_engines(payload)
     records: List[dict] = []
     failures: List[dict] = []
     for seed in payload["seeds"]:
-        generated = generate(seed, config)
-        result = run_conformance(
-            generated,
-            transactions=payload["transactions"],
-            seed=seed,
-            engines=engines,
-            roundtrip=payload["roundtrip"],
-            lanes=payload["lanes"],
-            incremental=payload["incremental"],
-            reimport=payload["reimport"],
-            x_probability=payload["x_probability"],
-            plan_digest=payload["plan_digest"],
-        )
-        result.seed = seed
-        if result.coverage is not None:
-            result.coverage.seed = seed
-            records.append(result.coverage.to_dict())
-        if not result.passed:
-            failures.append({
-                "seed": seed,
-                "name": result.name,
-                "divergences": result.divergences[:10],
-                "repro": result.repro_command(),
-            })
+        record, failure = _run_one_seed(seed, config, engines, payload)
+        if record is not None:
+            records.append(record)
+        if failure is not None:
+            failures.append(failure)
     return {"records": records, "failures": failures}
+
+
+def _shard_worker(payload: dict, spill_path: str) -> None:
+    """Worker-process entry: run the shard's seeds, appending one JSON
+    line per seed to the spill file — the sole result channel, so a
+    worker death after seed *k* loses nothing up to *k*.  First-attempt
+    fault injection (``kill_seeds``/``hang_seeds``) fires here, *before*
+    the seed runs, so the salvage line is exact."""
+    plan = (FaultPlan.from_dict(payload["faults"])
+            if payload.get("faults") else None)
+    attempt = payload.get("attempt", 0)
+    config = GeneratorConfig.from_dict(payload["config"])
+    engines = _payload_engines(payload)
+    with open(spill_path, "w") as spill:
+        for seed in payload["seeds"]:
+            if plan is not None and attempt == 0:
+                if seed in plan.kill_seeds:
+                    os.kill(os.getpid(), _signal.SIGKILL)
+                if seed in plan.hang_seeds:
+                    time.sleep(3600)
+            if plan is not None:
+                with inject(plan):
+                    record, failure = _run_one_seed(seed, config, engines,
+                                                    payload)
+            else:
+                record, failure = _run_one_seed(seed, config, engines,
+                                                payload)
+            spill.write(json.dumps({"seed": seed, "record": record,
+                                    "failure": failure}) + "\n")
+            spill.flush()
 
 
 def _pool_context():
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn")
+
+
+def _salvage_spill(spill_path: Path) -> List[dict]:
+    """Every complete JSON line of a spill file (a torn trailing line —
+    the worker died mid-write — is dropped, not fatal)."""
+    try:
+        text = spill_path.read_text()
+    except OSError:
+        return []
+    lines: List[dict] = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            lines.append(json.loads(line))
+        except ValueError:
+            continue
+    return lines
+
+
+def _crash_repro(payload: dict, seed: int) -> str:
+    """A one-line CLI invocation rerunning exactly the crashed seed's
+    matrix cell (mirrors ``ConformanceResult.repro_command``)."""
+    parts = ["python", "-m", "repro.conformance",
+             "--start", str(seed), "--seeds", "1",
+             "--transactions", str(payload["transactions"]),
+             "--lanes", str(payload["lanes"])]
+    if tuple(sorted(payload["engine_names"])) != _DEFAULT_ENGINE_NAMES:
+        for engine in sorted(payload["engine_names"]):
+            parts += ["--engine", engine]
+    if not payload["roundtrip"]:
+        parts.append("--no-roundtrip")
+    if not payload["incremental"]:
+        parts.append("--no-incremental")
+    if not payload["reimport"]:
+        parts.append("--no-reimport")
+    if payload["x_probability"]:
+        parts += ["--x-stimulus", repr(payload["x_probability"])]
+    if payload["plan_digest"]:
+        parts += ["--plan", f"plan-{payload['plan_digest']}.json"]
+    return " ".join(parts)
+
+
+def _describe_exit(exitcode: Optional[int], timed_out: bool,
+                   shard_timeout: Optional[float]) -> str:
+    if timed_out:
+        return f"shard timed out after {shard_timeout}s"
+    if exitcode is not None and exitcode < 0:
+        try:
+            name = _signal.Signals(-exitcode).name
+        except ValueError:
+            name = f"signal {-exitcode}"
+        return f"worker killed by {name}"
+    return f"worker exited with code {exitcode}"
+
+
+def _run_sharded(payloads: List[dict], jobs: int,
+                 shard_timeout: Optional[float],
+                 fault_plan: Optional[FaultPlan]
+                 ) -> Tuple[List[dict], List[dict], List[ShardCrash]]:
+    """Run shard payloads in worker processes with per-shard timeouts,
+    crashed-shard salvage and split/requeue retry."""
+    ctx = _pool_context()
+    spill_dir = Path(tempfile.mkdtemp(prefix="repro-shards-"))
+    record_dicts: List[dict] = []
+    failure_dicts: List[dict] = []
+    crashes: List[ShardCrash] = []
+    pending: List[Tuple[dict, int]] = [(payload, 0) for payload in payloads]
+    running: List[dict] = []
+    spill_index = 0
+    try:
+        while pending or running:
+            while pending and len(running) < max(1, jobs):
+                payload, attempt = pending.pop(0)
+                payload = dict(payload)
+                payload["attempt"] = attempt
+                if fault_plan is not None:
+                    payload["faults"] = fault_plan.to_dict()
+                spill = spill_dir / f"shard-{spill_index}.jsonl"
+                spill_index += 1
+                process = ctx.Process(target=_shard_worker,
+                                      args=(payload, str(spill)))
+                process.start()
+                running.append({"process": process, "payload": payload,
+                                "attempt": attempt, "spill": spill,
+                                "started": time.monotonic()})
+            entry = running.pop(0)
+            process = entry["process"]
+            timed_out = False
+            if shard_timeout is None:
+                process.join()
+            else:
+                deadline = entry["started"] + shard_timeout
+                process.join(max(0.0, deadline - time.monotonic()))
+                if process.is_alive():
+                    timed_out = True
+                    process.terminate()
+                    process.join(5.0)
+                    if process.is_alive():  # pragma: no cover - stuck D state
+                        process.kill()
+                        process.join()
+            exitcode = process.exitcode
+            lines = _salvage_spill(entry["spill"])
+            completed: Set[int] = set()
+            for line in lines:
+                completed.add(line["seed"])
+                if line.get("record") is not None:
+                    record_dicts.append(line["record"])
+                if line.get("failure") is not None:
+                    failure_dicts.append(line["failure"])
+            if exitcode == 0 and not timed_out:
+                continue
+            payload = entry["payload"]
+            attempt = entry["attempt"]
+            remaining = [seed for seed in payload["seeds"]
+                         if seed not in completed]
+            reason = _describe_exit(exitcode, timed_out, shard_timeout)
+            requeue = bool(remaining)
+            crashes.append(ShardCrash(
+                seeds=list(remaining), reason=reason, attempt=attempt,
+                salvaged=len(completed), requeued=requeue))
+            if not remaining:
+                continue
+            if attempt == 0:
+                # First death: split the unfinished range in half and
+                # requeue both (a transient crash clears; a poisoned seed
+                # gets narrowed).
+                half = (len(remaining) + 1) // 2
+                for chunk in (remaining[:half], remaining[half:]):
+                    if chunk:
+                        requeued = dict(payload)
+                        requeued["seeds"] = chunk
+                        pending.append((requeued, 1))
+            else:
+                # Retried and died again: the first unfinished seed is the
+                # culprit — record it as a failure, keep going after it.
+                culprit = remaining[0]
+                failure_dicts.append({
+                    "seed": culprit,
+                    "name": f"seed-{culprit}",
+                    "divergences": [reason],
+                    "repro": _crash_repro(payload, culprit),
+                    "kind": "timeout" if timed_out else "crash",
+                    "reason": reason,
+                    "seeds": list(remaining),
+                })
+                rest = remaining[1:]
+                if rest:
+                    requeued = dict(payload)
+                    requeued["seeds"] = rest
+                    pending.append((requeued, attempt))
+    finally:
+        for entry in running:  # pragma: no cover - only on raise
+            entry["process"].terminate()
+        shutil.rmtree(spill_dir, ignore_errors=True)
+    return record_dicts, failure_dicts, crashes
 
 
 def run_shards(seeds: Sequence[int],
@@ -118,12 +369,20 @@ def run_shards(seeds: Sequence[int],
                incremental: bool = True,
                reimport: bool = True,
                x_probability: float = 0.0,
-               plan_digest: Optional[str] = None) -> ShardRun:
+               plan_digest: Optional[str] = None,
+               shard_timeout: Optional[float] = None,
+               fault_plan: Optional[FaultPlan] = None) -> ShardRun:
     """Split ``seeds`` over ``jobs`` workers and merge the results.
 
     Seeds are dealt round-robin (``seeds[i::jobs]``) so long-running seeds
     spread across workers; merged records and failures are re-sorted by
-    seed, making the output independent of shard interleaving."""
+    seed, making the output independent of shard interleaving, retries and
+    salvage.  ``shard_timeout`` bounds each worker's wall clock; crashed
+    or timed-out workers are salvaged from their spill files and their
+    unfinished seeds retried (split in half once, then narrowed seed by
+    seed — see :func:`_run_sharded`).  ``fault_plan`` threads a
+    :class:`~repro.core.faults.FaultPlan` into the workers (store faults
+    plus first-attempt ``kill_seeds``/``hang_seeds``)."""
     config = config or GeneratorConfig()
     seeds = list(seeds)
     engine_names = sorted(engine_names if engine_names is not None
@@ -146,20 +405,25 @@ def run_shards(seeds: Sequence[int],
             "plan_digest": plan_digest,
         })
 
-    if len(payloads) <= 1:
+    crashes: List[ShardCrash] = []
+    if len(payloads) <= 1 and shard_timeout is None and fault_plan is None:
+        # Serial runs stay in-process: no fork cost, and tests can
+        # monkeypatch the engine registry.
         outcomes = [_run_seeds(payload) for payload in payloads]
+        record_dicts = [record for outcome in outcomes
+                        for record in outcome["records"]]
+        failure_dicts = [failure for outcome in outcomes
+                         for failure in outcome["failures"]]
     else:
-        with _pool_context().Pool(processes=len(payloads)) as pool:
-            outcomes = pool.map(_run_seeds, payloads)
+        record_dicts, failure_dicts, crashes = _run_sharded(
+            payloads, jobs, shard_timeout, fault_plan)
 
-    records = [CoverageRecord.from_dict(record)
-               for outcome in outcomes for record in outcome["records"]]
+    records = [CoverageRecord.from_dict(record) for record in record_dicts]
     records.sort(key=lambda record: (record.seed is None, record.seed))
-    failures = [ShardFailure(**failure)
-                for outcome in outcomes for failure in outcome["failures"]]
+    failures = [ShardFailure(**failure) for failure in failure_dicts]
     failures.sort(key=lambda failure: failure.seed)
     return ShardRun(records=records, failures=failures,
-                    jobs=len(payloads) or 1)
+                    jobs=len(payloads) or 1, crashes=crashes)
 
 
 @dataclass
@@ -188,7 +452,8 @@ def run_rounds(start: int,
                reimport: bool = True,
                plan_dir: Optional[Union[str, Path]] = None,
                boost: float = 4.0,
-               initial_plan: Optional[SteeringPlan] = None) -> List[RoundResult]:
+               initial_plan: Optional[SteeringPlan] = None,
+               shard_timeout: Optional[float] = None) -> List[RoundResult]:
     """Round-based steered fuzzing: run a shard sweep, merge its ledger,
     derive a :class:`SteeringPlan` from everything covered so far, and run
     the next sweep under it.
@@ -227,7 +492,8 @@ def run_rounds(start: int,
             engine_names=engine_names, transactions=transactions,
             lanes=lanes, roundtrip=roundtrip, incremental=incremental,
             reimport=reimport,
-            x_probability=round_config.x_probability, plan_digest=digest)
+            x_probability=round_config.x_probability, plan_digest=digest,
+            shard_timeout=shard_timeout)
         merged = merged.merge(run.ledger)
         results.append(RoundResult(index=index, seeds=seeds,
                                    config=round_config, run=run,

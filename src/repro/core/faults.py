@@ -1,0 +1,269 @@
+"""Deterministic, seeded fault injection for the artifact store.
+
+Every I/O boundary of :mod:`repro.core.store` calls into this module, and
+each call consults the process-local :class:`FaultInjector` (if one is
+installed) to decide whether that boundary fails this time.  Decisions are
+drawn from a :class:`random.Random` seeded by the :class:`FaultPlan`, so a
+fault schedule is a pure function of ``(plan, sequence of I/O calls)`` —
+a failing schedule replays exactly from its plan.
+
+The injectable kinds mirror what a store deployed at scale actually sees:
+
+``torn-write``
+    the payload written to disk is truncated mid-write;
+``bit-flip``
+    a stored payload is corrupted before the reader hashes it;
+``enospc`` / ``eperm``
+    the write raises ``OSError`` (disk full / permission lost);
+``stale-lock``
+    the cross-process lock cannot be acquired (a dead process left it);
+``crash-rename``
+    the process "dies" between writing and publishing — in the default
+    ``abort`` mode the operation stops at that point, leaving exactly the
+    torn on-disk state a killed process would; in ``kill`` mode the
+    process genuinely receives ``SIGKILL`` (the crash-harness subprocess
+    tests use this);
+``cc-hang``
+    the C compiler of the native tier hangs (surfaces as a timeout).
+
+Process-boundary faults for the fuzzing pool ride on the same plan:
+``kill_seeds`` / ``hang_seeds`` name fuzz seeds whose *first-attempt*
+worker is killed / wedged, which the crash-tolerant pool in
+:mod:`repro.conformance.parallel` must salvage and retry.
+
+Faults may cost performance — a miss, a rebuild, a skipped prune — but
+never correctness: the conformance way ``faults`` asserts byte-identical
+artifacts and traces against a fault-free run under every schedule.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultInjector",
+    "InjectedFault",
+    "inject",
+    "active",
+    "reset",
+]
+
+#: Every in-process injectable kind (process-boundary kill/hang faults are
+#: driven by explicit seed lists on the plan instead of rates).
+FAULT_KINDS: Tuple[str, ...] = (
+    "torn-write", "bit-flip", "enospc", "eperm", "stale-lock",
+    "crash-rename", "cc-hang",
+)
+
+_ERRNO = {"enospc": 28, "eperm": 1}  # errno.ENOSPC / errno.EPERM
+
+
+class InjectedFault(OSError):
+    """An injected I/O failure.  A subclass of ``OSError`` so store code
+    handles it through the same paths as a real disk error."""
+
+    def __init__(self, kind: str, site: str) -> None:
+        super().__init__(_ERRNO.get(kind, 5),
+                         f"injected {kind} at {site}")
+        self.kind = kind
+        self.site = site
+
+
+@dataclass
+class FaultPlan:
+    """A serializable fault schedule: per-kind firing rates plus the
+    explicit process-boundary seed lists.  ``to_dict``/``from_dict`` cross
+    process boundaries (pool worker payloads, the ``REPRO_FAULTS``
+    environment hook the crash-harness subprocess tests use)."""
+
+    seed: int = 0
+    rates: Dict[str, float] = field(default_factory=dict)
+    #: Fuzz seeds whose first-attempt pool worker is SIGKILLed / wedged.
+    kill_seeds: Tuple[int, ...] = ()
+    hang_seeds: Tuple[int, ...] = ()
+    #: ``abort`` stops the faulted operation in-process (leaving the torn
+    #: on-disk state a crash would); ``kill`` delivers a real SIGKILL.
+    crash_mode: str = "abort"
+    #: Stop injecting after this many fired faults (None = unbounded).
+    max_faults: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        unknown = sorted(set(self.rates) - set(FAULT_KINDS))
+        if unknown:
+            raise ValueError(f"unknown fault kind(s): {', '.join(unknown)} "
+                             f"(expected: {', '.join(FAULT_KINDS)})")
+        for kind, rate in self.rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"rate for {kind} must be in [0, 1], "
+                                 f"got {rate!r}")
+        if self.crash_mode not in ("abort", "kill"):
+            raise ValueError(f"unknown crash_mode {self.crash_mode!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "rates": dict(self.rates),
+            "kill_seeds": list(self.kill_seeds),
+            "hang_seeds": list(self.hang_seeds),
+            "crash_mode": self.crash_mode,
+            "max_faults": self.max_faults,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "FaultPlan":
+        return FaultPlan(
+            seed=data.get("seed", 0),
+            rates=dict(data.get("rates", {})),
+            kill_seeds=tuple(data.get("kill_seeds", ())),
+            hang_seeds=tuple(data.get("hang_seeds", ())),
+            crash_mode=data.get("crash_mode", "abort"),
+            max_faults=data.get("max_faults"),
+        )
+
+
+class FaultInjector:
+    """One live schedule: draws faults deterministically from the plan's
+    seed and records every fired ``(kind, site)`` pair."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self.fired: List[Tuple[str, str]] = []
+
+    def _draw(self, kind: str, site: str) -> bool:
+        rate = self.plan.rates.get(kind, 0.0)
+        if rate <= 0.0:
+            return False
+        if (self.plan.max_faults is not None
+                and len(self.fired) >= self.plan.max_faults):
+            return False
+        # Always consume exactly one draw per consult, so firing decisions
+        # stay aligned across replays regardless of which kinds are rated.
+        if self._rng.random() >= rate:
+            return False
+        self.fired.append((kind, site))
+        return True
+
+    # -- hooks the store calls -------------------------------------------------
+
+    def os_error(self, site: str) -> None:
+        """Raise an injected ``OSError`` (disk full, then permission)."""
+        if self._draw("enospc", site):
+            raise InjectedFault("enospc", site)
+        if self._draw("eperm", site):
+            raise InjectedFault("eperm", site)
+
+    def torn(self, site: str, data: bytes) -> bytes:
+        """Truncate a payload mid-write (the write itself succeeds)."""
+        if len(data) > 0 and self._draw("torn-write", site):
+            return data[:self._rng.randrange(len(data))]
+        return data
+
+    def bitflip(self, site: str, data: bytes) -> bytes:
+        """Flip one bit of a payload being read."""
+        if len(data) > 0 and self._draw("bit-flip", site):
+            index = self._rng.randrange(len(data))
+            flipped = bytearray(data)
+            flipped[index] ^= 1 << self._rng.randrange(8)
+            return bytes(flipped)
+        return data
+
+    def crash(self, site: str) -> bool:
+        """A crash point between write and publish.  ``kill`` mode never
+        returns; ``abort`` mode returns True, and the caller must stop the
+        operation right there (leaving the torn on-disk state)."""
+        if not self._draw("crash-rename", site):
+            return False
+        if self.plan.crash_mode == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        return True
+
+    def stale_lock(self, site: str) -> bool:
+        """Whether lock acquisition should behave as wedged this time."""
+        return self._draw("stale-lock", site)
+
+    def cc_hang(self, site: str = "native.cc") -> None:
+        """Raise an injected hang for the C compiler subprocess."""
+        if self._draw("cc-hang", site):
+            raise InjectedFault("cc-hang", site)
+
+
+_ACTIVE: Optional[FaultInjector] = None
+_ENV_CHECKED = False
+
+
+def active() -> Optional[FaultInjector]:
+    """The installed injector, if any.  ``REPRO_FAULTS`` (a JSON-encoded
+    :class:`FaultPlan`) installs one lazily on first consult — the hook the
+    crash-harness subprocess tests use to arm a fresh process."""
+    global _ACTIVE, _ENV_CHECKED
+    if _ACTIVE is None and not _ENV_CHECKED:
+        _ENV_CHECKED = True
+        raw = os.environ.get("REPRO_FAULTS")
+        if raw:
+            _ACTIVE = FaultInjector(FaultPlan.from_dict(json.loads(raw)))
+    return _ACTIVE
+
+
+def reset() -> None:
+    """Drop any installed injector and re-arm the env hook (tests)."""
+    global _ACTIVE, _ENV_CHECKED
+    _ACTIVE = None
+    _ENV_CHECKED = False
+
+
+@contextmanager
+def inject(plan: FaultPlan):
+    """Install a fresh injector for ``plan`` for the duration of the
+    block; yields it (``injector.fired`` is the audit trail)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    injector = FaultInjector(plan)
+    _ACTIVE = injector
+    try:
+        yield injector
+    finally:
+        _ACTIVE = previous
+
+
+# -- no-op-when-inactive conveniences (the store's call sites) ---------------
+
+
+def os_error(site: str) -> None:
+    injector = active()
+    if injector is not None:
+        injector.os_error(site)
+
+
+def torn(site: str, data: bytes) -> bytes:
+    injector = active()
+    return injector.torn(site, data) if injector is not None else data
+
+
+def bitflip(site: str, data: bytes) -> bytes:
+    injector = active()
+    return injector.bitflip(site, data) if injector is not None else data
+
+
+def crash(site: str) -> bool:
+    injector = active()
+    return injector.crash(site) if injector is not None else False
+
+
+def stale_lock(site: str) -> bool:
+    injector = active()
+    return injector.stale_lock(site) if injector is not None else False
+
+
+def cc_hang(site: str = "native.cc") -> None:
+    injector = active()
+    if injector is not None:
+        injector.cc_hang(site)

@@ -46,6 +46,7 @@ from .fingerprint import (
     fingerprint_text,
 )
 from .printer import format_signature
+from .store import default_store
 
 __all__ = [
     "QueryEngine",
@@ -78,8 +79,17 @@ _ARTIFACTS: "OrderedDict[Tuple[str, str], Tuple[object, str]]" = OrderedDict()
 #: Explicit programmatic override; ``None`` defers to the environment.
 _ARTIFACT_LIMIT: Optional[int] = None
 _ARTIFACT_LIMIT_DEFAULT = 1024
-_ARTIFACT_STATS = {"hits": 0, "misses": 0, "evicted": 0}
+_ARTIFACT_STATS = {"hits": 0, "misses": 0, "evicted": 0,
+                   "disk_hits": 0, "disk_writes": 0}
 _CACHE_DISABLED = 0
+
+#: Stages whose artifacts are plain text and therefore spill to the
+#: on-disk :class:`~repro.core.store.ArtifactStore` (namespace
+#: ``compile``) under the in-memory LRU when ``REPRO_STORE_DIR`` is set:
+#: a fresh process re-reads emitted module/program text instead of
+#: re-lowering.  Object-valued stages (checked/lowered/Calyx artifacts
+#: hold live AST references) stay memory-only.
+_DISK_STAGES = frozenset({"vcomp", "verilog"})
 
 
 def compile_cache_limit() -> int:
@@ -107,6 +117,8 @@ def compile_cache_stats() -> Dict[str, int]:
         "hits": _ARTIFACT_STATS["hits"],
         "misses": _ARTIFACT_STATS["misses"],
         "evicted": _ARTIFACT_STATS["evicted"],
+        "disk_hits": _ARTIFACT_STATS["disk_hits"],
+        "disk_writes": _ARTIFACT_STATS["disk_writes"],
         "entries": len(_ARTIFACTS),
         "limit": compile_cache_limit(),
     }
@@ -118,6 +130,8 @@ def clear_compile_cache() -> None:
     _ARTIFACT_STATS["hits"] = 0
     _ARTIFACT_STATS["misses"] = 0
     _ARTIFACT_STATS["evicted"] = 0
+    _ARTIFACT_STATS["disk_hits"] = 0
+    _ARTIFACT_STATS["disk_writes"] = 0
 
 
 def set_compile_cache_limit(limit: Optional[int]) -> None:
@@ -157,11 +171,8 @@ def _artifact_get(stage: str, fingerprint: str):
     return entry
 
 
-def _artifact_put(stage: str, fingerprint: str, value: object,
-                  digest: str) -> None:
-    if _CACHE_DISABLED:
-        return
-    _ARTIFACT_STATS["misses"] += 1
+def _artifact_insert(stage: str, fingerprint: str, value: object,
+                     digest: str) -> None:
     bound = compile_cache_limit()
     if bound <= 0:
         return
@@ -169,6 +180,41 @@ def _artifact_put(stage: str, fingerprint: str, value: object,
     while len(_ARTIFACTS) > bound:
         _ARTIFACTS.popitem(last=False)
         _ARTIFACT_STATS["evicted"] += 1
+
+
+def _artifact_put(stage: str, fingerprint: str, value: object,
+                  digest: str) -> None:
+    if _CACHE_DISABLED:
+        return
+    _ARTIFACT_STATS["misses"] += 1
+    _artifact_insert(stage, fingerprint, value, digest)
+
+
+def _disk_artifact_get(stage: str, fingerprint: str) -> Optional[str]:
+    """Probe the on-disk spill tier (verified text artifacts only).
+    Returns None when no store is configured, the stage is not
+    disk-eligible, or the entry is absent/torn/corrupt — the store
+    quarantines bad entries itself and the caller simply recomputes."""
+    if _CACHE_DISABLED or stage not in _DISK_STAGES:
+        return None
+    store = default_store()
+    if store is None:
+        return None
+    text = store.get_text("compile", f"{stage}-{fingerprint}")
+    if text is not None:
+        _ARTIFACT_STATS["disk_hits"] += 1
+    return text
+
+
+def _disk_artifact_put(stage: str, fingerprint: str, value: object) -> None:
+    if (_CACHE_DISABLED or stage not in _DISK_STAGES
+            or not isinstance(value, str)):
+        return
+    store = default_store()
+    if store is None:
+        return
+    if store.put_text("compile", f"{stage}-{fingerprint}", value):
+        _ARTIFACT_STATS["disk_writes"] += 1
 
 
 def shared_artifact(stage: str, fingerprint: str, compute,
@@ -184,9 +230,15 @@ def shared_artifact(stage: str, fingerprint: str, compute,
     if entry is not None:
         _ARTIFACT_STATS["hits"] += 1
         return entry[0], True
+    spilled = _disk_artifact_get(stage, fingerprint)
+    if spilled is not None:
+        _artifact_insert(stage, fingerprint, spilled,
+                         digest if digest is not None else fingerprint)
+        return spilled, True
     value = compute()
     _artifact_put(stage, fingerprint, value,
                   digest if digest is not None else fingerprint)
+    _disk_artifact_put(stage, fingerprint, value)
     return value, False
 
 
@@ -533,9 +585,16 @@ class QueryEngine:
             _ARTIFACT_STATS["hits"] += 1
             self.stats.shared_hits += 1
             return value, digest
+        spilled = _disk_artifact_get(stage, fingerprint)
+        if spilled is not None:
+            digest = digest_of(spilled)
+            _artifact_insert(stage, fingerprint, spilled, digest)
+            self.stats.shared_hits += 1
+            return spilled, digest
         value = compute()
         digest = digest_of(value)
         _artifact_put(stage, fingerprint, value, digest)
+        _disk_artifact_put(stage, fingerprint, value)
         return value, digest
 
     # -- per-component queries -------------------------------------------------

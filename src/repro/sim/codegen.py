@@ -42,12 +42,14 @@ hits next to its other stage timings.
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import time
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.errors import SimulationError
+from ..core.store import default_store
 from .primitives import PrimitiveModel, ReplicatedLanes, create_primitive
 from .values import LaneContext, PackedValue, Value, X, format_value
 
@@ -1367,7 +1369,77 @@ _CACHE: "OrderedDict[str, CompiledKernelProgram]" = OrderedDict()
 #: Explicit programmatic override; ``None`` defers to the environment.
 _CACHE_LIMIT: Optional[int] = None
 _CACHE_LIMIT_DEFAULT = 256
-_STATS = {"hits": 0, "misses": 0}
+_STATS = {"hits": 0, "misses": 0, "disk_hits": 0, "disk_writes": 0}
+
+#: Version of the on-disk kernel envelope (bump on format change).
+_SPILL_VERSION = 1
+
+
+def _encode_kernel(source: str, constants: Dict[str, object],
+                   slot_map: Dict[_Key, int],
+                   output_names: List[str]) -> Optional[str]:
+    """Serialize a generated kernel for the disk spill tier, or None when
+    it cannot round-trip: multi-driven-port plan constants (``GP_``/
+    ``GQ_``) embed live group/assign objects and stay memory-only; only
+    kernels whose constants are all ``INIT_*`` tuples of ints and X are
+    eligible.  X encodes as JSON null."""
+    init: Dict[str, List[Optional[int]]] = {}
+    for name, value in constants.items():
+        if not name.startswith("INIT_") or not isinstance(value, tuple):
+            return None
+        if not all(v is X or isinstance(v, int) for v in value):
+            return None
+        init[name] = [None if v is X else v for v in value]
+    return json.dumps({
+        "v": _SPILL_VERSION,
+        "source": source,
+        "outputs": list(output_names),
+        "slots": [[cell, port, index]
+                  for (cell, port), index in slot_map.items()],
+        "init": init,
+    })
+
+
+def _decode_kernel(digest: str, text: str) -> Optional["CompiledKernelProgram"]:
+    """Rebuild a :class:`CompiledKernelProgram` from a spilled envelope
+    (None on any mismatch — the caller regenerates from the netlist)."""
+    try:
+        data = json.loads(text)
+    except ValueError:
+        return None
+    if not isinstance(data, dict) or data.get("v") != _SPILL_VERSION:
+        return None
+    try:
+        source = data["source"]
+        output_names = list(data["outputs"])
+        slot_map = {(cell, port): index
+                    for cell, port, index in data["slots"]}
+        constants = {name: tuple(X if v is None else v for v in values)
+                     for name, values in data["init"].items()}
+    except (KeyError, TypeError, ValueError):
+        return None
+    namespace = _kernel_namespace(constants)
+    try:
+        exec(compile(source, f"<kernel {digest[:12]}>", "exec"), namespace)
+    except (SyntaxError, ValueError):
+        return None
+    return CompiledKernelProgram(digest, source, namespace, slot_map,
+                                 output_names)
+
+
+def _kernel_namespace(constants: Dict[str, object]) -> dict:
+    namespace = {
+        "X": X,
+        "_U": _UNDRIVEN,
+        "_rg": _resolve_slots,
+        "_rgp": _resolve_slots_packed,
+        "_mulp": _packed_products,
+        "_mk": create_primitive,
+        "_pkm": _pk_model,
+        "_PV": PackedValue,
+    }
+    namespace.update(constants)
+    return namespace
 
 
 def kernel_cache_limit() -> int:
@@ -1406,10 +1478,13 @@ def kernel_cache_stats() -> Dict[str, int]:
 
 
 def clear_kernel_cache() -> None:
-    """Drop every cached generated program (tests and benchmarks)."""
+    """Drop every cached generated program (tests and benchmarks).  The
+    on-disk spill tier is left alone — it is the point."""
     _CACHE.clear()
     _STATS["hits"] = 0
     _STATS["misses"] = 0
+    _STATS["disk_hits"] = 0
+    _STATS["disk_writes"] = 0
 
 
 def kernel_for(engine) -> Tuple[CompiledKernelProgram, bool, float]:
@@ -1424,18 +1499,22 @@ def kernel_for(engine) -> Tuple[CompiledKernelProgram, bool, float]:
         _STATS["hits"] += 1
         return cached, True, 0.0
     start = time.perf_counter()
+    store = default_store()
+    spill_key = f"kernel_{_SPILL_VERSION}_{digest[:32]}"
+    if store is not None:
+        spilled = store.get_text("kernel", spill_key)
+        if spilled is not None:
+            program = _decode_kernel(digest, spilled)
+            if program is not None:
+                seconds = time.perf_counter() - start
+                _CACHE[digest] = program
+                while len(_CACHE) > kernel_cache_limit():
+                    _CACHE.popitem(last=False)
+                _STATS["misses"] += 1
+                _STATS["disk_hits"] += 1
+                return program, True, seconds
     source, constants, slot_map, output_names = generate_source(engine)
-    namespace = {
-        "X": X,
-        "_U": _UNDRIVEN,
-        "_rg": _resolve_slots,
-        "_rgp": _resolve_slots_packed,
-        "_mulp": _packed_products,
-        "_mk": create_primitive,
-        "_pkm": _pk_model,
-        "_PV": PackedValue,
-    }
-    namespace.update(constants)
+    namespace = _kernel_namespace(constants)
     try:
         exec(compile(source, f"<kernel {digest[:12]}>", "exec"), namespace)
     except SyntaxError as error:  # pragma: no cover - generator bug guard
@@ -1448,4 +1527,9 @@ def kernel_for(engine) -> Tuple[CompiledKernelProgram, bool, float]:
     while len(_CACHE) > kernel_cache_limit():
         _CACHE.popitem(last=False)
     _STATS["misses"] += 1
+    if store is not None:
+        envelope = _encode_kernel(source, constants, slot_map, output_names)
+        if envelope is not None and store.put_text("kernel", spill_key,
+                                                   envelope):
+            _STATS["disk_writes"] += 1
     return program, False, seconds

@@ -11,9 +11,15 @@ points.  The generated translation unit is compiled once per netlist digest
 with the host C compiler (``cc``/``gcc``/``clang``; override with
 ``REPRO_CC``), loaded through :mod:`ctypes`, and cached twice:
 
-* an on-disk cache of ``.c``/``.so`` pairs keyed by the same netlist digest
-  the Python kernel LRU uses (``REPRO_NATIVE_CACHE_DIR`` overrides the
-  location), so a recompile across processes is a file load, and
+* an on-disk tier in the crash-safe :class:`~repro.core.store.ArtifactStore`
+  (namespace ``native``), keyed by the same netlist digest the Python
+  kernel LRU uses, so a recompile across processes is a verified file
+  load.  ``REPRO_STORE_DIR`` shares one store with the compile/kernel
+  caches; ``REPRO_NATIVE_CACHE_DIR`` overrides the root for this tier
+  alone; the default is a private per-uid directory under the temp dir.
+  If publishing to the store fails (disk full, injected fault), the
+  freshly built ``.so`` still runs out of its private build directory —
+  a degradation, never a failure; and
 * a process-wide bounded LRU of loaded programs next to the kernel LRU
   (sharing its ``REPRO_KERNEL_CACHE`` size knob).
 
@@ -55,7 +61,9 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..core import faults as _faults
 from ..core.errors import SimulationError
+from ..core.store import ArtifactStore, default_store
 from .values import Value, X
 from . import codegen
 from .codegen import (
@@ -81,9 +89,6 @@ __all__ = [
 
 #: Bump when the generated C ABI changes (invalidates the on-disk cache).
 _ABI = 2
-
-#: Maximum ``.so`` artifacts kept in the on-disk cache (oldest pruned).
-_DISK_LIMIT = 256
 
 _M64 = (1 << 64) - 1
 
@@ -158,27 +163,36 @@ def _cache_dir() -> Path:
     return directory
 
 
-def _trusted_artifact(so_path: Path) -> bool:
-    """Whether a cached ``.so`` is safe to ``CDLL``: ours, and not
-    writable by anyone else.  Untrusted artifacts are rebuilt in place."""
-    if not hasattr(os, "getuid"):
-        return True
-    try:
-        st = so_path.stat()
-    except OSError:
-        return False
-    return st.st_uid == os.getuid() and not (st.st_mode & 0o022)
+_STORE_MEMO: Dict[str, ArtifactStore] = {}
 
 
-def _prune_disk_cache(directory: Path) -> None:
-    artifacts = sorted(directory.glob("native_*.so"),
-                       key=lambda path: path.stat().st_mtime)
-    for stale in artifacts[:-_DISK_LIMIT] if len(artifacts) > _DISK_LIMIT else []:
-        for path in (stale, stale.with_suffix(".c")):
-            try:
-                path.unlink()
-            except OSError:
-                pass
+def _native_store() -> ArtifactStore:
+    """The on-disk ``.so`` tier, as a crash-safe artifact store.
+
+    Resolution: ``REPRO_NATIVE_CACHE_DIR`` pins a root for this tier
+    alone (trusted as given); otherwise a shared ``REPRO_STORE_DIR``
+    store is reused; otherwise the legacy private per-uid temp directory
+    (from :func:`_cache_dir`, which verifies ownership and mode — a
+    compromised directory raises :class:`NativeUnavailable`).  Default
+    roots under the shared temp dir additionally require every served
+    payload to be private to this uid before ``ctypes.CDLL`` trusts it.
+
+    The store's locked, vanish-tolerant pruning replaces the old
+    ``_prune_disk_cache``, whose ``path.stat()`` sort key raced
+    concurrent unlinks."""
+    override = os.environ.get("REPRO_NATIVE_CACHE_DIR")
+    if not override:
+        shared = default_store()
+        if shared is not None:
+            return shared
+    directory = _cache_dir()
+    private = not override
+    memo_key = f"{directory}|{private}"
+    store = _STORE_MEMO.get(memo_key)
+    if store is None:
+        store = ArtifactStore(directory, require_private=private)
+        _STORE_MEMO[memo_key] = store
+    return store
 
 
 # ---------------------------------------------------------------------------
@@ -992,11 +1006,13 @@ def native_cache_stats() -> Dict[str, int]:
 
 
 def clear_native_cache() -> None:
-    """Drop every loaded native program (tests and benchmarks) and the
-    compiler-probe memo, so a changed ``REPRO_CC``/``PATH`` is re-probed.
-    The on-disk ``.so`` cache is left alone — it is the point."""
+    """Drop every loaded native program (tests and benchmarks), the
+    compiler-probe memo (so a changed ``REPRO_CC``/``PATH`` is re-probed)
+    and the store memo (so a changed cache root is re-resolved).  The
+    on-disk ``.so`` store is left alone — it is the point."""
     _CACHE.clear()
     _COMPILER_CACHE.clear()
+    _STORE_MEMO.clear()
     _STATS["hits"] = 0
     _STATS["misses"] = 0
     _STATS["disk_hits"] = 0
@@ -1009,6 +1025,7 @@ def _compile_so(source: str, c_path: Path, so_path: Path,
     command = [compiler, "-O2", "-shared", "-fPIC", "-o", str(tmp),
                str(c_path)]
     try:
+        _faults.cc_hang()  # injected compiler hang == the timeout below
         proc = subprocess.run(command, capture_output=True, text=True,
                               timeout=120)
     except (OSError, subprocess.TimeoutExpired) as error:
@@ -1023,7 +1040,7 @@ def _compile_so(source: str, c_path: Path, so_path: Path,
 def native_for(engine) -> Tuple[NativeKernelProgram, bool, float]:
     """The native kernel program for ``engine``'s netlist: ``(program,
     cached, build_seconds)``.  ``cached`` is true for both in-memory LRU
-    hits and on-disk ``.so`` hits.  Raises :class:`NativeUnavailable` when
+    hits and on-disk store hits.  Raises :class:`NativeUnavailable` when
     the netlist is native-ineligible or no C compiler is available."""
     digest = netlist_digest(engine)
     cached = _CACHE.get(digest)
@@ -1037,14 +1054,31 @@ def native_for(engine) -> Tuple[NativeKernelProgram, bool, float]:
     start = time.perf_counter()
     source, slot_map, output_names, input_ports, plans = \
         generate_c_source(engine)
-    directory = _cache_dir()
-    stem = f"native_{_ABI}_{digest[:32]}"
-    c_path = directory / f"{stem}.c"
-    so_path = directory / f"{stem}.so"
-    disk_hit = so_path.exists() and _trusted_artifact(so_path)
+    store = _native_store()
+    key = f"native_{_ABI}_{digest[:32]}"
+    so_path = store.get_path("native", key)
+    disk_hit = so_path is not None
     if not disk_hit:
-        _compile_so(source, c_path, so_path, compiler)
-        _prune_disk_cache(directory)
+        # Build in a private scratch directory, then publish atomically
+        # into the store.  A failed publish (disk full, injected fault)
+        # degrades to running the .so out of the scratch directory: this
+        # process still gets its kernel, nothing corrupt persists.
+        build_dir = Path(tempfile.mkdtemp(prefix="repro-native-build-"))
+        scratch_so = build_dir / f"{key}.so"
+        try:
+            _compile_so(source, build_dir / f"{key}.c", scratch_so,
+                        compiler)
+        except NativeUnavailable:
+            shutil.rmtree(build_dir, ignore_errors=True)
+            raise
+        published = store.put_file("native", key, scratch_so)
+        if published:
+            store.put_text("native-src", key, source)  # debugging aid
+        so_path = store.get_path("native", key) if published else None
+        if so_path is not None:
+            shutil.rmtree(build_dir, ignore_errors=True)
+        else:
+            so_path = scratch_so  # degraded: private, this-process-only
     try:
         lib = ctypes.CDLL(str(so_path))
     except OSError as error:

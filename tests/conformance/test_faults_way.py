@@ -1,0 +1,61 @@
+"""The ``faults`` conformance way: byte-identical artifacts and traces
+under injected persistence faults, with every degradation ledgered."""
+
+import pytest
+
+from repro.conformance import CoverageLedger
+from repro.conformance.faults import (
+    DEFAULT_RATES,
+    run_fault_conformance,
+    run_fault_schedule,
+)
+from repro.core.faults import FAULT_KINDS
+
+#: Aggressive rates so a single short test run reliably fires faults at
+#: every store layer (compile spill, kernel spill, native publish).
+_HOT_RATES = {
+    "torn-write": 0.5, "bit-flip": 0.5, "enospc": 0.3, "eperm": 0.3,
+    "stale-lock": 0.5, "crash-rename": 0.4, "cc-hang": 0.5,
+}
+
+
+def test_default_rates_cover_every_in_process_kind():
+    assert set(DEFAULT_RATES) == set(FAULT_KINDS)
+
+
+def test_faulted_runs_reproduce_the_baseline_bytes():
+    result = run_fault_conformance(1, transactions=5, rates=_HOT_RATES)
+    assert result.passed, result.divergences
+    assert result.degradations  # the schedule actually bit
+    assert any(reason.startswith("injected:")
+               for reason in result.degradations)
+
+
+def test_fault_schedule_is_deterministic():
+    first = run_fault_conformance(2, fault_seed=9, transactions=5,
+                                  rates=_HOT_RATES)
+    second = run_fault_conformance(2, fault_seed=9, transactions=5,
+                                   rates=_HOT_RATES)
+    assert first.passed and second.passed
+    assert first.degradations == second.degradations
+
+
+def test_coverage_record_carries_the_fault_evidence():
+    result = run_fault_conformance(1, fault_seed=7, transactions=5,
+                                   rates=_HOT_RATES)
+    record = result.coverage
+    assert record is not None
+    assert record.fault_seed == 7
+    assert record.fault_degradations == dict(result.degradations)
+    ledger = CoverageLedger([record])
+    assert ledger.fault_runs() == 1
+    assert ledger.fault_degradation_histogram() == record.fault_degradations
+    assert "fault-injected runs: 1/1" in ledger.summary()
+
+
+@pytest.mark.deep
+def test_fault_schedule_sweep():
+    results = run_fault_schedule(0, 8, transactions=6, rates=_HOT_RATES)
+    assert all(result.passed for result in results), [
+        (r.seed, r.divergences) for r in results if not r.passed]
+    assert any(result.degradations for result in results)

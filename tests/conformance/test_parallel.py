@@ -19,6 +19,8 @@ from repro.conformance import (
 )
 from repro.conformance import parallel as parallel_module
 from repro.conformance.differential import default_engines
+from repro.conformance.parallel import ShardFailure
+from repro.core.faults import FaultPlan
 from repro.sim.values import is_x
 
 _FAST = dict(engine_names=("scheduled", "fixpoint"), transactions=4,
@@ -111,6 +113,73 @@ def test_shard_failures_carry_repro_commands(monkeypatch):
         assert failure.repro is not None
         assert f"--start {failure.seed} --seeds 1" in failure.repro
         assert "--engine fixpoint --engine lying" in failure.repro
+
+
+def test_legacy_failure_dicts_default_the_new_fields():
+    """Old worker payloads (and old persisted failures) predate
+    kind/reason/seeds; ``ShardFailure(**d)`` must keep accepting them."""
+    failure = ShardFailure(**{"seed": 3, "name": "x", "divergences": ["d"],
+                              "repro": None})
+    assert failure.kind == "divergence"
+    assert failure.reason is None and failure.seeds is None
+
+
+def test_killed_worker_is_salvaged_and_retried():
+    """A worker SIGKILLed mid-shard (first attempt) loses nothing: the
+    seeds it finished are salvaged from its spill file, the rest are
+    requeued, and the merged ledger is byte-equal to a fault-free serial
+    run."""
+    plan = FaultPlan(kill_seeds=(2,))
+    faulted = run_shards(range(0, 6), jobs=2, fault_plan=plan,
+                         config=GeneratorConfig(), **_FAST)
+    assert faulted.passed  # the retry (attempt 1) skips the injection
+    assert faulted.crashes
+    crash = faulted.crashes[0]
+    assert "SIGKILL" in crash.reason
+    assert 2 in crash.seeds and crash.requeued
+    serial = run_shards(range(0, 6), jobs=1, config=GeneratorConfig(),
+                        **_FAST)
+    assert _ledger_json(faulted) == _ledger_json(serial)
+
+
+def test_hung_worker_times_out_and_is_retried():
+    """A wedged worker is killed at the per-shard timeout; its unfinished
+    seeds are retried and the ledger still matches the serial run."""
+    plan = FaultPlan(hang_seeds=(1,))
+    faulted = run_shards(range(0, 4), jobs=2, fault_plan=plan,
+                         shard_timeout=10.0, config=GeneratorConfig(),
+                         **_FAST)
+    assert faulted.passed
+    assert any("timed out" in crash.reason for crash in faulted.crashes)
+    serial = run_shards(range(0, 4), jobs=1, config=GeneratorConfig(),
+                        **_FAST)
+    assert _ledger_json(faulted) == _ledger_json(serial)
+
+
+def test_persistently_crashing_seed_becomes_a_shard_failure(monkeypatch):
+    """A seed that kills its worker on every attempt is narrowed down and
+    reported as a crash ShardFailure with a repro command — the exception
+    never escapes run_shards, and the other seeds still complete."""
+    plan = FaultPlan(kill_seeds=(1,))
+    # Make retries crash too: requeued payloads keep attempt >= 1, so
+    # patch the worker to honor kill_seeds on every attempt.
+    real_worker = parallel_module._shard_worker
+
+    def always_kill(payload, spill_path):
+        payload = dict(payload)
+        payload["attempt"] = 0
+        real_worker(payload, spill_path)
+
+    monkeypatch.setattr(parallel_module, "_shard_worker", always_kill)
+    run = run_shards(range(0, 4), jobs=2, fault_plan=plan,
+                     config=GeneratorConfig(), **_FAST)
+    assert not run.passed
+    crash_failures = [f for f in run.failures if f.kind == "crash"]
+    assert [f.seed for f in crash_failures] == [1]
+    assert "SIGKILL" in crash_failures[0].reason
+    assert "--start 1 --seeds 1" in crash_failures[0].repro
+    # Every other seed still made it into the ledger.
+    assert sorted(r.seed for r in run.records) == [0, 2, 3]
 
 
 def test_distill_keeps_only_coverage_adding_seeds(tmp_path):

@@ -42,6 +42,8 @@ def _full_record(seed=1):
         op_widths={"add": [8, 16], "eq": [1], "mult": [16]},
         x_transactions=5,
         plan_digest="abcdef012345",
+        fault_seed=7,
+        fault_degradations={"injected:torn-write": 2, "digest-mismatch": 1},
     )
 
 
@@ -53,13 +55,26 @@ def test_record_round_trips_through_dict():
 def test_record_from_legacy_dict_defaults_new_fields():
     """Ledgers written before the steering fields existed still load."""
     legacy = _full_record().to_dict()
-    for key in ("regime", "op_widths", "x_transactions", "plan_digest"):
+    for key in ("regime", "op_widths", "x_transactions", "plan_digest",
+                "fault_seed", "fault_degradations"):
         del legacy[key]
     record = CoverageRecord.from_dict(legacy)
     assert record.regime == "dataflow"
     assert record.op_widths == {}
     assert record.x_transactions == 0
     assert record.plan_digest is None
+    assert record.fault_seed is None
+    assert record.fault_degradations == {}
+
+
+def test_fault_degradations_merge_across_records():
+    ledger = CoverageLedger([_full_record(1), _full_record(2)])
+    assert ledger.fault_runs() == 2
+    assert ledger.fault_degradation_histogram() == {
+        "digest-mismatch": 2, "injected:torn-write": 4}
+    assert "fault-injected runs: 2/2" in ledger.summary()
+    assert ledger.to_dict()["fault_degradations"] == {
+        "digest-mismatch": 2, "injected:torn-write": 4}
 
 
 def test_merge_concatenates_and_leaves_operands_untouched():

@@ -1,0 +1,149 @@
+"""The deterministic fault-injection layer: plan round-trips, replayable
+schedules, every fault kind absorbed by the store, env-armed fresh
+processes, and the kill-9-between-write-and-rename crash harness."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import faults
+from repro.core.faults import FAULT_KINDS, FaultInjector, FaultPlan, inject
+from repro.core.store import ArtifactStore
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture(autouse=True)
+def _reset_faults():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def test_plan_round_trips_through_json():
+    plan = FaultPlan(seed=7, rates={"torn-write": 0.5}, kill_seeds=(1, 2),
+                     hang_seeds=(3,), crash_mode="kill", max_faults=9)
+    clone = FaultPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+    assert clone == plan
+
+
+def test_plan_validates_kinds_and_rates():
+    with pytest.raises(ValueError):
+        FaultPlan(rates={"not-a-kind": 0.5})
+    with pytest.raises(ValueError):
+        FaultPlan(rates={"torn-write": 1.5})
+    with pytest.raises(ValueError):
+        FaultPlan(crash_mode="explode")
+
+
+def test_schedules_replay_deterministically(tmp_path):
+    """Same plan seed + same operation sequence => identical fired list,
+    which is what makes a fault repro command meaningful."""
+
+    def exercise(root):
+        store = ArtifactStore(root)
+        plan = FaultPlan(seed=42, rates={kind: 0.4 for kind in FAULT_KINDS
+                                         if kind != "crash-rename"})
+        with inject(plan) as injector:
+            for index in range(10):
+                store.put_bytes("ns", f"k{index}", b"payload" * 10)
+                store.get_bytes("ns", f"k{index}")
+        return injector.fired
+
+    assert exercise(tmp_path / "a") == exercise(tmp_path / "b")
+
+
+def test_max_faults_bounds_the_schedule():
+    injector = FaultInjector(FaultPlan(seed=1, rates={"stale-lock": 1.0},
+                                       max_faults=2))
+    fired = [injector.stale_lock(f"site{i}") for i in range(5)]
+    assert fired == [True, True, False, False, False]
+
+
+def test_hooks_are_no_ops_when_inactive(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    faults.reset()
+    assert faults.active() is None
+    faults.os_error("site")  # must not raise
+    assert faults.torn("site", b"data") == b"data"
+    assert faults.bitflip("site", b"data") == b"data"
+    assert not faults.crash("site")
+    assert not faults.stale_lock("site")
+    faults.cc_hang("site")
+
+
+def test_env_arms_a_fresh_process(monkeypatch):
+    plan = FaultPlan(seed=5, rates={"enospc": 1.0})
+    monkeypatch.setenv("REPRO_FAULTS", json.dumps(plan.to_dict()))
+    faults.reset()
+    injector = faults.active()
+    assert injector is not None and injector.plan == plan
+
+
+@pytest.mark.parametrize("kind", ["torn-write", "bit-flip", "enospc",
+                                  "eperm", "stale-lock", "crash-rename"])
+def test_store_absorbs_each_fault_kind(tmp_path, kind):
+    """Rate-1.0 single-kind schedules: whatever the fault, the store never
+    serves wrong bytes — it degrades (miss / quarantine / skipped
+    maintenance) and a republish restores service."""
+    store = ArtifactStore(tmp_path)
+    plan = FaultPlan(seed=3, rates={kind: 1.0}, max_faults=1)
+    with inject(plan) as injector:
+        published = store.put_bytes("ns", "k", b"precious payload")
+        value = store.get_bytes("ns", "k")
+        store.prune()  # the only locking site in this sequence (stale-lock)
+    assert injector.fired and injector.fired[0][0] == kind
+    assert value in (None, b"precious payload")  # never corrupt
+    if not published or value is None:
+        assert store.degradations or store.stats["corrupt"] \
+            or store.stats["write_failures"] or store.stats["misses"]
+    # Out of the faulted window the same slot works again.
+    assert store.put_bytes("ns", "k", b"precious payload")
+    assert store.get_bytes("ns", "k") == b"precious payload"
+
+
+def test_simulated_rename_crash_leaves_no_visible_entry(tmp_path):
+    """Abort-mode crash between payload write and rename: the payload tmp
+    survives on disk (as after a real crash) but readers never see a
+    partial entry, and prune sweeps the leftover."""
+    store = ArtifactStore(tmp_path, prune_grace=0.0)
+    plan = FaultPlan(seed=0, rates={"crash-rename": 1.0}, max_faults=1)
+    with inject(plan):
+        assert not store.put_bytes("ns", "k", b"payload")
+    assert store.get_bytes("ns", "k") is None
+    leftovers = list((store.base / "ns").glob("*.tmp"))
+    assert leftovers  # the torn write is on disk, invisible
+    store.prune()
+    assert not list((store.base / "ns").glob("*.tmp"))
+
+
+def test_kill_nine_between_write_and_rename(tmp_path):
+    """The crash harness proper: a child process armed via REPRO_FAULTS
+    with crash_mode="kill" is SIGKILLed mid-publish; a fresh process sees
+    a clean miss and rebuilds the byte-identical artifact."""
+    root = tmp_path / "store"
+    plan = FaultPlan(seed=0, rates={"crash-rename": 1.0}, max_faults=1,
+                     crash_mode="kill")
+    script = (
+        "from repro.core.store import ArtifactStore\n"
+        f"store = ArtifactStore({str(root)!r})\n"
+        "store.put_bytes('ns', 'k', b'artifact bytes')\n"
+        "print('UNREACHABLE')\n"
+    )
+    env = dict(os.environ, PYTHONPATH=_SRC,
+               REPRO_FAULTS=json.dumps(plan.to_dict()))
+    proc = subprocess.run([sys.executable, "-c", script], env=env,
+                          capture_output=True, text=True, timeout=60)
+    assert proc.returncode == -signal.SIGKILL
+    assert "UNREACHABLE" not in proc.stdout
+
+    # A fresh process (no faults armed): the torn publish is invisible.
+    fresh = ArtifactStore(root)
+    assert fresh.get_bytes("ns", "k") is None
+    assert fresh.put_bytes("ns", "k", b"artifact bytes")
+    assert fresh.get_bytes("ns", "k") == b"artifact bytes"
