@@ -10,8 +10,8 @@ count:
   (``mode="native"``, skipped with an explicit log line when the host has
   no C compiler);
 * **packed @ 64 lanes** — the lane-packed interpreter vs the compiled
-  packed kernel through ``run_lanes`` (the native tier is scalar-only;
-  packed runs ride the compiled kernel by design).
+  packed kernel through ``run_lanes`` (the native tier's *lane* entry has
+  its own lanes x engines matrix in ``bench_lane_throughput.py``).
 
 **Timing definition.**  The timed region is engine-level batch execution of
 a pre-built stimulus: ``run_batch`` for dict-stimulus tiers,

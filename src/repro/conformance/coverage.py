@@ -40,8 +40,10 @@ WIDTH_BUCKETS: Tuple[Tuple[str, int, int], ...] = (
 
 #: Engine code paths a program can prove an op on.  ``scheduled`` means the
 #: levelized interpreter ran it, ``kernel`` the generated Python kernel,
-#: ``native`` the compiled C kernel.
-_PATH_DIMS: Tuple[str, ...] = ("scheduled", "kernel", "native")
+#: ``native`` the compiled C kernel (scalar entry), ``native-lanes`` the
+#: native lane entry (``k_run_lanes``: N stimulus streams per netlist pass).
+_PATH_DIMS: Tuple[str, ...] = ("scheduled", "kernel", "native",
+                               "native-lanes")
 
 _COMPARE_KINDS = frozenset(("eq", "neq", "lt", "gt", "le", "ge"))
 
@@ -70,7 +72,7 @@ def cell_universe() -> Set[Tuple[str, str, str, str]]:
             buckets = ("1", "2-8", "9-16", "17-32", "33-64")
         for bucket in buckets:
             for path in _PATH_DIMS:
-                if op == "tdot" and path == "native":
+                if op == "tdot" and path in ("native", "native-lanes"):
                     continue
                 cells.add(("op", op, bucket, path))
     return cells
@@ -118,6 +120,13 @@ class CoverageRecord:
     #: values, no host C compiler, ...).
     native: bool = False
     native_fallback: Optional[str] = None
+    #: Whether the lane-packed way executed through the native **lane**
+    #: entry (``k_run_lanes`` in :mod:`repro.sim.native`): ``None`` when
+    #: the way did not run at all, ``True`` for a native-lane run,
+    #: ``False`` when it fell back to the packed Python kernel with the
+    #: reason in :attr:`native_lanes_fallback`.
+    native_lanes: Optional[bool] = None
+    native_lanes_fallback: Optional[str] = None
     #: Whether the incremental-recompilation way ran (a seeded mutation was
     #: applied and the incremental artifacts were refereed byte-for-byte
     #: against a from-scratch compile), and which mutation family it used
@@ -202,6 +211,8 @@ class CoverageRecord:
             "kernel_fallback": self.kernel_fallback,
             "native": self.native,
             "native_fallback": self.native_fallback,
+            "native_lanes": self.native_lanes,
+            "native_lanes_fallback": self.native_lanes_fallback,
             "incremental": self.incremental,
             "incremental_mutation": self.incremental_mutation,
             "divergences": self.divergences,
@@ -227,6 +238,8 @@ def _record_paths(record: CoverageRecord) -> Set[str]:
         paths.add("kernel")
     if record.native:
         paths.add("native")
+    if record.native_lanes:
+        paths.add("native-lanes")
     return paths
 
 
@@ -259,6 +272,8 @@ def cells_of_record(record: CoverageRecord) -> Set[tuple]:
     cells.add(("x", _x_bin(record)))
     if record.lanes > 1:
         cells.add(("lanes", "packed"))
+    if record.native_lanes:
+        cells.add(("lanes", "native"))
     if record.shared_instances:
         cells.add(("sharing", "shared"))
     if record.incremental and record.incremental_mutation:
@@ -269,6 +284,9 @@ def cells_of_record(record: CoverageRecord) -> Set[tuple]:
         cells.add(("kernel-fallback", _reason_bin(record.kernel_fallback)))
     if record.native_fallback:
         cells.add(("native-fallback", _reason_bin(record.native_fallback)))
+    if record.native_lanes_fallback:
+        cells.add(("native-lanes-fallback",
+                   _reason_bin(record.native_lanes_fallback)))
     return cells
 
 
@@ -355,15 +373,21 @@ class CoverageLedger:
     def native_paths(self) -> Dict[str, int]:
         """How many programs the native engine ran through a compiled C
         kernel vs. fell back down the tier chain; runs whose matrix did not
-        include the native engine are counted separately."""
-        native = fallback = 0
+        include the native engine are counted separately.  ``lane-native``
+        counts the subset of runs whose lane-packed way additionally went
+        through the native lane entry — distinguishing scalar-native-only
+        runs from fully native ones."""
+        native = fallback = lane_native = 0
         for record in self.records:
             if record.native:
                 native += 1
             elif record.native_fallback:
                 fallback += 1
+            if record.native_lanes:
+                lane_native += 1
         return {"native": native, "fallback": fallback,
-                "not-attempted": len(self.records) - native - fallback}
+                "not-attempted": len(self.records) - native - fallback,
+                "lane-native": lane_native}
 
     def native_fallback_histogram(self) -> Dict[str, int]:
         """Why the native engine fell back, across recorded programs."""
@@ -372,6 +396,16 @@ class CoverageLedger:
             if record.native_fallback:
                 histogram[record.native_fallback] = (
                     histogram.get(record.native_fallback, 0) + 1)
+        return dict(sorted(histogram.items()))
+
+    def native_lanes_fallback_histogram(self) -> Dict[str, int]:
+        """Why the lane-packed way missed the native lane entry, across
+        recorded programs whose way ran but fell back."""
+        histogram: Dict[str, int] = {}
+        for record in self.records:
+            if record.native_lanes is False and record.native_lanes_fallback:
+                histogram[record.native_lanes_fallback] = (
+                    histogram.get(record.native_lanes_fallback, 0) + 1)
         return dict(sorted(histogram.items()))
 
     def verilog_reimport_paths(self) -> Dict[str, int]:
@@ -466,11 +500,15 @@ class CoverageLedger:
                 lines.append(f"  kernel fallbacks: {kernel_reasons}")
         natives = self.native_paths()
         if natives["native"] or natives["fallback"]:
-            lines.append(f"  native paths: {natives['native']} C kernel, "
+            lines.append(f"  native paths: {natives['native']} C kernel "
+                         f"({natives['lane-native']} lane-native), "
                          f"{natives['fallback']} fallback")
             native_reasons = self.native_fallback_histogram()
             if native_reasons:
                 lines.append(f"  native fallbacks: {native_reasons}")
+            lane_reasons = self.native_lanes_fallback_histogram()
+            if lane_reasons:
+                lines.append(f"  native-lane fallbacks: {lane_reasons}")
         lanes = sorted({record.lanes for record in self.records})
         if lanes and lanes != [1]:
             lines.append(f"  packed lanes per run: {lanes}")
@@ -531,6 +569,7 @@ class CoverageLedger:
             "kernel_fallbacks": self.kernel_fallback_histogram(),
             "native_paths": self.native_paths(),
             "native_fallbacks": self.native_fallback_histogram(),
+            "native_lanes_fallbacks": self.native_lanes_fallback_histogram(),
             "incremental_mutations": self.incremental_mutation_histogram(),
             "verilog_reimport": self.verilog_reimport_paths(),
             "frontends": self.frontend_histogram(),

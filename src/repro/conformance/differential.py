@@ -25,7 +25,12 @@ under identical random stimulus, and all answers must agree:
    streams run through one lane-packed pass
    (:meth:`~repro.sim.engine.ScheduledEngine.run_lanes`) of a single engine
    instantiation, and every lane's trace must be bit-identical (values and
-   X planes) to a scalar run of that stream;
+   X planes) to a scalar run of that stream; the same streams then run
+   through the **native lane entry** (``mode="native"`` ``run_lanes``,
+   ``k_run_lanes`` in :mod:`repro.sim.native`) under the same
+   bit-identity requirement, with the lane-path outcome
+   (``native_lanes`` / ``native_lanes_fallback``) recorded in the
+   coverage ledger;
 7. **golden model** — every captured transaction output must equal the
    generator's exact Python evaluation of the dataflow spec;
 8. **incremental recompilation** — an in-place mutation recompiled through
@@ -416,6 +421,20 @@ def run_conformance(generated: GeneratedProgram,
             if x_probability > 0:
                 _apply_x_drops(extra, x_probability, f"{seed}+{lane}")
             streams.append(harness._schedule(extra)[0])
+        scalar_engine = Simulator(calyx, spec.name, mode="auto")
+        scalar_traces: Optional[List[List[dict]]] = []
+        try:
+            for lane, lane_stimulus in enumerate(streams):
+                if lane == 0:
+                    scalar_traces.append(traces[reference_name])
+                else:
+                    scalar_engine.reset()
+                    scalar_traces.append(
+                        scalar_engine.run_batch(lane_stimulus))
+        except SimulationError:
+            # The extra streams hit a conflict even scalar; the packed and
+            # native-lane runs below raise (and record) the same error.
+            scalar_traces = None
         packed_engine = Simulator(calyx, spec.name, mode="auto")
         try:
             packed_traces = packed_engine.run_lanes(streams)
@@ -424,16 +443,36 @@ def run_conformance(generated: GeneratedProgram,
         else:
             result.engines = result.engines + ["packed"]
             coverage.lanes = lanes
-            scalar_engine = Simulator(calyx, spec.name, mode="auto")
-            for lane, lane_stimulus in enumerate(streams):
-                if lane == 0:
-                    scalar_trace = traces[reference_name]
-                else:
-                    scalar_engine.reset()
-                    scalar_trace = scalar_engine.run_batch(lane_stimulus)
-                _compare_traces(f"scalar lane {lane}", scalar_trace,
-                                f"packed[{lane}]", packed_traces[lane],
-                                divergences)
+            if scalar_traces is not None:
+                for lane in range(len(streams)):
+                    _compare_traces(f"scalar lane {lane}",
+                                    scalar_traces[lane],
+                                    f"packed[{lane}]",
+                                    packed_traces[lane], divergences)
+
+        # The native lane entry (mode="native" run_lanes) is one more way:
+        # same streams, one k_run_lanes call per batch when the host can
+        # build the C kernel.  The outcome is recorded either way so the
+        # ledger distinguishes lane-native from scalar-native from
+        # fallback paths.
+        lane_engine = Simulator(calyx, spec.name, mode="native")
+        try:
+            native_lane_traces = lane_engine.run_lanes(streams)
+        except SimulationError as error:
+            divergences.append(f"engine native-lanes: {error}")
+        else:
+            coverage.native_lanes = lane_engine.uses_native_lanes()
+            coverage.native_lanes_fallback = (
+                lane_engine.native_lanes_fallback_reason)
+            if coverage.native_lanes:
+                result.engines = result.engines + ["native-lanes"]
+                if scalar_traces is not None:
+                    for lane in range(len(streams)):
+                        _compare_traces(f"scalar lane {lane}",
+                                        scalar_traces[lane],
+                                        f"native-lanes[{lane}]",
+                                        native_lane_traces[lane],
+                                        divergences)
 
     # 7. Captured outputs must match the exact golden model.  Outputs whose
     #    input cone touches an X-dropped port have no defined golden value

@@ -1,7 +1,10 @@
 """Coverage-guided steering of the conformance generator.
 
 The feedback loop of the fuzzer: a :class:`~repro.conformance.coverage.CoverageLedger`
-says which op x width-bucket x engine-path cells, regimes, X-stimulus bins
+says which op x width-bucket x engine-path cells (the path dimension spans
+``scheduled`` / ``kernel`` / ``native`` / ``native-lanes``, so
+under-covered native-lane op x width cells pull weight like any other),
+regimes, X-stimulus bins
 and mutation kinds a seed matrix has *not* proven yet; :func:`plan_from_ledger`
 turns that into a :class:`SteeringPlan` — explicit sampling weights — and
 :func:`steer_config` applies the plan to a

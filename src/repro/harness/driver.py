@@ -132,22 +132,32 @@ class CycleAccurateHarness:
 
         # Every cycle starts from the idle template — interface ports 0, data
         # ports X so early/late reads are caught — and transactions overwrite
-        # their windows.  Copying the template is one C-level dict copy per
-        # cycle, which matters when lane-packed runs schedule many streams.
+        # their windows.  The template row is *interned*: every cycle outside
+        # a transaction window shares the one idle dict (the engines only
+        # read stimulus rows), and a window cycle gets its own copy on first
+        # write.  Long pipelined runs are mostly idle cycles, so this removes
+        # the per-cycle dict copy that used to dominate lane scheduling.
         idle: Dict[str, Value] = {name: 0 for name in self.spec.interface_ports}
         for port in self.spec.inputs:
             idle[port.name] = X
-        stimulus: List[Dict[str, Value]] = [dict(idle) for _ in range(total)]
+        stimulus: List[Dict[str, Value]] = [idle] * total
+
+        def writable(index: int) -> Dict[str, Value]:
+            row = stimulus[index]
+            if row is idle:
+                row = dict(idle)
+                stimulus[index] = row
+            return row
 
         for start, transaction in zip(starts, transactions):
             for offset_port, cycle in self.spec.interface_ports.items():
-                stimulus[start + cycle][offset_port] = 1
+                writable(start + cycle)[offset_port] = 1
             for port in self.spec.inputs:
                 value = transaction.get(port.name)
                 if value is None:
                     continue
                 for cycle in port.cycles():
-                    slot = stimulus[start + cycle]
+                    slot = writable(start + cycle)
                     existing = slot[port.name]
                     if existing is not X and existing != value:
                         raise SimulationError(
@@ -310,14 +320,50 @@ class CycleAccurateHarness:
         Every stream is pipelined internally exactly as :meth:`run` would
         pipeline it; the streams never interact, they only share the
         simulator pass, so N fuzz streams cost roughly one.
+
+        When the simulator's native lane entry is active the streams are
+        scheduled columnar, merged into one lane-major-within-port buffer
+        set, and executed in a single C call
+        (:meth:`~repro.sim.engine.ScheduledEngine.run_lane_columns`) —
+        trace-identical to the packed path, without the per-cycle Python
+        lane marshalling.
         """
-        schedules = [self._schedule(list(stream), spacing, extra_cycles)
-                     for stream in transaction_streams]
-        traces = self._fresh_simulator().run_lanes(
+        streams = [list(stream) for stream in transaction_streams]
+        simulator = self._fresh_simulator()
+        if streams and simulator.native_lanes_active():
+            schedules = [self._schedule_columns(stream, spacing,
+                                                extra_cycles)
+                         for stream in streams]
+            n_lanes = len(streams)
+            total = max(lane_total for lane_total, _, _ in schedules)
+            merged: Dict[str, Tuple[List[int], bytearray]] = {}
+            for name in schedules[0][1]:
+                values = [0] * (total * n_lanes)
+                xflags = bytearray(b"\x01" * (total * n_lanes))
+                for lane, (lane_total, columns, _) in enumerate(schedules):
+                    lane_values, lane_xflags = columns[name]
+                    stop = lane_total * n_lanes
+                    values[lane:stop:n_lanes] = lane_values
+                    xflags[lane:stop:n_lanes] = lane_xflags
+                merged[name] = (values, xflags)
+            out = simulator.run_lane_columns(total, n_lanes, merged)
+            if out is not None:
+                results = []
+                for lane, ((lane_total, _, starts), stream) in enumerate(
+                        zip(schedules, streams)):
+                    lane_out = {
+                        name: (vals[lane::n_lanes], xfl[lane::n_lanes])
+                        for name, (vals, xfl) in out.items()}
+                    results.append(self._capture_columns(
+                        lane_out, lane_total, starts, stream))
+                return results
+        schedules = [self._schedule(stream, spacing, extra_cycles)
+                     for stream in streams]
+        traces = simulator.run_lanes(
             [stimulus for stimulus, _ in schedules])
         return [self._capture(trace, starts, stream)
                 for trace, (_, starts), stream
-                in zip(traces, schedules, transaction_streams)]
+                in zip(traces, schedules, streams)]
 
     def trace(self, transactions: Sequence[Transaction],
               spacing: Optional[int] = None,

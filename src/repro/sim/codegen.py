@@ -1197,6 +1197,108 @@ class _ComponentCompiler:
 
 
 # ---------------------------------------------------------------------------
+# Slot width / limb planning (shared with the native tier)
+# ---------------------------------------------------------------------------
+
+
+def slot_width_hints(compiler: _ComponentCompiler) -> Dict[int, int]:
+    """Conservative bit-width upper bound per slot of ``compiler``'s slot
+    map, derived from declared port widths and primitive width hints.
+
+    A hint bounds what the *defining node* can write into the slot (prim
+    templates mask their outputs, top-level inputs are masked at the
+    boundary); values copied through driver groups or child ports can be
+    wider than the destination's hint — :func:`plan_slot_limbs` propagates
+    those, so together the two give the exact storage each slot needs to
+    hold the same unmasked Python ints the interpreter keeps."""
+    engine = compiler.engine
+    component = compiler.component
+    port_widths = {port.name: port.width
+                   for port in list(component.inputs)
+                   + list(component.outputs)}
+    prim_hints = {node.cell: max(1, node.model.packed_width_hint)
+                  for node in engine._prim_nodes}
+    child_ports: Dict[str, Dict[str, int]] = {}
+    for node in engine._child_nodes:
+        child = node.engine.component
+        child_ports[node.cell] = {
+            port.name: port.width
+            for port in list(child.inputs) + list(child.outputs)}
+    hints: Dict[int, int] = {}
+    for (cell, port), slot in compiler.slots.items():
+        if cell is None:
+            width = port_widths.get(port, 64)
+        elif cell in prim_hints:
+            width = prim_hints[cell]
+        elif cell in child_ports:
+            width = child_ports[cell].get(port, 64)
+        else:  # pragma: no cover - every cell is a prim or a child
+            width = 64
+        hints[slot] = max(1, width)
+    return hints
+
+
+def plan_slot_limbs(compilers: Dict[str, _ComponentCompiler]
+                    ) -> Dict[str, Dict[int, int]]:
+    """Per component, the 64-bit limb count each slot needs so that no
+    copy anywhere in the hierarchy truncates.
+
+    Python slot values are *unmasked*: a driver group stores the source's
+    full int, a child port copy forwards it, and readers (guards, compare
+    primitives, multi-driver equality) see every bit.  Limb counts
+    therefore start from the width hints and grow to a fixpoint over the
+    copy edges — group source → group destination, parent slot → child
+    input, child output → parent slot — plus literal init/constant values.
+    Widening is always safe (copies zero-extend); the fixpoint is monotone
+    and bounded by the largest initial hint, so it terminates."""
+    def limbs_for_bits(bits: int) -> int:
+        return max(1, (bits + 63) // 64)
+
+    limbs = {name: {slot: limbs_for_bits(hint)
+                    for slot, hint in slot_width_hints(compiler).items()}
+             for name, compiler in compilers.items()}
+    for name, compiler in compilers.items():
+        for slot, value in compiler.init.items():
+            if value is not X and isinstance(value, int) and value >= 0:
+                limbs[name][slot] = max(limbs[name][slot],
+                                        limbs_for_bits(value.bit_length()))
+    changed = True
+    while changed:
+        changed = False
+        for name, compiler in compilers.items():
+            table = limbs[name]
+            for group in compiler.engine._groups:
+                dst = compiler.slots[group.dst_key]
+                need = table[dst]
+                for assign in group.assigns:
+                    if assign.src_key is not None:
+                        need = max(need, table[compiler.slots[assign.src_key]])
+                    elif (assign.src_const is not X
+                          and isinstance(assign.src_const, int)
+                          and assign.src_const >= 0):
+                        need = max(need, limbs_for_bits(
+                            assign.src_const.bit_length()))
+                if need > table[dst]:
+                    table[dst] = need
+                    changed = True
+            for node in compiler.engine._child_nodes:
+                child_name = node.engine.component.name
+                child_compiler = compilers[child_name]
+                child_table = limbs[child_name]
+                for port, key in node.in_items:
+                    child_slot = child_compiler.slots[(None, port)]
+                    if table[compiler.slots[key]] > child_table[child_slot]:
+                        child_table[child_slot] = table[compiler.slots[key]]
+                        changed = True
+                for port, key in node.out_items:
+                    child_slot = child_compiler.slots[(None, port)]
+                    if child_table[child_slot] > table[compiler.slots[key]]:
+                        table[compiler.slots[key]] = child_table[child_slot]
+                        changed = True
+    return limbs
+
+
+# ---------------------------------------------------------------------------
 # Whole-program generation
 # ---------------------------------------------------------------------------
 

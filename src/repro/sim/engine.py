@@ -60,8 +60,13 @@ values) or a host without a compiler falls back to the compiled-Python
 kernel with the reason recorded in
 :attr:`ScheduledEngine.native_fallback_reason`.  Scalar batches
 (``run_batch``/``step``, plus the columnar :meth:`ScheduledEngine.run_columns`
-fast path) run natively; ``run_lanes`` rides the compiled-Python packed
-kernel.
+fast path) run natively, and ``run_lanes`` runs on the native **lane
+entry** (``k_run_lanes``): N independent streams per netlist pass through
+lane-major-within-port columnar buffers, one Python↔C crossing per batch
+(plus the raw columnar :meth:`ScheduledEngine.run_lane_columns` fast
+path).  When the lane entry is unavailable ``run_lanes`` rides the
+compiled-Python packed kernel with the reason recorded in
+:attr:`ScheduledEngine.native_lanes_fallback_reason`.
 """
 
 from __future__ import annotations
@@ -250,6 +255,15 @@ class ScheduledEngine:
         #: further): ``native(...)`` for C-tier ineligibility/compiler
         #: problems, ``interpreter(...)`` when even the schedule is out.
         self.native_fallback_reason: Optional[str] = None
+        # Last-run lane-path markers: whether the most recent lane batch
+        # executed through the native lane entry, and if not, why.  Set by
+        # run_lanes/run_lane_columns; deliberately *not* cleared by reset()
+        # (run_lanes resets the engine on exit, and callers read the
+        # markers afterwards).
+        self._native_lanes_used = False
+        #: Why the most recent lane batch did not run on the native lane
+        #: entry (``None`` after a native-lane run, or before any lane run).
+        self.native_lanes_fallback_reason: Optional[str] = None
 
         # Driver grouping, computed once (the fixpoint interpreter used to
         # rebuild this dictionary on every sweep of every cycle).
@@ -472,6 +486,50 @@ class ScheduledEngine:
         return (self._ensure_native() is not None
                 if self._native_requested else False)
 
+    def uses_native_lanes(self) -> bool:
+        """Whether the most recent :meth:`run_lanes` /
+        :meth:`run_lane_columns` call executed through the native lane
+        entry (false before any lane batch has run)."""
+        return self._native_lanes_used
+
+    def native_lanes_active(self) -> bool:
+        """Whether lane batches will run on the native lane entry (builds
+        the kernel if needed).  False outside ``mode="native"`` or after a
+        fallback.  One translation unit carries both the scalar and lane
+        entries, so this coincides with :meth:`native_active`."""
+        return self.native_active()
+
+    def run_lane_columns(self, cycles: int, n_lanes: int,
+                         columns) -> Optional[Dict[str, object]]:
+        """Lane-columnar batch execution on the native tier: ``columns``
+        maps input port name → ``(values, xflags)`` flat sequences of
+        length ``cycles * n_lanes`` in lane-major-within-cycle order (flat
+        index ``cycle * n_lanes + lane``; missing ports idle at X);
+        returns per-output-port flat columns in the same layout, or
+        ``None`` when the native tier is not running (callers then fall
+        back to :meth:`run_lanes`).  Lane state is fresh per call and
+        discarded afterwards — like :meth:`run_lanes`, each lane behaves
+        as a freshly reset engine and the instance's own scalar state is
+        untouched."""
+        native = self._ensure_native() if self._native_requested else None
+        if native is None:
+            if self._native_requested:
+                self._native_lanes_used = False
+                self.native_lanes_fallback_reason = self.native_fallback_reason
+            return None
+        unknown = set(columns) - self._input_set
+        if unknown:
+            raise SimulationError(
+                f"{self.component.name}: unknown input port "
+                f"{sorted(unknown)[0]!r}"
+            )
+        self._native_used = True
+        self._native_lanes_used = True
+        self.native_lanes_fallback_reason = None
+        out = native.run_lanes_columns(cycles, n_lanes, columns)
+        self.cycle += cycles
+        return out
+
     def run_columns(self, cycles: int, columns) -> Optional[Dict[str, object]]:
         """Columnar batch execution on the native tier: ``columns`` maps
         input port name → ``(values, xflags)`` sequences of length
@@ -503,9 +561,13 @@ class ScheduledEngine:
         already fully constructed.  Returns ``{"kernel": bool, "cached":
         bool, "seconds": float, "fallback_reason": Optional[str], "native":
         bool, "native_cached": bool, "native_seconds": float,
-        "native_fallback_reason": Optional[str]}`` — the public surface
-        sessions and benchmarks use instead of reaching into engine
-        internals."""
+        "native_fallback_reason": Optional[str], "native_lanes": bool,
+        "native_lanes_cached": bool, "native_lanes_seconds": float,
+        "native_lanes_fallback_reason": Optional[str]}`` — the public
+        surface sessions and benchmarks use instead of reaching into
+        engine internals.  The lane entry is emitted into the same
+        translation unit as the scalar one, so ``native_lanes`` mirrors
+        ``native`` with zero marginal build time."""
         native = self._ensure_native() if self._native_requested else None
         if native is None:
             self._ensure_kernel()
@@ -518,6 +580,10 @@ class ScheduledEngine:
             "native_cached": self._native_from_cache,
             "native_seconds": self._native_build_seconds,
             "native_fallback_reason": self.native_fallback_reason,
+            "native_lanes": self._native is not None,
+            "native_lanes_cached": self._native_from_cache,
+            "native_lanes_seconds": 0.0,
+            "native_lanes_fallback_reason": self.native_fallback_reason,
         }
 
     # -- one cycle -------------------------------------------------------------
@@ -587,6 +653,18 @@ class ScheduledEngine:
                 f"{self.component.name}: unknown input port "
                 f"{sorted(unknown)[0]!r}"
             )
+        if self._native_requested:
+            native = self._ensure_native()
+            if native is not None:
+                self._native_used = True
+                self._native_lanes_used = True
+                self.native_lanes_fallback_reason = None
+                try:
+                    return self._run_lanes_native(native, batches)
+                finally:
+                    self.reset()
+            self._native_lanes_used = False
+            self.native_lanes_fallback_reason = self.native_fallback_reason
         ctx = LaneContext(len(batches), self._max_packed_width() + 1)
         lengths = [len(batch) for batch in batches]
         traces: List[List[Dict[str, Value]]] = [[] for _ in batches]
@@ -635,6 +713,44 @@ class ScheduledEngine:
                                       in zip(output_names, columns)})
         finally:
             self.reset()
+        return traces
+
+    def _run_lanes_native(self, native, batches):
+        """The :meth:`run_lanes` native fast path: marshal every stream
+        into lane-major-within-port flat columns, cross into C exactly
+        once, and slice the flat output columns back into per-stream
+        traces.  Padding cycles past a stream's length stay X and their
+        results are discarded, exactly like the packed path."""
+        lengths = [len(batch) for batch in batches]
+        n_lanes = len(batches)
+        total = max(lengths)
+        columns = {}
+        for port in self.component.inputs:
+            name = port.name
+            values = [0] * (total * n_lanes)
+            xflags = bytearray(b"\x01" * (total * n_lanes))
+            driven = False
+            for lane, batch in enumerate(batches):
+                for cycle, row in enumerate(batch):
+                    value = row.get(name, X)
+                    if value is X:
+                        continue
+                    index = cycle * n_lanes + lane
+                    values[index] = value
+                    xflags[index] = 0
+                    driven = True
+            if driven:
+                columns[name] = (values, xflags)
+        out = native.run_lanes_columns(total, n_lanes, columns)
+        cols = [(port.name,) + out[port.name]
+                for port in self.component.outputs]
+        traces: List[List[Dict[str, Value]]] = []
+        for lane, length in enumerate(lengths):
+            lane_cols = [(name, vals[lane::n_lanes], xfl[lane::n_lanes])
+                         for name, vals, xfl in cols]
+            traces.append([{name: (X if xfl[i] else vals[i])
+                            for name, vals, xfl in lane_cols}
+                           for i in range(length)])
         return traces
 
     def _max_packed_width(self) -> int:

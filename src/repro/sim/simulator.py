@@ -39,9 +39,13 @@ schedule (:mod:`repro.sim.native`) — the fastest tier.  The full chain is
 native → compiled → scheduled → fixpoint and semantics never fork: each
 tier falls back to the next with a recorded reason
 (:attr:`~repro.sim.engine.ScheduledEngine.native_fallback_reason`) when a
-netlist is ineligible — black-box primitives, values wider than 64 bits —
-or the host has no C compiler.  Lane-packed runs (``run_lanes``) under
-``mode="native"`` ride the compiled-Python packed kernel.
+netlist is ineligible — black-box primitives, values wider than 256 bits
+(65–256-bit signals spill to multi-limb ``uint64_t`` slots) — or the host
+has no C compiler.  Lane-packed runs (``run_lanes``) under
+``mode="native"`` execute through the native lane entry ``k_run_lanes``
+(N streams per netlist pass, one Python↔C crossing per batch), falling
+back to the compiled-Python packed kernel with the reason recorded in
+:attr:`~repro.sim.engine.ScheduledEngine.native_lanes_fallback_reason`.
 """
 
 from __future__ import annotations

@@ -94,11 +94,17 @@ def test_corpus_four_engine_matrix_and_kernel_coverage():
     assert "kernel paths" in ledger.summary()
     if compiler_available():
         assert result.coverage.native, result.coverage.native_fallback
+        assert result.coverage.native_lanes, \
+            result.coverage.native_lanes_fallback
+        assert "native-lanes" in result.engines
         assert ledger.native_paths() == {"native": 1, "fallback": 0,
-                                         "not-attempted": 0}
+                                         "not-attempted": 0,
+                                         "lane-native": 1}
         assert "native paths" in ledger.summary()
     else:
         assert result.coverage.native_fallback is not None
+        assert result.coverage.native_lanes is False
+        assert result.coverage.native_lanes_fallback is not None
 
 
 def _self_loop_program():

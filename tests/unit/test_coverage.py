@@ -35,6 +35,8 @@ def _full_record(seed=1):
         kernel_fallback=None,
         native=False,
         native_fallback="black-box primitive Tdot: 'prim' in Gen1",
+        native_lanes=False,
+        native_lanes_fallback="native(black-box primitive Tdot: 'prim')",
         incremental=True,
         incremental_mutation="op-kind",
         divergences=0,
@@ -56,7 +58,8 @@ def test_record_from_legacy_dict_defaults_new_fields():
     """Ledgers written before the steering fields existed still load."""
     legacy = _full_record().to_dict()
     for key in ("regime", "op_widths", "x_transactions", "plan_digest",
-                "fault_seed", "fault_degradations"):
+                "fault_seed", "fault_degradations", "native_lanes",
+                "native_lanes_fallback"):
         del legacy[key]
     record = CoverageRecord.from_dict(legacy)
     assert record.regime == "dataflow"
@@ -65,6 +68,8 @@ def test_record_from_legacy_dict_defaults_new_fields():
     assert record.plan_digest is None
     assert record.fault_seed is None
     assert record.fault_degradations == {}
+    assert record.native_lanes is None
+    assert record.native_lanes_fallback is None
 
 
 def test_fault_degradations_merge_across_records():
@@ -89,7 +94,7 @@ def test_merge_concatenates_and_leaves_operands_untouched():
 def test_merged_histograms_cover_every_field():
     native_ok = CoverageRecord(
         name="GenA", seed=10, ops={"sub": 1}, widths=[32],
-        scheduled=True, kernel=True, native=True,
+        scheduled=True, kernel=True, native=True, native_lanes=True,
         incremental=True, incremental_mutation="const",
         op_widths={"sub": [32]},
     )
@@ -103,9 +108,11 @@ def test_merged_histograms_cover_every_field():
     assert merged.kernel_paths() == {
         "kernel": 2, "interpreter": 0, "not-attempted": 0}
     assert merged.native_paths() == {
-        "native": 1, "fallback": 1, "not-attempted": 0}
+        "native": 1, "fallback": 1, "not-attempted": 0, "lane-native": 1}
     assert merged.native_fallback_histogram() == {
         "black-box primitive Tdot: 'prim' in Gen1": 1}
+    assert merged.native_lanes_fallback_histogram() == {
+        "native(black-box primitive Tdot: 'prim')": 1}
     assert merged.incremental_mutation_histogram() == {
         "const": 1, "op-kind": 1}
 
@@ -142,10 +149,14 @@ def test_cell_universe_excludes_unreachable_cells():
     # Compares only ever produce width-1 results.
     assert ("op", "eq", "1", "kernel") in universe
     assert ("op", "eq", "2-8", "kernel") not in universe
-    # Tdot is pinned to width 8 and can never lower to the native tier.
+    # Tdot is pinned to width 8 and can never lower to the native tier —
+    # neither the scalar entry nor the lane entry.
     assert ("op", "tdot", "2-8", "kernel") in universe
     assert ("op", "tdot", "2-8", "native") not in universe
+    assert ("op", "tdot", "2-8", "native-lanes") not in universe
     assert ("op", "tdot", "9-16", "kernel") not in universe
+    # The lane path is a first-class cell dimension for every other op.
+    assert ("op", "add", "33-64", "native-lanes") in universe
 
 
 def test_cells_of_record_tracks_engine_paths_and_aux_bins():
@@ -155,9 +166,11 @@ def test_cells_of_record_tracks_engine_paths_and_aux_bins():
     assert ("op", "add", "9-16", "kernel") in cells
     assert ("op", "add", "2-8", "scheduled") not in cells
     assert ("op", "add", "2-8", "native") not in cells
+    assert ("op", "add", "2-8", "native-lanes") not in cells
     assert ("regime", "blackbox") in cells
     assert ("ii", 3) in cells
     assert ("lanes", "packed") in cells
+    assert ("lanes", "native") not in cells
     assert ("sharing", "shared") in cells
     assert ("mutation", "op-kind") in cells
     assert ("sweep-fallback", "combinational-cycle") in cells
@@ -165,6 +178,13 @@ def test_cells_of_record_tracks_engine_paths_and_aux_bins():
     assert ("x", "heavy") in cells
     # Quoted instance names are elided so reasons bin stably.
     assert ("native-fallback", "black-box primitive Tdot: * in Gen1") in cells
+    assert ("native-lanes-fallback",
+            "native(black-box primitive Tdot: *)") in cells
+    lane_cells = cells_of_record(CoverageRecord(
+        name="GenL", ops={"add": 1}, widths=[8], scheduled=True,
+        native=True, native_lanes=True, lanes=4, op_widths={"add": [8]}))
+    assert ("op", "add", "2-8", "native-lanes") in lane_cells
+    assert ("lanes", "native") in lane_cells
 
 
 def test_x_bins_split_on_drop_density():
